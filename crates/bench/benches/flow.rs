@@ -1,0 +1,34 @@
+//! Criterion microbenches for the min-cost flow OPT computation: exact vs
+//! time-segmented vs rank-pruned, across window sizes. Backs the §2.1
+//! "save 90% of the calculation time" claim with controlled measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cdn_trace::{GeneratorConfig, TraceGenerator};
+use opt::{compute_opt, compute_opt_pruned, compute_opt_segmented, OptConfig};
+
+fn flow_benches(c: &mut Criterion) {
+    let trace = TraceGenerator::new(GeneratorConfig::production(7, 5_000)).generate();
+    let stats = cdn_trace::TraceStats::from_trace(&trace);
+    let cache = stats.cache_size_for_fraction(0.10);
+    let config = OptConfig::bhr(cache);
+
+    let mut group = c.benchmark_group("opt_solve");
+    group.sample_size(10);
+    for &n in &[1_000usize, 2_000, 5_000] {
+        let window = &trace.requests()[..n];
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| compute_opt(window, &config).unwrap().hit_bytes)
+        });
+        group.bench_with_input(BenchmarkId::new("segmented_1k", n), &n, |b, _| {
+            b.iter(|| compute_opt_segmented(window, &config, 1_000).unwrap().hit_bytes)
+        });
+        group.bench_with_input(BenchmarkId::new("pruned_10pct", n), &n, |b, _| {
+            b.iter(|| compute_opt_pruned(window, &config, 0.1).unwrap().result.hit_bytes)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, flow_benches);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenches for the GBDT substrate: training cost at the
+//! paper's configuration (30 iterations) and single-row prediction latency
+//! (the quantity behind Figure 7's per-thread ~300K predictions/s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gbdt::{train, Dataset, GbdtParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..features).map(|_| rng.gen::<f32>()).collect())
+        .collect();
+    let labels: Vec<f32> = rows
+        .iter()
+        .map(|r| ((r[0] + r[1] * 0.5) > 0.75) as u8 as f32)
+        .collect();
+    Dataset::from_rows(rows, labels).unwrap()
+}
+
+fn gbdt_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbdt_train");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        let data = synthetic(n, 53, 1); // 53 = LFO's feature count
+        group.bench_with_input(BenchmarkId::new("paper_params", n), &n, |b, _| {
+            b.iter(|| train(&data, &GbdtParams::lfo_paper()).trees().len())
+        });
+    }
+    group.finish();
+
+    let data = synthetic(20_000, 53, 2);
+    let model = train(&data, &GbdtParams::lfo_paper());
+    let rows: Vec<Vec<f32>> = (0..256).map(|r| data.row(r)).collect();
+    let mut group = c.benchmark_group("gbdt_predict");
+    group.bench_function("single_row", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % rows.len();
+            model.predict_proba(&rows[i])
+        })
+    });
+    group.bench_function("batch_256", |b| b.iter(|| model.predict_batch(&rows)));
+    group.finish();
+}
+
+criterion_group!(benches, gbdt_benches);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion macrobench: one full LFO window cycle (record → OPT → label →
+//! train), the recurring cost a production deployment pays per retraining
+//! interval, plus the serving-side LfoCache request cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cdn_cache::{simulate, SimConfig};
+use cdn_trace::{GeneratorConfig, TraceGenerator, TraceStats};
+use lfo::features::FeatureTracker;
+use lfo::labels::build_training_set;
+use lfo::pipeline::{run_pipeline, PipelineConfig};
+use lfo::policy::LfoCache;
+use lfo::train::train_window;
+use lfo::LfoConfig;
+use opt::{compute_opt, OptConfig};
+use std::sync::Arc;
+
+fn pipeline_benches(c: &mut Criterion) {
+    let trace = TraceGenerator::new(GeneratorConfig::production(13, 12_000)).generate();
+    let cache = TraceStats::from_trace(&trace).cache_size_for_fraction(0.10);
+    let window = &trace.requests()[..4_000];
+
+    let mut group = c.benchmark_group("lfo_window_cycle");
+    group.sample_size(10);
+    group.bench_function("opt_label_train_4k", |b| {
+        b.iter(|| {
+            let lfo_config = LfoConfig::default();
+            let opt = compute_opt(window, &OptConfig::bhr(cache)).unwrap();
+            let mut tracker = FeatureTracker::new(lfo_config.num_gaps, lfo_config.cost_model);
+            let data = build_training_set(window, &opt, &mut tracker, cache);
+            train_window(&data, &lfo_config).train_accuracy
+        })
+    });
+    group.finish();
+
+    // Serving path: requests/second through a trained LfoCache.
+    let lfo_config = LfoConfig::default();
+    let opt = compute_opt(window, &OptConfig::bhr(cache)).unwrap();
+    let mut tracker = FeatureTracker::new(lfo_config.num_gaps, lfo_config.cost_model);
+    let data = build_training_set(window, &opt, &mut tracker, cache);
+    let trained = train_window(&data, &lfo_config);
+    let model = Arc::new(trained.model);
+    let serve_window = &trace.requests()[4_000..12_000];
+
+    let mut group = c.benchmark_group("lfo_serving");
+    group.sample_size(10);
+    group.bench_function("cache_replay_8k", |b| {
+        b.iter(|| {
+            let mut cache_policy = LfoCache::new(cache, lfo_config.clone());
+            cache_policy.install_model(Arc::clone(&model));
+            simulate(&mut cache_policy, serve_window, &SimConfig::default()).measured.hits
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("lfo_end_to_end");
+    group.sample_size(10);
+    group.bench_function("pipeline_3_windows", |b| {
+        b.iter(|| {
+            let config = PipelineConfig {
+                window: 4_000,
+                cache_size: cache,
+                ..Default::default()
+            };
+            run_pipeline(trace.requests(), &config).unwrap().live_total.hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benches);
+criterion_main!(benches);

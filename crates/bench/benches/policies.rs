@@ -1,0 +1,45 @@
+//! Criterion microbenches: per-request processing cost of every cache
+//! policy. CDN servers handle 40+ Gbit/s, so constant factors matter; this
+//! bench shows where each policy's bookkeeping sits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cdn_cache::policies::by_name;
+use cdn_cache::{simulate, SimConfig};
+use cdn_trace::{GeneratorConfig, TraceGenerator};
+
+fn policy_benches(c: &mut Criterion) {
+    let trace = TraceGenerator::new(GeneratorConfig::production(11, 30_000)).generate();
+    let stats = cdn_trace::TraceStats::from_trace(&trace);
+    let cache = stats.cache_size_for_fraction(0.10);
+
+    let mut group = c.benchmark_group("policy_replay_30k");
+    group.sample_size(10);
+    for name in [
+        "LRU",
+        "FIFO",
+        "RND",
+        "LRU-K",
+        "LFU",
+        "LFUDA",
+        "GDSF",
+        "GD-Wheel",
+        "S4LRU",
+        "AdaptSize",
+        "Hyperbolic",
+        "LHD",
+        "TinyLFU",
+        "RLC",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let mut policy = by_name(name, cache, 1).expect("known policy");
+                simulate(policy.as_mut(), trace.requests(), &SimConfig::default()).measured.hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policy_benches);
+criterion_main!(benches);

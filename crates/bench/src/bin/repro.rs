@@ -1,0 +1,61 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p bench --bin repro --release -- all            # quick scale
+//! cargo run -p bench --bin repro --release -- --full all     # full scale
+//! cargo run -p bench --bin repro --release -- fig6 fig8      # a subset
+//! ```
+//!
+//! CSVs land in `results/` (override with `--out DIR`).
+
+use bench::experiments;
+use bench::{Context, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--full] [--out DIR] (all | {} ...)",
+        experiments::ALL.join(" | ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> std::io::Result<()> {
+    let mut scale = Scale::Quick;
+    let mut out_dir = String::from("results");
+    let mut names: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--out" => out_dir = args.next().unwrap_or_else(|| usage()),
+            "-h" | "--help" => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    if names.iter().any(|n| n == "all") {
+        names = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let ctx = Context::new(&out_dir, scale)?;
+    println!(
+        "repro: scale = {:?}, output = {}",
+        ctx.scale,
+        ctx.out_dir.display()
+    );
+    let started = std::time::Instant::now();
+    for name in &names {
+        let t = std::time::Instant::now();
+        if !experiments::run(name, &ctx)? {
+            eprintln!("unknown experiment: {name}");
+            usage();
+        }
+        println!("  [{name} took {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    println!("\nall done in {:.1}s", started.elapsed().as_secs_f64());
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! §5 "policy design" ablation: the same trained ranking deployed through
+//! three different ranking→policy translations.
+//!
+//! The paper's closing argument: "to bridge the gap to OPT we should focus
+//! our efforts on how to translate a ranking of objects into a caching
+//! policy". This experiment quantifies how much the translation matters by
+//! holding the learner fixed and varying only the policy:
+//!
+//! - `Paper` — §2.4 verbatim,
+//! - `ProtectedAdmission` — marginal newcomers cannot displace stronger
+//!   residents (attacks the "knock-on effect" directly),
+//! - `DensityRanked` — evict by likelihood × cost/byte,
+//!
+//! plus the cutoff-equalization variant of each (§3's 0.65 observation).
+
+use cdn_cache::{simulate, SimConfig};
+use lfo::pipeline::{run_pipeline, PipelineConfig};
+use lfo::{CutoffMode, PolicyDesign};
+use opt::{compute_opt_segmented, OptConfig};
+
+use crate::harness::Context;
+
+/// Runs the policy-design ablation.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(108);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let window = ctx.window();
+
+    println!("\n== §5 ablation: ranking → policy translations ==");
+    println!("  {:<34} {:>7} {:>7}", "design", "BHR", "OHR");
+
+    let mut csv = Vec::new();
+    let mut results = Vec::new();
+    let variants: Vec<(&str, PolicyDesign, CutoffMode)> = vec![
+        ("paper (§2.4)", PolicyDesign::Paper, CutoffMode::Fixed(0.5)),
+        (
+            "paper + equalized cutoff",
+            PolicyDesign::Paper,
+            CutoffMode::EqualizeErrorRates,
+        ),
+        (
+            "protected admission",
+            PolicyDesign::ProtectedAdmission,
+            CutoffMode::Fixed(0.5),
+        ),
+        (
+            "protected + equalized cutoff",
+            PolicyDesign::ProtectedAdmission,
+            CutoffMode::EqualizeErrorRates,
+        ),
+        (
+            "density ranked",
+            PolicyDesign::DensityRanked,
+            CutoffMode::Fixed(0.5),
+        ),
+    ];
+    for (label, design, cutoff_mode) in variants {
+        let mut config = PipelineConfig {
+            window,
+            cache_size,
+            ..Default::default()
+        };
+        config.lfo.design = design;
+        config.lfo.cutoff_mode = cutoff_mode;
+        let report = run_pipeline(trace.requests(), &config).expect("pipeline");
+        let bhr = report.live_trained.bhr();
+        let ohr = report.live_trained.ohr();
+        println!("  {label:<34} {bhr:>7.3} {ohr:>7.3}");
+        csv.push(format!("{label},{bhr:.6},{ohr:.6}"));
+        results.push((label, bhr));
+    }
+
+    // The OPT reference over the same measured region.
+    let opt = compute_opt_segmented(
+        trace.requests(),
+        &OptConfig::bhr(cache_size),
+        window * 2,
+    )
+    .expect("OPT");
+    let mut replay =
+        cdn_cache::policies::opt_replay::OptReplay::new(cache_size, opt.admit.clone());
+    let opt_sim = simulate(
+        &mut replay,
+        trace.requests(),
+        &SimConfig {
+            warmup: window,
+            interval: 0,
+        },
+    );
+    println!("  {:<34} {:>7.3} {:>7.3}", "OPT", opt_sim.bhr(), opt_sim.ohr());
+    csv.push(format!("OPT,{:.6},{:.6}", opt_sim.bhr(), opt_sim.ohr()));
+    ctx.write_csv("design_ablation.csv", "design,bhr,ohr", &csv)?;
+
+    let paper = results[0].1;
+    let best = results.iter().map(|(_, b)| *b).fold(0.0f64, f64::max);
+    println!(
+        "  shape: best translation closes {:.0}% of the remaining gap to OPT",
+        if opt_sim.bhr() > paper {
+            (best - paper) / (opt_sim.bhr() - paper) * 100.0
+        } else {
+            0.0
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Figure 1: object hit ratio of RND, LRU, RLC (model-free RL caching),
+//! and GDSF.
+//!
+//! Paper shape: "RL-based caching (RLC) performs similar to random (RND)
+//! and least-recently-used (LRU). All three are outperformed by a simple
+//! heuristic (GDSF)."
+
+use cdn_cache::policies::{by_name, FIGURE1_POLICIES};
+use cdn_cache::{simulate, SimConfig};
+
+use crate::harness::Context;
+
+/// Runs the Figure 1 comparison.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(101);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let warmup = ctx.window();
+
+    println!("\n== Figure 1: OHR of RND / LRU / RLC / GDSF ==");
+    println!("{} requests, cache {} MiB", trace.len(), cache_size >> 20);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for name in FIGURE1_POLICIES {
+        let mut policy = by_name(name, cache_size, 1).expect("known policy");
+        let r = simulate(
+            policy.as_mut(),
+            trace.requests(),
+            &SimConfig { warmup, interval: 0 },
+        );
+        println!("  {:<6} OHR {:.3}", name, r.ohr());
+        rows.push(format!("{},{:.6}", name, r.ohr()));
+        results.push((name, r.ohr()));
+    }
+    ctx.write_csv("fig1_ohr.csv", "policy,ohr", &rows)?;
+
+    // Shape check: GDSF clearly on top.
+    let gdsf = results.iter().find(|(n, _)| *n == "GDSF").unwrap().1;
+    let best_other = results
+        .iter()
+        .filter(|(n, _)| *n != "GDSF")
+        .map(|(_, o)| *o)
+        .fold(0.0f64, f64::max);
+    println!(
+        "  shape: GDSF {} the other policies ({:.3} vs best-other {:.3})",
+        if gdsf > best_other { "beats" } else { "DOES NOT beat" },
+        gdsf,
+        best_other
+    );
+    Ok(())
+}

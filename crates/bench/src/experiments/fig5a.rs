@@ -1,0 +1,58 @@
+//! Figure 5a: false positive / false negative rates vs likelihood cutoff.
+//!
+//! Paper shape: "false positive and false negative rates plateau between
+//! cutoff values .25 and .75. Below a .25 cutoff the false negative rate
+//! increases quickly. Above a .75 cutoff the false positive rate increases
+//! quickly." (Note the paper's axis labels: below a low cutoff nearly
+//! everything is admitted, so *false positives* are the errors that explode
+//! at low cutoffs — the quoted sentence swaps the names relative to its own
+//! plot; we report the standard definitions and check the plateau.)
+
+use gbdt::GbdtParams;
+
+use crate::experiments::common::train_and_eval;
+use crate::harness::Context;
+
+/// Runs the cutoff sweep.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(102);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let w = ctx.window();
+    let reqs = trace.requests();
+    let te = train_and_eval(&reqs[..w], &reqs[w..2 * w], cache_size, &GbdtParams::lfo_paper());
+
+    println!("\n== Figure 5a: FP/FN vs likelihood cutoff ==");
+    println!("  cutoff     FP%     FN%   total err%");
+    let mut rows = Vec::new();
+    let mut plateau = Vec::new();
+    for step in 1..50 {
+        let cutoff = step as f64 / 50.0;
+        let c = te.confusion(cutoff);
+        let fp = c.false_positive_fraction() * 100.0;
+        let fn_ = c.false_negative_fraction() * 100.0;
+        if step % 5 == 0 {
+            println!("  {cutoff:>6.2}  {fp:>6.2}  {fn_:>6.2}  {:>6.2}", fp + fn_);
+        }
+        rows.push(format!("{cutoff:.2},{fp:.4},{fn_:.4}"));
+        if (0.25..=0.75).contains(&cutoff) {
+            plateau.push(fp + fn_);
+        }
+    }
+    ctx.write_csv(
+        "fig5a_cutoff.csv",
+        "cutoff,false_positive_pct,false_negative_pct",
+        &rows,
+    )?;
+
+    // Shape check: total error varies little across the plateau compared
+    // to the extremes.
+    let plateau_spread = plateau.iter().cloned().fold(f64::MIN, f64::max)
+        - plateau.iter().cloned().fold(f64::MAX, f64::min);
+    let extreme = te.confusion(0.02).error_fraction().max(te.confusion(0.98).error_fraction())
+        * 100.0;
+    let mid = te.error(0.5) * 100.0;
+    println!(
+        "  shape: plateau spread {plateau_spread:.2}pp; error at extremes {extreme:.1}% vs {mid:.1}% at 0.5"
+    );
+    Ok(())
+}

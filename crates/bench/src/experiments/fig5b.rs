@@ -1,0 +1,65 @@
+//! Figure 5b: prediction error vs training-set size.
+//!
+//! Paper shape: "The error is below 6.5% even for a few thousand training
+//! samples (10K), and decreases slightly until 100K. As we further increase
+//! the training set, prediction accuracy becomes more predictable" — i.e.
+//! a shallow decay that flattens around tens of thousands of samples, with
+//! shrinking variance across trace subsets.
+
+use cdn_trace::{GeneratorConfig, TraceGenerator};
+use gbdt::GbdtParams;
+
+use crate::experiments::common::train_and_eval;
+use crate::harness::Context;
+
+/// Runs the training-set-size sweep.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let sizes: &[usize] = match ctx.scale {
+        crate::Scale::Quick => &[1_000, 3_000, 10_000, 30_000],
+        crate::Scale::Full => &[1_000, 3_000, 10_000, 30_000, 100_000, 300_000],
+    };
+    let subsets = ctx.scale.pick(4, 10);
+    let eval_len = ctx.scale.pick(10_000, 30_000);
+
+    println!("\n== Figure 5b: prediction error vs training samples ==");
+    println!("  samples  mean err%  min..max over {subsets} subsets");
+    let mut rows = Vec::new();
+    let mut means = Vec::new();
+    for &w in sizes {
+        let mut errors = Vec::new();
+        for subset in 0..subsets {
+            // Each subset is a different region of a longer trace.
+            let n = (w + eval_len) as u64;
+            let trace = TraceGenerator::new(GeneratorConfig::production(
+                500 + subset as u64,
+                n,
+            ))
+            .generate();
+            let cache_size = ctx.standard_cache_size(&trace);
+            let reqs = trace.requests();
+            let te = train_and_eval(
+                &reqs[..w],
+                &reqs[w..],
+                cache_size,
+                &GbdtParams::lfo_paper(),
+            );
+            let err = te.error(0.5) * 100.0;
+            rows.push(format!("{w},{subset},{err:.4}"));
+            errors.push(err);
+        }
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        let min = errors.iter().cloned().fold(f64::MAX, f64::min);
+        let max = errors.iter().cloned().fold(f64::MIN, f64::max);
+        println!("  {w:>7}  {mean:>8.2}  {min:.2}..{max:.2}");
+        means.push(mean);
+    }
+    ctx.write_csv("fig5b_samples.csv", "training_samples,subset,error_pct", &rows)?;
+
+    println!(
+        "  shape: error {} from smallest to largest training set ({:.2}% -> {:.2}%)",
+        if means.last() < means.first() { "decays" } else { "DOES NOT decay" },
+        means.first().unwrap(),
+        means.last().unwrap()
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Figure 6: byte hit ratio of LFO vs the state-of-the-art lineup and OPT.
+//!
+//! Paper shape: OPT on top; "LFO improves the BHR by 6% over the next best
+//! system, S4LRU"; AdaptSize / Hyperbolic / LHD optimize the OHR and land
+//! lower on BHR; "Compared to OPT, LFO achieves only about 80% of either
+//! BHR or OHR". The OHR table is also produced (§3 discusses it: LFO
+//! "achieves almost the same OHR as LHD").
+
+use cdn_cache::policies::{by_name, FIGURE6_POLICIES};
+use cdn_cache::{simulate, SimConfig};
+use lfo::pipeline::{run_pipeline, PipelineConfig};
+use opt::{compute_opt_segmented, OptConfig};
+
+use crate::harness::Context;
+
+/// Runs the Figure 6 comparison.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(103);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let window = ctx.window();
+    // All policies are measured after a one-window warmup, matching LFO's
+    // "trained windows only" accounting.
+    let sim = SimConfig {
+        warmup: window,
+        interval: 0,
+    };
+
+    println!("\n== Figure 6: BHR/OHR comparison ==");
+    println!(
+        "{} requests, cache {} MiB, warmup {} requests",
+        trace.len(),
+        cache_size >> 20,
+        window
+    );
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for name in FIGURE6_POLICIES {
+        let mut policy = by_name(name, cache_size, 1).expect("known policy");
+        let r = simulate(policy.as_mut(), trace.requests(), &sim);
+        rows.push((r.policy.clone(), r.bhr(), r.ohr()));
+    }
+
+    // LFO via the sliding-window pipeline — once with the paper's fixed
+    // 0.5 cutoff, once with the §3 FP/FN-equalizing cutoff (~0.65), which
+    // the paper suggests makes LFO "more aggressive".
+    let config = PipelineConfig {
+        window,
+        cache_size,
+        ..Default::default()
+    };
+    let report = run_pipeline(trace.requests(), &config).expect("pipeline");
+    rows.push((
+        "LFO".into(),
+        report.live_trained.bhr(),
+        report.live_trained.ohr(),
+    ));
+    let mut tuned = config.clone();
+    tuned.lfo.cutoff_mode = lfo::CutoffMode::EqualizeErrorRates;
+    let tuned_report = run_pipeline(trace.requests(), &tuned).expect("pipeline");
+    rows.push((
+        "LFO-tuned".into(),
+        tuned_report.live_trained.bhr(),
+        tuned_report.live_trained.ohr(),
+    ));
+
+    // OPT over the same measured region, reported from the flow solution
+    // (the FOO bound the paper's OPT bar shows — fractional byte hits
+    // included; a full-object replay would undercount whenever large
+    // objects split). Long traces use the time-axis segmentation, as the
+    // paper's source [8] prescribes.
+    let opt_cfg = OptConfig::bhr(cache_size);
+    let opt = compute_opt_segmented(trace.requests(), &opt_cfg, window * 2)
+        .expect("OPT over the trace");
+    let reqs = trace.requests();
+    let mut opt_hit_bytes = 0u64;
+    let mut opt_hits = 0u64;
+    let mut measured_bytes = 0u64;
+    for k in window..reqs.len() {
+        opt_hit_bytes += opt.cached_bytes[k];
+        opt_hits += opt.full_hit[k] as u64;
+        measured_bytes += reqs[k].size;
+    }
+    let measured_requests = (reqs.len() - window) as f64;
+    rows.push((
+        "OPT".into(),
+        opt_hit_bytes as f64 / measured_bytes.max(1) as f64,
+        opt_hits as f64 / measured_requests.max(1.0),
+    ));
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("  {:<12} {:>7} {:>7}", "policy", "BHR", "OHR");
+    let mut csv = Vec::new();
+    for (name, bhr, ohr) in &rows {
+        println!("  {name:<12} {bhr:>7.3} {ohr:>7.3}");
+        csv.push(format!("{name},{bhr:.6},{ohr:.6}"));
+    }
+    ctx.write_csv("fig6_bhr.csv", "policy,bhr,ohr", &csv)?;
+
+    // Shape checks.
+    let get = |n: &str| rows.iter().find(|(p, _, _)| p == n).map(|(_, b, _)| *b).unwrap();
+    let lfo = get("LFO").max(get("LFO-tuned"));
+    let opt_bhr = get("OPT");
+    let best_heuristic = rows
+        .iter()
+        .filter(|(p, _, _)| p != "LFO" && p != "LFO-tuned" && p != "OPT")
+        .map(|(_, b, _)| *b)
+        .fold(0.0f64, f64::max);
+    println!(
+        "  shape: LFO {} the best heuristic ({:.3} vs {:.3}); LFO/OPT = {:.2}",
+        if lfo > best_heuristic { "beats" } else { "DOES NOT beat" },
+        lfo,
+        best_heuristic,
+        lfo / opt_bhr
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Figure 8: relative importance of LFO's features (occurrence in tree
+//! splits).
+//!
+//! Paper shape: "LFO heavily relies on the object size (28% of branches)
+//! [...] LFO does not use the cost feature. This makes sense, as it is
+//! redundant with the object size when optimizing BHRs. LFO uses the free
+//! cache space feature in almost 10% of branches. [...] LFO makes most use
+//! of time gaps 1 to 4. However, up to time gap 16, LFO still makes
+//! significant use of these features."
+
+use gbdt::{FeatureImportance, GbdtParams, ImportanceKind};
+use lfo::LfoConfig;
+
+use crate::experiments::common::train_and_eval;
+use crate::harness::Context;
+
+/// Runs the feature-importance analysis.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(103); // same trace family as Figure 6
+    let cache_size = ctx.standard_cache_size(&trace);
+    let w = ctx.window();
+    let reqs = trace.requests();
+    let te = train_and_eval(&reqs[..w], &reqs[w..2 * w], cache_size, &GbdtParams::lfo_paper());
+
+    let importance = FeatureImportance::of_model(&te.model, ImportanceKind::SplitCount);
+    let fractions = importance.fractions();
+    let names = LfoConfig::default().feature_names();
+
+    println!("\n== Figure 8: feature occurrence in tree splits ==");
+    let mut csv = Vec::new();
+    for (name, fraction) in names.iter().zip(&fractions) {
+        // Print the paper's selection: Size, Cost, Free, gaps 1, 5, 10, ... 50.
+        let is_printed_gap = name
+            .strip_prefix("Gap ")
+            .and_then(|g| g.parse::<usize>().ok())
+            .map(|g| g == 1 || g % 5 == 0)
+            .unwrap_or(true);
+        if is_printed_gap {
+            let bar = "#".repeat((fraction * 200.0) as usize);
+            println!("  {name:<8} {:>5.1}%  {bar}", fraction * 100.0);
+        }
+        csv.push(format!("{name},{:.6}", fraction));
+    }
+    ctx.write_csv("fig8_importance.csv", "feature,split_fraction", &csv)?;
+
+    // Shape checks.
+    let by_name = |n: &str| {
+        names
+            .iter()
+            .position(|x| x == n)
+            .map(|i| fractions[i])
+            .unwrap_or(0.0)
+    };
+    let size = by_name("Size");
+    let cost = by_name("Cost");
+    let free = by_name("Free");
+    let gap1_4: f64 = (1..=4).map(|g| by_name(&format!("Gap {g}"))).sum();
+    let gap20_50: f64 = (20..=50).map(|g| by_name(&format!("Gap {g}"))).sum();
+    println!(
+        "  shape: Size {:.1}% (paper ~28%), Cost {:.1}% (paper ~0%), Free {:.1}% (paper ~10%),",
+        size * 100.0,
+        cost * 100.0,
+        free * 100.0
+    );
+    println!(
+        "         gaps 1-4 {:.1}% (dominant among gaps: {}), gaps 20-50 total {:.1}%",
+        gap1_4 * 100.0,
+        gap1_4 > gap20_50 / 7.0, // per-gap rate comparison (4 vs 31 gaps)
+        gap20_50 * 100.0
+    );
+    Ok(())
+}

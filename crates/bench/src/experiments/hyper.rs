@@ -1,0 +1,77 @@
+//! §3 hyperparameter sensitivity: "For larger iteration counts and lower
+//! learning rates, LFO's accuracy improves somewhat (to 95%). For larger
+//! tree sizes, LFO is prone to overfitting, which decreases the accuracy
+//! (to 88%)."
+
+use gbdt::GbdtParams;
+
+use crate::experiments::common::train_and_eval;
+use crate::harness::Context;
+
+/// Runs the hyperparameter grid.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(106);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let w = ctx.window();
+    let reqs = trace.requests();
+    let window_a = &reqs[..w];
+    let window_b = &reqs[w..2 * w];
+
+    let configs: Vec<(&str, GbdtParams)> = vec![
+        ("paper (30 iters)", GbdtParams::lfo_paper()),
+        (
+            "more iters, lower lr",
+            GbdtParams {
+                num_iterations: 150,
+                learning_rate: 0.05,
+                ..GbdtParams::lfo_paper()
+            },
+        ),
+        (
+            "huge trees (overfit)",
+            GbdtParams {
+                num_leaves: 512,
+                min_data_in_leaf: 1,
+                ..GbdtParams::lfo_paper()
+            },
+        ),
+        (
+            "tiny trees (underfit)",
+            GbdtParams {
+                num_leaves: 4,
+                ..GbdtParams::lfo_paper()
+            },
+        ),
+    ];
+
+    println!("\n== §3: hyperparameter sensitivity ==");
+    println!("  {:<22} {:>10} {:>10}", "config", "test acc%", "train acc%");
+    let mut csv = Vec::new();
+    let mut results = Vec::new();
+    for (label, params) in &configs {
+        let te = train_and_eval(window_a, window_b, cache_size, params);
+        let test_acc = (1.0 - te.error(0.5)) * 100.0;
+        // Training accuracy: score window A with its own model.
+        let data_a = crate::experiments::common::window_dataset(window_a, cache_size);
+        let probs: Vec<f64> = (0..data_a.num_rows())
+            .map(|r| te.model.predict_proba(&data_a.row(r)))
+            .collect();
+        let train_acc =
+            gbdt::accuracy(&probs, data_a.labels(), 0.5) * 100.0;
+        println!("  {label:<22} {test_acc:>10.2} {train_acc:>10.2}");
+        csv.push(format!("{label},{test_acc:.4},{train_acc:.4}"));
+        results.push((label.to_string(), test_acc, train_acc));
+    }
+    ctx.write_csv("hyper_sensitivity.csv", "config,test_accuracy_pct,train_accuracy_pct", &csv)?;
+
+    let base = results[0].1;
+    let more = results[1].1;
+    let huge = results[2].1;
+    println!(
+        "  shape: more-iters {} baseline ({more:.2}% vs {base:.2}%); \
+         huge trees {} baseline ({huge:.2}%)",
+        if more >= base - 0.1 { "matches/improves" } else { "UNDERPERFORMS" },
+        if huge <= base + 0.1 { "does not beat" } else { "BEATS (unexpected)" },
+    );
+    Ok(())
+}

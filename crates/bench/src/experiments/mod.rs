@@ -1,0 +1,54 @@
+//! One module per paper artifact; see DESIGN.md §4 for the index.
+
+pub mod acc;
+pub mod common;
+pub mod design;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5a;
+pub mod fig5b;
+pub mod fig5c;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod hyper;
+pub mod prune;
+pub mod thin;
+pub mod tiers;
+
+use crate::harness::Context;
+
+/// All experiment names, in the order `repro all` runs them.
+pub const ALL: [&str; 15] = [
+    "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper",
+    "prune", "design", "thin", "tiers", "summary",
+];
+
+/// Runs one experiment by name. Unknown names return `false`.
+pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
+    match name {
+        "fig1" => fig1::run(ctx)?,
+        "fig4" => fig4::run(ctx)?,
+        "fig5a" => fig5a::run(ctx)?,
+        "fig5b" => fig5b::run(ctx)?,
+        "fig5c" => fig5c::run(ctx)?,
+        "fig6" => fig6::run(ctx)?,
+        "fig7" => fig7::run(ctx)?,
+        "fig8" => fig8::run(ctx)?,
+        "acc" => acc::run(ctx)?,
+        "hyper" => hyper::run(ctx)?,
+        "prune" => prune::run(ctx)?,
+        "design" => design::run(ctx)?,
+        "thin" => thin::run(ctx)?,
+        "tiers" => tiers::run(ctx)?,
+        "summary" => summary(ctx)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Prints where the results live.
+fn summary(ctx: &Context) -> std::io::Result<()> {
+    println!("\nresults written to {}", ctx.out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! §3 (Figure 8 discussion) ablation: thinning the gap feature space.
+//!
+//! "First, we can speed up the model by artificially thinning out the time
+//! gap feature space (e.g., only using time gaps 1, 2, 4, 8, 16, etc.).
+//! Second, as high time gaps are still being used, keeping track of an even
+//! larger history might allow us to further improve LFO's accuracy."
+//!
+//! Compares the dense 50-gap layout, the exponential thinning, a shallow
+//! dense layout, and a deeper thinned history on accuracy, training time
+//! and prediction latency.
+
+use std::time::Instant;
+
+use lfo::pipeline::{run_pipeline, PipelineConfig};
+use lfo::LfoConfig;
+
+use crate::harness::Context;
+
+/// Runs the gap-thinning ablation.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(109);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let window = ctx.window();
+
+    println!("\n== §3 ablation: gap-feature thinning ==");
+    println!(
+        "  {:<26} {:>9} {:>10} {:>9}",
+        "layout", "features", "pred.acc%", "time(s)"
+    );
+
+    let variants: Vec<(&str, LfoConfig)> = vec![
+        ("dense 1..50 (paper)", LfoConfig::default()),
+        ("thinned 1,2,4,...,50", LfoConfig::thinned()),
+        (
+            "dense 1..8 (shallow)",
+            LfoConfig {
+                num_gaps: 8,
+                ..Default::default()
+            },
+        ),
+        (
+            "thinned deep (to 128)",
+            LfoConfig {
+                gap_schedule: Some(vec![1, 2, 4, 8, 16, 32, 64, 128]),
+                ..Default::default()
+            },
+        ),
+    ];
+
+    let mut csv = Vec::new();
+    for (label, lfo) in variants {
+        let features = lfo.num_features();
+        let config = PipelineConfig {
+            window,
+            cache_size,
+            lfo,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let report = run_pipeline(trace.requests(), &config).expect("pipeline");
+        let secs = start.elapsed().as_secs_f64();
+        let acc = report.mean_prediction_accuracy().unwrap_or(0.0) * 100.0;
+        println!("  {label:<26} {features:>9} {acc:>10.2} {secs:>9.1}");
+        csv.push(format!("{label},{features},{acc:.4},{secs:.2}"));
+    }
+    ctx.write_csv(
+        "thin_ablation.csv",
+        "layout,num_features,prediction_accuracy_pct,pipeline_seconds",
+        &csv,
+    )?;
+    println!("  shape: thinning should roughly match dense accuracy with ~5x fewer gap features");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! §5 hierarchical-model experiment: two-level LFO over RAM/SSD/HDD.
+//!
+//! "We could apply our 'single cache' model to the aggregate cache space of
+//! a CDN server (RAM, SSD, HDD) [...] We first learn whether to cache an
+//! object at all. A second level of the model then learns rules on where to
+//! place the object." This experiment compares three level-2 placements
+//! under the same level-1 admission model: pin-everything-to-HDD, a size
+//! heuristic, and the learned re-reference placement.
+
+use std::sync::Arc;
+
+use cdn_cache::CachePolicy;
+use lfo::features::FeatureTracker;
+use lfo::hierarchy::{train_placement_model, Placement, TierSpec, TieredLfoCache};
+use lfo::labels::build_training_set;
+use lfo::train::train_window;
+use lfo::LfoConfig;
+use opt::{compute_opt, OptConfig};
+
+use crate::harness::Context;
+
+/// Runs the tiered-cache comparison.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(110);
+    let total_cache = ctx.standard_cache_size(&trace);
+    let window = ctx.window();
+    let reqs = trace.requests();
+    let lfo_config = LfoConfig::default();
+
+    // Level-1 admission model, trained once on the first window.
+    let opt = compute_opt(&reqs[..window], &OptConfig::bhr(total_cache)).expect("opt");
+    let mut tracker = FeatureTracker::new(lfo_config.num_gaps, lfo_config.cost_model);
+    let data = build_training_set(&reqs[..window], &opt, &mut tracker, total_cache);
+    let admission = Arc::new(train_window(&data, &lfo_config).model);
+
+    // Level-2 learned placement, trained on the same window.
+    let placement_model = Arc::new(train_placement_model(
+        &reqs[..window],
+        vec![window as u64 / 20, window as u64 / 2],
+        &lfo_config,
+    ));
+
+    // RAM:SSD:HDD = 5% : 25% : 70% of the aggregate capacity.
+    let specs = TierSpec::standard(
+        total_cache / 20,
+        total_cache / 4,
+        total_cache - total_cache / 20 - total_cache / 4,
+    );
+
+    println!("\n== §5: two-level tiered LFO (RAM/SSD/HDD) ==");
+    println!(
+        "  {:<16} {:>7} {:>12} {:>14} {:>12}",
+        "placement", "BHR", "latency(us)", "ram/ssd/hdd hits", "ssd writes(MB)"
+    );
+
+    let variants: Vec<(&str, Placement)> = vec![
+        ("pin to HDD", Placement::Pin(2)),
+        (
+            "size heuristic",
+            Placement::SizeThresholds(vec![32 * 1024, 1024 * 1024]),
+        ),
+        (
+            "learned",
+            Placement::Learned(Arc::clone(&placement_model)),
+        ),
+    ];
+
+    let mut csv = Vec::new();
+    let mut latencies = Vec::new();
+    for (label, placement) in variants {
+        let mut cache = TieredLfoCache::new(specs.clone(), placement, lfo_config.clone());
+        cache.install_admission_model(Arc::clone(&admission));
+        for r in &reqs[window..] {
+            cache.handle(r);
+        }
+        let report = cache.report.clone();
+        let latency = report.mean_hit_latency_us(&specs);
+        let ssd_mb = report.bytes_written_per_tier[1] as f64 / 1e6;
+        println!(
+            "  {:<16} {:>7.3} {:>12.1} {:>4}/{}/{} {:>12.0}",
+            label,
+            report.bhr(),
+            latency,
+            report.hits_per_tier[0],
+            report.hits_per_tier[1],
+            report.hits_per_tier[2],
+            ssd_mb
+        );
+        csv.push(format!(
+            "{label},{:.6},{latency:.2},{},{},{},{ssd_mb:.1}",
+            report.bhr(),
+            report.hits_per_tier[0],
+            report.hits_per_tier[1],
+            report.hits_per_tier[2]
+        ));
+        latencies.push((label, latency));
+    }
+    ctx.write_csv(
+        "tiers_hierarchy.csv",
+        "placement,bhr,mean_hit_latency_us,ram_hits,ssd_hits,hdd_hits,ssd_writes_mb",
+        &csv,
+    )?;
+
+    let hdd = latencies[0].1;
+    let learned = latencies[2].1;
+    println!(
+        "  shape: learned placement cuts mean hit latency {:.1}x vs pin-to-HDD",
+        hdd / learned.max(1e-9)
+    );
+    Ok(())
+}

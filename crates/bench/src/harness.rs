@@ -1,0 +1,101 @@
+//! Shared experiment plumbing: scales, output files, common traces.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cdn_trace::{GeneratorConfig, Trace, TraceGenerator, TraceStats};
+
+/// How big to run the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-level: smaller traces, fewer seeds. The default.
+    Quick,
+    /// The full configuration used for EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Scales a (quick, full) pair.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Experiment context: output directory and scale.
+pub struct Context {
+    /// Where CSVs are written.
+    pub out_dir: PathBuf,
+    /// Experiment scale.
+    pub scale: Scale,
+}
+
+impl Context {
+    /// Creates a context, ensuring the output directory exists.
+    pub fn new(out_dir: impl AsRef<Path>, scale: Scale) -> std::io::Result<Self> {
+        fs::create_dir_all(out_dir.as_ref())?;
+        Ok(Context {
+            out_dir: out_dir.as_ref().to_path_buf(),
+            scale,
+        })
+    }
+
+    /// Writes a CSV file: a header line plus rows.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &str,
+        rows: &[String],
+    ) -> std::io::Result<PathBuf> {
+        let path = self.out_dir.join(name);
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{header}")?;
+        for row in rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(path)
+    }
+
+    /// The standard evaluation trace: a seeded production-like mix.
+    pub fn standard_trace(&self, seed: u64) -> Trace {
+        let n = self.scale.pick(60_000, 400_000);
+        TraceGenerator::new(GeneratorConfig::production(seed, n)).generate()
+    }
+
+    /// The standard cache size: 10% of a trace's unique bytes (the paper's
+    /// 256 GB server cache is likewise a modest fraction of a week-long
+    /// trace's footprint).
+    pub fn standard_cache_size(&self, trace: &Trace) -> u64 {
+        TraceStats::from_trace(trace).cache_size_for_fraction(0.10)
+    }
+
+    /// Window size for pipeline experiments.
+    pub fn window(&self) -> usize {
+        self.scale.pick(15_000, 50_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn csv_writing_roundtrip() {
+        let dir = std::env::temp_dir().join("lfo-bench-test");
+        let ctx = Context::new(&dir, Scale::Quick).unwrap();
+        let path = ctx
+            .write_csv("t.csv", "a,b", &["1,2".into(), "3,4".into()])
+            .unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+}

@@ -1,0 +1,18 @@
+//! # bench — figure-regeneration harness
+//!
+//! One module per table/figure of the paper (see DESIGN.md §4 for the
+//! experiment index). The `repro` binary runs them and writes a CSV per
+//! figure into `results/`, printing the same rows/series the paper reports.
+//!
+//! We match the *shape* of the paper's results (who wins, by roughly what
+//! factor, where the curves bend), not absolute numbers: the substrate is
+//! a synthetic trace and a from-scratch GBDT, not the authors' production
+//! trace and testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Context, Scale};

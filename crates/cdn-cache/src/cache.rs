@@ -1,0 +1,69 @@
+//! The policy interface every cache implements.
+
+use cdn_trace::{ObjectId, Request};
+
+/// What happened when a policy handled one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The object was fully resident: a cache hit.
+    Hit,
+    /// The object was not resident.
+    Miss {
+        /// Whether the policy admitted the object after the miss.
+        admitted: bool,
+    },
+}
+
+impl RequestOutcome {
+    /// True for [`RequestOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, RequestOutcome::Hit)
+    }
+}
+
+/// A cache admission + eviction policy over a byte-capacity cache.
+///
+/// Implementations must uphold:
+///
+/// - [`CachePolicy::used`] never exceeds [`CachePolicy::capacity`] after
+///   [`CachePolicy::handle`] returns (the simulator asserts this in debug
+///   builds);
+/// - `handle` returns [`RequestOutcome::Hit`] iff `contains` would have
+///   returned `true` immediately before the call;
+/// - objects larger than the capacity are never admitted.
+pub trait CachePolicy {
+    /// Short policy name as used in the paper's figures (e.g. `"LRU"`).
+    fn name(&self) -> &'static str;
+
+    /// Capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Bytes currently cached.
+    fn used(&self) -> u64;
+
+    /// Whether the object is currently fully resident.
+    fn contains(&self, object: ObjectId) -> bool;
+
+    /// Processes one request: records the hit or miss, performs admission
+    /// and any evictions, and reports what happened.
+    fn handle(&mut self, request: &Request) -> RequestOutcome;
+
+    /// Number of objects currently resident (diagnostics).
+    fn len(&self) -> usize;
+
+    /// True when nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(RequestOutcome::Hit.is_hit());
+        assert!(!RequestOutcome::Miss { admitted: true }.is_hit());
+    }
+}

@@ -1,0 +1,41 @@
+//! # cdn-cache — cache simulator and policy zoo
+//!
+//! The paper compares LFO against nine caching systems (§3, Figure 6):
+//! LRU, LRU-K, LFUDA, S4LRU, GD-Wheel, AdaptSize, Hyperbolic, LHD, and OPT —
+//! plus GDSF, RND (random) and RLC (model-free RL caching) in Figure 1.
+//! This crate implements all of them behind one [`CachePolicy`] trait,
+//! together with the trace-replay simulator that produces byte- and
+//! object-hit ratios.
+//!
+//! Every policy is implemented from its original description (citations on
+//! each module); none are wrappers. The simulator counts a request as a
+//! *hit* only when the object is fully resident at request time, charges
+//! misses regardless of admission, and never lets a policy exceed its byte
+//! capacity (checked in debug builds after every request).
+//!
+//! ## Example
+//!
+//! ```
+//! use cdn_cache::{simulate, SimConfig};
+//! use cdn_cache::policies::lru::Lru;
+//! use cdn_trace::{GeneratorConfig, TraceGenerator};
+//!
+//! let trace = TraceGenerator::new(GeneratorConfig::small(1, 10_000)).generate();
+//! let mut lru = Lru::new(16 * 1024 * 1024);
+//! let result = simulate(&mut lru, trace.requests(), &SimConfig::default());
+//! assert!(result.bhr() > 0.0 && result.bhr() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cache;
+pub mod metrics;
+pub mod policies;
+pub mod sim;
+
+pub use analysis::WorkloadModel;
+pub use cache::{CachePolicy, RequestOutcome};
+pub use metrics::{IntervalMetrics, SimResult};
+pub use sim::{simulate, SimConfig};

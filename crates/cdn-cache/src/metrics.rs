@@ -1,0 +1,111 @@
+//! Simulation metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one measurement interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalMetrics {
+    /// Requests in the interval.
+    pub requests: u64,
+    /// Full-object hits.
+    pub hits: u64,
+    /// Bytes requested.
+    pub total_bytes: u64,
+    /// Bytes served from cache.
+    pub hit_bytes: u64,
+}
+
+impl IntervalMetrics {
+    /// Object hit ratio of the interval.
+    pub fn ohr(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Byte hit ratio of the interval.
+    pub fn bhr(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    pub(crate) fn record(&mut self, size: u64, hit: bool) {
+        self.requests += 1;
+        self.total_bytes += size;
+        if hit {
+            self.hits += 1;
+            self.hit_bytes += size;
+        }
+    }
+}
+
+/// The outcome of replaying a trace against one policy.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy name the result belongs to.
+    pub policy: String,
+    /// Counters over the measured portion (after warmup).
+    pub measured: IntervalMetrics,
+    /// Counters over the warmup portion.
+    pub warmup: IntervalMetrics,
+    /// Misses that the policy chose to admit (measured portion).
+    pub admitted_misses: u64,
+    /// Misses that the policy declined to admit (measured portion).
+    pub bypassed_misses: u64,
+    /// Optional per-interval series (see [`crate::SimConfig::interval`]).
+    pub series: Vec<IntervalMetrics>,
+}
+
+impl SimResult {
+    /// Object hit ratio over the measured portion.
+    pub fn ohr(&self) -> f64 {
+        self.measured.ohr()
+    }
+
+    /// Byte hit ratio over the measured portion.
+    pub fn bhr(&self) -> f64 {
+        self.measured.bhr()
+    }
+
+    /// Fraction of misses the policy admitted.
+    pub fn admission_rate(&self) -> f64 {
+        let misses = self.admitted_misses + self.bypassed_misses;
+        if misses == 0 {
+            0.0
+        } else {
+            self.admitted_misses as f64 / misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty() {
+        let m = IntervalMetrics::default();
+        assert_eq!(m.ohr(), 0.0);
+        assert_eq!(m.bhr(), 0.0);
+        let r = SimResult::default();
+        assert_eq!(r.admission_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = IntervalMetrics::default();
+        m.record(10, true);
+        m.record(30, false);
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.total_bytes, 40);
+        assert_eq!(m.hit_bytes, 10);
+        assert!((m.ohr() - 0.5).abs() < 1e-12);
+        assert!((m.bhr() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,283 @@
+//! AdaptSize (Berger, Sitaraman & Harchol-Balter, "AdaptSize: Orchestrating
+//! the Hot Object Memory Cache in a CDN", USENIX NSDI 2017).
+//!
+//! AdaptSize admits an object of size `s` with probability `e^(-s/c)` and
+//! evicts with LRU. The admission parameter `c` is re-tuned periodically by
+//! evaluating a Markov model of the cache over the recent request mix and
+//! picking the `c` that maximizes the modeled object hit ratio.
+//!
+//! The model here is the same fixed-point ("characteristic time")
+//! approximation the NSDI paper builds on: for candidate `c`, find `T` such
+//! that the expected bytes resident equal the capacity, where an object of
+//! rate `λ_i` and size `s_i` is resident with probability
+//! `p_in(i) = p_adm(i) · (1 − e^(−λ_i T))`, `p_adm(i) = e^(−s_i/c)`; the
+//! modeled OHR is the request-weighted mean of `1 − e^(−λ_i T)` gated by
+//! admission. Candidates are powers of two; the best one becomes the new
+//! `c`, exactly mirroring AdaptSize's "global search over the parameter
+//! space of the model".
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+use crate::policies::util::{Handle, LruList};
+
+/// Requests between re-tunings of `c`.
+const TUNE_INTERVAL: u64 = 50_000;
+/// Minimum distinct objects in the interval stats before tuning.
+const MIN_TUNE_OBJECTS: usize = 500;
+
+/// AdaptSize: probabilistic size-aware admission over an LRU cache.
+pub struct AdaptSize {
+    capacity: u64,
+    used: u64,
+    /// Admission parameter `c` in bytes.
+    c: f64,
+    list: LruList,
+    index: HashMap<ObjectId, Handle>,
+    /// Interval statistics: object → (request count, size).
+    window: HashMap<ObjectId, (u64, u64)>,
+    requests_in_window: u64,
+    rng: StdRng,
+}
+
+impl AdaptSize {
+    /// Creates an AdaptSize cache of `capacity` bytes.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        AdaptSize {
+            capacity,
+            used: 0,
+            // Initial c: a generous 1 MiB so the cold cache admits freely.
+            c: 1024.0 * 1024.0,
+            list: LruList::new(),
+            index: HashMap::new(),
+            window: HashMap::new(),
+            requests_in_window: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The current admission parameter `c` (diagnostics).
+    pub fn admission_parameter(&self) -> f64 {
+        self.c
+    }
+
+    /// Modeled OHR for a candidate `c` over the interval statistics; see
+    /// the module docs for the fixed point being solved.
+    fn model_ohr(&self, candidate: f64) -> f64 {
+        let window = self.requests_in_window.max(1) as f64;
+        let items: Vec<(f64, f64, f64)> = self
+            .window
+            .values()
+            .map(|&(count, size)| {
+                let rate = count as f64 / window;
+                let p_adm = (-(size as f64) / candidate).exp();
+                (rate, size as f64, p_adm)
+            })
+            .collect();
+
+        // Bisection on T: expected resident bytes are monotone in T.
+        let expected_bytes = |t: f64| -> f64 {
+            items
+                .iter()
+                .map(|&(rate, size, p_adm)| size * p_adm * (1.0 - (-rate * t).exp()))
+                .sum()
+        };
+        let mut lo = 1.0f64;
+        let mut hi = window * 64.0;
+        if expected_bytes(hi) < self.capacity as f64 {
+            // Everything fits even at enormous T: no capacity pressure.
+            hi = f64::INFINITY;
+        }
+        let t = if hi.is_infinite() {
+            f64::INFINITY
+        } else {
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if expected_bytes(mid) > self.capacity as f64 {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+
+        // Request-weighted hit probability under (T, c).
+        let mut hit_rate = 0.0;
+        let mut total_rate = 0.0;
+        for &(rate, _, p_adm) in &items {
+            let p_hit_given_in = if t.is_infinite() {
+                1.0
+            } else {
+                1.0 - (-rate * t).exp()
+            };
+            hit_rate += rate * p_adm * p_hit_given_in;
+            total_rate += rate;
+        }
+        if total_rate == 0.0 {
+            0.0
+        } else {
+            hit_rate / total_rate
+        }
+    }
+
+    fn tune(&mut self) {
+        if self.window.len() < MIN_TUNE_OBJECTS {
+            return;
+        }
+        let mut best_c = self.c;
+        let mut best_ohr = f64::NEG_INFINITY;
+        // Candidates: powers of two from 256 B to 4 GiB.
+        for exp in 8..=32 {
+            let candidate = (1u64 << exp) as f64;
+            let ohr = self.model_ohr(candidate);
+            if ohr > best_ohr {
+                best_ohr = ohr;
+                best_c = candidate;
+            }
+        }
+        self.c = best_c;
+    }
+
+    fn record(&mut self, request: &Request) {
+        let entry = self.window.entry(request.object).or_insert((0, request.size));
+        entry.0 += 1;
+        self.requests_in_window += 1;
+        if self.requests_in_window >= TUNE_INTERVAL {
+            self.tune();
+            self.window.clear();
+            self.requests_in_window = 0;
+        }
+    }
+}
+
+impl CachePolicy for AdaptSize {
+    fn name(&self) -> &'static str {
+        "AdaptSize"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.record(request);
+        if let Some(&h) = self.index.get(&request.object) {
+            self.list.move_to_front(h);
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        // Probabilistic size-aware admission.
+        let p_admit = (-(request.size as f64) / self.c).exp();
+        if self.rng.gen::<f64>() >= p_admit {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            let (victim, size) = self.list.pop_back().expect("nonempty");
+            self.index.remove(&victim);
+            self.used -= size;
+        }
+        let h = self.list.push_front(request.object, request.size);
+        self.index.insert(request.object, h);
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn small_objects_admitted_more_readily() {
+        let mut c = AdaptSize::new(1 << 20, 1);
+        c.c = 10_000.0;
+        let mut small_admits = 0;
+        let mut large_admits = 0;
+        for i in 0..200 {
+            if let RequestOutcome::Miss { admitted } = c.handle(&req(1_000 + i, 1_000)) {
+                small_admits += admitted as u32;
+            }
+        }
+        for i in 0..200 {
+            if let RequestOutcome::Miss { admitted } = c.handle(&req(10_000 + i, 100_000)) {
+                large_admits += admitted as u32;
+            }
+        }
+        assert!(
+            small_admits > large_admits + 50,
+            "small {small_admits} vs large {large_admits}"
+        );
+    }
+
+    #[test]
+    fn tuning_shrinks_c_under_pressure_from_large_one_shots() {
+        let mut cache = AdaptSize::new(200_000, 2);
+        let before = cache.admission_parameter();
+        // Hot small objects + a flood of one-shot large ones: the model
+        // should learn to keep the small hot set by lowering c.
+        let mut t = 0u64;
+        for round in 0..TUNE_INTERVAL {
+            let r = if round % 3 == 0 {
+                req(round % 50, 2_000) // hot set of 50 small objects
+            } else {
+                req(1_000_000 + round, 150_000) // one-shot large
+            };
+            let _ = cache.handle(&Request::new(t, r.object, r.size));
+            t += 1;
+        }
+        let after = cache.admission_parameter();
+        assert!(
+            after < before,
+            "c should shrink: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn model_prefers_capacity_respecting_c() {
+        let mut cache = AdaptSize::new(100_000, 3);
+        // Populate window stats directly: 1000 small hot + 1000 large cold.
+        for i in 0..1000u64 {
+            cache.window.insert(ObjectId(i), (20, 1_000));
+            cache.window.insert(ObjectId(100_000 + i), (1, 200_000));
+        }
+        cache.requests_in_window = 1000 * 21;
+        let small_c = cache.model_ohr(4096.0);
+        let huge_c = cache.model_ohr((1u64 << 32) as f64);
+        assert!(
+            small_c > huge_c,
+            "model: small-c OHR {small_c} <= huge-c OHR {huge_c}"
+        );
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = AdaptSize::new(5_000, 4);
+        for i in 0..2_000u64 {
+            c.handle(&req(i % 40, 200 + (i % 9) * 100));
+            assert!(c.used() <= c.capacity());
+        }
+    }
+}

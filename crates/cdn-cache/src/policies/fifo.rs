@@ -1,0 +1,97 @@
+//! First-in first-out eviction.
+
+use std::collections::{HashMap, VecDeque};
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// FIFO over a byte capacity: insertion order decides eviction; hits do not
+/// refresh position.
+#[derive(Clone, Debug)]
+pub struct Fifo {
+    capacity: u64,
+    used: u64,
+    queue: VecDeque<ObjectId>,
+    sizes: HashMap<ObjectId, u64>,
+}
+
+impl Fifo {
+    /// Creates a FIFO cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Fifo {
+            capacity,
+            used: 0,
+            queue: VecDeque::new(),
+            sizes: HashMap::new(),
+        }
+    }
+}
+
+impl CachePolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.sizes.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        if self.sizes.contains_key(&request.object) {
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            let victim = self.queue.pop_front().expect("over capacity, empty queue");
+            let size = self.sizes.remove(&victim).expect("queued object has size");
+            self.used -= size;
+        }
+        self.queue.push_back(request.object);
+        self.sizes.insert(request.object, request.size);
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn evicts_in_insertion_order_despite_hits() {
+        let mut c = Fifo::new(20);
+        c.handle(&req(1, 10));
+        c.handle(&req(2, 10));
+        c.handle(&req(1, 10)); // hit: does NOT refresh
+        c.handle(&req(3, 10)); // evicts 1 (oldest insertion)
+        assert!(!c.contains(ObjectId(1)));
+        assert!(c.contains(ObjectId(2)));
+        assert!(c.contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn oversized_bypasses() {
+        let mut c = Fifo::new(5);
+        assert_eq!(c.handle(&req(1, 6)), RequestOutcome::Miss { admitted: false });
+        assert_eq!(c.used(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! GreedyDual-Size-Frequency (Cherkasova, HP Labs TR, 1998).
+//!
+//! The heuristic that beats RL caching in Figure 1. Each cached object
+//! carries priority `H_i = L + F_i · C_i / S_i` where `F_i` is its hit
+//! count, `C_i` its retrieval cost (1 here, the classic setting), `S_i` its
+//! size, and `L` the inflation (age) value, raised to the priority of each
+//! evicted object. Small, frequently-hit objects earn high priority per
+//! byte; stale objects decay relative to the rising `L`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+use crate::policies::util::OrderedF64;
+
+/// GreedyDual-Size-Frequency.
+#[derive(Clone, Debug)]
+pub struct Gdsf {
+    capacity: u64,
+    used: u64,
+    /// Inflation value L.
+    inflation: f64,
+    /// (priority, tiebreak, object) ascending; first = victim.
+    queue: BTreeSet<(OrderedF64, u64, ObjectId)>,
+    entries: HashMap<ObjectId, Entry>,
+    tick: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    priority: f64,
+    frequency: u64,
+    tiebreak: u64,
+    size: u64,
+}
+
+impl Gdsf {
+    /// Creates a GDSF cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Gdsf {
+            capacity,
+            used: 0,
+            inflation: 0.0,
+            queue: BTreeSet::new(),
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn priority(&self, frequency: u64, size: u64) -> f64 {
+        // C_i = 1 (object-hit optimization, the policy's classic form).
+        self.inflation + frequency as f64 / size as f64
+    }
+}
+
+impl CachePolicy for Gdsf {
+    fn name(&self) -> &'static str {
+        "GDSF"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.entries.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.tick += 1;
+        if let Some(&entry) = self.entries.get(&request.object) {
+            let removed =
+                self.queue
+                    .remove(&(OrderedF64(entry.priority), entry.tiebreak, request.object));
+            debug_assert!(removed);
+            let frequency = entry.frequency + 1;
+            let priority = self.priority(frequency, entry.size);
+            let updated = Entry {
+                priority,
+                frequency,
+                tiebreak: entry.tiebreak,
+                size: entry.size,
+            };
+            self.entries.insert(request.object, updated);
+            self.queue
+                .insert((OrderedF64(priority), updated.tiebreak, request.object));
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            let &(OrderedF64(priority), t, victim) =
+                self.queue.iter().next().expect("nonempty");
+            self.queue.remove(&(OrderedF64(priority), t, victim));
+            let entry = self.entries.remove(&victim).expect("entry exists");
+            self.used -= entry.size;
+            self.inflation = self.inflation.max(priority);
+        }
+        let entry = Entry {
+            frequency: 1,
+            priority: self.priority(1, request.size),
+            tiebreak: self.tick,
+            size: request.size,
+        };
+        self.entries.insert(request.object, entry);
+        self.queue
+            .insert((OrderedF64(entry.priority), entry.tiebreak, request.object));
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn small_objects_outrank_large_at_equal_frequency() {
+        let mut c = Gdsf::new(110);
+        c.handle(&req(1, 100)); // large
+        c.handle(&req(2, 10)); // small
+        c.handle(&req(3, 100)); // forces eviction: must evict the large 1
+        assert!(!c.contains(ObjectId(1)));
+        assert!(c.contains(ObjectId(2)));
+        assert!(c.contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn frequency_rescues_large_objects() {
+        let mut c = Gdsf::new(200);
+        c.handle(&req(1, 100));
+        for _ in 0..50 {
+            c.handle(&req(1, 100)); // priority 50/100 = 0.5
+        }
+        c.handle(&req(2, 100)); // priority 1/100
+        c.handle(&req(3, 100)); // evicts 2, not the hot 1
+        assert!(c.contains(ObjectId(1)));
+        assert!(!c.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn beats_lru_on_scan_heavy_mix() {
+        // A hot set of small objects plus a scan of one-shot large objects:
+        // GDSF should keep the hot set, LRU churns it out.
+        use crate::policies::lru::Lru;
+        use crate::sim::{simulate, SimConfig};
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        for round in 0..200u64 {
+            for hot in 0..10u64 {
+                requests.push(Request::new(t, hot, 10));
+                t += 1;
+            }
+            // scan objects are unique per round
+            for scan in 0..5u64 {
+                requests.push(Request::new(t, 1_000 + round * 5 + scan, 40));
+                t += 1;
+            }
+        }
+        let mut gdsf = Gdsf::new(200);
+        let mut lru = Lru::new(200);
+        let g = simulate(&mut gdsf, &requests, &SimConfig::default());
+        let l = simulate(&mut lru, &requests, &SimConfig::default());
+        assert!(
+            g.ohr() > l.ohr(),
+            "GDSF {} should beat LRU {}",
+            g.ohr(),
+            l.ohr()
+        );
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = Gdsf::new(64);
+        for i in 0..400 {
+            c.handle(&req(i % 17, 3 + i % 9));
+            assert!(c.used() <= 64);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Hyperbolic caching (Blankstein, Sen & Freedman, USENIX ATC 2017).
+//!
+//! Every cached object carries the priority `p_i = n_i / t_i`, where `n_i`
+//! counts accesses since admission and `t_i` is the time since admission.
+//! Priorities decay *hyperbolically* — unlike LRU's implicit linear decay —
+//! which preserves the popularity ordering of items of different ages.
+//! Hyperbolic caching maintains no eviction data structure; on eviction it
+//! samples `S` random residents and evicts the lowest-priority one, exactly
+//! as the paper prescribes (their default `S = 64`).
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// Eviction sample size (the ATC paper's default).
+const SAMPLE: usize = 64;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    size: u64,
+    accesses: u64,
+    admitted_at: u64,
+}
+
+/// Hyperbolic caching with sampled eviction.
+#[derive(Clone, Debug)]
+pub struct Hyperbolic {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    /// Dense resident vector for O(1) sampling.
+    objects: Vec<(ObjectId, Entry)>,
+    index: HashMap<ObjectId, usize>,
+    rng: StdRng,
+}
+
+impl Hyperbolic {
+    /// Creates a hyperbolic cache of `capacity` bytes.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        Hyperbolic {
+            capacity,
+            used: 0,
+            clock: 0,
+            objects: Vec::new(),
+            index: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn priority(&self, entry: &Entry) -> f64 {
+        let age = (self.clock - entry.admitted_at).max(1) as f64;
+        entry.accesses as f64 / age
+    }
+
+    fn evict_sampled(&mut self) {
+        debug_assert!(!self.objects.is_empty());
+        let mut victim_slot = 0usize;
+        let mut victim_priority = f64::INFINITY;
+        let n = self.objects.len();
+        for _ in 0..SAMPLE.min(n) {
+            let slot = self.rng.gen_range(0..n);
+            let p = self.priority(&self.objects[slot].1);
+            if p < victim_priority {
+                victim_priority = p;
+                victim_slot = slot;
+            }
+        }
+        let (victim, entry) = self.objects.swap_remove(victim_slot);
+        self.index.remove(&victim);
+        if let Some((moved, _)) = self.objects.get(victim_slot) {
+            self.index.insert(*moved, victim_slot);
+        }
+        self.used -= entry.size;
+    }
+}
+
+impl CachePolicy for Hyperbolic {
+    fn name(&self) -> &'static str {
+        "Hyperbolic"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.clock += 1;
+        if let Some(&slot) = self.index.get(&request.object) {
+            self.objects[slot].1.accesses += 1;
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            self.evict_sampled();
+        }
+        let entry = Entry {
+            size: request.size,
+            accesses: 1,
+            admitted_at: self.clock,
+        };
+        self.index.insert(request.object, self.objects.len());
+        self.objects.push((request.object, entry));
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn popular_objects_survive_eviction_pressure() {
+        let mut c = Hyperbolic::new(100, 1);
+        // Make object 1 very popular.
+        for _ in 0..100 {
+            c.handle(&req(1, 10));
+        }
+        // Pressure with one-shot objects.
+        for i in 10..200 {
+            c.handle(&req(i, 10));
+        }
+        assert!(c.contains(ObjectId(1)), "popular object evicted");
+    }
+
+    #[test]
+    fn old_unpopular_objects_decay_below_fresh_ones() {
+        let mut c = Hyperbolic::new(30, 2);
+        c.handle(&req(1, 10));
+        // Let object 1 age without hits while 2 and 3 arrive fresh.
+        for _ in 0..100 {
+            c.clock += 1;
+        }
+        c.handle(&req(2, 10));
+        c.handle(&req(3, 10));
+        c.handle(&req(4, 10)); // eviction: 1 has priority 1/100, others ~1
+        assert!(!c.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = Hyperbolic::new(77, 3);
+        for i in 0..500 {
+            c.handle(&req(i % 23, 5 + i % 7));
+            assert!(c.used() <= 77);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = Hyperbolic::new(50, seed);
+            (0..400u64)
+                .filter(|&i| c.handle(&req(i % 15, 9)).is_hit())
+                .count()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,67 @@
+//! Unbounded cache (diagnostic upper bound; never evicts).
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// A cache that admits everything and never evicts. Its hit ratio is the
+/// compulsory-miss ceiling no real policy can beat.
+#[derive(Clone, Debug, Default)]
+pub struct Infinite {
+    used: u64,
+    sizes: HashMap<ObjectId, u64>,
+}
+
+impl Infinite {
+    /// Creates the unbounded cache.
+    pub fn new() -> Self {
+        Infinite::default()
+    }
+}
+
+impl CachePolicy for Infinite {
+    fn name(&self) -> &'static str {
+        "Infinite"
+    }
+
+    fn capacity(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.sizes.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        if self.sizes.contains_key(&request.object) {
+            return RequestOutcome::Hit;
+        }
+        self.sizes.insert(request.object, request.size);
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rerequest_hits() {
+        let mut c = Infinite::new();
+        let r = Request::new(0, 1u64, 1 << 40);
+        assert!(!c.handle(&r).is_hit());
+        assert!(c.handle(&r).is_hit());
+        assert_eq!(c.used(), 1 << 40);
+    }
+}

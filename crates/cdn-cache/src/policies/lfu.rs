@@ -1,0 +1,138 @@
+//! Least-frequently-used eviction.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// Classic in-cache LFU: evict the resident object with the fewest hits
+/// since admission; ties break toward the least recently inserted.
+#[derive(Clone, Debug)]
+pub struct Lfu {
+    capacity: u64,
+    used: u64,
+    /// (frequency, tiebreak, object) ordered ascending: first = victim.
+    queue: BTreeSet<(u64, u64, ObjectId)>,
+    entries: HashMap<ObjectId, Entry>,
+    tick: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    frequency: u64,
+    tiebreak: u64,
+    size: u64,
+}
+
+impl Lfu {
+    /// Creates an LFU cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Lfu {
+            capacity,
+            used: 0,
+            queue: BTreeSet::new(),
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+impl CachePolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.entries.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&request.object) {
+            let removed =
+                self.queue
+                    .remove(&(entry.frequency, entry.tiebreak, request.object));
+            debug_assert!(removed);
+            entry.frequency += 1;
+            self.queue
+                .insert((entry.frequency, entry.tiebreak, request.object));
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            let &(f, t, victim) = self.queue.iter().next().expect("nonempty");
+            self.queue.remove(&(f, t, victim));
+            let entry = self.entries.remove(&victim).expect("entry exists");
+            self.used -= entry.size;
+        }
+        let entry = Entry {
+            frequency: 1,
+            tiebreak: self.tick,
+            size: request.size,
+        };
+        self.entries.insert(request.object, entry);
+        self.queue
+            .insert((entry.frequency, entry.tiebreak, request.object));
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut c = Lfu::new(30);
+        c.handle(&req(1, 10));
+        c.handle(&req(2, 10));
+        c.handle(&req(3, 10));
+        c.handle(&req(1, 10));
+        c.handle(&req(1, 10));
+        c.handle(&req(3, 10));
+        // Frequencies: 1 → 3, 2 → 1, 3 → 2. Evict 2.
+        c.handle(&req(4, 10));
+        assert!(c.contains(ObjectId(1)));
+        assert!(!c.contains(ObjectId(2)));
+        assert!(c.contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn frequency_ties_break_by_insertion_age() {
+        let mut c = Lfu::new(20);
+        c.handle(&req(1, 10));
+        c.handle(&req(2, 10));
+        c.handle(&req(3, 10)); // both have frequency 1 → evict 1 (older)
+        assert!(!c.contains(ObjectId(1)));
+        assert!(c.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = Lfu::new(25);
+        for i in 0..200 {
+            c.handle(&req(i % 11, 5 + (i % 4)));
+            assert!(c.used() <= 25);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! LHD — Least Hit Density (Beckmann, Chen & Cidon, USENIX NSDI 2018).
+//!
+//! LHD ranks objects by *hit density*: the probability that keeping the
+//! object yields a hit, per byte of cache space it occupies over its
+//! remaining lifetime. The policy learns age-conditioned hit statistics
+//! online: every hit and every eviction is recorded against the object's
+//! current age (time since last access), bucketed into coarse log₂ classes.
+//! The hit density of a resident object of age `a` and size `s` is then
+//!
+//! `density(a, s) = P(hit | age class of a) / s`
+//!
+//! with `P(hit | class)` estimated from the recorded hit/eviction counts.
+//! Eviction samples a fixed number of residents (64, as in the paper) and
+//! evicts the minimum-density one. Counters decay periodically so the
+//! statistics track workload drift.
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// Eviction sample size.
+const SAMPLE: usize = 64;
+/// Number of log₂ age classes.
+const AGE_CLASSES: usize = 40;
+/// Decay counters every this many requests.
+const DECAY_INTERVAL: u64 = 100_000;
+/// Multiplier applied at decay.
+const DECAY: f64 = 0.5;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    size: u64,
+    last_access: u64,
+}
+
+/// LHD with sampled eviction and log-bucketed age statistics.
+#[derive(Clone, Debug)]
+pub struct Lhd {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    objects: Vec<(ObjectId, Entry)>,
+    index: HashMap<ObjectId, usize>,
+    /// Per age class: hits observed at that age.
+    hits: [f64; AGE_CLASSES],
+    /// Per age class: evictions of objects at that age.
+    evictions: [f64; AGE_CLASSES],
+    rng: StdRng,
+}
+
+fn age_class(age: u64) -> usize {
+    (64 - age.max(1).leading_zeros() as usize - 1).min(AGE_CLASSES - 1)
+}
+
+impl Lhd {
+    /// Creates an LHD cache of `capacity` bytes.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        Lhd {
+            capacity,
+            used: 0,
+            clock: 0,
+            objects: Vec::new(),
+            index: HashMap::new(),
+            hits: [0.0; AGE_CLASSES],
+            evictions: [0.0; AGE_CLASSES],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Estimated hit probability for an age class, with an optimistic prior
+    /// for classes with no data (young classes start out protected).
+    fn hit_probability(&self, class: usize) -> f64 {
+        let h = self.hits[class];
+        let e = self.evictions[class];
+        // Laplace-style smoothing: one phantom hit keeps unexplored classes
+        // from being starved before any data arrives.
+        (h + 1.0) / (h + e + 2.0)
+    }
+
+    fn density(&self, entry: &Entry) -> f64 {
+        let age = self.clock.saturating_sub(entry.last_access);
+        self.hit_probability(age_class(age)) / entry.size as f64
+    }
+
+    fn evict_sampled(&mut self) {
+        debug_assert!(!self.objects.is_empty());
+        let n = self.objects.len();
+        let mut victim_slot = 0usize;
+        let mut victim_density = f64::INFINITY;
+        for _ in 0..SAMPLE.min(n) {
+            let slot = self.rng.gen_range(0..n);
+            let d = self.density(&self.objects[slot].1);
+            if d < victim_density {
+                victim_density = d;
+                victim_slot = slot;
+            }
+        }
+        let (victim, entry) = self.objects.swap_remove(victim_slot);
+        self.index.remove(&victim);
+        if let Some((moved, _)) = self.objects.get(victim_slot) {
+            self.index.insert(*moved, victim_slot);
+        }
+        let age = self.clock.saturating_sub(entry.last_access);
+        self.evictions[age_class(age)] += 1.0;
+        self.used -= entry.size;
+    }
+
+    fn maybe_decay(&mut self) {
+        if self.clock % DECAY_INTERVAL == 0 {
+            for h in self.hits.iter_mut() {
+                *h *= DECAY;
+            }
+            for e in self.evictions.iter_mut() {
+                *e *= DECAY;
+            }
+        }
+    }
+}
+
+impl CachePolicy for Lhd {
+    fn name(&self) -> &'static str {
+        "LHD"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.clock += 1;
+        self.maybe_decay();
+        if let Some(&slot) = self.index.get(&request.object) {
+            let entry = &mut self.objects[slot].1;
+            let age = self.clock.saturating_sub(entry.last_access);
+            entry.last_access = self.clock;
+            self.hits[age_class(age)] += 1.0;
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            self.evict_sampled();
+        }
+        let entry = Entry {
+            size: request.size,
+            last_access: self.clock,
+        };
+        self.index.insert(request.object, self.objects.len());
+        self.objects.push((request.object, entry));
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn age_classes_are_log_bucketed() {
+        assert_eq!(age_class(0), 0);
+        assert_eq!(age_class(1), 0);
+        assert_eq!(age_class(2), 1);
+        assert_eq!(age_class(3), 1);
+        assert_eq!(age_class(4), 2);
+        assert_eq!(age_class(1 << 20), 20);
+        assert_eq!(age_class(u64::MAX), AGE_CLASSES - 1);
+    }
+
+    #[test]
+    fn small_hot_objects_outlive_large_cold_ones() {
+        let mut c = Lhd::new(1_000, 1);
+        // Train: small objects get re-hit at short ages, large don't.
+        let mut t = 0u64;
+        for round in 0..3_000u64 {
+            // Hot small pair.
+            c.handle(&Request::new(t, round % 5, 50));
+            t += 1;
+            // One-shot large object.
+            c.handle(&Request::new(t, 100_000 + round, 400));
+            t += 1;
+        }
+        // After training, the hot small set should be resident.
+        let resident_small = (0..5).filter(|&i| c.contains(ObjectId(i))).count();
+        assert!(resident_small >= 4, "only {resident_small} hot objects resident");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = Lhd::new(333, 2);
+        for i in 0..1_000u64 {
+            c.handle(&req(i % 29, 10 + i % 50));
+            assert!(c.used() <= 333);
+        }
+    }
+
+    #[test]
+    fn decay_keeps_counters_bounded() {
+        let mut c = Lhd::new(100, 3);
+        for i in 0..(DECAY_INTERVAL * 2) {
+            c.handle(&req(i % 3, 10));
+        }
+        let total: f64 = c.hits.iter().sum::<f64>() + c.evictions.iter().sum::<f64>();
+        assert!(total < 2.0 * DECAY_INTERVAL as f64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = Lhd::new(200, seed);
+            (0..2_000u64)
+                .filter(|&i| c.handle(&req(i % 31, 15)).is_hit())
+                .count()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,138 @@
+//! Least-recently-used eviction, admit-everything.
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+use crate::policies::util::{Handle, LruList};
+
+/// Classic LRU over a byte capacity.
+#[derive(Clone, Debug)]
+pub struct Lru {
+    capacity: u64,
+    used: u64,
+    list: LruList,
+    index: HashMap<ObjectId, Handle>,
+}
+
+impl Lru {
+    /// Creates an LRU cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Lru {
+            capacity,
+            used: 0,
+            list: LruList::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn evict_until_fits(&mut self, incoming: u64) {
+        while self.used + incoming > self.capacity {
+            let (victim, size) = self
+                .list
+                .pop_back()
+                .expect("over capacity with empty cache");
+            self.index.remove(&victim);
+            self.used -= size;
+        }
+    }
+}
+
+impl CachePolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        if let Some(&h) = self.index.get(&request.object) {
+            self.list.move_to_front(h);
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        self.evict_until_fits(request.size);
+        let h = self.list.push_front(request.object, request.size);
+        self.index.insert(request.object, h);
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn hits_on_rerequest() {
+        let mut c = Lru::new(100);
+        assert!(!c.handle(&req(1, 10)).is_hit());
+        assert!(c.handle(&req(1, 10)).is_hit());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 10);
+    }
+
+    #[test]
+    fn evicts_least_recent_first() {
+        let mut c = Lru::new(30);
+        c.handle(&req(1, 10));
+        c.handle(&req(2, 10));
+        c.handle(&req(3, 10));
+        c.handle(&req(1, 10)); // touch 1, making 2 the LRU
+        c.handle(&req(4, 10)); // must evict 2
+        assert!(c.contains(ObjectId(1)));
+        assert!(!c.contains(ObjectId(2)));
+        assert!(c.contains(ObjectId(3)));
+        assert!(c.contains(ObjectId(4)));
+    }
+
+    #[test]
+    fn large_object_may_evict_many() {
+        let mut c = Lru::new(30);
+        c.handle(&req(1, 10));
+        c.handle(&req(2, 10));
+        c.handle(&req(3, 10));
+        c.handle(&req(4, 30));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(ObjectId(4)));
+        assert_eq!(c.used(), 30);
+    }
+
+    #[test]
+    fn oversized_object_bypasses() {
+        let mut c = Lru::new(10);
+        let out = c.handle(&req(1, 11));
+        assert_eq!(out, RequestOutcome::Miss { admitted: false });
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = Lru::new(55);
+        for i in 0..100 {
+            c.handle(&req(i % 7, 10 + i % 3));
+            assert!(c.used() <= c.capacity());
+        }
+    }
+}

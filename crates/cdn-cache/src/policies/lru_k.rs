@@ -1,0 +1,234 @@
+//! LRU-K (O'Neil, O'Neil & Weikum, SIGMOD 1993).
+//!
+//! Evicts the object with the oldest K-th most recent reference (maximum
+//! "backward K-distance"). Objects referenced fewer than K times have
+//! infinite backward K-distance and are evicted first, oldest last-access
+//! first — which gives LRU-K its scan resistance: a one-shot object never
+//! outranks anything referenced K times.
+//!
+//! Reference history is retained for a limited window after eviction
+//! ("retained information period"), as the paper prescribes, so that a
+//! quickly re-fetched object recovers its K-distance.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// How many evicted-object histories to retain.
+const RETAINED_HISTORIES: usize = 10_000;
+
+/// LRU-K with configurable K (K = 2 is the classic choice).
+#[derive(Clone, Debug)]
+pub struct LruK {
+    capacity: u64,
+    used: u64,
+    k: usize,
+    clock: u64,
+    /// Reference-time history per known object (most recent first, ≤ K).
+    history: HashMap<ObjectId, VecDeque<u64>>,
+    /// Residents: object → (priority key in `queue`, size).
+    resident: HashMap<ObjectId, (u64, u64)>,
+    /// (kth_recent_time, object): ascending = oldest K-th reference first,
+    /// which is the eviction order. Objects with fewer than K references
+    /// are keyed by their *last* access time minus a large bias so they
+    /// sort before any full-history object.
+    queue: BTreeSet<(u64, ObjectId)>,
+    /// FIFO of non-resident histories for bounded retention.
+    retained: VecDeque<ObjectId>,
+}
+
+/// Bias separating "fewer than K references" keys from full-history keys.
+const FULL_HISTORY_BIAS: u64 = 1 << 62;
+
+impl LruK {
+    /// Creates an LRU-K cache of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(capacity: u64, k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        LruK {
+            capacity,
+            used: 0,
+            k,
+            clock: 0,
+            history: HashMap::new(),
+            resident: HashMap::new(),
+            queue: BTreeSet::new(),
+            retained: VecDeque::new(),
+        }
+    }
+
+    /// Priority key for an object given its reference history: objects with
+    /// a full K-history rank by their K-th most recent reference (plus a
+    /// bias); others rank below all of those, by last reference.
+    fn priority(&self, object: ObjectId) -> u64 {
+        let h = &self.history[&object];
+        if h.len() >= self.k {
+            FULL_HISTORY_BIAS + h[self.k - 1]
+        } else {
+            *h.front().expect("history is never empty")
+        }
+    }
+
+    fn record_reference(&mut self, object: ObjectId) {
+        self.clock += 1;
+        let h = self.history.entry(object).or_default();
+        h.push_front(self.clock);
+        h.truncate(self.k);
+    }
+
+    fn prune_retained(&mut self) {
+        while self.retained.len() > RETAINED_HISTORIES {
+            let stale = self.retained.pop_front().expect("nonempty");
+            if !self.resident.contains_key(&stale) {
+                self.history.remove(&stale);
+            }
+        }
+    }
+}
+
+impl CachePolicy for LruK {
+    fn name(&self) -> &'static str {
+        "LRU-K"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.resident.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        let was_resident = self.resident.contains_key(&request.object);
+        if was_resident {
+            let (old_key, size) = self.resident[&request.object];
+            self.queue.remove(&(old_key, request.object));
+            self.record_reference(request.object);
+            let key = self.priority(request.object);
+            self.queue.insert((key, request.object));
+            self.resident.insert(request.object, (key, size));
+            return RequestOutcome::Hit;
+        }
+
+        self.record_reference(request.object);
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            let &(key, victim) = self.queue.iter().next().expect("nonempty");
+            self.queue.remove(&(key, victim));
+            let (_, size) = self.resident.remove(&victim).expect("resident");
+            self.used -= size;
+            self.retained.push_back(victim);
+        }
+        let key = self.priority(request.object);
+        self.queue.insert((key, request.object));
+        self.resident.insert(request.object, (key, request.size));
+        self.used += request.size;
+        self.prune_retained();
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn one_shot_objects_evicted_before_twice_referenced() {
+        let mut c = LruK::new(30, 2);
+        c.handle(&req(1, 10));
+        c.handle(&req(1, 10)); // object 1 has a full 2-history
+        c.handle(&req(2, 10)); // single reference
+        c.handle(&req(3, 10)); // single reference
+        c.handle(&req(4, 10)); // evict: a <K object (2, oldest), never 1
+        assert!(c.contains(ObjectId(1)));
+        assert!(!c.contains(ObjectId(2)));
+        assert!(c.contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn scan_resistance() {
+        use crate::policies::lru::Lru;
+        use crate::sim::{simulate, SimConfig};
+        // Hot pair referenced repeatedly + long scan of one-shots.
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        for round in 0..300u64 {
+            requests.push(Request::new(t, 1, 10));
+            t += 1;
+            requests.push(Request::new(t, 2, 10));
+            t += 1;
+            requests.push(Request::new(t, 1_000 + round, 10));
+            t += 1;
+        }
+        // Capacity 20 holds only two objects: LRU churns the hot pair out
+        // on every scan object, LRU-K protects the twice-referenced pair.
+        let mut lruk = LruK::new(20, 2);
+        let mut lru = Lru::new(20);
+        let a = simulate(&mut lruk, &requests, &SimConfig::default());
+        let b = simulate(&mut lru, &requests, &SimConfig::default());
+        assert!(
+            a.ohr() > b.ohr(),
+            "LRU-K {} should beat LRU {} under scans",
+            a.ohr(),
+            b.ohr()
+        );
+    }
+
+    #[test]
+    fn k_equals_one_behaves_like_lru_on_eviction_order() {
+        let mut c = LruK::new(20, 1);
+        c.handle(&req(1, 10));
+        c.handle(&req(2, 10));
+        c.handle(&req(1, 10)); // touch 1
+        c.handle(&req(3, 10)); // evict 2
+        assert!(c.contains(ObjectId(1)));
+        assert!(!c.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn history_survives_eviction() {
+        let mut c = LruK::new(20, 2);
+        c.handle(&req(1, 10));
+        c.handle(&req(2, 10));
+        c.handle(&req(3, 10)); // evicts 1 or 2 (both <K)
+        // Re-request object 1: its history should still count the earlier
+        // reference, giving it a full 2-history now.
+        c.handle(&req(1, 10));
+        assert!(c.history[&ObjectId(1)].len() == 2);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = LruK::new(45, 2);
+        for i in 0..300 {
+            c.handle(&req(i % 12, 7));
+            assert!(c.used() <= 45);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be at least 1")]
+    fn zero_k_rejected() {
+        LruK::new(10, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! The policy zoo.
+//!
+//! One module per policy, each implemented from its original paper:
+//!
+//! | Module | Policy | Source |
+//! |---|---|---|
+//! | [`rnd`] | random eviction | Figure 1 baseline |
+//! | [`fifo`] | first-in first-out | classic |
+//! | [`lru`] | least recently used | classic |
+//! | [`lru_k`] | LRU-K | O'Neil et al., SIGMOD 1993 |
+//! | [`lfu`] | least frequently used | classic |
+//! | [`lfuda`] | LFU with dynamic aging | Arlitt et al., 2000 |
+//! | [`gdsf`] | GreedyDual-Size-Frequency | Cherkasova, 1998 |
+//! | [`gd_wheel`] | GD-Wheel | Li & Cox, EuroSys 2015 |
+//! | [`s4lru`] | quadruply-segmented LRU | Huang et al., SOSP 2013 |
+//! | [`adaptsize`] | AdaptSize | Berger et al., NSDI 2017 |
+//! | [`hyperbolic`] | Hyperbolic caching | Blankstein et al., ATC 2017 |
+//! | [`lhd`] | Least Hit Density | Beckmann et al., NSDI 2018 |
+//! | [`tinylfu`] | TinyLFU admission | Einziger & Friedman, 2014 |
+//! | [`rlc`] | model-free RL caching | Figure 1's RLC bar |
+//! | [`infinite`] | unbounded cache | upper-bound diagnostic |
+//! | [`opt_replay`] | replay of OPT's offline decisions | Figure 6's OPT bar |
+
+pub mod adaptsize;
+pub mod fifo;
+pub mod gd_wheel;
+pub mod gdsf;
+pub mod hyperbolic;
+pub mod infinite;
+pub mod lfu;
+pub mod lfuda;
+pub mod lhd;
+pub mod lru;
+pub mod lru_k;
+pub mod opt_replay;
+pub mod rlc;
+pub mod rnd;
+pub mod s4lru;
+pub mod tinylfu;
+pub mod util;
+
+use crate::cache::CachePolicy;
+
+/// Instantiates a policy by its figure name. Unknown names yield `None`.
+///
+/// `seed` feeds the randomized policies (RND, Hyperbolic, LHD, RLC); the
+/// others ignore it.
+pub fn by_name(name: &str, capacity: u64, seed: u64) -> Option<Box<dyn CachePolicy>> {
+    Some(match name.to_ascii_uppercase().as_str() {
+        "RND" | "RANDOM" => Box::new(rnd::Rnd::new(capacity, seed)),
+        "FIFO" => Box::new(fifo::Fifo::new(capacity)),
+        "LRU" => Box::new(lru::Lru::new(capacity)),
+        "LRU-K" | "LRUK" => Box::new(lru_k::LruK::new(capacity, 2)),
+        "LFU" => Box::new(lfu::Lfu::new(capacity)),
+        "LFUDA" => Box::new(lfuda::Lfuda::new(capacity)),
+        "GDSF" => Box::new(gdsf::Gdsf::new(capacity)),
+        "GD-WHEEL" | "GDWHEEL" => Box::new(gd_wheel::GdWheel::new(capacity)),
+        "S4LRU" => Box::new(s4lru::S4Lru::new(capacity)),
+        "ADAPTSIZE" => Box::new(adaptsize::AdaptSize::new(capacity, seed)),
+        "HYPERBOLIC" => Box::new(hyperbolic::Hyperbolic::new(capacity, seed)),
+        "LHD" => Box::new(lhd::Lhd::new(capacity, seed)),
+        "TINYLFU" => Box::new(tinylfu::TinyLfu::new(capacity, seed)),
+        "RLC" => Box::new(rlc::Rlc::new(capacity, seed)),
+        "INFINITE" => Box::new(infinite::Infinite::new()),
+        _ => return None,
+    })
+}
+
+/// The Figure 6 lineup (online policies; OPT and LFO are added by the
+/// harness).
+pub const FIGURE6_POLICIES: [&str; 8] = [
+    "LRU",
+    "LRU-K",
+    "LFUDA",
+    "S4LRU",
+    "GD-Wheel",
+    "AdaptSize",
+    "Hyperbolic",
+    "LHD",
+];
+
+/// The Figure 1 lineup.
+pub const FIGURE1_POLICIES: [&str; 4] = ["RND", "LRU", "RLC", "GDSF"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_knows_every_figure_policy() {
+        for name in FIGURE6_POLICIES.iter().chain(FIGURE1_POLICIES.iter()) {
+            assert!(by_name(name, 1024, 0).is_some(), "missing {name}");
+        }
+        assert!(by_name("NOPE", 1024, 0).is_none());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("lru", 1024, 0).is_some());
+        assert!(by_name("AdaptSize", 1024, 0).is_some());
+    }
+}

@@ -1,0 +1,148 @@
+//! Replay of OPT's offline decisions (the "OPT" bar of Figure 6).
+//!
+//! Takes the per-request admission decisions computed by the `opt` crate's
+//! min-cost flow solver and replays them as a cache policy. Because the
+//! flow solution respects the capacity constraint by construction, the
+//! replay should (almost) never need to evict; an object simply leaves the
+//! cache at the request where OPT stops carrying it. The rare exceptions
+//! are fractional flow splits, which the replay resolves by refusing
+//! admissions that no longer fit (counted for diagnostics).
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// Replays a precomputed admission-decision vector, one entry per request
+/// of the trace that will be simulated, in order.
+pub struct OptReplay {
+    capacity: u64,
+    used: u64,
+    decisions: Vec<bool>,
+    cursor: usize,
+    sizes: HashMap<ObjectId, u64>,
+    /// Admissions refused because a flow split left no room.
+    pub refused_admissions: u64,
+}
+
+impl OptReplay {
+    /// Creates a replay policy. `decisions[k]` must be OPT's admit decision
+    /// for the k-th request that will be passed to [`CachePolicy::handle`].
+    pub fn new(capacity: u64, decisions: Vec<bool>) -> Self {
+        OptReplay {
+            capacity,
+            used: 0,
+            decisions,
+            cursor: 0,
+            sizes: HashMap::new(),
+            refused_admissions: 0,
+        }
+    }
+
+    /// Requests replayed so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl CachePolicy for OptReplay {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.sizes.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        assert!(
+            self.cursor < self.decisions.len(),
+            "replay ran past the decision vector ({} decisions)",
+            self.decisions.len()
+        );
+        let keep = self.decisions[self.cursor];
+        self.cursor += 1;
+
+        let was_resident = self.sizes.contains_key(&request.object);
+        if was_resident && !keep {
+            // OPT stops carrying the object at this request.
+            let size = self.sizes.remove(&request.object).expect("resident");
+            self.used -= size;
+        } else if !was_resident && keep {
+            if self.used + request.size <= self.capacity {
+                self.sizes.insert(request.object, request.size);
+                self.used += request.size;
+            } else {
+                self.refused_admissions += 1;
+                return RequestOutcome::Miss { admitted: false };
+            }
+        }
+        if was_resident {
+            RequestOutcome::Hit
+        } else {
+            RequestOutcome::Miss { admitted: keep }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(t: u64, id: u64, size: u64) -> Request {
+        Request::new(t, id, size)
+    }
+
+    #[test]
+    fn follows_decisions_exactly() {
+        // Trace: a b a b; decisions: admit a, skip b, keep a, skip b.
+        let reqs = [req(0, 1, 10), req(1, 2, 10), req(2, 1, 10), req(3, 2, 10)];
+        let mut p = OptReplay::new(10, vec![true, false, true, false]);
+        assert_eq!(p.handle(&reqs[0]), RequestOutcome::Miss { admitted: true });
+        assert_eq!(p.handle(&reqs[1]), RequestOutcome::Miss { admitted: false });
+        assert_eq!(p.handle(&reqs[2]), RequestOutcome::Hit);
+        assert_eq!(p.handle(&reqs[3]), RequestOutcome::Miss { admitted: false });
+        assert_eq!(p.refused_admissions, 0);
+    }
+
+    #[test]
+    fn drops_object_when_opt_stops_carrying_it() {
+        // a admitted, then at its next request OPT decides not to keep it.
+        let reqs = [req(0, 1, 10), req(1, 1, 10), req(2, 1, 10)];
+        let mut p = OptReplay::new(10, vec![true, false, true]);
+        assert!(!p.handle(&reqs[0]).is_hit());
+        assert!(p.handle(&reqs[1]).is_hit()); // hit, but evicted after
+        assert_eq!(p.used(), 0);
+        assert!(!p.handle(&reqs[2]).is_hit()); // re-admitted
+        assert_eq!(p.used(), 10);
+    }
+
+    #[test]
+    fn refuses_when_capacity_would_be_exceeded() {
+        let reqs = [req(0, 1, 10), req(1, 2, 10)];
+        let mut p = OptReplay::new(15, vec![true, true]);
+        p.handle(&reqs[0]);
+        assert_eq!(p.handle(&reqs[1]), RequestOutcome::Miss { admitted: false });
+        assert_eq!(p.refused_admissions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ran past")]
+    fn panics_past_decision_vector() {
+        let mut p = OptReplay::new(10, vec![]);
+        p.handle(&req(0, 1, 1));
+    }
+}

@@ -1,0 +1,253 @@
+//! RLC — model-free reinforcement-learning caching (the Figure 1 baseline).
+//!
+//! The paper's Figure 1 reports results "from last year's HotNets workshop
+//! [48]" where RL-based caching performs similar to random and LRU, well
+//! below the GDSF heuristic. This module reproduces that baseline: a small
+//! tabular Q-learning agent decides *admission* (admit / bypass) from a
+//! coarse state (object size class × observed frequency class), with LRU
+//! eviction underneath.
+//!
+//! The agent exhibits exactly the pathology the paper describes (§1): the
+//! reward for admitting an object — a future hit — "manifests with large
+//! delays", so credit is only assigned when the object is requested again
+//! (or never, for the long tail of one-hit wonders). Combined with the
+//! coarse state and ε-greedy exploration, the learned policy stays close to
+//! "admit everything", which is why RLC lands near LRU/RND in Figure 1.
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+use crate::policies::util::{Handle, LruList};
+
+/// Size classes (log₄ of size).
+const SIZE_CLASSES: usize = 16;
+/// Frequency classes (log₂ of observed count, capped).
+const FREQ_CLASSES: usize = 6;
+/// Actions: 0 = bypass, 1 = admit.
+const ACTIONS: usize = 2;
+
+/// Learning rate α.
+const ALPHA: f64 = 0.1;
+/// Discount γ.
+const GAMMA: f64 = 0.9;
+/// Exploration rate ε.
+const EPSILON: f64 = 0.05;
+
+fn size_class(size: u64) -> usize {
+    ((64 - size.max(1).leading_zeros() as usize) / 4).min(SIZE_CLASSES - 1)
+}
+
+fn freq_class(count: u64) -> usize {
+    (64 - count.max(1).leading_zeros() as usize - 1).min(FREQ_CLASSES - 1)
+}
+
+/// Per-object pending credit: the (state, action) whose delayed reward
+/// arrives at the object's next request.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    state: usize,
+    action: usize,
+}
+
+/// Tabular Q-learning admission over LRU eviction.
+pub struct Rlc {
+    capacity: u64,
+    used: u64,
+    q: Vec<[f64; ACTIONS]>,
+    /// Observed request counts (bounded by forgetting, below).
+    counts: HashMap<ObjectId, u64>,
+    pending: HashMap<ObjectId, Pending>,
+    list: LruList,
+    index: HashMap<ObjectId, Handle>,
+    rng: StdRng,
+    requests: u64,
+}
+
+impl Rlc {
+    /// Creates an RLC cache of `capacity` bytes.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        Rlc {
+            capacity,
+            used: 0,
+            q: vec![[0.0; ACTIONS]; SIZE_CLASSES * FREQ_CLASSES],
+            counts: HashMap::new(),
+            pending: HashMap::new(),
+            list: LruList::new(),
+            index: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            requests: 0,
+        }
+    }
+
+    fn state_of(&self, request: &Request) -> usize {
+        let count = self.counts.get(&request.object).copied().unwrap_or(0);
+        size_class(request.size) * FREQ_CLASSES + freq_class(count + 1)
+    }
+
+    fn q_update(&mut self, state: usize, action: usize, reward: f64, next_state: usize) {
+        let next_max = self.q[next_state][0].max(self.q[next_state][1]);
+        let q = &mut self.q[state][action];
+        *q += ALPHA * (reward + GAMMA * next_max - *q);
+    }
+
+    /// Settles the delayed reward for the previous decision on `object`.
+    fn settle(&mut self, object: ObjectId, hit: bool, next_state: usize) {
+        if let Some(p) = self.pending.remove(&object) {
+            // A hit repays the earlier admit; a miss after an admit means
+            // the admitted bytes were wasted (evicted before reuse).
+            let reward = match (p.action, hit) {
+                (1, true) => 1.0,   // admit paid off
+                (1, false) => -0.2, // admitted bytes were wasted
+                _ => 0.0,           // bypass: nothing gained, nothing lost
+            };
+            self.q_update(p.state, p.action, reward, next_state);
+        }
+    }
+}
+
+impl CachePolicy for Rlc {
+    fn name(&self) -> &'static str {
+        "RLC"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.requests += 1;
+        // Bound auxiliary state: periodically forget cold counters.
+        if self.requests % 1_000_000 == 0 {
+            self.counts.retain(|_, c| *c > 2);
+            let resident = &self.index;
+            self.pending.retain(|o, _| resident.contains_key(o));
+        }
+
+        let state = self.state_of(request);
+        let hit = self.index.contains_key(&request.object);
+        self.settle(request.object, hit, state);
+        *self.counts.entry(request.object).or_insert(0) += 1;
+
+        if let Some(&h) = self.index.get(&request.object) {
+            self.list.move_to_front(h);
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+
+        // ε-greedy action selection.
+        let action = if self.rng.gen::<f64>() < EPSILON {
+            self.rng.gen_range(0..ACTIONS)
+        } else if self.q[state][1] >= self.q[state][0] {
+            1
+        } else {
+            0
+        };
+        self.pending.insert(request.object, Pending { state, action });
+        if action == 0 {
+            return RequestOutcome::Miss { admitted: false };
+        }
+
+        while self.used + request.size > self.capacity {
+            let (victim, size) = self.list.pop_back().expect("nonempty");
+            self.index.remove(&victim);
+            self.used -= size;
+        }
+        let h = self.list.push_front(request.object, request.size);
+        self.index.insert(request.object, h);
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn state_classes_are_bounded() {
+        assert!(size_class(1) < SIZE_CLASSES);
+        assert!(size_class(u64::MAX) < SIZE_CLASSES);
+        assert!(freq_class(1) < FREQ_CLASSES);
+        assert!(freq_class(u64::MAX) < FREQ_CLASSES);
+    }
+
+    #[test]
+    fn functions_as_a_cache() {
+        let mut c = Rlc::new(1_000, 1);
+        let mut hits = 0;
+        for i in 0..5_000u64 {
+            if c.handle(&req(i % 7, 100)).is_hit() {
+                hits += 1;
+            }
+            assert!(c.used() <= c.capacity());
+        }
+        // A tiny working set fits: most requests should hit eventually.
+        assert!(hits > 3_000, "hits = {hits}");
+    }
+
+    #[test]
+    fn q_values_move_with_rewards() {
+        let mut c = Rlc::new(10_000, 2);
+        // Drive a strongly cacheable pattern.
+        for _ in 0..2_000 {
+            for id in 0..5u64 {
+                c.handle(&req(id, 100));
+            }
+        }
+        let any_nonzero = c.q.iter().any(|qs| qs[0] != 0.0 || qs[1] != 0.0);
+        assert!(any_nonzero, "Q-table never updated");
+    }
+
+    #[test]
+    fn underperforms_gdsf_on_mixed_sizes() {
+        // The Figure 1 shape: RLC below GDSF.
+        use crate::policies::gdsf::Gdsf;
+        use crate::sim::{simulate, SimConfig};
+        use cdn_trace::{GeneratorConfig, TraceGenerator};
+        let trace = TraceGenerator::new(GeneratorConfig::small(3, 30_000)).generate();
+        let cache = 4 * 1024 * 1024;
+        let mut rlc = Rlc::new(cache, 1);
+        let mut gdsf = Gdsf::new(cache);
+        let a = simulate(&mut rlc, trace.requests(), &SimConfig::default());
+        let b = simulate(&mut gdsf, trace.requests(), &SimConfig::default());
+        assert!(
+            b.ohr() > a.ohr(),
+            "GDSF {} should beat RLC {}",
+            b.ohr(),
+            a.ohr()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = Rlc::new(500, seed);
+            (0..3_000u64)
+                .filter(|&i| c.handle(&req(i % 13, 50)).is_hit())
+                .count()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

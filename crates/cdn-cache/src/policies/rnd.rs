@@ -1,0 +1,135 @@
+//! Random eviction (the RND bar of Figure 1).
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+
+/// Admit everything; evict uniformly random residents until the new object
+/// fits. The weakest sensible baseline.
+#[derive(Clone, Debug)]
+pub struct Rnd {
+    capacity: u64,
+    used: u64,
+    /// Dense vector of residents for O(1) random selection.
+    objects: Vec<(ObjectId, u64)>,
+    index: HashMap<ObjectId, usize>,
+    rng: StdRng,
+}
+
+impl Rnd {
+    /// Creates a random-eviction cache of `capacity` bytes.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        Rnd {
+            capacity,
+            used: 0,
+            objects: Vec::new(),
+            index: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn evict_random(&mut self) {
+        let slot = self.rng.gen_range(0..self.objects.len());
+        let (victim, size) = self.objects.swap_remove(slot);
+        self.index.remove(&victim);
+        if let Some((moved, _)) = self.objects.get(slot) {
+            self.index.insert(*moved, slot);
+        }
+        self.used -= size;
+    }
+}
+
+impl CachePolicy for Rnd {
+    fn name(&self) -> &'static str {
+        "RND"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        if self.index.contains_key(&request.object) {
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.used + request.size > self.capacity {
+            self.evict_random();
+        }
+        self.index.insert(request.object, self.objects.len());
+        self.objects.push((request.object, request.size));
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c = Rnd::new(100, 1);
+        assert!(!c.handle(&req(1, 10)).is_hit());
+        assert!(c.handle(&req(1, 10)).is_hit());
+    }
+
+    #[test]
+    fn stays_within_capacity_under_churn() {
+        let mut c = Rnd::new(64, 2);
+        for i in 0..500 {
+            c.handle(&req(i, 7));
+            assert!(c.used() <= c.capacity());
+        }
+        assert!(c.len() > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut c = Rnd::new(40, seed);
+            let mut hits = 0;
+            for i in 0..300u64 {
+                if c.handle(&req(i % 9, 10)).is_hit() {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn index_stays_consistent_after_swap_remove() {
+        let mut c = Rnd::new(30, 3);
+        for i in 0..100 {
+            c.handle(&req(i, 10));
+            // Every indexed object must actually be at its recorded slot.
+            for (&obj, &slot) in c.index.iter() {
+                assert_eq!(c.objects[slot].0, obj);
+            }
+        }
+    }
+}

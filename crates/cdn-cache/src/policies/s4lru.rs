@@ -1,0 +1,200 @@
+//! S4LRU — quadruply-segmented LRU (Huang et al., "An analysis of Facebook
+//! photo caching", SOSP 2013).
+//!
+//! The cache is split into four equally sized LRU segments L0..L3. Misses
+//! insert at the head of L0. A hit in segment Li promotes the object to the
+//! head of L(i+1) (capped at L3). When a segment overflows, its LRU tail is
+//! demoted to the head of the next lower segment; overflow from L0 leaves
+//! the cache. Frequently re-hit objects therefore bubble up and survive
+//! scans that flush L0.
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+use crate::policies::util::{Handle, LruList};
+
+/// Number of segments (the "4" in S4LRU).
+const SEGMENTS: usize = 4;
+
+/// Quadruply-segmented LRU.
+#[derive(Clone, Debug)]
+pub struct S4Lru {
+    capacity: u64,
+    used: u64,
+    /// Per-segment byte budget (capacity / 4).
+    segment_capacity: u64,
+    segments: [LruList; SEGMENTS],
+    segment_used: [u64; SEGMENTS],
+    index: HashMap<ObjectId, (u8, Handle)>,
+}
+
+impl S4Lru {
+    /// Creates an S4LRU cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        S4Lru {
+            capacity,
+            used: 0,
+            segment_capacity: (capacity / SEGMENTS as u64).max(1),
+            segments: [
+                LruList::new(),
+                LruList::new(),
+                LruList::new(),
+                LruList::new(),
+            ],
+            segment_used: [0; SEGMENTS],
+            index: HashMap::new(),
+        }
+    }
+
+    /// Inserts at the head of `segment`, then cascades demotions downward.
+    fn insert_and_balance(&mut self, segment: usize, object: ObjectId, size: u64) {
+        let h = self.segments[segment].push_front(object, size);
+        self.index.insert(object, (segment as u8, h));
+        self.segment_used[segment] += size;
+        self.used += size;
+
+        // Cascade overflow: tail of Li moves to head of L(i-1); overflow of
+        // L0 is evicted.
+        for level in (0..=segment).rev() {
+            while self.segment_used[level] > self.segment_capacity {
+                let (demoted, dsize) = self.segments[level]
+                    .pop_back()
+                    .expect("segment over budget but empty");
+                self.segment_used[level] -= dsize;
+                if level == 0 {
+                    self.index.remove(&demoted);
+                    self.used -= dsize;
+                } else {
+                    let h = self.segments[level - 1].push_front(demoted, dsize);
+                    self.index.insert(demoted, ((level - 1) as u8, h));
+                    self.segment_used[level - 1] += dsize;
+                }
+            }
+        }
+    }
+}
+
+impl CachePolicy for S4Lru {
+    fn name(&self) -> &'static str {
+        "S4LRU"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        if let Some(&(segment, h)) = self.index.get(&request.object) {
+            let segment = segment as usize;
+            let (object, size) = self.segments[segment].remove(h);
+            self.segment_used[segment] -= size;
+            self.used -= size;
+            let target = (segment + 1).min(SEGMENTS - 1);
+            self.insert_and_balance(target, object, size);
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.segment_capacity {
+            // An object must fit its segment; very large objects bypass.
+            return RequestOutcome::Miss { admitted: false };
+        }
+        self.insert_and_balance(0, request.object, request.size);
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn hit_promotes_object() {
+        let mut c = S4Lru::new(400);
+        c.handle(&req(1, 10));
+        assert_eq!(c.index[&ObjectId(1)].0, 0);
+        c.handle(&req(1, 10));
+        assert_eq!(c.index[&ObjectId(1)].0, 1);
+        c.handle(&req(1, 10));
+        c.handle(&req(1, 10));
+        c.handle(&req(1, 10)); // promotions cap at the top segment
+        assert_eq!(c.index[&ObjectId(1)].0, 3);
+    }
+
+    #[test]
+    fn scan_flushes_only_the_bottom_segment() {
+        let mut c = S4Lru::new(80); // 20 bytes per segment
+        // Promote a hot object to L1.
+        c.handle(&req(1, 10));
+        c.handle(&req(1, 10));
+        // Scan 10 one-shot objects through L0.
+        for i in 100..110 {
+            c.handle(&req(i, 10));
+        }
+        assert!(c.contains(ObjectId(1)), "hot object flushed by scan");
+    }
+
+    #[test]
+    fn demotion_cascades_to_eviction() {
+        let mut c = S4Lru::new(40); // 10 bytes per segment
+        for i in 0..20 {
+            c.handle(&req(i, 10));
+            assert!(c.used() <= c.capacity());
+        }
+        assert!(c.len() <= 4);
+    }
+
+    #[test]
+    fn object_larger_than_segment_bypasses() {
+        let mut c = S4Lru::new(40);
+        assert_eq!(
+            c.handle(&req(1, 15)),
+            RequestOutcome::Miss { admitted: false }
+        );
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn beats_lru_under_scan_mix() {
+        use crate::policies::lru::Lru;
+        use crate::sim::{simulate, SimConfig};
+        // Hot objects are touched twice in a row (so S4LRU promotes them
+        // out of L0), then a scan longer than the LRU capacity flushes
+        // everything LRU knows. S4LRU's upper segments shield the hot set.
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        for round in 0..200u64 {
+            for hot in 0..3u64 {
+                requests.push(Request::new(t, hot, 10));
+                t += 1;
+                requests.push(Request::new(t, hot, 10));
+                t += 1;
+            }
+            for scan in 0..20u64 {
+                requests.push(Request::new(t, 10_000 + round * 20 + scan, 10));
+                t += 1;
+            }
+        }
+        let mut s4 = S4Lru::new(160);
+        let mut lru = Lru::new(160);
+        let a = simulate(&mut s4, &requests, &SimConfig::default());
+        let b = simulate(&mut lru, &requests, &SimConfig::default());
+        assert!(a.ohr() > b.ohr(), "S4LRU {} vs LRU {}", a.ohr(), b.ohr());
+    }
+}

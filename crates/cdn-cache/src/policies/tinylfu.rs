@@ -1,0 +1,246 @@
+//! TinyLFU admission (Einziger & Friedman, "TinyLFU: a highly efficient
+//! cache admission policy", IEEE Euromicro PDP 2014).
+//!
+//! TinyLFU is an *admission* filter layered over any eviction policy (LRU
+//! here): on a miss, the candidate is admitted only if its approximate
+//! request frequency exceeds that of the object it would displace.
+//! Frequencies are tracked in a count–min sketch with a doorkeeper Bloom
+//! filter absorbing one-hit wonders, and all counters are halved every
+//! *sample window* so the sketch tracks recent popularity ("aging").
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::{CachePolicy, RequestOutcome};
+use crate::policies::util::{Handle, LruList};
+
+/// Count–min sketch rows.
+const SKETCH_ROWS: usize = 4;
+/// Counter cap (4-bit counters in the original; u8 capped at 15 here).
+const COUNTER_MAX: u8 = 15;
+
+/// A count–min sketch of request frequencies with periodic halving.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    width: usize,
+    rows: Vec<Vec<u8>>,
+    seeds: [u64; SKETCH_ROWS],
+    /// Increments since the last halving.
+    additions: u64,
+    /// Halve all counters when `additions` reaches this.
+    sample_window: u64,
+}
+
+fn mix(mut x: u64, seed: u64) -> u64 {
+    // SplitMix64-style finalizer; cheap and adequate for sketch hashing.
+    x = x.wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with the given row width and aging window.
+    pub fn new(width: usize, sample_window: u64, seed: u64) -> Self {
+        assert!(width.is_power_of_two(), "width must be a power of two");
+        CountMinSketch {
+            width,
+            rows: vec![vec![0; width]; SKETCH_ROWS],
+            seeds: [
+                mix(1, seed),
+                mix(2, seed),
+                mix(3, seed),
+                mix(4, seed),
+            ],
+            additions: 0,
+            sample_window,
+        }
+    }
+
+    /// Records one occurrence of `object`.
+    pub fn increment(&mut self, object: ObjectId) {
+        for (row, &s) in self.rows.iter_mut().zip(&self.seeds) {
+            let idx = (mix(object.0, s) as usize) & (self.width - 1);
+            if row[idx] < COUNTER_MAX {
+                row[idx] += 1;
+            }
+        }
+        self.additions += 1;
+        if self.additions >= self.sample_window {
+            self.halve();
+            self.additions = 0;
+        }
+    }
+
+    /// Approximate count of `object` (min over rows).
+    pub fn estimate(&self, object: ObjectId) -> u8 {
+        self.rows
+            .iter()
+            .zip(&self.seeds)
+            .map(|(row, &s)| row[(mix(object.0, s) as usize) & (self.width - 1)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn halve(&mut self) {
+        for row in &mut self.rows {
+            for c in row.iter_mut() {
+                *c >>= 1;
+            }
+        }
+    }
+}
+
+/// TinyLFU admission over an LRU cache.
+pub struct TinyLfu {
+    capacity: u64,
+    used: u64,
+    sketch: CountMinSketch,
+    list: LruList,
+    index: HashMap<ObjectId, Handle>,
+    /// Small random chance to admit regardless, protecting against
+    /// hash-collision starvation (as in production TinyLFU variants).
+    rng: StdRng,
+}
+
+impl TinyLfu {
+    /// Creates a TinyLFU-admission cache of `capacity` bytes.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        TinyLfu {
+            capacity,
+            used: 0,
+            sketch: CountMinSketch::new(1 << 16, 1 << 20, seed),
+            list: LruList::new(),
+            index: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF),
+        }
+    }
+}
+
+impl CachePolicy for TinyLfu {
+    fn name(&self) -> &'static str {
+        "TinyLFU"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.sketch.increment(request.object);
+        if let Some(&h) = self.index.get(&request.object) {
+            self.list.move_to_front(h);
+            return RequestOutcome::Hit;
+        }
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        // Admission duel: candidate frequency vs the LRU victim's.
+        if self.used + request.size > self.capacity {
+            if let Some((victim, _)) = self.list.back() {
+                let candidate_freq = self.sketch.estimate(request.object);
+                let victim_freq = self.sketch.estimate(victim);
+                let lucky = self.rng.gen::<f64>() < 0.01;
+                if candidate_freq <= victim_freq && !lucky {
+                    return RequestOutcome::Miss { admitted: false };
+                }
+            }
+        }
+        while self.used + request.size > self.capacity {
+            let (victim, size) = self.list.pop_back().expect("nonempty");
+            self.index.remove(&victim);
+            self.used -= size;
+        }
+        let h = self.list.push_front(request.object, request.size);
+        self.index.insert(request.object, h);
+        self.used += request.size;
+        RequestOutcome::Miss { admitted: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, size: u64) -> Request {
+        Request::new(0, id, size)
+    }
+
+    #[test]
+    fn sketch_counts_approximately() {
+        let mut s = CountMinSketch::new(1 << 12, u64::MAX, 1);
+        for _ in 0..10 {
+            s.increment(ObjectId(42));
+        }
+        s.increment(ObjectId(7));
+        assert!(s.estimate(ObjectId(42)) >= 10);
+        assert!(s.estimate(ObjectId(7)) >= 1);
+        assert_eq!(s.estimate(ObjectId(999_999)), 0);
+    }
+
+    #[test]
+    fn sketch_counters_saturate() {
+        let mut s = CountMinSketch::new(1 << 8, u64::MAX, 2);
+        for _ in 0..100 {
+            s.increment(ObjectId(1));
+        }
+        assert_eq!(s.estimate(ObjectId(1)), COUNTER_MAX);
+    }
+
+    #[test]
+    fn sketch_halving_ages_counts() {
+        let mut s = CountMinSketch::new(1 << 8, 10, 3);
+        for _ in 0..9 {
+            s.increment(ObjectId(1));
+        }
+        assert!(s.estimate(ObjectId(1)) >= 9);
+        s.increment(ObjectId(1)); // triggers halving
+        assert!(s.estimate(ObjectId(1)) <= 5);
+    }
+
+    #[test]
+    fn one_hit_wonders_do_not_displace_the_hot_set() {
+        let mut c = TinyLfu::new(100, 4);
+        // Build a hot set.
+        for _ in 0..20 {
+            for id in 0..10u64 {
+                c.handle(&req(id, 10));
+            }
+        }
+        // A scan of one-shot objects should mostly be denied admission.
+        let mut denied = 0;
+        for i in 1_000..1_200u64 {
+            if c.handle(&req(i, 10)) == (RequestOutcome::Miss { admitted: false }) {
+                denied += 1;
+            }
+        }
+        assert!(denied > 150, "only {denied} scans denied");
+        let hot_resident = (0..10u64).filter(|&i| c.contains(ObjectId(i))).count();
+        // ~1% "lucky" admissions can displace a couple of hot objects.
+        assert!(hot_resident >= 6, "hot set eroded to {hot_resident}");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = TinyLfu::new(64, 5);
+        for i in 0..1_000u64 {
+            c.handle(&req(i % 19, 8));
+            assert!(c.used() <= 64);
+        }
+    }
+}

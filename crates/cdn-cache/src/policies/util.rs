@@ -1,0 +1,311 @@
+//! Shared data structures for the policy implementations.
+
+use cdn_trace::ObjectId;
+
+/// Sentinel for "no slot".
+const NIL: u32 = u32::MAX;
+
+/// Handle into an [`LruList`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Handle(pub(crate) u32);
+
+#[derive(Clone, Debug)]
+struct Slot {
+    prev: u32,
+    next: u32,
+    object: ObjectId,
+    size: u64,
+    live: bool,
+}
+
+/// An intrusive doubly-linked recency list over slab storage.
+///
+/// `push_front` is the MRU position, `pop_back` evicts the LRU entry.
+/// Handles stay valid until the entry is removed; slots are recycled.
+#[derive(Clone, Debug)]
+pub struct LruList {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl LruList {
+    /// An empty list.
+    pub fn new() -> Self {
+        LruList {
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the list holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts at the MRU end, returning a stable handle.
+    pub fn push_front(&mut self, object: ObjectId, size: u64) -> Handle {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot {
+                    prev: NIL,
+                    next: self.head,
+                    object,
+                    size,
+                    live: true,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    prev: NIL,
+                    next: self.head,
+                    object,
+                    size,
+                    live: true,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.len += 1;
+        Handle(idx)
+    }
+
+    /// Moves an entry to the MRU end.
+    pub fn move_to_front(&mut self, handle: Handle) {
+        let idx = handle.0;
+        debug_assert!(self.slots[idx as usize].live, "stale handle");
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        let slot = &mut self.slots[idx as usize];
+        slot.prev = NIL;
+        slot.next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Removes and returns the LRU entry.
+    pub fn pop_back(&mut self) -> Option<(ObjectId, u64)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let (object, size) = {
+            let slot = &self.slots[idx as usize];
+            (slot.object, slot.size)
+        };
+        self.remove(Handle(idx));
+        Some((object, size))
+    }
+
+    /// The LRU entry, if any, without removing it.
+    pub fn back(&self) -> Option<(ObjectId, u64)> {
+        if self.tail == NIL {
+            None
+        } else {
+            let slot = &self.slots[self.tail as usize];
+            Some((slot.object, slot.size))
+        }
+    }
+
+    /// Removes an arbitrary entry by handle, returning its object and size.
+    pub fn remove(&mut self, handle: Handle) -> (ObjectId, u64) {
+        let idx = handle.0;
+        debug_assert!(self.slots[idx as usize].live, "stale handle");
+        self.unlink(idx);
+        let slot = &mut self.slots[idx as usize];
+        slot.live = false;
+        self.free.push(idx);
+        self.len -= 1;
+        (slot.object, slot.size)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let slot = &self.slots[idx as usize];
+            (slot.prev, slot.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        let slot = &mut self.slots[idx as usize];
+        slot.prev = NIL;
+        slot.next = NIL;
+    }
+
+    /// Iterates from MRU to LRU (diagnostics and tests).
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, u64)> + '_ {
+        LruIter {
+            list: self,
+            at: self.head,
+        }
+    }
+}
+
+impl Default for LruList {
+    // A derived Default would zero `head`/`tail`, which are NIL-sentinel
+    // fields — that once produced a self-linked cycle. Always delegate.
+    fn default() -> Self {
+        LruList::new()
+    }
+}
+
+struct LruIter<'a> {
+    list: &'a LruList,
+    at: u32,
+}
+
+impl Iterator for LruIter<'_> {
+    type Item = (ObjectId, u64);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at == NIL {
+            return None;
+        }
+        let slot = &self.list.slots[self.at as usize];
+        self.at = slot.next;
+        Some((slot.object, slot.size))
+    }
+}
+
+/// `f64` with a total order, usable as a BTree key for priority queues.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedF64(pub f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(v: u64) -> ObjectId {
+        ObjectId(v)
+    }
+
+    #[test]
+    fn lru_order_is_maintained() {
+        let mut l = LruList::new();
+        l.push_front(o(1), 10);
+        l.push_front(o(2), 20);
+        l.push_front(o(3), 30);
+        let order: Vec<u64> = l.iter().map(|(obj, _)| obj.0).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+        assert_eq!(l.pop_back(), Some((o(1), 10)));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = LruList::new();
+        let h1 = l.push_front(o(1), 1);
+        l.push_front(o(2), 1);
+        l.push_front(o(3), 1);
+        l.move_to_front(h1);
+        let order: Vec<u64> = l.iter().map(|(obj, _)| obj.0).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        assert_eq!(l.back(), Some((o(2), 1)));
+    }
+
+    #[test]
+    fn remove_middle_keeps_links() {
+        let mut l = LruList::new();
+        l.push_front(o(1), 1);
+        let h2 = l.push_front(o(2), 1);
+        l.push_front(o(3), 1);
+        assert_eq!(l.remove(h2), (o(2), 1));
+        let order: Vec<u64> = l.iter().map(|(obj, _)| obj.0).collect();
+        assert_eq!(order, vec![3, 1]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut l = LruList::new();
+        let h = l.push_front(o(1), 1);
+        l.remove(h);
+        let h2 = l.push_front(o(2), 1);
+        assert_eq!(h.0, h2.0, "slot not recycled");
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn pop_from_empty_is_none() {
+        let mut l = LruList::new();
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+        l.push_front(o(1), 1);
+        l.pop_back();
+        assert_eq!(l.pop_back(), None);
+    }
+
+    #[test]
+    fn singleton_move_to_front_is_noop() {
+        let mut l = LruList::new();
+        let h = l.push_front(o(1), 5);
+        l.move_to_front(h);
+        assert_eq!(l.back(), Some((o(1), 5)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn default_list_is_truly_empty() {
+        // Regression: a derived Default zeroed the NIL sentinels and made
+        // the first pushed slot point at itself.
+        let mut l = LruList::default();
+        l.push_front(o(1), 1);
+        l.push_front(o(2), 1);
+        let order: Vec<u64> = l.iter().map(|(obj, _)| obj.0).collect();
+        assert_eq!(order, vec![2, 1]);
+        assert_eq!(l.pop_back(), Some((o(1), 1)));
+        assert_eq!(l.pop_back(), Some((o(2), 1)));
+        assert_eq!(l.pop_back(), None);
+    }
+
+    #[test]
+    fn ordered_f64_total_order() {
+        let mut v = vec![OrderedF64(2.0), OrderedF64(-1.0), OrderedF64(0.5)];
+        v.sort();
+        assert_eq!(v, vec![OrderedF64(-1.0), OrderedF64(0.5), OrderedF64(2.0)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The trace-replay simulator.
+
+use cdn_trace::Request;
+
+use crate::cache::{CachePolicy, RequestOutcome};
+use crate::metrics::{IntervalMetrics, SimResult};
+
+/// Simulation options.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Requests excluded from the measured metrics while the cache fills.
+    /// The paper's evaluation trains on one trace part and measures on the
+    /// next, which plays the same role.
+    pub warmup: usize,
+    /// Emit an [`IntervalMetrics`] entry every `interval` measured
+    /// requests; 0 disables the series.
+    pub interval: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            warmup: 0,
+            interval: 0,
+        }
+    }
+}
+
+/// Replays `requests` against `policy`, collecting hit metrics.
+///
+/// In debug builds, asserts after every request that the policy respects
+/// its byte capacity and that hit reporting is consistent with
+/// [`CachePolicy::contains`].
+pub fn simulate(
+    policy: &mut dyn CachePolicy,
+    requests: &[Request],
+    config: &SimConfig,
+) -> SimResult {
+    let mut result = SimResult {
+        policy: policy.name().to_string(),
+        ..Default::default()
+    };
+    let mut current_interval = IntervalMetrics::default();
+
+    for (k, request) in requests.iter().enumerate() {
+        #[cfg(debug_assertions)]
+        let resident_before = policy.contains(request.object);
+
+        let outcome = policy.handle(request);
+
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                outcome.is_hit(),
+                resident_before,
+                "{}: hit report inconsistent with contains() at request {k}",
+                policy.name()
+            );
+            debug_assert!(
+                policy.used() <= policy.capacity(),
+                "{}: capacity exceeded ({} > {}) at request {k}",
+                policy.name(),
+                policy.used(),
+                policy.capacity()
+            );
+        }
+
+        let hit = outcome.is_hit();
+        if k < config.warmup {
+            result.warmup.record(request.size, hit);
+            continue;
+        }
+        result.measured.record(request.size, hit);
+        if let RequestOutcome::Miss { admitted } = outcome {
+            if admitted {
+                result.admitted_misses += 1;
+            } else {
+                result.bypassed_misses += 1;
+            }
+        }
+        if config.interval > 0 {
+            current_interval.record(request.size, hit);
+            if current_interval.requests as usize >= config.interval {
+                result.series.push(current_interval);
+                current_interval = IntervalMetrics::default();
+            }
+        }
+    }
+    if config.interval > 0 && current_interval.requests > 0 {
+        result.series.push(current_interval);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::lru::Lru;
+    use cdn_trace::Request;
+
+    fn reqs(ids: &[u64]) -> Vec<Request> {
+        ids.iter()
+            .enumerate()
+            .map(|(i, &id)| Request::new(i as u64, id, 10))
+            .collect()
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let r = reqs(&[1, 2, 1, 3, 1]);
+        let mut lru = Lru::new(100);
+        let res = simulate(&mut lru, &r, &SimConfig::default());
+        assert_eq!(res.measured.requests, 5);
+        assert_eq!(res.measured.hits, 2);
+        assert_eq!(res.admitted_misses, 3);
+        assert_eq!(res.bypassed_misses, 0);
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        let r = reqs(&[1, 2, 1, 1]);
+        let mut lru = Lru::new(100);
+        let res = simulate(
+            &mut lru,
+            &r,
+            &SimConfig {
+                warmup: 2,
+                interval: 0,
+            },
+        );
+        assert_eq!(res.warmup.requests, 2);
+        assert_eq!(res.measured.requests, 2);
+        assert_eq!(res.measured.hits, 2);
+        assert_eq!(res.ohr(), 1.0);
+    }
+
+    #[test]
+    fn interval_series_partitions_measured_requests() {
+        let r = reqs(&[1, 2, 3, 1, 2, 3, 1]);
+        let mut lru = Lru::new(1000);
+        let res = simulate(
+            &mut lru,
+            &r,
+            &SimConfig {
+                warmup: 0,
+                interval: 3,
+            },
+        );
+        assert_eq!(res.series.len(), 3); // 3 + 3 + 1
+        let total: u64 = res.series.iter().map(|s| s.requests).sum();
+        assert_eq!(total, 7);
+    }
+}

@@ -1,0 +1,262 @@
+//! Content classes of the synthetic CDN traffic mix.
+//!
+//! The paper's introduction motivates the difficulty of CDN caching with the
+//! diversity of content served: "web, social, and ecommerce sites, software
+//! downloads, and video streaming. Each type of content has unique demands
+//! [...] e.g., iOS software downloads are large in size with popularity
+//! spikes on iOS update days, whereas Facebook photos are small with a long
+//! tail of infrequently requested photos." These classes encode exactly
+//! those shapes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{BoundedPareto, LogNormal};
+use rand::Rng;
+
+/// How object sizes of a class are drawn.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Lognormal body (typical for web pages and photos).
+    LogNormal {
+        /// Median size in bytes.
+        median: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+    /// Bounded Pareto (heavy tail; software downloads, video segments).
+    BoundedPareto {
+        /// Smallest size in bytes.
+        low: f64,
+        /// Largest size in bytes.
+        high: f64,
+        /// Tail index (smaller = heavier tail).
+        alpha: f64,
+    },
+    /// All objects the same size (useful for unit-size validation traces).
+    Fixed {
+        /// The object size in bytes.
+        size: u64,
+    },
+}
+
+impl SizeDistribution {
+    /// Draws one object size in bytes (at least 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            SizeDistribution::LogNormal { median, sigma } => {
+                (LogNormal::with_median(median, sigma).sample(rng) as u64).max(1)
+            }
+            SizeDistribution::BoundedPareto { low, high, alpha } => {
+                (BoundedPareto::new(low, high, alpha).sample(rng) as u64).max(1)
+            }
+            SizeDistribution::Fixed { size } => size.max(1),
+        }
+    }
+}
+
+/// One class of content (photos, video, downloads, ...) within the mix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ContentClass {
+    /// Human-readable label (appears in stats output).
+    pub name: String,
+    /// Relative share of requests that hit this class.
+    pub weight: f64,
+    /// Number of distinct objects in the class catalog.
+    pub num_objects: u64,
+    /// Zipf popularity exponent within the class.
+    pub zipf_alpha: f64,
+    /// Size distribution of the class's objects.
+    pub sizes: SizeDistribution,
+}
+
+impl ContentClass {
+    /// Small, hot web/HTML/CSS/JS objects.
+    pub fn web(num_objects: u64) -> Self {
+        ContentClass {
+            name: "web".into(),
+            weight: 0.3,
+            num_objects,
+            zipf_alpha: 0.95,
+            sizes: SizeDistribution::LogNormal {
+                median: 12.0 * 1024.0,
+                sigma: 1.2,
+            },
+        }
+    }
+
+    /// Small photos with a very long tail of rarely-requested objects
+    /// (the paper's "Facebook photos" example).
+    pub fn photo(num_objects: u64) -> Self {
+        ContentClass {
+            name: "photo".into(),
+            weight: 0.4,
+            num_objects,
+            zipf_alpha: 0.75,
+            sizes: SizeDistribution::LogNormal {
+                median: 48.0 * 1024.0,
+                sigma: 0.9,
+            },
+        }
+    }
+
+    /// Video segments: mid-size, moderately skewed popularity.
+    pub fn video(num_objects: u64) -> Self {
+        ContentClass {
+            name: "video".into(),
+            weight: 0.2,
+            num_objects,
+            zipf_alpha: 1.05,
+            sizes: SizeDistribution::BoundedPareto {
+                low: 256.0 * 1024.0,
+                high: 16.0 * 1024.0 * 1024.0,
+                alpha: 1.3,
+            },
+        }
+    }
+
+    /// Software downloads: very large objects, strongly skewed popularity
+    /// (the paper's "iOS update day" example).
+    pub fn download(num_objects: u64) -> Self {
+        ContentClass {
+            name: "download".into(),
+            weight: 0.1,
+            num_objects,
+            zipf_alpha: 1.3,
+            sizes: SizeDistribution::BoundedPareto {
+                low: 4.0 * 1024.0 * 1024.0,
+                high: 2.0 * 1024.0 * 1024.0 * 1024.0,
+                alpha: 1.1,
+            },
+        }
+    }
+}
+
+/// A weighted mixture of content classes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ContentMix {
+    classes: Vec<ContentClass>,
+}
+
+impl ContentMix {
+    /// Builds a mix from classes; weights are normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or total weight is not positive.
+    pub fn new(classes: Vec<ContentClass>) -> Self {
+        assert!(!classes.is_empty(), "mix needs at least one class");
+        let total: f64 = classes.iter().map(|c| c.weight).sum();
+        assert!(total > 0.0, "total class weight must be positive");
+        ContentMix { classes }
+    }
+
+    /// The default production-like mix from the paper's motivation:
+    /// 30% web, 40% photo, 20% video, 10% software downloads.
+    ///
+    /// `scale` multiplies every class's catalog size; `scale = 1` gives a
+    /// catalog of ~175K objects suitable for window-sized experiments.
+    pub fn production(scale: f64) -> Self {
+        assert!(scale > 0.0);
+        let s = |n: u64| ((n as f64 * scale) as u64).max(1);
+        ContentMix::new(vec![
+            ContentClass::web(s(40_000)),
+            ContentClass::photo(s(120_000)),
+            ContentClass::video(s(12_000)),
+            ContentClass::download(s(3_000)),
+        ])
+    }
+
+    /// Access the classes.
+    pub fn classes(&self) -> &[ContentClass] {
+        &self.classes
+    }
+
+    /// Picks a class index according to the weights.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (i, c) in self.classes.iter().enumerate() {
+            x -= c.weight;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        self.classes.len() - 1
+    }
+
+    /// Total number of distinct objects across all classes.
+    pub fn catalog_size(&self) -> u64 {
+        self.classes.iter().map(|c| c.num_objects).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn production_mix_has_four_classes() {
+        let mix = ContentMix::production(1.0);
+        assert_eq!(mix.classes().len(), 4);
+        assert_eq!(mix.catalog_size(), 175_000);
+    }
+
+    #[test]
+    fn pick_respects_weights() {
+        let mix = ContentMix::new(vec![
+            ContentClass {
+                name: "a".into(),
+                weight: 0.9,
+                num_objects: 10,
+                zipf_alpha: 1.0,
+                sizes: SizeDistribution::Fixed { size: 1 },
+            },
+            ContentClass {
+                name: "b".into(),
+                weight: 0.1,
+                num_objects: 10,
+                zipf_alpha: 1.0,
+                sizes: SizeDistribution::Fixed { size: 1 },
+            },
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks_a = (0..10_000).filter(|_| mix.pick(&mut rng) == 0).count();
+        assert!((8500..9500).contains(&picks_a), "picks_a = {picks_a}");
+    }
+
+    #[test]
+    fn size_distributions_are_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for dist in [
+            SizeDistribution::LogNormal {
+                median: 1000.0,
+                sigma: 2.0,
+            },
+            SizeDistribution::BoundedPareto {
+                low: 10.0,
+                high: 1e9,
+                alpha: 0.5,
+            },
+            SizeDistribution::Fixed { size: 0 },
+        ] {
+            for _ in 0..1000 {
+                assert!(dist.sample(&mut rng) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_catalog() {
+        let small = ContentMix::production(0.01);
+        assert!(small.catalog_size() < 2_000);
+        assert!(small.catalog_size() >= 4); // every class keeps >= 1 object
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_rejected() {
+        ContentMix::new(vec![]);
+    }
+}

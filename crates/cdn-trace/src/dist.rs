@@ -1,0 +1,308 @@
+//! Random distributions used by the trace generator.
+//!
+//! Implemented here rather than pulled from `rand_distr` because these
+//! distributions are part of the substrate we reproduce: CDN popularity is
+//! classically modeled as Zipf, and CDN object sizes as a lognormal body
+//! with a Pareto (power-law) tail.
+
+use rand::Rng;
+
+/// Zipf(α) distribution over ranks `1..=n`.
+///
+/// Sampling uses rejection-inversion (W. Hörmann & G. Derflinger,
+/// "Rejection-inversion to generate variates from monotone discrete
+/// distributions", 1996) so construction is O(1) in `n` and sampling is
+/// O(1) expected — important because CDN catalogs have millions of objects.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    /// `H(0.5)`, lower end of the inversion domain.
+    h_low: f64,
+    /// `H(n + 0.5)`, upper end of the inversion domain.
+    h_high: f64,
+    /// Shortcut acceptance width `1 - H_inv(H(1.5) - 1)`.
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha <= 0` or `alpha` is not finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Zipf exponent must be positive and finite"
+        );
+        let h = |x: f64| Self::h_static(alpha, x);
+        let h_low = h(0.5);
+        let h_high = h(n as f64 + 0.5);
+        let s = 1.0 - Self::h_inv_static(alpha, h(1.5) - 1.0);
+        Zipf {
+            n,
+            alpha,
+            h_low,
+            h_high,
+            s,
+        }
+    }
+
+    /// `H(x) = (x^(1-α) - 1) / (1-α)`, the antiderivative of `x^(-α)`
+    /// (shifted so the α → 1 limit is `ln x`). Strictly increasing.
+    fn h_static(alpha: f64, x: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - alpha) - 1.0) / (1.0 - alpha)
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        Self::h_static(self.alpha, x)
+    }
+
+    fn h_inv_static(alpha: f64, y: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            y.exp()
+        } else {
+            (1.0 + y * (1.0 - alpha)).powf(1.0 / (1.0 - alpha))
+        }
+    }
+
+    fn h_inv(&self, y: f64) -> f64 {
+        Self::h_inv_static(self.alpha, y)
+    }
+
+    /// Number of ranks in the support.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The Zipf exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Samples a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            let u = self.h_low + rng.gen::<f64>() * (self.h_high - self.h_low);
+            let x = self.h_inv(u).clamp(0.5, self.n as f64 + 0.5);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= self.h(k + 0.5) - k.powf(-self.alpha) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// Lognormal distribution, parameterized by the mean and standard deviation
+/// of the underlying normal (`exp(N(mu, sigma))`).
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with log-space mean `mu` and std-dev `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Lognormal whose *median* is `median` (log-space mean = ln(median)).
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Samples one value via Box–Muller.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Bounded Pareto distribution over `[low, high]` with tail index `alpha`.
+///
+/// Used for the heavy tail of software-download and video object sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedPareto {
+    low: f64,
+    high: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[low, high]`, `0 < low < high`, `alpha > 0`.
+    pub fn new(low: f64, high: f64, alpha: f64) -> Self {
+        assert!(low > 0.0 && high > low, "need 0 < low < high");
+        assert!(alpha > 0.0, "alpha must be positive");
+        BoundedPareto { low, high, alpha }
+    }
+
+    /// Samples one value by inverse-CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().clamp(f64::MIN_POSITIVE, 1.0);
+        let la = self.low.powf(self.alpha);
+        let ha = self.high.powf(self.alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_ranks_in_range() {
+        let z = Zipf::new(1000, 0.9);
+        let mut r = rng(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut r);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_most_frequent() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng(2);
+        let mut counts = [0u32; 101];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_frequency_ratio_tracks_exponent() {
+        // For Zipf(1.0), P(rank 1) / P(rank 2) should be about 2.
+        let z = Zipf::new(1_000_000, 1.0);
+        let mut r = rng(3);
+        let (mut c1, mut c2) = (0u32, 0u32);
+        for _ in 0..400_000 {
+            match z.sample(&mut r) {
+                1 => c1 += 1,
+                2 => c2 += 1,
+                _ => {}
+            }
+        }
+        let ratio = c1 as f64 / c2 as f64;
+        assert!((1.7..2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_handles_alpha_near_one() {
+        // The alpha == 1 branch is a separate code path (log/exp).
+        let z = Zipf::new(500, 1.0);
+        let mut r = rng(4);
+        for _ in 0..5_000 {
+            let k = z.sample(&mut r);
+            assert!((1..=500).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_single_element_support() {
+        let z = Zipf::new(1, 0.8);
+        let mut r = rng(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_respected() {
+        let d = LogNormal::with_median(1000.0, 1.5);
+        let mut r = rng(6);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((700.0..1400.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::with_median(42.0, 0.0);
+        let mut r = rng(7);
+        for _ in 0..100 {
+            assert!((d.sample(&mut r) - 42.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(1e3, 1e9, 1.1);
+        let mut r = rng(8);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut r);
+            assert!((1e3..=1e9 + 1.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        // Most mass near `low`, but large values do occur.
+        let d = BoundedPareto::new(1e3, 1e9, 0.9);
+        let mut r = rng(9);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        let below_10k = samples.iter().filter(|&&x| x < 1e4).count();
+        // P(X > 1e7) ~ 2.5e-4 for these parameters, so expect ~25 of 100K.
+        let above_10m = samples.iter().filter(|&&x| x > 1e7).count();
+        assert!(below_10k > 50_000, "body too thin: {below_10k}");
+        assert!(above_10m >= 5, "tail too thin: {above_10m}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(10_000, 0.85);
+        let a: Vec<u64> = {
+            let mut r = rng(42);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng(42);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(10);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's Figure 3 worked example.
+//!
+//! "Example trace of requests to four objects": objects a, b, c, d with
+//! sizes 3, 1, 1, 2, requested in the order `a b c b d a c d a b b a`.
+//! The `opt` crate's tests and the `fig4` reproduction target build the
+//! Figure 4 min-cost flow graph from exactly this trace.
+
+use crate::request::{ObjectId, Request, Trace};
+
+/// Object `a` (size 3).
+pub const A: ObjectId = ObjectId(1);
+/// Object `b` (size 1).
+pub const B: ObjectId = ObjectId(2);
+/// Object `c` (size 1).
+pub const C: ObjectId = ObjectId(3);
+/// Object `d` (size 2).
+pub const D: ObjectId = ObjectId(4);
+
+/// The request order of Figure 3: `a b c b d a c d a b b a`.
+pub const ORDER: [(ObjectId, u64); 12] = [
+    (A, 3),
+    (B, 1),
+    (C, 1),
+    (B, 1),
+    (D, 2),
+    (A, 3),
+    (C, 1),
+    (D, 2),
+    (A, 3),
+    (B, 1),
+    (B, 1),
+    (A, 3),
+];
+
+/// Builds the Figure 3 trace.
+pub fn figure3_trace() -> Trace {
+    ORDER
+        .iter()
+        .enumerate()
+        .map(|(i, &(object, size))| Request {
+            time: i as u64,
+            object,
+            size,
+        })
+        .collect()
+}
+
+/// The cache capacity used in the Figure 4 illustration (central edges are
+/// drawn with capacity 3).
+pub const FIGURE4_CACHE_SIZE: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_matches_figure3() {
+        let t = figure3_trace();
+        assert_eq!(t.len(), 12);
+        let objs: Vec<ObjectId> = t.iter().map(|r| r.object).collect();
+        assert_eq!(
+            objs,
+            vec![A, B, C, B, D, A, C, D, A, B, B, A],
+            "request order must be a b c b d a c d a b b a"
+        );
+        // Sizes are 3, 1, 1, 2 for a, b, c, d.
+        for r in &t {
+            let expected = match r.object {
+                x if x == A => 3,
+                x if x == B => 1,
+                x if x == C => 1,
+                _ => 2,
+            };
+            assert_eq!(r.size, expected);
+        }
+    }
+
+    #[test]
+    fn first_and_last_requests_per_object() {
+        let t = figure3_trace();
+        let first = |o: ObjectId| t.iter().position(|r| r.object == o).unwrap();
+        let last = |o: ObjectId| t.iter().rposition(|r| r.object == o).unwrap();
+        // Matches the +size / -size annotations in Figure 4.
+        assert_eq!((first(A), last(A)), (0, 11));
+        assert_eq!((first(B), last(B)), (1, 10));
+        assert_eq!((first(C), last(C)), (2, 6));
+        assert_eq!((first(D), last(D)), (4, 7));
+    }
+}

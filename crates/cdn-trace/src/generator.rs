@@ -1,0 +1,450 @@
+//! Synthetic production-like CDN trace generation.
+//!
+//! Substitutes for the paper's proprietary production trace. The generator
+//! is fully deterministic given a seed and models the phenomena the paper
+//! identifies as making CDN caching hard:
+//!
+//! - **Heavy-tailed popularity** per content class (Zipf with class-specific
+//!   exponent), producing the long tail of one-hit wonders typical of CDN
+//!   edge traffic.
+//! - **Highly variable object sizes** (lognormal bodies, Pareto tails).
+//! - **Popularity churn**: the rank of an object drifts over time.
+//! - **Load-balancer reshuffles**: "content mix changes can happen within
+//!   minutes, e.g., due to changes in how users are directed to caching
+//!   servers to balance load" (§1) — modeled by replacing a fraction of the
+//!   catalog with fresh objects at configurable points.
+//! - **Flash crowds**: "iOS software downloads are large in size with
+//!   popularity spikes on iOS update days" (§1) — modeled by routing a
+//!   share of requests to a small set of fresh large objects for a bounded
+//!   interval.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::classes::ContentMix;
+use crate::dist::Zipf;
+use crate::request::{ObjectId, Request, Trace};
+
+/// A transient popularity spike (e.g. an OS-update release day).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Request index at which the spike begins.
+    pub start: u64,
+    /// Number of requests the spike lasts.
+    pub duration: u64,
+    /// Fraction of requests during the spike routed to the hot set.
+    pub share: f64,
+    /// Number of distinct fresh objects in the hot set.
+    pub objects: u64,
+    /// Index of the content class the hot set belongs to.
+    pub class: usize,
+}
+
+/// A catalog reshuffle (load-balancer re-assignment of user population).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Reshuffle {
+    /// Request index at which the reshuffle happens.
+    pub at: u64,
+    /// Fraction of each class's catalog replaced with fresh objects.
+    pub fraction: f64,
+}
+
+/// Configuration of [`TraceGenerator`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed; identical seeds produce identical traces.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub num_requests: u64,
+    /// The content-class mixture.
+    pub mix: ContentMix,
+    /// Every `churn_interval` requests, `churn_fraction` of each class's
+    /// rank permutation is perturbed (popularity drift). `0` disables churn.
+    pub churn_interval: u64,
+    /// Fraction of ranks perturbed per churn step.
+    pub churn_fraction: f64,
+    /// Scheduled catalog reshuffles.
+    pub reshuffles: Vec<Reshuffle>,
+    /// Scheduled flash-crowd events.
+    pub flash_crowds: Vec<FlashCrowd>,
+}
+
+impl GeneratorConfig {
+    /// A production-like default: the paper's four-class mix with mild
+    /// popularity churn and no scheduled events.
+    pub fn production(seed: u64, num_requests: u64) -> Self {
+        // Scale the catalog with the trace length so the one-hit-wonder
+        // fraction stays realistic for short experiment traces.
+        let scale = (num_requests as f64 / 1_000_000.0).clamp(0.02, 10.0);
+        GeneratorConfig {
+            seed,
+            num_requests,
+            mix: ContentMix::production(scale),
+            churn_interval: 50_000,
+            churn_fraction: 0.01,
+            reshuffles: Vec::new(),
+            flash_crowds: Vec::new(),
+        }
+    }
+
+    /// A small, fast configuration for unit tests.
+    pub fn small(seed: u64, num_requests: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            num_requests,
+            mix: ContentMix::production(0.02),
+            churn_interval: 0,
+            churn_fraction: 0.0,
+            reshuffles: Vec::new(),
+            flash_crowds: Vec::new(),
+        }
+    }
+}
+
+/// Per-class mutable popularity state.
+struct ClassState {
+    zipf: Zipf,
+    /// Rank (0-based) → object index within the class's id space.
+    perm: Vec<u64>,
+    /// Next unused object index (catalog can grow via reshuffles/crowds).
+    next_object: u64,
+}
+
+/// Deterministic synthetic trace generator; see the module docs.
+///
+/// Implements [`Iterator`] so traces can be consumed streamingly; use
+/// [`TraceGenerator::generate`] to materialize a [`Trace`].
+pub struct TraceGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+    classes: Vec<ClassState>,
+    /// Lazily assigned, stable object sizes.
+    sizes: HashMap<ObjectId, u64>,
+    /// Active flash-crowd hot sets: (event index, object ids).
+    hot_sets: Vec<(usize, Vec<ObjectId>)>,
+    next: u64,
+}
+
+/// Object ids are partitioned per class: the class index lives in the top
+/// bits so ids never collide across classes.
+const CLASS_SHIFT: u32 = 48;
+
+impl TraceGenerator {
+    /// Creates a generator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a class index that does not exist or if
+    /// fractions lie outside `[0, 1]`.
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.churn_fraction));
+        for r in &config.reshuffles {
+            assert!((0.0..=1.0).contains(&r.fraction), "reshuffle fraction");
+        }
+        for f in &config.flash_crowds {
+            assert!(f.class < config.mix.classes().len(), "flash-crowd class");
+            assert!((0.0..=1.0).contains(&f.share), "flash-crowd share");
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        let classes = config
+            .mix
+            .classes()
+            .iter()
+            .map(|c| ClassState {
+                zipf: Zipf::new(c.num_objects, c.zipf_alpha),
+                perm: (0..c.num_objects).collect(),
+                next_object: c.num_objects,
+            })
+            .collect();
+        TraceGenerator {
+            config,
+            rng,
+            classes,
+            sizes: HashMap::new(),
+            hot_sets: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Materializes the full trace.
+    pub fn generate(self) -> Trace {
+        self.collect()
+    }
+
+    fn object_id(class: usize, index: u64) -> ObjectId {
+        debug_assert!(index < (1 << CLASS_SHIFT));
+        ObjectId(((class as u64) << CLASS_SHIFT) | index)
+    }
+
+    /// Stable size for an object, drawn from its class on first touch.
+    fn size_of(&mut self, class: usize, id: ObjectId) -> u64 {
+        match self.sizes.get(&id) {
+            Some(&s) => s,
+            None => {
+                let s = self.config.mix.classes()[class].sizes.sample(&mut self.rng);
+                self.sizes.insert(id, s);
+                s
+            }
+        }
+    }
+
+    fn apply_churn(&mut self) {
+        for state in &mut self.classes {
+            let n = state.perm.len();
+            if n < 2 {
+                continue;
+            }
+            let swaps = ((n as f64) * self.config.churn_fraction) as usize;
+            for _ in 0..swaps {
+                let a = self.rng.gen_range(0..n);
+                let b = self.rng.gen_range(0..n);
+                state.perm.swap(a, b);
+            }
+        }
+    }
+
+    fn apply_reshuffle(&mut self, fraction: f64) {
+        for state in &mut self.classes {
+            let n = state.perm.len();
+            let replace = ((n as f64) * fraction) as usize;
+            for _ in 0..replace {
+                let slot = self.rng.gen_range(0..n);
+                state.perm[slot] = state.next_object;
+                state.next_object += 1;
+            }
+        }
+    }
+
+    fn start_flash_crowd(&mut self, event_index: usize) {
+        let ev = self.config.flash_crowds[event_index].clone();
+        let state = &mut self.classes[ev.class];
+        let ids: Vec<ObjectId> = (0..ev.objects)
+            .map(|_| {
+                let idx = state.next_object;
+                state.next_object += 1;
+                Self::object_id(ev.class, idx)
+            })
+            .collect();
+        self.hot_sets.push((event_index, ids));
+    }
+
+    fn step(&mut self) -> Request {
+        let t = self.next;
+        self.next += 1;
+
+        // Scheduled dynamics.
+        if self.config.churn_interval > 0 && t > 0 && t % self.config.churn_interval == 0 {
+            self.apply_churn();
+        }
+        let reshuffle_fraction: Vec<f64> = self
+            .config
+            .reshuffles
+            .iter()
+            .filter(|r| r.at == t)
+            .map(|r| r.fraction)
+            .collect();
+        for fraction in reshuffle_fraction {
+            self.apply_reshuffle(fraction);
+        }
+        let starting: Vec<usize> = self
+            .config
+            .flash_crowds
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.start == t)
+            .map(|(i, _)| i)
+            .collect();
+        for i in starting {
+            self.start_flash_crowd(i);
+        }
+        self.hot_sets.retain(|(i, _)| {
+            let ev = &self.config.flash_crowds[*i];
+            t < ev.start + ev.duration
+        });
+
+        // Flash-crowd traffic takes its share first.
+        let mut chosen: Option<(usize, ObjectId)> = None;
+        if !self.hot_sets.is_empty() {
+            // Iterate without borrowing self mutably inside the loop.
+            for slot in 0..self.hot_sets.len() {
+                let (event_index, len) = {
+                    let (i, ids) = &self.hot_sets[slot];
+                    (*i, ids.len())
+                };
+                let ev = &self.config.flash_crowds[event_index];
+                if self.rng.gen::<f64>() < ev.share {
+                    let pick = self.rng.gen_range(0..len);
+                    let id = self.hot_sets[slot].1[pick];
+                    chosen = Some((ev.class, id));
+                    break;
+                }
+            }
+        }
+
+        let (class, id) = chosen.unwrap_or_else(|| {
+            let class = self.config.mix.pick(&mut self.rng);
+            let rank = self.classes[class].zipf.sample(&mut self.rng) - 1;
+            let index = self.classes[class].perm[rank as usize];
+            (class, Self::object_id(class, index))
+        });
+        let size = self.size_of(class, id);
+        Request {
+            time: t,
+            object: id,
+            size,
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.next >= self.config.num_requests {
+            return None;
+        }
+        Some(self.step())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.config.num_requests - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TraceGenerator::new(GeneratorConfig::small(7, 5_000)).generate();
+        let b = TraceGenerator::new(GeneratorConfig::small(7, 5_000)).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceGenerator::new(GeneratorConfig::small(1, 5_000)).generate();
+        let b = TraceGenerator::new(GeneratorConfig::small(2, 5_000)).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn emits_requested_count_with_sequential_times() {
+        let t = TraceGenerator::new(GeneratorConfig::small(3, 1_234)).generate();
+        assert_eq!(t.len(), 1_234);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.time, i as u64);
+            assert!(r.size > 0);
+        }
+    }
+
+    #[test]
+    fn object_sizes_are_stable_across_requests() {
+        let t = TraceGenerator::new(GeneratorConfig::small(4, 20_000)).generate();
+        let mut seen: HashMap<ObjectId, u64> = HashMap::new();
+        for r in &t {
+            let prev = seen.insert(r.object, r.size);
+            if let Some(p) = prev {
+                assert_eq!(p, r.size, "object {:?} changed size", r.object);
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = TraceGenerator::new(GeneratorConfig::small(5, 50_000)).generate();
+        let stats = TraceStats::from_trace(&t);
+        // Top 1% of objects should account for far more than 1% of requests.
+        assert!(
+            stats.top_fraction_share(0.01) > 0.10,
+            "share = {}",
+            stats.top_fraction_share(0.01)
+        );
+    }
+
+    #[test]
+    fn reshuffle_introduces_fresh_objects() {
+        let mut cfg = GeneratorConfig::small(6, 30_000);
+        cfg.reshuffles = vec![Reshuffle {
+            at: 15_000,
+            fraction: 0.5,
+        }];
+        let t = TraceGenerator::new(cfg).generate();
+        let first: std::collections::HashSet<_> =
+            t.window(0, 15_000).iter().map(|r| r.object).collect();
+        let fresh = t
+            .window(15_000, 30_000)
+            .iter()
+            .filter(|r| !first.contains(&r.object))
+            .count();
+        // With half the catalog replaced, plenty of unseen objects appear.
+        assert!(fresh > 2_000, "fresh = {fresh}");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_traffic() {
+        let mut cfg = GeneratorConfig::small(8, 30_000);
+        cfg.flash_crowds = vec![FlashCrowd {
+            start: 10_000,
+            duration: 5_000,
+            share: 0.5,
+            objects: 4,
+            class: 3,
+        }];
+        let t = TraceGenerator::new(cfg).generate();
+        // During the crowd, the 4 hot objects absorb ~half the requests.
+        let mut counts: HashMap<ObjectId, usize> = HashMap::new();
+        for r in t.window(10_000, 15_000) {
+            *counts.entry(r.object).or_default() += 1;
+        }
+        let mut top: Vec<usize> = counts.values().copied().collect();
+        top.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: usize = top.iter().take(4).sum();
+        assert!(top4 > 2_000, "top4 = {top4}");
+        // After the crowd ends, they fade out.
+        let mut after: HashMap<ObjectId, usize> = HashMap::new();
+        for r in t.window(15_000, 30_000) {
+            *after.entry(r.object).or_default() += 1;
+        }
+        let mut hot: Vec<_> = counts.iter().collect();
+        hot.sort_by(|a, b| b.1.cmp(a.1));
+        let hottest = *hot[0].0;
+        assert!(after.get(&hottest).copied().unwrap_or(0) < 100);
+    }
+
+    #[test]
+    fn class_ids_do_not_collide() {
+        let t = TraceGenerator::new(GeneratorConfig::small(9, 10_000)).generate();
+        for r in &t {
+            let class = r.object.0 >> CLASS_SHIFT;
+            assert!(class < 4, "class bits {class}");
+        }
+    }
+
+    #[test]
+    fn streaming_equals_materialized() {
+        let cfg = GeneratorConfig::small(10, 2_000);
+        let streamed: Vec<Request> = TraceGenerator::new(cfg.clone()).collect();
+        let materialized = TraceGenerator::new(cfg).generate();
+        assert_eq!(streamed, materialized.into_requests());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut g = TraceGenerator::new(GeneratorConfig::small(11, 100));
+        assert_eq!(g.size_hint(), (100, Some(100)));
+        g.next();
+        assert_eq!(g.size_hint(), (99, Some(99)));
+    }
+}

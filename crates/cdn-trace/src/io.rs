@@ -1,0 +1,214 @@
+//! Trace serialization.
+//!
+//! Two formats:
+//!
+//! - **Text** — the `webcachesim` format used by the paper's public code
+//!   release (github.com/dasebe/webcachesim): one request per line,
+//!   whitespace-separated `time object_id size`. Interoperable with the
+//!   traces that the LRB/webcachesim research line publishes.
+//! - **Binary** — three little-endian `u64`s per request, for fast loading
+//!   of multi-million-request traces.
+
+use std::io::{self, BufRead, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::request::{ObjectId, Request, Trace};
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying reader/writer failure.
+    Io(io::Error),
+    /// A malformed line or truncated record, with 1-based position.
+    Parse {
+        /// Line (text) or record (binary) number.
+        position: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::Parse { position, message } => {
+                write!(f, "parse error at record {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in webcachesim text format (`time id size` per line).
+pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    for r in trace {
+        writeln!(w, "{} {} {}", r.time, r.object.0, r.size)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in webcachesim text format. Blank lines and lines starting
+/// with `#` are skipped.
+pub fn read_text<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    let mut trace = Trace::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let parse = |field: Option<&str>, name: &str| -> Result<u64, TraceIoError> {
+            field
+                .ok_or_else(|| TraceIoError::Parse {
+                    position: lineno + 1,
+                    message: format!("missing field `{name}`"),
+                })?
+                .parse::<u64>()
+                .map_err(|e| TraceIoError::Parse {
+                    position: lineno + 1,
+                    message: format!("bad `{name}`: {e}"),
+                })
+        };
+        let time = parse(parts.next(), "time")?;
+        let id = parse(parts.next(), "object_id")?;
+        let size = parse(parts.next(), "size")?;
+        if size == 0 {
+            return Err(TraceIoError::Parse {
+                position: lineno + 1,
+                message: "size must be positive".into(),
+            });
+        }
+        trace.push(Request {
+            time,
+            object: ObjectId(id),
+            size,
+        });
+    }
+    Ok(trace)
+}
+
+/// Serializes a trace into the compact binary format.
+pub fn to_binary(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(trace.len() * 24);
+    for r in trace {
+        buf.put_u64_le(r.time);
+        buf.put_u64_le(r.object.0);
+        buf.put_u64_le(r.size);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace from the compact binary format.
+pub fn from_binary(mut bytes: Bytes) -> Result<Trace, TraceIoError> {
+    if bytes.len() % 24 != 0 {
+        return Err(TraceIoError::Parse {
+            position: bytes.len() / 24 + 1,
+            message: format!("binary trace length {} is not a multiple of 24", bytes.len()),
+        });
+    }
+    let mut trace = Trace::new();
+    let mut record = 0usize;
+    while bytes.has_remaining() {
+        record += 1;
+        let time = bytes.get_u64_le();
+        let id = bytes.get_u64_le();
+        let size = bytes.get_u64_le();
+        if size == 0 {
+            return Err(TraceIoError::Parse {
+                position: record,
+                message: "size must be positive".into(),
+            });
+        }
+        trace.push(Request {
+            time,
+            object: ObjectId(id),
+            size,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        vec![
+            Request::new(0, 42u64, 1000),
+            Request::new(1, 7u64, 5),
+            Request::new(2, 42u64, 1000),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let input = "# header\n\n0 1 10\n   \n1 2 20\n";
+        let t = read_text(input.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let err = read_text("0 abc 10\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { position: 1, .. }));
+    }
+
+    #[test]
+    fn text_rejects_missing_fields() {
+        let err = read_text("0 1\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("size"), "{msg}");
+    }
+
+    #[test]
+    fn text_rejects_zero_size() {
+        let err = read_text("0 1 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample();
+        let bytes = to_binary(&t);
+        assert_eq!(bytes.len(), 3 * 24);
+        let back = from_binary(bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = sample();
+        let bytes = to_binary(&t).slice(0..30);
+        assert!(from_binary(bytes).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        assert!(read_text(buf.as_slice()).unwrap().is_empty());
+        assert!(from_binary(to_binary(&t)).unwrap().is_empty());
+    }
+}

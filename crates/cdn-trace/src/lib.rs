@@ -1,0 +1,41 @@
+//! # cdn-trace — CDN request-trace substrate
+//!
+//! The paper evaluates LFO on a proprietary 2016 production trace (500M
+//! requests from a top-ten US website, recorded on a San Francisco CDN
+//! server). That trace is not available, so this crate provides the closest
+//! synthetic equivalent: a seeded, deterministic generator of
+//! production-like CDN request streams, plus the request model, trace I/O,
+//! and the statistics needed to check that generated traces have the right
+//! shape (heavy-tailed popularity, highly variable sizes, one-hit wonders,
+//! time-varying content mix).
+//!
+//! Key pieces:
+//!
+//! - [`Request`] / [`ObjectId`] / [`CostModel`] — the request model shared
+//!   by every other crate (§2.1 of the paper: cost = size optimizes byte hit
+//!   ratio, cost = 1 optimizes object hit ratio).
+//! - [`generator::TraceGenerator`] — content-class mixture (web, photo,
+//!   video, software download), Zipf-like popularity, popularity churn,
+//!   load-balancer reshuffles and flash-crowd events.
+//! - [`io`] — webcachesim-compatible text format and a compact binary
+//!   format.
+//! - [`stats`] — rank-frequency slope, one-hit-wonder rate, footprint.
+//! - [`example`] — the paper's Figure 3 twelve-request worked example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod dist;
+pub mod example;
+pub mod generator;
+pub mod io;
+pub mod request;
+pub mod stack_distance;
+pub mod stats;
+
+pub use classes::{ContentClass, ContentMix};
+pub use generator::{GeneratorConfig, TraceGenerator};
+pub use request::{CostModel, ObjectId, Request, Trace};
+pub use stack_distance::{stack_distances, StackDistances};
+pub use stats::TraceStats;

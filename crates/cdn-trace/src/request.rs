@@ -1,0 +1,247 @@
+//! The request model shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cacheable object.
+///
+/// Production CDN traces anonymize URLs to opaque ids; we do the same.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// One request of a CDN trace.
+///
+/// `time` is a logical timestamp; for the synthetic traces it equals the
+/// request's sequence number, matching the paper's trace format of
+/// "sequence number, object identifier, object size in bytes".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Logical timestamp (sequence number for synthetic traces).
+    pub time: u64,
+    /// The requested object.
+    pub object: ObjectId,
+    /// Object size in bytes. Always positive.
+    pub size: u64,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(time: u64, object: impl Into<ObjectId>, size: u64) -> Self {
+        debug_assert!(size > 0, "object size must be positive");
+        Request {
+            time,
+            object: object.into(),
+            size,
+        }
+    }
+}
+
+/// How the miss cost `C_i` of an object is derived (paper §2.1).
+///
+/// OPT minimizes the total cost of cache misses; the cost model selects the
+/// metric this optimizes:
+///
+/// - [`CostModel::ByteHitRatio`] sets `C_i = S_i` (cost equals size), so
+///   minimizing miss cost maximizes the byte hit ratio — the CDN-operator
+///   metric the paper optimizes in Figure 6.
+/// - [`CostModel::ObjectHitRatio`] sets `C_i = 1`, maximizing the object hit
+///   ratio.
+/// - [`CostModel::PerByteLatency`] models cost as a retrieval-latency proxy:
+///   a fixed per-request overhead plus a per-byte transfer term, following
+///   the GD-Wheel/GDSF line of work the paper cites.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub enum CostModel {
+    /// `C_i = S_i`: optimize the byte hit ratio (the paper's main metric).
+    #[default]
+    ByteHitRatio,
+    /// `C_i = 1`: optimize the object hit ratio.
+    ObjectHitRatio,
+    /// `C_i = fixed + per_byte * S_i`: retrieval-latency proxy.
+    PerByteLatency {
+        /// Fixed per-miss cost (e.g. origin RTT), in abstract cost units.
+        fixed: u64,
+        /// Additional cost per KiB of object size.
+        per_kib: u64,
+    },
+}
+
+impl CostModel {
+    /// The miss cost of an object of `size` bytes under this model.
+    pub fn cost(&self, size: u64) -> u64 {
+        match *self {
+            CostModel::ByteHitRatio => size,
+            CostModel::ObjectHitRatio => 1,
+            CostModel::PerByteLatency { fixed, per_kib } => {
+                fixed + per_kib * size.div_ceil(1024)
+            }
+        }
+    }
+}
+
+/// An in-memory request trace.
+///
+/// A thin wrapper over `Vec<Request>` that enforces positive sizes and
+/// provides the windowing operations the LFO pipeline needs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Wraps an existing request vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has size zero.
+    pub fn from_requests(requests: Vec<Request>) -> Self {
+        assert!(
+            requests.iter().all(|r| r.size > 0),
+            "all object sizes must be positive"
+        );
+        Trace { requests }
+    }
+
+    /// Appends one request.
+    pub fn push(&mut self, request: Request) {
+        debug_assert!(request.size > 0);
+        self.requests.push(request);
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests as a slice.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Iterates over the requests.
+    pub fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+
+    /// A sub-trace view over `[start, end)` request indices (clamped).
+    pub fn window(&self, start: usize, end: usize) -> &[Request] {
+        let end = end.min(self.requests.len());
+        let start = start.min(end);
+        &self.requests[start..end]
+    }
+
+    /// Splits the trace into consecutive chunks of `window` requests; the
+    /// final chunk may be shorter. This mirrors the paper's evaluation,
+    /// which splits the trace chronologically into one-million-request
+    /// parts, training on part *k* and evaluating on part *k + 1*.
+    pub fn chunks(&self, window: usize) -> impl Iterator<Item = &[Request]> {
+        self.requests.chunks(window.max(1))
+    }
+
+    /// Total bytes across all requests (each request counted).
+    pub fn total_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.size).sum()
+    }
+
+    /// Consumes the trace, returning the underlying vector.
+    pub fn into_requests(self) -> Vec<Request> {
+        self.requests
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+impl FromIterator<Request> for Trace {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        Trace {
+            requests: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_models_match_paper_definitions() {
+        assert_eq!(CostModel::ByteHitRatio.cost(4096), 4096);
+        assert_eq!(CostModel::ObjectHitRatio.cost(4096), 1);
+        let lat = CostModel::PerByteLatency {
+            fixed: 100,
+            per_kib: 2,
+        };
+        assert_eq!(lat.cost(4096), 100 + 2 * 4);
+        assert_eq!(lat.cost(1), 100 + 2); // partial KiB rounds up
+    }
+
+    #[test]
+    fn window_clamps_bounds() {
+        let t: Trace = (0..5).map(|i| Request::new(i, i, 1)).collect();
+        assert_eq!(t.window(1, 3).len(), 2);
+        assert_eq!(t.window(4, 100).len(), 1);
+        assert_eq!(t.window(10, 20).len(), 0);
+        assert_eq!(t.window(3, 2).len(), 0);
+    }
+
+    #[test]
+    fn chunks_cover_whole_trace() {
+        let t: Trace = (0..10).map(|i| Request::new(i, i, 1)).collect();
+        let sizes: Vec<usize> = t.chunks(4).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(t.chunks(4).map(|c| c.len()).sum::<usize>(), t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        Trace::from_requests(vec![Request {
+            time: 0,
+            object: ObjectId(1),
+            size: 0,
+        }]);
+    }
+
+    #[test]
+    fn total_bytes_counts_repeats() {
+        let t: Trace = vec![Request::new(0, 1u64, 10), Request::new(1, 1u64, 10)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.total_bytes(), 20);
+    }
+}

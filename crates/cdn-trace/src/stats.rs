@@ -1,0 +1,212 @@
+//! Trace statistics.
+//!
+//! Used to validate that synthetic traces have the statistical shape of
+//! production CDN traffic (heavy-tailed popularity, one-hit wonders, highly
+//! variable sizes) and to size caches relative to a trace's footprint —
+//! the paper uses a 256 GB cache against a week-long trace; we express
+//! cache sizes as a fraction of unique bytes instead.
+
+use std::collections::HashMap;
+
+use crate::request::{ObjectId, Request, Trace};
+
+/// Aggregate statistics of a request trace.
+#[derive(Clone, Debug)]
+pub struct TraceStats {
+    /// Total number of requests.
+    pub requests: u64,
+    /// Number of distinct objects.
+    pub unique_objects: u64,
+    /// Sum of sizes over all requests.
+    pub total_bytes: u64,
+    /// Sum of sizes over distinct objects (the trace footprint).
+    pub unique_bytes: u64,
+    /// Fraction of objects requested exactly once ("one-hit wonders").
+    pub one_hit_wonder_ratio: f64,
+    /// Mean object size over distinct objects, in bytes.
+    pub mean_object_size: f64,
+    /// Request counts per object, descending (the popularity curve).
+    popularity: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_requests(trace.requests())
+    }
+
+    /// Computes statistics for a window of requests.
+    pub fn from_requests(requests: &[Request]) -> Self {
+        let mut counts: HashMap<ObjectId, u64> = HashMap::new();
+        let mut sizes: HashMap<ObjectId, u64> = HashMap::new();
+        let mut total_bytes = 0u64;
+        for r in requests {
+            *counts.entry(r.object).or_insert(0) += 1;
+            sizes.entry(r.object).or_insert(r.size);
+            total_bytes += r.size;
+        }
+        let unique_objects = counts.len() as u64;
+        let unique_bytes: u64 = sizes.values().sum();
+        let one_hit = counts.values().filter(|&&c| c == 1).count() as u64;
+        let mut popularity: Vec<u64> = counts.into_values().collect();
+        popularity.sort_unstable_by(|a, b| b.cmp(a));
+        TraceStats {
+            requests: requests.len() as u64,
+            unique_objects,
+            total_bytes,
+            unique_bytes,
+            one_hit_wonder_ratio: if unique_objects == 0 {
+                0.0
+            } else {
+                one_hit as f64 / unique_objects as f64
+            },
+            mean_object_size: if unique_objects == 0 {
+                0.0
+            } else {
+                unique_bytes as f64 / unique_objects as f64
+            },
+            popularity,
+        }
+    }
+
+    /// Fraction of all requests absorbed by the most popular `fraction` of
+    /// objects (e.g. `top_fraction_share(0.01)` = share of the top 1%).
+    pub fn top_fraction_share(&self, fraction: f64) -> f64 {
+        if self.requests == 0 || self.popularity.is_empty() {
+            return 0.0;
+        }
+        let k = ((self.popularity.len() as f64 * fraction).ceil() as usize)
+            .clamp(1, self.popularity.len());
+        let top: u64 = self.popularity[..k].iter().sum();
+        top as f64 / self.requests as f64
+    }
+
+    /// Estimates the Zipf exponent by least-squares on log(rank)/log(count)
+    /// over the top `k` ranks.
+    pub fn zipf_slope(&self, k: usize) -> f64 {
+        let k = k.min(self.popularity.len());
+        if k < 2 {
+            return 0.0;
+        }
+        let points: Vec<(f64, f64)> = self.popularity[..k]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (((i + 1) as f64).ln(), (c.max(1) as f64).ln()))
+            .collect();
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return 0.0;
+        }
+        // The popularity curve slope is -alpha.
+        -((n * sxy - sx * sy) / denom)
+    }
+
+    /// The popularity curve: request counts per object, descending.
+    pub fn popularity(&self) -> &[u64] {
+        &self.popularity
+    }
+
+    /// A cache size corresponding to `fraction` of the trace's unique bytes.
+    pub fn cache_size_for_fraction(&self, fraction: f64) -> u64 {
+        ((self.unique_bytes as f64) * fraction).ceil() as u64
+    }
+}
+
+/// Cumulative footprint curve: unique bytes seen after each request.
+///
+/// Useful to pick cache sizes that are meaningful for a window: a cache
+/// larger than the window's footprint makes every policy identical.
+pub fn footprint_curve(requests: &[Request]) -> Vec<u64> {
+    let mut seen: HashMap<ObjectId, ()> = HashMap::new();
+    let mut acc = 0u64;
+    let mut curve = Vec::with_capacity(requests.len());
+    for r in requests {
+        if seen.insert(r.object, ()).is_none() {
+            acc += r.size;
+        }
+        curve.push(acc);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(reqs: &[(u64, u64)]) -> Trace {
+        reqs.iter()
+            .enumerate()
+            .map(|(i, &(id, size))| Request::new(i as u64, id, size))
+            .collect()
+    }
+
+    #[test]
+    fn basic_counters() {
+        let t = trace(&[(1, 10), (2, 20), (1, 10), (3, 5)]);
+        let s = TraceStats::from_trace(&t);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.unique_objects, 3);
+        assert_eq!(s.total_bytes, 45);
+        assert_eq!(s.unique_bytes, 35);
+        assert!((s.one_hit_wonder_ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_object_size - 35.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn popularity_sorted_descending() {
+        let t = trace(&[(1, 1), (1, 1), (1, 1), (2, 1), (2, 1), (3, 1)]);
+        let s = TraceStats::from_trace(&t);
+        assert_eq!(s.popularity(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn top_fraction_share_of_skewed_trace() {
+        let t = trace(&[(1, 1); 99].iter().chain(&[(2, 1)]).copied().collect::<Vec<_>>());
+        let s = TraceStats::from_trace(&t);
+        // Top 50% of objects (= 1 of 2 objects) takes 99% of requests.
+        assert!((s.top_fraction_share(0.5) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_slope_recovers_exponent() {
+        // Construct exact Zipf(1.0)-shaped counts: count(rank) = 1000 / rank.
+        let mut reqs = Vec::new();
+        for rank in 1u64..=50 {
+            for _ in 0..(1000 / rank) {
+                reqs.push((rank, 1u64));
+            }
+        }
+        let t = trace(&reqs);
+        let s = TraceStats::from_trace(&t);
+        let slope = s.zipf_slope(50);
+        assert!((0.9..1.1).contains(&slope), "slope {slope}");
+    }
+
+    #[test]
+    fn footprint_curve_is_monotone_and_correct() {
+        let t = trace(&[(1, 10), (2, 20), (1, 10), (3, 5)]);
+        let c = footprint_curve(t.requests());
+        assert_eq!(c, vec![10, 30, 30, 35]);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeroes() {
+        let s = TraceStats::from_trace(&Trace::new());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.top_fraction_share(0.5), 0.0);
+        assert_eq!(s.zipf_slope(10), 0.0);
+    }
+
+    #[test]
+    fn cache_size_fraction() {
+        let t = trace(&[(1, 100), (2, 100)]);
+        let s = TraceStats::from_trace(&t);
+        assert_eq!(s.cache_size_for_fraction(0.25), 50);
+        assert_eq!(s.cache_size_for_fraction(1.0), 200);
+    }
+}

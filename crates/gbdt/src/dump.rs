@@ -1,0 +1,99 @@
+//! Human-readable model dumps.
+//!
+//! The paper argues decision trees are attractive partly because they are
+//! *interpretable*: "LFO's learned models are composed of a large set of
+//! 'if-then-else' tree branches" (§3, Figure 8). This module renders a
+//! trained model in exactly that if-then-else form, with feature names.
+
+use std::fmt::Write;
+
+use crate::boosting::Model;
+use crate::tree::{Node, Tree};
+
+/// Renders one tree as indented if-then-else pseudocode.
+pub fn dump_tree(tree: &Tree, feature_names: &[String]) -> String {
+    let mut out = String::new();
+    dump_node(tree, 0, 0, feature_names, &mut out);
+    out
+}
+
+fn feature_label(feature: u32, names: &[String]) -> String {
+    names
+        .get(feature as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("f{feature}"))
+}
+
+fn dump_node(tree: &Tree, at: usize, depth: usize, names: &[String], out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match tree.nodes()[at] {
+        Node::Leaf { value } => {
+            let _ = writeln!(out, "{pad}-> {value:+.4}");
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            gain,
+        } => {
+            let name = feature_label(feature, names);
+            let _ = writeln!(out, "{pad}if {name} <= {threshold:.3} (gain {gain:.2}):");
+            dump_node(tree, left as usize, depth + 1, names, out);
+            let _ = writeln!(out, "{pad}else:");
+            dump_node(tree, right as usize, depth + 1, names, out);
+        }
+    }
+}
+
+/// Renders the whole model: init score plus each tree.
+pub fn dump_model(model: &Model, feature_names: &[String]) -> String {
+    let mut out = format!("init_score = {:+.4}\n", model.init_score());
+    for (i, tree) in model.trees().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "tree {i} ({} leaves, depth {}):",
+            tree.num_leaves(),
+            tree.depth()
+        );
+        out.push_str(&dump_tree(tree, feature_names));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boosting::{train, GbdtParams};
+    use crate::dataset::Dataset;
+
+    fn toy_model() -> Model {
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32, 0.0]).collect();
+        let labels: Vec<f32> = (0..100).map(|i| (i >= 50) as u8 as f32).collect();
+        train(
+            &Dataset::from_rows(rows, labels).unwrap(),
+            &GbdtParams {
+                num_iterations: 2,
+                ..GbdtParams::lfo_paper()
+            },
+        )
+    }
+
+    #[test]
+    fn dump_contains_feature_names_and_structure() {
+        let model = toy_model();
+        let text = dump_model(&model, &["Size".into(), "Free".into()]);
+        assert!(text.contains("init_score"));
+        assert!(text.contains("tree 0"));
+        assert!(text.contains("if Size <= "), "missing split line:\n{text}");
+        assert!(text.contains("->"));
+        assert!(text.contains("else:"));
+    }
+
+    #[test]
+    fn unknown_features_get_fallback_names() {
+        let model = toy_model();
+        let text = dump_model(&model, &[]);
+        assert!(text.contains("if f0 <= "));
+    }
+}

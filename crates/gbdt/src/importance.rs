@@ -1,0 +1,138 @@
+//! Feature importance.
+//!
+//! Figure 8 of the paper measures "how often each feature occurs in a
+//! split" and reports the percentage of tree branches per feature — that is
+//! split-count importance. Gain importance (total loss reduction) is also
+//! provided as the standard alternative.
+
+use crate::boosting::Model;
+use crate::tree::Node;
+
+/// Which importance statistic to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImportanceKind {
+    /// Number of splits using each feature (the paper's Figure 8 metric).
+    SplitCount,
+    /// Total gain contributed by splits on each feature.
+    Gain,
+}
+
+/// Per-feature importance scores.
+#[derive(Clone, Debug)]
+pub struct FeatureImportance {
+    scores: Vec<f64>,
+    kind: ImportanceKind,
+}
+
+impl FeatureImportance {
+    /// Computes importance over all trees of a model.
+    pub fn of_model(model: &Model, kind: ImportanceKind) -> Self {
+        let mut scores = vec![0.0f64; model.num_features()];
+        for tree in model.trees() {
+            for node in tree.nodes() {
+                if let Node::Split { feature, gain, .. } = node {
+                    let f = *feature as usize;
+                    if f >= scores.len() {
+                        continue;
+                    }
+                    match kind {
+                        ImportanceKind::SplitCount => scores[f] += 1.0,
+                        ImportanceKind::Gain => scores[f] += gain,
+                    }
+                }
+            }
+        }
+        FeatureImportance { scores, kind }
+    }
+
+    /// Raw scores per feature.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Which statistic these scores are.
+    pub fn kind(&self) -> ImportanceKind {
+        self.kind
+    }
+
+    /// Scores normalized to fractions summing to 1 (the Figure 8 x-axis is
+    /// "occurrence in tree branches [%]").
+    pub fn fractions(&self) -> Vec<f64> {
+        let total: f64 = self.scores.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.scores.len()];
+        }
+        self.scores.iter().map(|s| s / total).collect()
+    }
+
+    /// Feature indices sorted by descending importance.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boosting::{train, GbdtParams};
+    use crate::dataset::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Feature 0 decides the label; features 1 and 2 are noise.
+    fn informative_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..2000 {
+            let x0: f32 = rng.gen();
+            let x1: f32 = rng.gen();
+            let x2: f32 = rng.gen();
+            rows.push(vec![x0, x1, x2]);
+            labels.push((x0 > 0.5) as u8 as f32);
+        }
+        Dataset::from_rows(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn informative_feature_dominates_split_counts() {
+        let model = train(&informative_dataset(), &GbdtParams::lfo_paper());
+        let imp = FeatureImportance::of_model(&model, ImportanceKind::SplitCount);
+        let fr = imp.fractions();
+        assert!(fr[0] > 0.6, "feature 0 fraction {:?}", fr);
+        assert_eq!(imp.ranking()[0], 0);
+    }
+
+    #[test]
+    fn gain_importance_agrees_on_the_winner() {
+        let model = train(&informative_dataset(), &GbdtParams::lfo_paper());
+        let imp = FeatureImportance::of_model(&model, ImportanceKind::Gain);
+        assert_eq!(imp.ranking()[0], 0);
+        assert!(imp.fractions()[0] > 0.8);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let model = train(&informative_dataset(), &GbdtParams::lfo_paper());
+        let imp = FeatureImportance::of_model(&model, ImportanceKind::SplitCount);
+        let sum: f64 = imp.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stump_free_model_has_zero_importance() {
+        // Constant labels → no splits at all.
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let data = Dataset::from_rows(rows, vec![1.0; 100]).unwrap();
+        let model = train(&data, &GbdtParams::lfo_paper());
+        let imp = FeatureImportance::of_model(&model, ImportanceKind::SplitCount);
+        assert_eq!(imp.scores(), &[0.0]);
+        assert_eq!(imp.fractions(), vec![0.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # gbdt — histogram-based gradient-boosted decision trees
+//!
+//! A from-scratch substitute for LightGBM (Ke et al., NeurIPS 2017), which
+//! the paper uses to learn OPT's decisions: "LFO currently uses LightGBM.
+//! Throughout our evaluation, we use LightGBM's default parameters with one
+//! exception: we have decreased the number of iterations [...] from 100 to
+//! 30" (§2.3).
+//!
+//! The algorithmic core mirrors LightGBM's:
+//!
+//! - **quantile feature binning** into at most 255 histogram bins
+//!   ([`dataset`]);
+//! - **leaf-wise (best-first) tree growth** with histogram-based split
+//!   finding and the sibling-subtraction trick ([`tree`]);
+//! - **gradient boosting with logistic loss** for binary classification,
+//!   with shrinkage, feature subsampling, bagging, and early stopping
+//!   ([`boosting`]);
+//! - **split-count and gain feature importance** ([`importance`]) — needed
+//!   to reproduce Figure 8 of the paper;
+//! - model (de)serialization via serde ([`Model`] derives it).
+//!
+//! ## Example
+//!
+//! ```
+//! use gbdt::{Dataset, GbdtParams, train};
+//!
+//! // Learn y = x0 > 0.5 from noisy data.
+//! let rows: Vec<Vec<f32>> = (0..200)
+//!     .map(|i| vec![(i % 100) as f32 / 100.0, (i % 7) as f32])
+//!     .collect();
+//! let labels: Vec<f32> = rows.iter().map(|r| (r[0] > 0.5) as u8 as f32).collect();
+//! let data = Dataset::from_rows(rows, labels).unwrap();
+//! let model = train(&data, &GbdtParams::default());
+//! assert!(model.predict_proba(&[0.9, 3.0]) > 0.5);
+//! assert!(model.predict_proba(&[0.1, 3.0]) < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boosting;
+pub mod dataset;
+pub mod dump;
+pub mod importance;
+pub mod metrics;
+pub mod tree;
+
+pub use boosting::{sigmoid, train, train_with_validation, GbdtParams, Model, TrainReport};
+pub use metrics::{accuracy, error_rate, log_loss, Confusion};
+pub use dataset::{BinnedDataset, Dataset, DatasetError};
+pub use dump::{dump_model, dump_tree};
+pub use importance::{FeatureImportance, ImportanceKind};
+pub use tree::Tree;

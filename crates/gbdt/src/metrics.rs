@@ -1,0 +1,164 @@
+//! Classification metrics.
+//!
+//! The paper evaluates LFO's models via the *prediction error* ("requests
+//! where OPT and LFO's prediction disagree", Figure 5) split into false
+//! positive and false negative rates as a function of the likelihood cutoff
+//! (Figure 5a). These functions compute exactly those quantities.
+
+/// Binary cross-entropy of predicted probabilities against labels.
+pub fn log_loss(probs: &[f64], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-15;
+    let sum: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if y >= 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    sum / probs.len() as f64
+}
+
+/// Fraction of predictions on the wrong side of `cutoff`.
+pub fn error_rate(probs: &[f64], labels: &[f32], cutoff: f64) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let wrong = probs
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| (p >= cutoff) != (y >= 0.5))
+        .count();
+    wrong as f64 / probs.len() as f64
+}
+
+/// Classification accuracy at `cutoff`.
+pub fn accuracy(probs: &[f64], labels: &[f32], cutoff: f64) -> f64 {
+    1.0 - error_rate(probs, labels, cutoff)
+}
+
+/// The confusion counts at a cutoff.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Positive predicted positive.
+    pub true_positives: usize,
+    /// Negative predicted positive ("accidentally admitted").
+    pub false_positives: usize,
+    /// Negative predicted negative.
+    pub true_negatives: usize,
+    /// Positive predicted negative ("accidentally not admitted").
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion counts for predictions at `cutoff`.
+    pub fn at_cutoff(probs: &[f64], labels: &[f32], cutoff: f64) -> Self {
+        assert_eq!(probs.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&p, &y) in probs.iter().zip(labels) {
+            match (p >= cutoff, y >= 0.5) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, false) => c.true_negatives += 1,
+                (false, true) => c.false_negatives += 1,
+            }
+        }
+        c
+    }
+
+    /// False positives over all requests (the Figure 5a y-axis is the
+    /// error percentage over all predictions, not the per-class rate).
+    pub fn false_positive_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / total as f64
+        }
+    }
+
+    /// False negatives over all requests.
+    pub fn false_negative_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / total as f64
+        }
+    }
+
+    /// Overall error fraction (FP + FN over all requests).
+    pub fn error_fraction(&self) -> f64 {
+        self.false_positive_fraction() + self.false_negative_fraction()
+    }
+
+    /// Total predictions counted.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_loss_perfect_predictions_near_zero() {
+        let l = log_loss(&[1.0, 0.0, 1.0], &[1.0, 0.0, 1.0]);
+        assert!(l < 1e-10, "loss {l}");
+    }
+
+    #[test]
+    fn log_loss_uninformed_is_ln2() {
+        let l = log_loss(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((l - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_rate_counts_misclassifications() {
+        let probs = [0.9, 0.2, 0.7, 0.4];
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        // At 0.5: predictions 1,0,1,0 → two wrong.
+        assert!((error_rate(&probs, &labels, 0.5) - 0.5).abs() < 1e-12);
+        assert!((accuracy(&probs, &labels, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_partitions_everything() {
+        let probs = [0.9, 0.2, 0.7, 0.4, 0.6];
+        let labels = [1.0, 0.0, 0.0, 1.0, 1.0];
+        let c = Confusion::at_cutoff(&probs, &labels, 0.5);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.true_positives, 2); // 0.9, 0.6
+        assert_eq!(c.false_positives, 1); // 0.7
+        assert_eq!(c.false_negatives, 1); // 0.4
+        assert_eq!(c.true_negatives, 1); // 0.2
+        assert!((c.error_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raising_cutoff_trades_fp_for_fn() {
+        let probs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let labels: Vec<f32> = (0..100).map(|i| (i >= 50) as u8 as f32).collect();
+        let low = Confusion::at_cutoff(&probs, &labels, 0.1);
+        let high = Confusion::at_cutoff(&probs, &labels, 0.9);
+        assert!(low.false_positives > high.false_positives);
+        assert!(low.false_negatives < high.false_negatives);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(log_loss(&[], &[]), 0.0);
+        assert_eq!(error_rate(&[], &[], 0.5), 0.0);
+        assert_eq!(Confusion::at_cutoff(&[], &[], 0.5).error_fraction(), 0.0);
+    }
+}

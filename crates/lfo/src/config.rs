@@ -1,0 +1,163 @@
+//! LFO configuration.
+
+use cdn_trace::CostModel;
+use gbdt::GbdtParams;
+use serde::{Deserialize, Serialize};
+
+/// How the predicted likelihood is turned into a caching policy.
+///
+/// §5 of the paper singles out *policy design* — "how to translate a
+/// ranking of objects into a caching policy" — as the open problem behind
+/// LFO's gap to OPT ("incorrect admission choices have a knock-on effect:
+/// objects that should receive hits end up being evicted before they do
+/// receive a hit"). These variants are concrete answers:
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PolicyDesign {
+    /// The paper's §2.4 policy: admit when likelihood ≥ cutoff, evict the
+    /// minimum-likelihood resident.
+    #[default]
+    Paper,
+    /// Admission must *pay for itself*: on top of the cutoff, a miss is
+    /// only admitted when the cache has room or the incoming likelihood
+    /// exceeds the weakest resident's — so a marginal newcomer can never
+    /// evict a stronger object (directly targeting the knock-on effect).
+    ProtectedAdmission,
+    /// Rank residents by expected saved miss cost per byte
+    /// (`likelihood × C_i / S_i`) instead of raw likelihood; admission is
+    /// unchanged. Under the byte-hit-ratio cost model this equals raw
+    /// likelihood; under object-hit-ratio or latency costs it prefers
+    /// many small likely objects over one large one.
+    DensityRanked,
+}
+
+/// How the admission cutoff is chosen each window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CutoffMode {
+    /// A fixed cutoff (the paper's default 0.5).
+    Fixed(f64),
+    /// Re-tune per window to the cutoff that equalizes false-positive and
+    /// false-negative rates on the training set (§3: "We could make LFO
+    /// more aggressive by raising the cutoff to about .65, equalizing
+    /// false negative and false positive rate").
+    EqualizeErrorRates,
+}
+
+impl Default for CutoffMode {
+    fn default() -> Self {
+        CutoffMode::Fixed(0.5)
+    }
+}
+
+/// Configuration of the LFO learner and policy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LfoConfig {
+    /// Admission cutoff on the predicted likelihood (paper: 0.5; Figure 5a
+    /// sweeps it and §3 notes ~0.65 equalizes FP and FN rates).
+    pub cutoff: f64,
+    /// Number of inter-request gaps tracked per object (paper: 50).
+    pub num_gaps: usize,
+    /// Optional thinned gap schedule (1-based indices, ascending). When
+    /// set, overrides the dense `1..=num_gaps` layout — the Figure 8
+    /// discussion's "only using time gaps 1, 2, 4, 8, 16, etc.".
+    pub gap_schedule: Option<Vec<usize>>,
+    /// GBDT hyperparameters (paper: LightGBM defaults, 30 iterations).
+    pub gbdt: GbdtParams,
+    /// Cost model used for OPT labels and the cost feature.
+    pub cost_model: CostModel,
+    /// Likelihood → policy translation (§5 "policy design").
+    pub design: PolicyDesign,
+    /// How the cutoff is chosen each window.
+    pub cutoff_mode: CutoffMode,
+}
+
+impl Default for LfoConfig {
+    fn default() -> Self {
+        LfoConfig {
+            cutoff: 0.5,
+            num_gaps: 50,
+            gap_schedule: None,
+            gbdt: GbdtParams::lfo_paper(),
+            cost_model: CostModel::ByteHitRatio,
+            design: PolicyDesign::Paper,
+            cutoff_mode: CutoffMode::Fixed(0.5),
+        }
+    }
+}
+
+impl LfoConfig {
+    /// The paper's suggested exponential thinning: gaps 1, 2, 4, ..., up to
+    /// `num_gaps` (Figure 8 discussion).
+    pub fn thinned() -> Self {
+        let mut schedule = Vec::new();
+        let mut g = 1usize;
+        while g <= 50 {
+            schedule.push(g);
+            g *= 2;
+        }
+        schedule.push(50);
+        LfoConfig {
+            gap_schedule: Some(schedule),
+            ..Default::default()
+        }
+    }
+
+    /// The effective gap indices (dense or thinned).
+    pub fn gaps(&self) -> Vec<usize> {
+        match &self.gap_schedule {
+            Some(s) => s.clone(),
+            None => (1..=self.num_gaps).collect(),
+        }
+    }
+
+    /// Builds a feature tracker matching this configuration.
+    pub fn tracker(&self) -> crate::features::FeatureTracker {
+        crate::features::FeatureTracker::with_schedule(self.gaps(), self.cost_model)
+    }
+
+    /// Number of features the model sees: size, cost, free bytes, gaps.
+    pub fn num_features(&self) -> usize {
+        3 + self.gaps().len()
+    }
+
+    /// Human-readable feature names, aligned with feature indices
+    /// (Figure 8's y-axis).
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut names = vec!["Size".to_string(), "Cost".to_string(), "Free".to_string()];
+        names.extend(self.gaps().iter().map(|i| format!("Gap {i}")));
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LfoConfig::default();
+        assert_eq!(c.cutoff, 0.5);
+        assert_eq!(c.num_gaps, 50);
+        assert_eq!(c.gbdt.num_iterations, 30);
+        assert_eq!(c.num_features(), 53);
+    }
+
+    #[test]
+    fn thinned_schedule_shrinks_features() {
+        let c = LfoConfig::thinned();
+        assert_eq!(c.gaps(), vec![1, 2, 4, 8, 16, 32, 50]);
+        assert_eq!(c.num_features(), 10);
+        assert_eq!(c.feature_names().last().unwrap(), "Gap 50");
+        assert_eq!(c.tracker().num_gaps(), 7);
+    }
+
+    #[test]
+    fn feature_names_align() {
+        let c = LfoConfig::default();
+        let names = c.feature_names();
+        assert_eq!(names.len(), c.num_features());
+        assert_eq!(names[0], "Size");
+        assert_eq!(names[2], "Free");
+        assert_eq!(names[3], "Gap 1");
+        assert_eq!(names[52], "Gap 50");
+    }
+}

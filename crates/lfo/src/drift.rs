@@ -1,0 +1,210 @@
+//! Workload-drift detection.
+//!
+//! The paper's motivation (§1) is that "content mix changes can happen
+//! within minutes" (load balancing, multi-CDN traffic shifts, release-day
+//! spikes). LFO's fixed-cadence retraining handles slow drift; this module
+//! adds the production guardrail: detect *abrupt* distribution shift
+//! between the window a model was trained on and the live traffic, so a
+//! deployment can retrain early (or roll back) instead of serving a stale
+//! model through a flash crowd.
+//!
+//! Detection compares per-feature histograms of the training window
+//! against a live window using the population stability index (PSI) — the
+//! standard model-monitoring statistic: `PSI = Σ (pᵢ − qᵢ)·ln(pᵢ/qᵢ)` over
+//! histogram bins. Common practice: PSI < 0.1 stable, 0.1–0.25 drifting,
+//! > 0.25 shifted.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram bins per feature.
+const BINS: usize = 16;
+/// Laplace smoothing mass per bin.
+const SMOOTHING: f64 = 0.5;
+
+/// A per-feature histogram sketch of a feature distribution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeatureSketch {
+    /// Per feature: bin edges (quantiles of the reference window).
+    edges: Vec<Vec<f32>>,
+    /// Per feature: reference bin probabilities.
+    reference: Vec<Vec<f64>>,
+}
+
+impl FeatureSketch {
+    /// Builds a sketch from the training window's feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let width = rows[0].len();
+        let mut edges = Vec::with_capacity(width);
+        let mut reference = Vec::with_capacity(width);
+        for f in 0..width {
+            let mut column: Vec<f32> = rows.iter().map(|r| r[f]).collect();
+            column.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            // Quantile edges over the reference distribution.
+            let e: Vec<f32> = (1..BINS)
+                .map(|i| column[(i * column.len()) / BINS])
+                .collect();
+            let counts = bin_counts(rows.iter().map(|r| r[f]), &e);
+            let total: f64 = counts.iter().sum::<f64>();
+            reference.push(counts.into_iter().map(|c| c / total).collect());
+            edges.push(e);
+        }
+        FeatureSketch { edges, reference }
+    }
+
+    /// Number of features sketched.
+    pub fn num_features(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Population stability index of `rows` against the reference, per
+    /// feature.
+    pub fn psi(&self, rows: &[Vec<f32>]) -> Vec<f64> {
+        if rows.is_empty() {
+            return vec![0.0; self.num_features()];
+        }
+        (0..self.num_features())
+            .map(|f| {
+                let counts = bin_counts(rows.iter().map(|r| r[f]), &self.edges[f]);
+                let total: f64 = counts.iter().sum();
+                let mut psi = 0.0;
+                for (b, &c) in counts.iter().enumerate() {
+                    let q = c / total;
+                    let p = self.reference[f][b];
+                    psi += (q - p) * (q / p).ln();
+                }
+                psi
+            })
+            .collect()
+    }
+
+    /// The largest per-feature PSI — the deployment's drift score.
+    pub fn max_psi(&self, rows: &[Vec<f32>]) -> f64 {
+        self.psi(rows).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Standard interpretation of a drift score.
+    pub fn verdict(score: f64) -> DriftVerdict {
+        if score < 0.1 {
+            DriftVerdict::Stable
+        } else if score < 0.25 {
+            DriftVerdict::Drifting
+        } else {
+            DriftVerdict::Shifted
+        }
+    }
+}
+
+/// Interpretation bands for PSI scores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftVerdict {
+    /// Distributions match; keep serving the model.
+    Stable,
+    /// Noticeable movement; schedule an early retrain.
+    Drifting,
+    /// The workload changed; retrain now.
+    Shifted,
+}
+
+fn bin_counts(values: impl Iterator<Item = f32>, edges: &[f32]) -> Vec<f64> {
+    let mut counts = vec![SMOOTHING; edges.len() + 1];
+    for v in values {
+        let bin = edges.partition_point(|&e| e < v);
+        counts[bin] += 1.0;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureTracker;
+    use cdn_trace::generator::{FlashCrowd, GeneratorConfig, TraceGenerator};
+    use cdn_trace::CostModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_rows(n: usize, mean: f32, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f32 = rng.gen();
+                let v: f32 = rng.gen();
+                vec![
+                    mean + (u - 0.5) * 2.0,
+                    10.0 + (v - 0.5), // second feature stays fixed
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_distribution_scores_stable() {
+        let sketch = FeatureSketch::fit(&gaussian_rows(5_000, 0.0, 1));
+        let score = sketch.max_psi(&gaussian_rows(5_000, 0.0, 2));
+        assert!(score < 0.1, "score {score}");
+        assert_eq!(FeatureSketch::verdict(score), DriftVerdict::Stable);
+    }
+
+    #[test]
+    fn mean_shift_is_detected_on_the_right_feature() {
+        let sketch = FeatureSketch::fit(&gaussian_rows(5_000, 0.0, 3));
+        let shifted = gaussian_rows(5_000, 1.5, 4);
+        let psi = sketch.psi(&shifted);
+        assert!(psi[0] > 0.25, "feature 0 psi {}", psi[0]);
+        assert!(psi[1] < 0.1, "feature 1 psi {}", psi[1]);
+        assert_eq!(
+            FeatureSketch::verdict(sketch.max_psi(&shifted)),
+            DriftVerdict::Shifted
+        );
+    }
+
+    #[test]
+    fn flash_crowd_raises_the_drift_score_on_lfo_features() {
+        // Train the sketch on calm traffic; a flash crowd (30% of requests
+        // to 4 fresh multi-MB objects) must raise the drift score.
+        let mut cfg = GeneratorConfig::small(9, 30_000);
+        cfg.flash_crowds = vec![FlashCrowd {
+            start: 15_000,
+            duration: 15_000,
+            share: 0.5,
+            objects: 4,
+            class: 3,
+        }];
+        let trace = TraceGenerator::new(cfg).generate();
+        let mut tracker = FeatureTracker::new(8, CostModel::ByteHitRatio);
+        let rows: Vec<Vec<f32>> = trace
+            .requests()
+            .iter()
+            .map(|r| tracker.observe(r, 0))
+            .collect();
+        let sketch = FeatureSketch::fit(&rows[..15_000]);
+        let calm = sketch.max_psi(&rows[10_000..15_000]);
+        let crowd = sketch.max_psi(&rows[15_000..]);
+        assert!(
+            crowd > calm * 2.0,
+            "crowd psi {crowd} not clearly above calm psi {calm}"
+        );
+    }
+
+    #[test]
+    fn empty_live_window_scores_zero() {
+        let sketch = FeatureSketch::fit(&gaussian_rows(100, 0.0, 5));
+        assert_eq!(sketch.max_psi(&[]), 0.0);
+    }
+
+    #[test]
+    fn sketch_serde_roundtrip() {
+        let sketch = FeatureSketch::fit(&gaussian_rows(500, 0.0, 6));
+        let json = serde_json::to_string(&sketch).unwrap();
+        let back: FeatureSketch = serde_json::from_str(&json).unwrap();
+        let rows = gaussian_rows(500, 0.7, 7);
+        let a = sketch.max_psi(&rows);
+        let b = back.max_psi(&rows);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

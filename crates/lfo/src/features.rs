@@ -1,0 +1,299 @@
+//! LFO's online features (paper §2.2).
+//!
+//! Four feature types per request:
+//!
+//! - **object size** in bytes;
+//! - **most recent retrieval cost** of the object;
+//! - **currently free bytes in the cache** — "useful because evictions can
+//!   temporarily free up lots of space [...] If this happens, OPT and LFO
+//!   are more likely to admit a new object";
+//! - **time gaps between consecutive requests** to the object, up to the
+//!   last 50 requests. Gaps are deltas between consecutive reference times
+//!   (`t − t₁, t₁ − t₂, …`), which makes all but the first one *shift
+//!   invariant* — the property the paper highlights for robustness,
+//!   distinguishing LFO's features from LRU-K's absolute recencies.
+//!
+//! The tracker stores per-object reference times sparsely ("a large
+//! fraction of CDN objects receives fewer than 5 requests", §2.2) and
+//! exposes [`FeatureTracker::forget_older_than`] to bound memory on long
+//! streams.
+
+use std::collections::{HashMap, VecDeque};
+
+use cdn_trace::{CostModel, ObjectId, Request};
+
+/// Default number of gaps tracked (the paper's 50).
+pub const FEATURE_GAPS: usize = 50;
+
+/// Sentinel value for "no such past request" gap slots. Chosen large so
+/// that quantile binning puts all missing gaps into the top bin.
+pub const MISSING_GAP: f32 = 1.0e12;
+
+/// Tracks per-object request history and produces feature vectors.
+#[derive(Clone, Debug)]
+pub struct FeatureTracker {
+    /// 1-based gap indices emitted as features, ascending. The dense
+    /// default is `1..=n`; Figure 8's discussion suggests thinning to
+    /// powers of two ("only using time gaps 1, 2, 4, 8, 16, etc.") to
+    /// shrink the model without losing the long-range signal.
+    schedule: Vec<usize>,
+    /// Deepest gap tracked (`max(schedule)`).
+    depth: usize,
+    cost_model: CostModel,
+    /// Reference times per object, most recent first, at most
+    /// `depth + 1` entries.
+    history: HashMap<ObjectId, VecDeque<u64>>,
+    /// Last time each object was touched (for forgetting).
+    last_touch: HashMap<ObjectId, u64>,
+}
+
+impl FeatureTracker {
+    /// Creates a tracker for the dense schedule `1..=num_gaps`.
+    pub fn new(num_gaps: usize, cost_model: CostModel) -> Self {
+        Self::with_schedule((1..=num_gaps).collect(), cost_model)
+    }
+
+    /// Creates a tracker emitting only the given 1-based gap indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is empty, unsorted, non-unique, or contains 0.
+    pub fn with_schedule(schedule: Vec<usize>, cost_model: CostModel) -> Self {
+        assert!(!schedule.is_empty(), "schedule must be non-empty");
+        assert!(
+            schedule.windows(2).all(|w| w[0] < w[1]) && schedule[0] >= 1,
+            "schedule must be ascending, unique, 1-based"
+        );
+        let depth = *schedule.last().expect("non-empty");
+        FeatureTracker {
+            schedule,
+            depth,
+            cost_model,
+            history: HashMap::new(),
+            last_touch: HashMap::new(),
+        }
+    }
+
+    /// Number of gap features produced.
+    pub fn num_gaps(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The gap indices emitted as features.
+    pub fn schedule(&self) -> &[usize] {
+        &self.schedule
+    }
+
+    /// Number of objects currently tracked.
+    pub fn tracked_objects(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Builds the feature vector for `request` *before* recording it, with
+    /// `free_bytes` as the current free-cache-space feature.
+    ///
+    /// Layout: `[size, cost, free, gap_1, ..., gap_n]`, matching
+    /// [`crate::LfoConfig::feature_names`].
+    pub fn features(&self, request: &Request, free_bytes: u64) -> Vec<f32> {
+        let mut out = Vec::with_capacity(3 + self.schedule.len());
+        out.push(request.size as f32);
+        out.push(self.cost_model.cost(request.size) as f32);
+        out.push(free_bytes as f32);
+        match self.history.get(&request.object) {
+            Some(times) => {
+                // gap_1 = now − t₁; gap_k = t_{k−1} − t_k (shift invariant).
+                // Compute dense gaps to the tracked depth, emit scheduled.
+                let mut prev = request.time;
+                let mut dense = Vec::with_capacity(self.depth);
+                for k in 0..self.depth {
+                    match times.get(k) {
+                        Some(&t) => {
+                            dense.push(prev.saturating_sub(t) as f32);
+                            prev = t;
+                        }
+                        None => dense.push(MISSING_GAP),
+                    }
+                }
+                out.extend(self.schedule.iter().map(|&k| dense[k - 1]));
+            }
+            None => out.extend(std::iter::repeat(MISSING_GAP).take(self.schedule.len())),
+        }
+        out
+    }
+
+    /// Records a request into the history (call after [`Self::features`]).
+    pub fn record(&mut self, request: &Request) {
+        let times = self.history.entry(request.object).or_default();
+        times.push_front(request.time);
+        times.truncate(self.depth + 1);
+        self.last_touch.insert(request.object, request.time);
+    }
+
+    /// Convenience: features, then record.
+    pub fn observe(&mut self, request: &Request, free_bytes: u64) -> Vec<f32> {
+        let f = self.features(request, free_bytes);
+        self.record(request);
+        f
+    }
+
+    /// Drops history for objects not touched since `time`, bounding memory
+    /// on unbounded streams.
+    pub fn forget_older_than(&mut self, time: u64) {
+        let last_touch = &self.last_touch;
+        self.history.retain(|o, _| {
+            last_touch.get(o).copied().unwrap_or(0) >= time
+        });
+        self.last_touch.retain(|_, &mut t| t >= time);
+    }
+
+    /// Approximate bytes of tracker state (the paper estimates 208 bytes
+    /// per object for a naive dense representation; the sparse tracker
+    /// only pays for requests actually seen).
+    pub fn approximate_bytes(&self) -> usize {
+        self.history
+            .values()
+            .map(|v| 8 * v.len() + 48)
+            .sum::<usize>()
+            + self.last_touch.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> FeatureTracker {
+        FeatureTracker::new(4, CostModel::ByteHitRatio)
+    }
+
+    fn req(t: u64, id: u64, size: u64) -> Request {
+        Request::new(t, id, size)
+    }
+
+    #[test]
+    fn layout_and_basic_values() {
+        let mut tr = tracker();
+        let f = tr.observe(&req(100, 1, 512), 4096);
+        assert_eq!(f.len(), 3 + 4);
+        assert_eq!(f[0], 512.0); // size
+        assert_eq!(f[1], 512.0); // cost = size under BHR
+        assert_eq!(f[2], 4096.0); // free bytes
+        assert!(f[3..].iter().all(|&g| g == MISSING_GAP));
+    }
+
+    #[test]
+    fn gaps_are_consecutive_deltas() {
+        let mut tr = tracker();
+        tr.record(&req(10, 1, 100));
+        tr.record(&req(25, 1, 100));
+        tr.record(&req(31, 1, 100));
+        let f = tr.features(&req(40, 1, 100), 0);
+        // gap1 = 40-31, gap2 = 31-25, gap3 = 25-10, gap4 missing.
+        assert_eq!(f[3], 9.0);
+        assert_eq!(f[4], 6.0);
+        assert_eq!(f[5], 15.0);
+        assert_eq!(f[6], MISSING_GAP);
+    }
+
+    #[test]
+    fn shift_invariance_of_deep_gaps() {
+        // Shifting all times by a constant leaves gaps 2..n unchanged and
+        // gap 1 unchanged too when the query time shifts equally.
+        let mut a = tracker();
+        let mut b = tracker();
+        for &t in &[5u64, 9, 20] {
+            a.record(&req(t, 1, 10));
+            b.record(&req(t + 1000, 1, 10));
+        }
+        let fa = a.features(&req(30, 1, 10), 7);
+        let fb = b.features(&req(1030, 1, 10), 7);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn history_is_bounded_per_object() {
+        let mut tr = tracker();
+        for t in 0..100 {
+            tr.record(&req(t, 1, 10));
+        }
+        assert!(tr.history[&ObjectId(1)].len() <= 5);
+    }
+
+    #[test]
+    fn cost_model_drives_cost_feature() {
+        let mut tr = FeatureTracker::new(2, CostModel::ObjectHitRatio);
+        let f = tr.observe(&req(0, 1, 9999), 0);
+        assert_eq!(f[1], 1.0);
+    }
+
+    #[test]
+    fn forgetting_drops_cold_objects() {
+        let mut tr = tracker();
+        tr.record(&req(10, 1, 10));
+        tr.record(&req(500, 2, 10));
+        tr.forget_older_than(100);
+        assert_eq!(tr.tracked_objects(), 1);
+        // Forgotten object looks brand new again.
+        let f = tr.features(&req(600, 1, 10), 0);
+        assert_eq!(f[3], MISSING_GAP);
+    }
+
+    #[test]
+    fn observe_equals_features_then_record() {
+        let mut a = tracker();
+        let mut b = tracker();
+        let r1 = req(5, 1, 10);
+        let r2 = req(9, 1, 10);
+        let fa1 = a.observe(&r1, 3);
+        let fa2 = a.observe(&r2, 3);
+        let fb1 = b.features(&r1, 3);
+        b.record(&r1);
+        let fb2 = b.features(&r2, 3);
+        b.record(&r2);
+        assert_eq!(fa1, fb1);
+        assert_eq!(fa2, fb2);
+    }
+
+    #[test]
+    fn thinned_schedule_emits_selected_gaps_only() {
+        let mut tr = FeatureTracker::with_schedule(vec![1, 2, 4], CostModel::ByteHitRatio);
+        for &t in &[10u64, 20, 26, 29, 31] {
+            tr.record(&req(t, 1, 10));
+        }
+        let f = tr.features(&req(40, 1, 10), 0);
+        assert_eq!(f.len(), 3 + 3);
+        // Dense gaps would be [9, 2, 3, 6, 10]; schedule picks 1, 2, 4.
+        assert_eq!(f[3], 9.0);
+        assert_eq!(f[4], 2.0);
+        assert_eq!(f[5], 6.0);
+    }
+
+    #[test]
+    fn thinned_schedule_tracks_deep_history() {
+        let mut tr = FeatureTracker::with_schedule(vec![1, 8], CostModel::ByteHitRatio);
+        for t in 0..20u64 {
+            tr.record(&req(t, 1, 10));
+        }
+        // Depth 8 means 9 retained reference times.
+        assert_eq!(tr.history[&ObjectId(1)].len(), 9);
+        let f = tr.features(&req(100, 1, 10), 0);
+        assert_eq!(f[3], 81.0); // 100 - 19
+        assert_eq!(f[4], 1.0); // consecutive unit gaps deep in history
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_schedule_rejected() {
+        FeatureTracker::with_schedule(vec![2, 1], CostModel::ByteHitRatio);
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_objects() {
+        let mut tr = tracker();
+        let before = tr.approximate_bytes();
+        for i in 0..100 {
+            tr.record(&req(i, i, 10));
+        }
+        assert!(tr.approximate_bytes() > before);
+    }
+}

@@ -1,0 +1,573 @@
+//! Hierarchical (tiered) caching — the paper's §5 extension.
+//!
+//! "A key idea to simplify this problem is to use hierarchical models. For
+//! example, we could apply our 'single cache' model to the aggregate cache
+//! space of a CDN server (RAM, SSD, HDD) [...]. We first learn whether to
+//! cache an object at all. A second level of the model then learns rules on
+//! where to place the object, e.g., based on storage characteristics such
+//! as write endurance, read delay/throughput, or utilization."
+//!
+//! Implementation of exactly that two-level structure:
+//!
+//! - **Level 1** is the standard LFO admission decision: the predicted
+//!   likelihood that OPT caches the request, gated by the cutoff, over the
+//!   *aggregate* capacity of all tiers.
+//! - **Level 2** chooses a tier for admitted objects. The default
+//!   [`Placement::Learned`] predicts the object's *re-reference interval*
+//!   (how soon it will be requested again, learned from the previous
+//!   window's observed next-use distances with the same GBDT machinery)
+//!   and maps soon-again objects to the fastest tier. Heuristic and
+//!   pin-to-one-tier placements are provided as baselines.
+//!
+//! Each tier evicts by predicted likelihood, exactly like the single-level
+//! [`crate::LfoCache`]; RAM evictions *demote* to the next tier rather
+//! than leaving the hierarchy (and so on down), mirroring production
+//! multi-tier CDN caches. The report tracks per-tier hits and the implied
+//! mean read latency and per-tier write volume (the "write endurance"
+//! characteristic the paper names).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use cdn_trace::{ObjectId, Request};
+use gbdt::Model;
+
+use cdn_cache::cache::{CachePolicy, RequestOutcome};
+
+use crate::config::LfoConfig;
+use crate::features::FeatureTracker;
+
+/// Characteristics of one storage tier.
+#[derive(Clone, Debug)]
+pub struct TierSpec {
+    /// Label ("ram", "ssd", "hdd").
+    pub name: &'static str,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Mean read latency in microseconds (for the latency report).
+    pub read_latency_us: f64,
+    /// Relative write-wear cost (0 = free, e.g. RAM; SSD pays the most).
+    pub write_wear: f64,
+}
+
+impl TierSpec {
+    /// A RAM / SSD / HDD lineup with capacities split `ram:ssd:hdd`.
+    pub fn standard(ram: u64, ssd: u64, hdd: u64) -> Vec<TierSpec> {
+        vec![
+            TierSpec {
+                name: "ram",
+                capacity: ram,
+                read_latency_us: 1.0,
+                write_wear: 0.0,
+            },
+            TierSpec {
+                name: "ssd",
+                capacity: ssd,
+                read_latency_us: 100.0,
+                write_wear: 1.0,
+            },
+            TierSpec {
+                name: "hdd",
+                capacity: hdd,
+                read_latency_us: 8_000.0,
+                write_wear: 0.1,
+            },
+        ]
+    }
+}
+
+/// Level-2 placement strategies.
+pub enum Placement {
+    /// Everything goes to one tier (a single-level baseline).
+    Pin(usize),
+    /// Size heuristic: smallest objects to the fastest tier, under
+    /// per-tier size thresholds.
+    SizeThresholds(Vec<u64>),
+    /// Learned: a regression-ish classifier per tier boundary predicting
+    /// whether the object's next re-reference is within that tier's
+    /// "speed class"; trained from the previous window's next-use
+    /// distances via [`train_placement_model`].
+    Learned(Arc<PlacementModel>),
+}
+
+/// A learned placement model: one binary GBDT per tier boundary.
+///
+/// `boundary_models[i]` predicts "the object's next re-reference distance
+/// is within `distance_boundaries[i]` requests"; the object is placed in
+/// the first (fastest) tier whose boundary model fires.
+pub struct PlacementModel {
+    /// Next-use distance boundaries, ascending, one per tier except the last.
+    pub distance_boundaries: Vec<u64>,
+    /// One model per boundary.
+    pub boundary_models: Vec<Model>,
+}
+
+impl PlacementModel {
+    /// Chooses a tier index for an object with the given feature vector.
+    pub fn place(&self, features: &[f32]) -> usize {
+        for (tier, model) in self.boundary_models.iter().enumerate() {
+            if model.predict_proba(features) >= 0.5 {
+                return tier;
+            }
+        }
+        self.boundary_models.len()
+    }
+}
+
+/// Trains a placement model from a window of requests: labels are the
+/// observed next-use distances (objects re-referenced within
+/// `boundaries[i]` requests are positives for boundary `i`).
+pub fn train_placement_model(
+    requests: &[Request],
+    boundaries: Vec<u64>,
+    config: &LfoConfig,
+) -> PlacementModel {
+    assert!(!boundaries.is_empty());
+    assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+    let next_use = opt::belady::next_use_indices(requests);
+    let mut tracker = config.tracker();
+    let rows: Vec<Vec<f32>> = requests
+        .iter()
+        .map(|r| tracker.observe(r, 0))
+        .collect();
+
+    let mut boundary_models = Vec::with_capacity(boundaries.len());
+    for &b in &boundaries {
+        let labels: Vec<f32> = next_use
+            .iter()
+            .enumerate()
+            .map(|(k, &nu)| {
+                (nu != usize::MAX && (nu - k) as u64 <= b) as u8 as f32
+            })
+            .collect();
+        let data = gbdt::Dataset::from_rows(rows.clone(), labels)
+            .expect("windows are non-empty and finite");
+        boundary_models.push(gbdt::train(&data, &config.gbdt));
+    }
+    PlacementModel {
+        distance_boundaries: boundaries,
+        boundary_models,
+    }
+}
+
+/// Priority wrapper (ascending order = eviction order).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Priority(f64);
+impl Eq for Priority {}
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Tier {
+    spec: TierSpec,
+    used: u64,
+    queue: BTreeSet<(Priority, u64, ObjectId)>,
+    entries: HashMap<ObjectId, (Priority, u64, u64)>, // priority, tiebreak, size
+}
+
+impl Tier {
+    fn new(spec: TierSpec) -> Self {
+        Tier {
+            spec,
+            used: 0,
+            queue: BTreeSet::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, object: ObjectId, priority: f64, tiebreak: u64, size: u64) {
+        self.entries.insert(object, (Priority(priority), tiebreak, size));
+        self.queue.insert((Priority(priority), tiebreak, object));
+        self.used += size;
+    }
+
+    fn remove(&mut self, object: ObjectId) -> Option<u64> {
+        let (p, t, size) = self.entries.remove(&object)?;
+        self.queue.remove(&(p, t, object));
+        self.used -= size;
+        Some(size)
+    }
+
+    fn evict_min(&mut self) -> (ObjectId, f64, u64) {
+        let &(p, t, victim) = self.queue.iter().next().expect("nonempty tier");
+        self.queue.remove(&(p, t, victim));
+        let (_, _, size) = self.entries.remove(&victim).expect("entry");
+        self.used -= size;
+        (victim, p.0, size)
+    }
+}
+
+/// Per-tier and aggregate statistics of a tiered run.
+#[derive(Clone, Debug, Default)]
+pub struct TierReport {
+    /// Hits served by each tier.
+    pub hits_per_tier: Vec<u64>,
+    /// Bytes served by each tier.
+    pub hit_bytes_per_tier: Vec<u64>,
+    /// Bytes written into each tier (admissions + demotions) — the
+    /// endurance-relevant quantity.
+    pub bytes_written_per_tier: Vec<u64>,
+    /// Total requests.
+    pub requests: u64,
+    /// Total bytes requested.
+    pub total_bytes: u64,
+}
+
+impl TierReport {
+    /// Mean read latency over hits (misses excluded), in microseconds.
+    pub fn mean_hit_latency_us(&self, specs: &[TierSpec]) -> f64 {
+        let total_hits: u64 = self.hits_per_tier.iter().sum();
+        if total_hits == 0 {
+            return 0.0;
+        }
+        self.hits_per_tier
+            .iter()
+            .zip(specs)
+            .map(|(&h, s)| h as f64 * s.read_latency_us)
+            .sum::<f64>()
+            / total_hits as f64
+    }
+
+    /// Total wear-weighted write volume.
+    pub fn weighted_write_wear(&self, specs: &[TierSpec]) -> f64 {
+        self.bytes_written_per_tier
+            .iter()
+            .zip(specs)
+            .map(|(&b, s)| b as f64 * s.write_wear)
+            .sum()
+    }
+
+    /// Aggregate byte hit ratio.
+    pub fn bhr(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.hit_bytes_per_tier.iter().sum::<u64>() as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// The two-level tiered LFO cache.
+pub struct TieredLfoCache {
+    config: LfoConfig,
+    tiers: Vec<Tier>,
+    admission_model: Option<Arc<Model>>,
+    placement: Placement,
+    tracker: FeatureTracker,
+    /// object → tier index.
+    location: HashMap<ObjectId, usize>,
+    tick: u64,
+    /// Running statistics.
+    pub report: TierReport,
+}
+
+impl TieredLfoCache {
+    /// Creates a tiered cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or a pinned/threshold placement refers to
+    /// a tier that does not exist.
+    pub fn new(specs: Vec<TierSpec>, placement: Placement, config: LfoConfig) -> Self {
+        assert!(!specs.is_empty(), "need at least one tier");
+        match &placement {
+            Placement::Pin(t) => assert!(*t < specs.len(), "pinned tier out of range"),
+            Placement::SizeThresholds(th) => {
+                assert_eq!(th.len(), specs.len() - 1, "need one threshold per boundary")
+            }
+            Placement::Learned(m) => assert_eq!(
+                m.boundary_models.len(),
+                specs.len() - 1,
+                "need one boundary model per tier boundary"
+            ),
+        }
+        let tracker = config.tracker();
+        let num_tiers = specs.len();
+        TieredLfoCache {
+            config,
+            tiers: specs.into_iter().map(Tier::new).collect(),
+            admission_model: None,
+            placement,
+            tracker,
+            location: HashMap::new(),
+            tick: 0,
+            report: TierReport {
+                hits_per_tier: vec![0; num_tiers],
+                hit_bytes_per_tier: vec![0; num_tiers],
+                bytes_written_per_tier: vec![0; num_tiers],
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Installs the level-1 admission model.
+    pub fn install_admission_model(&mut self, model: Arc<Model>) {
+        self.admission_model = Some(model);
+    }
+
+    /// The tier specs.
+    pub fn specs(&self) -> Vec<TierSpec> {
+        self.tiers.iter().map(|t| t.spec.clone()).collect()
+    }
+
+    /// Total bytes across all tiers.
+    pub fn used(&self) -> u64 {
+        self.tiers.iter().map(|t| t.used).sum()
+    }
+
+    /// Whether the object is resident in any tier.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.location.contains_key(&object)
+    }
+
+    /// Which tier holds `object`, if any.
+    pub fn tier_of(&self, object: ObjectId) -> Option<usize> {
+        self.location.get(&object).copied()
+    }
+
+    fn choose_tier(&self, features: &[f32], size: u64) -> usize {
+        match &self.placement {
+            Placement::Pin(t) => *t,
+            Placement::SizeThresholds(thresholds) => thresholds
+                .iter()
+                .position(|&limit| size <= limit)
+                .unwrap_or(thresholds.len()),
+            Placement::Learned(model) => model.place(features),
+        }
+    }
+
+    /// Inserts into `tier`, demoting evicted objects down the hierarchy.
+    fn insert_with_demotion(
+        &mut self,
+        tier: usize,
+        object: ObjectId,
+        priority: f64,
+        size: u64,
+    ) {
+        // Objects larger than the tier get bumped to the next one down.
+        let mut tier = tier;
+        while tier < self.tiers.len() && size > self.tiers[tier].spec.capacity {
+            tier += 1;
+        }
+        if tier >= self.tiers.len() {
+            self.location.remove(&object);
+            return;
+        }
+        self.tick += 1;
+        self.tiers[tier].insert(object, priority, self.tick, size);
+        self.location.insert(object, tier);
+        self.report.bytes_written_per_tier[tier] += size;
+        while self.tiers[tier].used > self.tiers[tier].spec.capacity {
+            let (victim, vp, vsize) = self.tiers[tier].evict_min();
+            self.location.remove(&victim);
+            if tier + 1 < self.tiers.len() {
+                self.insert_with_demotion(tier + 1, victim, vp, vsize);
+            }
+        }
+    }
+}
+
+impl CachePolicy for TieredLfoCache {
+    fn name(&self) -> &'static str {
+        "LFO-Tiered"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.tiers.iter().map(|t| t.spec.capacity).sum()
+    }
+
+    fn used(&self) -> u64 {
+        TieredLfoCache::used(self)
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        TieredLfoCache::contains(self, object)
+    }
+
+    fn len(&self) -> usize {
+        self.location.len()
+    }
+
+    fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.tick += 1;
+        let free = self.capacity() - TieredLfoCache::used(self);
+        let features = self.tracker.observe(request, free);
+        let likelihood = self
+            .admission_model
+            .as_ref()
+            .map(|m| m.predict_proba(&features))
+            .unwrap_or_else(|| 1.0 - 1.0 / (1.0 + self.tick as f64));
+
+        self.report.requests += 1;
+        self.report.total_bytes += request.size;
+
+        if let Some(&tier) = self.location.get(&request.object) {
+            self.report.hits_per_tier[tier] += 1;
+            self.report.hit_bytes_per_tier[tier] += request.size;
+            // Re-score and re-place on every hit (a hot object can be
+            // promoted into RAM here — the level-2 decision re-fires).
+            self.tiers[tier].remove(request.object);
+            let target = self.choose_tier(&features, request.size);
+            self.insert_with_demotion(target, request.object, likelihood, request.size);
+            return RequestOutcome::Hit;
+        }
+
+        let admit = match self.admission_model {
+            Some(_) => likelihood >= self.config.cutoff,
+            None => true,
+        };
+        if !admit || request.size > self.capacity() {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        let target = self.choose_tier(&features, request.size);
+        self.insert_with_demotion(target, request.object, likelihood, request.size);
+        RequestOutcome::Miss {
+            admitted: self.location.contains_key(&request.object),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::{GeneratorConfig, TraceGenerator};
+
+    fn specs() -> Vec<TierSpec> {
+        TierSpec::standard(1_000, 10_000, 100_000)
+    }
+
+    fn req(t: u64, id: u64, size: u64) -> Request {
+        Request::new(t, id, size)
+    }
+
+    #[test]
+    fn pinned_placement_uses_one_tier() {
+        let mut c = TieredLfoCache::new(specs(), Placement::Pin(1), LfoConfig::default());
+        c.handle(&req(0, 1, 500));
+        assert_eq!(c.tier_of(ObjectId(1)), Some(1));
+        assert_eq!(c.used(), 500);
+    }
+
+    #[test]
+    fn size_thresholds_route_by_size() {
+        let placement = Placement::SizeThresholds(vec![100, 5_000]);
+        let mut c = TieredLfoCache::new(specs(), placement, LfoConfig::default());
+        c.handle(&req(0, 1, 50)); // → ram
+        c.handle(&req(1, 2, 1_000)); // → ssd
+        c.handle(&req(2, 3, 50_000)); // → hdd
+        assert_eq!(c.tier_of(ObjectId(1)), Some(0));
+        assert_eq!(c.tier_of(ObjectId(2)), Some(1));
+        assert_eq!(c.tier_of(ObjectId(3)), Some(2));
+    }
+
+    #[test]
+    fn overflow_demotes_down_the_hierarchy() {
+        let placement = Placement::Pin(0);
+        let mut c = TieredLfoCache::new(specs(), placement, LfoConfig::default());
+        // RAM holds 1_000 bytes; the third object overflows it and the
+        // weakest RAM resident demotes to SSD, not out of the cache.
+        c.handle(&req(0, 1, 400));
+        c.handle(&req(1, 2, 400));
+        c.handle(&req(2, 3, 400));
+        assert_eq!(c.len(), 3);
+        let in_ssd = (1..=3)
+            .filter(|&i| c.tier_of(ObjectId(i)) == Some(1))
+            .count();
+        assert_eq!(in_ssd, 1, "exactly one object demoted to ssd");
+        assert!(c.tiers[0].used <= 1_000);
+    }
+
+    #[test]
+    fn oversized_objects_skip_to_a_fitting_tier() {
+        let mut c = TieredLfoCache::new(specs(), Placement::Pin(0), LfoConfig::default());
+        c.handle(&req(0, 1, 5_000)); // bigger than RAM, fits SSD
+        assert_eq!(c.tier_of(ObjectId(1)), Some(1));
+    }
+
+    #[test]
+    fn per_tier_capacities_always_respected() {
+        let placement = Placement::SizeThresholds(vec![100, 5_000]);
+        let mut c = TieredLfoCache::new(specs(), placement, LfoConfig::default());
+        for i in 0..2_000u64 {
+            let size = match i % 3 {
+                0 => 60,
+                1 => 900,
+                _ => 20_000,
+            };
+            c.handle(&req(i, i % 97, size));
+            for tier in &c.tiers {
+                assert!(tier.used <= tier.spec.capacity, "{} over", tier.spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn report_tracks_hits_per_tier() {
+        let placement = Placement::SizeThresholds(vec![100, 5_000]);
+        let mut c = TieredLfoCache::new(specs(), placement, LfoConfig::default());
+        c.handle(&req(0, 1, 50));
+        c.handle(&req(1, 1, 50)); // RAM hit
+        c.handle(&req(2, 2, 1_000));
+        c.handle(&req(3, 2, 1_000)); // SSD hit
+        assert_eq!(c.report.hits_per_tier, vec![1, 1, 0]);
+        assert!(c.report.mean_hit_latency_us(&c.specs()) > 1.0);
+        assert!(c.report.bhr() > 0.0);
+    }
+
+    #[test]
+    fn learned_placement_sends_soon_again_objects_to_fast_tiers() {
+        // Train on a window where small objects re-reference quickly and
+        // large ones slowly, then check placement follows.
+        let trace = TraceGenerator::new(GeneratorConfig::small(3, 8_000)).generate();
+        let config = LfoConfig::default();
+        let model = train_placement_model(trace.requests(), vec![100, 2_000], &config);
+        assert_eq!(model.boundary_models.len(), 2);
+        // The model must fire "fast tier" for at least some requests and
+        // "slow" for others (not constant).
+        let mut tracker = config.tracker();
+        let mut tiers_seen = std::collections::HashSet::new();
+        for r in trace.requests().iter().take(2_000) {
+            let f = tracker.observe(r, 0);
+            tiers_seen.insert(model.place(&f));
+        }
+        assert!(tiers_seen.len() >= 2, "placement is constant: {tiers_seen:?}");
+    }
+
+    #[test]
+    fn learned_tiering_beats_pin_to_slowest_on_latency() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(4, 20_000)).generate();
+        let reqs = trace.requests();
+        let config = LfoConfig::default();
+        let placement_model =
+            Arc::new(train_placement_model(&reqs[..10_000], vec![500, 5_000], &config));
+
+        let stats = cdn_trace::TraceStats::from_requests(reqs);
+        let total = stats.cache_size_for_fraction(0.15);
+        let tier_specs = TierSpec::standard(total / 10, total * 3 / 10, total * 6 / 10);
+
+        let mut learned = TieredLfoCache::new(
+            tier_specs.clone(),
+            Placement::Learned(placement_model),
+            config.clone(),
+        );
+        let mut pinned =
+            TieredLfoCache::new(tier_specs.clone(), Placement::Pin(2), config.clone());
+        for r in &reqs[10_000..] {
+            learned.handle(r);
+            pinned.handle(r);
+        }
+        let l = learned.report.mean_hit_latency_us(&tier_specs);
+        let p = pinned.report.mean_hit_latency_us(&tier_specs);
+        assert!(
+            l < p,
+            "learned placement latency {l} not better than pin-to-hdd {p}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Joining feature snapshots with OPT's decisions into training sets.
+//!
+//! For each request of a window we need (a) the online feature vector as it
+//! would have been observed at that request and (b) OPT's admit/don't-admit
+//! decision as the label. The free-cache-bytes feature is computed under
+//! *OPT's* occupancy schedule (the admission decisions determine exactly
+//! which bytes OPT holds at any time): this is the quantity the label
+//! actually correlates with — "if [evictions free up space], OPT and LFO
+//! are more likely to admit a new object" (§2.2).
+
+use cdn_trace::{ObjectId, Request};
+use gbdt::Dataset;
+use opt::OptResult;
+use std::collections::HashMap;
+
+use crate::features::FeatureTracker;
+
+/// Builds a training set for one window.
+///
+/// `tracker` must carry the history state from *before* the window (pass a
+/// fresh tracker for the first window); it is advanced across the window as
+/// a side effect, ready for the next one.
+///
+/// `cache_size` is OPT's capacity, used to derive the free-bytes feature
+/// from OPT's occupancy schedule.
+///
+/// # Panics
+///
+/// Panics if `opt.len() != requests.len()`.
+pub fn build_training_set(
+    requests: &[Request],
+    opt: &OptResult,
+    tracker: &mut FeatureTracker,
+    cache_size: u64,
+) -> Dataset {
+    assert_eq!(
+        opt.len(),
+        requests.len(),
+        "OPT result must cover the window"
+    );
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(requests.len());
+    let mut labels: Vec<f32> = Vec::with_capacity(requests.len());
+
+    // Replay OPT's occupancy: an object occupies space from a request where
+    // OPT admits it until its next request where OPT does not.
+    let mut resident: HashMap<ObjectId, u64> = HashMap::new();
+    let mut used = 0u64;
+
+    for (k, r) in requests.iter().enumerate() {
+        let free = cache_size.saturating_sub(used);
+        rows.push(tracker.observe(r, free));
+        labels.push(if opt.admit[k] { 1.0 } else { 0.0 });
+
+        // Advance OPT's occupancy.
+        let was_resident = resident.contains_key(&r.object);
+        if opt.admit[k] && !was_resident {
+            resident.insert(r.object, r.size);
+            used += r.size;
+        } else if !opt.admit[k] && was_resident {
+            let size = resident.remove(&r.object).expect("resident");
+            used -= size;
+        }
+    }
+
+    Dataset::from_rows(rows, labels).expect("windows are non-empty and features finite")
+}
+
+/// Builds only the feature matrix for a window (no labels) — used to
+/// evaluate a trained model's predictions against the *next* window's OPT.
+/// The free-bytes feature uses the same OPT-schedule convention.
+pub fn build_feature_rows(
+    requests: &[Request],
+    opt: &OptResult,
+    tracker: &mut FeatureTracker,
+    cache_size: u64,
+) -> Vec<Vec<f32>> {
+    assert_eq!(opt.len(), requests.len());
+    let mut rows = Vec::with_capacity(requests.len());
+    let mut resident: HashMap<ObjectId, u64> = HashMap::new();
+    let mut used = 0u64;
+    for (k, r) in requests.iter().enumerate() {
+        let free = cache_size.saturating_sub(used);
+        rows.push(tracker.observe(r, free));
+        let was_resident = resident.contains_key(&r.object);
+        if opt.admit[k] && !was_resident {
+            resident.insert(r.object, r.size);
+            used += r.size;
+        } else if !opt.admit[k] && was_resident {
+            let size = resident.remove(&r.object).expect("resident");
+            used -= size;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::example;
+    use cdn_trace::CostModel;
+    use opt::{compute_opt, OptConfig};
+
+    #[test]
+    fn training_set_aligns_rows_and_labels() {
+        let trace = example::figure3_trace();
+        let opt = compute_opt(trace.requests(), &OptConfig::bhr(1_000)).unwrap();
+        let mut tracker = FeatureTracker::new(4, CostModel::ByteHitRatio);
+        let data = build_training_set(trace.requests(), &opt, &mut tracker, 1_000);
+        assert_eq!(data.num_rows(), 12);
+        assert_eq!(data.num_features(), 3 + 4);
+        // Labels match OPT's decisions.
+        for (k, &admit) in opt.admit.iter().enumerate() {
+            assert_eq!(data.label(k) >= 0.5, admit, "label mismatch at {k}");
+        }
+    }
+
+    #[test]
+    fn free_bytes_reflects_opt_occupancy() {
+        // Infinite-ish cache: OPT admits everything reused. Free bytes must
+        // decrease as OPT's residency grows.
+        let trace = example::figure3_trace();
+        let cache = 1_000u64;
+        let opt = compute_opt(trace.requests(), &OptConfig::bhr(cache)).unwrap();
+        let mut tracker = FeatureTracker::new(4, CostModel::ByteHitRatio);
+        let data = build_training_set(trace.requests(), &opt, &mut tracker, cache);
+        // Request 0 sees an empty cache.
+        assert_eq!(data.value(2, 0), cache as f32);
+        // After admitting a (3), b (1), c (1), request 3 sees free = 995.
+        assert_eq!(data.value(2, 3), 995.0);
+    }
+
+    #[test]
+    fn tracker_carries_across_windows() {
+        let trace = example::figure3_trace();
+        let reqs = trace.requests();
+        let cache = 1_000u64;
+        let opt_a = compute_opt(&reqs[..6], &OptConfig::bhr(cache)).unwrap();
+        let opt_b = compute_opt(&reqs[6..], &OptConfig::bhr(cache)).unwrap();
+        let mut tracker = FeatureTracker::new(4, CostModel::ByteHitRatio);
+        let _ = build_training_set(&reqs[..6], &opt_a, &mut tracker, cache);
+        let rows_b = build_feature_rows(&reqs[6..], &opt_b, &mut tracker, cache);
+        // First request of window B is `c` at t=6; its previous request was
+        // t=2 in window A → gap 1 = 4, visible only if history carried over.
+        assert_eq!(rows_b[0][3], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the window")]
+    fn mismatched_lengths_rejected() {
+        let trace = example::figure3_trace();
+        let opt = compute_opt(trace.requests(), &OptConfig::bhr(10)).unwrap();
+        let mut tracker = FeatureTracker::new(4, CostModel::ByteHitRatio);
+        build_training_set(&trace.requests()[..5], &opt, &mut tracker, 10);
+    }
+}

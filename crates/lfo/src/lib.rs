@@ -1,0 +1,64 @@
+//! # lfo — Learning From OPT
+//!
+//! The paper's primary contribution (Berger, "Towards Lightweight and
+//! Robust Machine Learning for CDN Caching", HotNets 2018): instead of
+//! reinforcement learning with delayed rewards, *compute the offline
+//! optimal decisions (OPT) for the recent past and imitate them with a
+//! supervised model*.
+//!
+//! The crate mirrors the paper's structure:
+//!
+//! - [`features`] (§2.2) — the online feature vector: object size, most
+//!   recent retrieval cost, free cache bytes, and the inter-request time
+//!   gaps of the last 50 requests to the object (shift-invariant deltas).
+//! - [`labels`] — joins feature snapshots with OPT's decisions (from the
+//!   `opt` crate) into a training set.
+//! - [`train`] (§2.3) — gradient-boosted decision trees (the `gbdt` crate)
+//!   with LightGBM-default parameters, iterations lowered to 30.
+//! - [`policy`] (§2.4) — the LFO caching policy: admit when the predicted
+//!   likelihood that OPT would cache the object is ≥ the cutoff (0.5),
+//!   rank residents by predicted likelihood, evict the minimum; re-score
+//!   on every hit (so a hit can evict the hit object, as OPT often does).
+//! - [`pipeline`] (Fig. 2) — the sliding-window loop: record W\[t\],
+//!   compute OPT, train, deploy the model over W\[t+1\].
+//! - [`serve`] — the multi-threaded prediction-throughput harness behind
+//!   Figure 7.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdn_trace::{GeneratorConfig, TraceGenerator};
+//! use lfo::pipeline::{run_pipeline, PipelineConfig};
+//!
+//! let trace = TraceGenerator::new(GeneratorConfig::small(7, 6_000)).generate();
+//! let mut config = PipelineConfig::default();
+//! config.window = 2_000;
+//! config.cache_size = 4 * 1024 * 1024;
+//! let report = run_pipeline(trace.requests(), &config).unwrap();
+//! // After the first window LFO runs with a trained model; see the bench
+//! // crate for the full figures.
+//! assert!(report.windows.len() == 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod drift;
+pub mod features;
+pub mod hierarchy;
+pub mod labels;
+pub mod persist;
+pub mod pipeline;
+pub mod policy;
+pub mod serve;
+pub mod train;
+
+pub use config::{CutoffMode, LfoConfig, PolicyDesign};
+pub use features::{FeatureTracker, FEATURE_GAPS};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, WindowReport};
+pub use drift::{DriftVerdict, FeatureSketch};
+pub use hierarchy::{Placement, TierSpec, TieredLfoCache};
+pub use persist::LfoArtifact;
+pub use policy::LfoCache;
+pub use train::{train_window, TrainedWindow};

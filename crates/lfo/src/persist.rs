@@ -1,0 +1,186 @@
+//! Persistence of trained LFO deployments.
+//!
+//! A production rollout ships the trained model (and the configuration it
+//! was trained under) to serving hosts; this module defines that artifact.
+//! The format is versioned JSON — models are small (30 trees × ≤31 leaves),
+//! so human-inspectable JSON beats a bespoke binary format for
+//! debuggability, which the paper calls out as a key advantage of trees
+//! over RL ("debugging and maintenance is complicated" for model-free RL).
+
+use std::io::{Read, Write};
+
+use gbdt::Model;
+use serde::{Deserialize, Serialize};
+
+use crate::config::LfoConfig;
+
+/// Current artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A deployable LFO artifact: model + the config that produced it.
+#[derive(Serialize, Deserialize)]
+pub struct LfoArtifact {
+    /// Format version (checked on load).
+    pub version: u32,
+    /// The configuration the model was trained under.
+    pub config: LfoConfig,
+    /// The trained admission classifier.
+    pub model: Model,
+    /// The admission cutoff deployed with the model (may differ from
+    /// `config.cutoff` under cutoff tuning).
+    pub deployed_cutoff: f64,
+    /// Free-form provenance (trace id, window index, trainer host...).
+    pub provenance: String,
+}
+
+/// Errors from artifact (de)serialization.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Format(serde_json::Error),
+    /// The artifact was produced by an incompatible version.
+    VersionMismatch {
+        /// Version found in the artifact.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "format error: {e}"),
+            PersistError::VersionMismatch { found, expected } => {
+                write!(f, "artifact version {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+impl LfoArtifact {
+    /// Wraps a trained model for deployment.
+    pub fn new(config: LfoConfig, model: Model, deployed_cutoff: f64, provenance: impl Into<String>) -> Self {
+        LfoArtifact {
+            version: ARTIFACT_VERSION,
+            config,
+            model,
+            deployed_cutoff,
+            provenance: provenance.into(),
+        }
+    }
+
+    /// Serializes to a writer as JSON.
+    pub fn save<W: Write>(&self, w: W) -> Result<(), PersistError> {
+        serde_json::to_writer(w, self)?;
+        Ok(())
+    }
+
+    /// Deserializes from a reader, checking the version.
+    pub fn load<R: Read>(r: R) -> Result<Self, PersistError> {
+        let artifact: LfoArtifact = serde_json::from_reader(r)?;
+        if artifact.version != ARTIFACT_VERSION {
+            return Err(PersistError::VersionMismatch {
+                found: artifact.version,
+                expected: ARTIFACT_VERSION,
+            });
+        }
+        Ok(artifact)
+    }
+
+    /// Builds a serving cache from the artifact.
+    pub fn into_cache(self, capacity: u64) -> crate::policy::LfoCache {
+        let mut cache = crate::policy::LfoCache::new(capacity, self.config);
+        cache.set_cutoff(self.deployed_cutoff);
+        cache.install_model(std::sync::Arc::new(self.model));
+        cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_cache::CachePolicy;
+    use cdn_trace::Request;
+    use gbdt::{train, Dataset, GbdtParams};
+
+    fn toy_artifact() -> LfoArtifact {
+        let config = LfoConfig::default();
+        let rows: Vec<Vec<f32>> = (0..100)
+            .map(|i| {
+                let mut row = vec![i as f32 * 100.0, i as f32 * 100.0, 0.0];
+                row.extend(std::iter::repeat(5.0).take(config.num_gaps));
+                row
+            })
+            .collect();
+        let labels: Vec<f32> = (0..100).map(|i| (i < 50) as u8 as f32).collect();
+        let model = train(
+            &Dataset::from_rows(rows, labels).unwrap(),
+            &GbdtParams::lfo_paper(),
+        );
+        LfoArtifact::new(config, model, 0.65, "unit-test window 3")
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_and_metadata() {
+        let artifact = toy_artifact();
+        let mut row = vec![100.0f32, 100.0, 0.0];
+        row.extend(std::iter::repeat(5.0).take(50));
+        let before = artifact.model.predict_proba(&row);
+
+        let mut buf = Vec::new();
+        artifact.save(&mut buf).unwrap();
+        let back = LfoArtifact::load(buf.as_slice()).unwrap();
+        assert_eq!(back.deployed_cutoff, 0.65);
+        assert_eq!(back.provenance, "unit-test window 3");
+        assert!((back.model.predict_proba(&row) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut artifact = toy_artifact();
+        artifact.version = 999;
+        let mut buf = Vec::new();
+        serde_json::to_writer(&mut buf, &artifact).unwrap();
+        assert!(matches!(
+            LfoArtifact::load(buf.as_slice()),
+            Err(PersistError::VersionMismatch { found: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(
+            LfoArtifact::load(&b"not json"[..]),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn into_cache_deploys_model_and_cutoff() {
+        let artifact = toy_artifact();
+        let mut cache = artifact.into_cache(1_000_000);
+        assert!(cache.has_model());
+        assert_eq!(cache.cutoff(), 0.65);
+        // It behaves as a live cache immediately.
+        let _ = cache.handle(&Request::new(0, 1u64, 100));
+        assert!(cache.used() <= cache.capacity());
+    }
+}

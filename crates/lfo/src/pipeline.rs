@@ -1,0 +1,304 @@
+//! The sliding-window pipeline (paper Figure 2).
+//!
+//! "LFO records a sliding window of consecutive requests (W\[t\]). For the
+//! requests in W\[t\], LFO calculates OPT's decisions and derives a vector
+//! of online features. LFO then trains a caching policy that maps the
+//! online features to OPT's decisions. The trained policy is then used over
+//! the next window, t + 1, during which LFO again records the requests."
+//!
+//! The pipeline simultaneously (a) serves requests through the live
+//! [`LfoCache`] (untrained ⇒ LRU fallback in the first window) and
+//! (b) evaluates each window's model against the *next* window's OPT
+//! decisions — the paper's prediction-error metric ("LFO is trained on one
+//! part e.g. requests 0–1M and evaluated on the ensuing part").
+
+use std::sync::Arc;
+
+use cdn_cache::{simulate, IntervalMetrics, SimConfig};
+use cdn_trace::Request;
+use gbdt::Model;
+use opt::{compute_opt, compute_opt_pruned, compute_opt_segmented, OptConfig, OptError};
+
+use crate::config::LfoConfig;
+use crate::labels::build_training_set;
+use crate::policy::LfoCache;
+use crate::train::{equalize_cutoff, evaluate, train_window};
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Requests per window (the paper uses 1M on the production trace).
+    pub window: usize,
+    /// Cache capacity in bytes.
+    pub cache_size: u64,
+    /// LFO learner/policy settings.
+    pub lfo: LfoConfig,
+    /// OPT time-axis segment size; 0 = exact solve per window.
+    pub opt_segment: usize,
+    /// OPT rank-pruning keep fraction; 1.0 = no pruning.
+    pub opt_prune: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            window: 100_000,
+            cache_size: 64 * 1024 * 1024,
+            lfo: LfoConfig::default(),
+            opt_segment: 0,
+            opt_prune: 1.0,
+        }
+    }
+}
+
+/// Per-window pipeline diagnostics.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Window index (0-based).
+    pub index: usize,
+    /// Requests in the window.
+    pub requests: usize,
+    /// LFO's live hit metrics over this window.
+    pub live: IntervalMetrics,
+    /// Whether a trained model served this window.
+    pub had_model: bool,
+    /// Prediction error of the *previous* window's model against this
+    /// window's OPT decisions (the Figure 5 metric); `None` for window 0.
+    pub prediction_error: Option<f64>,
+    /// False-positive fraction of that evaluation.
+    pub false_positive: Option<f64>,
+    /// False-negative fraction of that evaluation.
+    pub false_negative: Option<f64>,
+    /// Training accuracy of the model trained *on* this window.
+    pub train_accuracy: f64,
+    /// OPT's byte hit ratio on this window (upper reference).
+    pub opt_bhr: f64,
+    /// OPT's object hit ratio on this window.
+    pub opt_ohr: f64,
+    /// Admission cutoff deployed for the *next* window (differs from the
+    /// configured value under [`crate::CutoffMode::EqualizeErrorRates`]).
+    pub deployed_cutoff: f64,
+}
+
+/// The pipeline's overall outcome.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Per-window diagnostics.
+    pub windows: Vec<WindowReport>,
+    /// LFO's live metrics across all windows.
+    pub live_total: IntervalMetrics,
+    /// LFO's live metrics excluding window 0 (the untrained fallback) —
+    /// comparable to the paper's evaluation protocol.
+    pub live_trained: IntervalMetrics,
+    /// The final trained model.
+    pub final_model: Option<Arc<Model>>,
+}
+
+impl PipelineReport {
+    /// Mean prediction accuracy across evaluated windows (the paper's
+    /// "LFO matches OPT's prediction for over 93% of the requests").
+    pub fn mean_prediction_accuracy(&self) -> Option<f64> {
+        let errors: Vec<f64> = self
+            .windows
+            .iter()
+            .filter_map(|w| w.prediction_error)
+            .collect();
+        if errors.is_empty() {
+            None
+        } else {
+            Some(1.0 - errors.iter().sum::<f64>() / errors.len() as f64)
+        }
+    }
+}
+
+fn merge(into: &mut IntervalMetrics, from: &IntervalMetrics) {
+    into.requests += from.requests;
+    into.hits += from.hits;
+    into.total_bytes += from.total_bytes;
+    into.hit_bytes += from.hit_bytes;
+}
+
+/// Runs the Figure 2 loop over `requests`.
+///
+/// Returns an error if a window's OPT computation fails (which indicates a
+/// bug rather than bad input — see [`OptError`]).
+pub fn run_pipeline(
+    requests: &[Request],
+    config: &PipelineConfig,
+) -> Result<PipelineReport, OptError> {
+    if requests.is_empty() {
+        return Err(OptError::EmptyWindow);
+    }
+    let opt_config = OptConfig {
+        cache_size: config.cache_size,
+        cost_model: config.lfo.cost_model,
+        ..OptConfig::bhr(config.cache_size)
+    };
+
+    let mut cache = LfoCache::new(config.cache_size, config.lfo.clone());
+    let mut training_tracker = config.lfo.tracker();
+    let mut report = PipelineReport {
+        windows: Vec::new(),
+        live_total: IntervalMetrics::default(),
+        live_trained: IntervalMetrics::default(),
+        final_model: None,
+    };
+    let mut previous_model: Option<Arc<Model>> = None;
+
+    for (index, window) in requests.chunks(config.window.max(1)).enumerate() {
+        let had_model = cache.has_model();
+
+        // (a) Serve the window live through the LFO cache.
+        let live = simulate(&mut cache, window, &SimConfig::default()).measured;
+
+        // (b) Compute OPT for the window just recorded.
+        let opt = if config.opt_prune < 1.0 {
+            compute_opt_pruned(window, &opt_config, config.opt_prune)?.result
+        } else if config.opt_segment > 0 {
+            compute_opt_segmented(window, &opt_config, config.opt_segment)?
+        } else {
+            compute_opt(window, &opt_config)?
+        };
+
+        // (c) Build the training set (advances the training tracker).
+        let data =
+            build_training_set(window, &opt, &mut training_tracker, config.cache_size);
+
+        // (d) Evaluate the previous model on this window (paper's
+        // train-on-t, test-on-t+1 protocol).
+        let (prediction_error, false_positive, false_negative) = match &previous_model {
+            Some(model) => {
+                let confusion = evaluate(model, &data, config.lfo.cutoff);
+                (
+                    Some(confusion.error_fraction()),
+                    Some(confusion.false_positive_fraction()),
+                    Some(confusion.false_negative_fraction()),
+                )
+            }
+            None => (None, None, None),
+        };
+
+        // (e) Train on this window; deploy for the next — optionally with
+        // a re-tuned cutoff (§3's FP/FN equalization).
+        let trained = train_window(&data, &config.lfo);
+        let deployed_cutoff = match config.lfo.cutoff_mode {
+            crate::CutoffMode::Fixed(c) => c,
+            crate::CutoffMode::EqualizeErrorRates => {
+                equalize_cutoff(&trained.train_probs, &trained.train_labels)
+            }
+        };
+        cache.set_cutoff(deployed_cutoff);
+        let model = Arc::new(trained.model);
+        cache.install_model(Arc::clone(&model));
+        previous_model = Some(Arc::clone(&model));
+        report.final_model = Some(model);
+
+        merge(&mut report.live_total, &live);
+        if had_model {
+            merge(&mut report.live_trained, &live);
+        }
+        report.windows.push(WindowReport {
+            index,
+            requests: window.len(),
+            live,
+            had_model,
+            prediction_error,
+            false_positive,
+            false_negative,
+            train_accuracy: trained.train_accuracy,
+            opt_bhr: opt.bhr(),
+            opt_ohr: opt.ohr(),
+            deployed_cutoff,
+        });
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::{GeneratorConfig, TraceGenerator};
+
+    fn small_config(window: usize, cache: u64) -> PipelineConfig {
+        PipelineConfig {
+            window,
+            cache_size: cache,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(run_pipeline(&[], &PipelineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn window_structure_and_model_rollout() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(1, 9_000)).generate();
+        let report =
+            run_pipeline(trace.requests(), &small_config(3_000, 4 * 1024 * 1024)).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        assert!(!report.windows[0].had_model, "window 0 must be untrained");
+        assert!(report.windows[1].had_model);
+        assert!(report.windows[2].had_model);
+        assert!(report.windows[0].prediction_error.is_none());
+        assert!(report.windows[1].prediction_error.is_some());
+        assert!(report.final_model.is_some());
+    }
+
+    #[test]
+    fn prediction_accuracy_is_high() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(2, 15_000)).generate();
+        let report =
+            run_pipeline(trace.requests(), &small_config(5_000, 8 * 1024 * 1024)).unwrap();
+        let acc = report.mean_prediction_accuracy().unwrap();
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn live_metrics_partition_into_windows() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(3, 6_000)).generate();
+        let report =
+            run_pipeline(trace.requests(), &small_config(2_000, 2 * 1024 * 1024)).unwrap();
+        let sum: u64 = report.windows.iter().map(|w| w.live.requests).sum();
+        assert_eq!(sum, 6_000);
+        assert_eq!(report.live_total.requests, 6_000);
+        assert_eq!(report.live_trained.requests, 4_000);
+    }
+
+    #[test]
+    fn equalized_cutoff_mode_tunes_per_window() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(6, 6_000)).generate();
+        let mut config = small_config(3_000, 4 * 1024 * 1024);
+        config.lfo.cutoff_mode = crate::CutoffMode::EqualizeErrorRates;
+        let report = run_pipeline(trace.requests(), &config).unwrap();
+        for w in &report.windows {
+            assert!((0.0..=1.0).contains(&w.deployed_cutoff));
+        }
+        // At least one window should deviate from the fixed 0.5.
+        assert!(
+            report.windows.iter().any(|w| (w.deployed_cutoff - 0.5).abs() > 1e-9),
+            "tuning never moved the cutoff"
+        );
+    }
+
+    #[test]
+    fn pruned_opt_pipeline_also_works() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(4, 6_000)).generate();
+        let mut config = small_config(3_000, 4 * 1024 * 1024);
+        config.opt_prune = 0.5;
+        let report = run_pipeline(trace.requests(), &config).unwrap();
+        assert_eq!(report.windows.len(), 2);
+        assert!(report.mean_prediction_accuracy().unwrap() > 0.7);
+    }
+
+    #[test]
+    fn segmented_opt_pipeline_also_works() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(5, 6_000)).generate();
+        let mut config = small_config(3_000, 4 * 1024 * 1024);
+        config.opt_segment = 1_000;
+        let report = run_pipeline(trace.requests(), &config).unwrap();
+        assert_eq!(report.windows.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Training LFO's classifier (paper §2.3).
+
+use gbdt::{train, Confusion, Dataset, Model};
+
+use crate::config::LfoConfig;
+
+/// A model trained on one window, with its self-reported quality.
+#[derive(Clone, Debug)]
+pub struct TrainedWindow {
+    /// The boosted-tree classifier.
+    pub model: Model,
+    /// Training-set accuracy at the configured cutoff.
+    pub train_accuracy: f64,
+    /// Training-set confusion at the configured cutoff.
+    pub train_confusion: Confusion,
+    /// Fraction of positive labels (OPT admissions) in the window.
+    pub positive_fraction: f64,
+    /// Predicted probabilities on the training set (for cutoff tuning).
+    pub train_probs: Vec<f64>,
+    /// Training labels (paired with `train_probs`).
+    pub train_labels: Vec<f32>,
+}
+
+/// Trains the LFO classifier for one window's training set.
+pub fn train_window(data: &Dataset, config: &LfoConfig) -> TrainedWindow {
+    let model = train(data, &config.gbdt);
+    let probs: Vec<f64> = (0..data.num_rows())
+        .map(|r| model.predict_proba(&data.row(r)))
+        .collect();
+    let confusion = Confusion::at_cutoff(&probs, data.labels(), config.cutoff);
+    let positives = data.labels().iter().filter(|&&y| y >= 0.5).count();
+    TrainedWindow {
+        model,
+        train_accuracy: 1.0 - confusion.error_fraction(),
+        train_confusion: confusion,
+        positive_fraction: positives as f64 / data.num_rows() as f64,
+        train_probs: probs,
+        train_labels: data.labels().to_vec(),
+    }
+}
+
+/// The cutoff that (approximately) equalizes false-positive and
+/// false-negative rates over `(probs, labels)` — §3's observation that
+/// raising the cutoff to about 0.65 "equalizes false negative and false
+/// positive rate" and makes LFO less conservative.
+pub fn equalize_cutoff(probs: &[f64], labels: &[f32]) -> f64 {
+    let mut best = 0.5;
+    let mut best_gap = f64::INFINITY;
+    for step in 1..100 {
+        let cutoff = step as f64 / 100.0;
+        let c = Confusion::at_cutoff(probs, labels, cutoff);
+        let gap = (c.false_positive_fraction() - c.false_negative_fraction()).abs();
+        if gap < best_gap {
+            best_gap = gap;
+            best = cutoff;
+        }
+    }
+    best
+}
+
+/// Evaluates a trained model against another window's labeled data,
+/// returning the confusion at `cutoff` (the Figure 5 "prediction error" is
+/// `error_fraction()` of this).
+pub fn evaluate(model: &Model, data: &Dataset, cutoff: f64) -> Confusion {
+    let probs: Vec<f64> = (0..data.num_rows())
+        .map(|r| model.predict_proba(&data.row(r)))
+        .collect();
+    Confusion::at_cutoff(&probs, data.labels(), cutoff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureTracker;
+    use crate::labels::build_training_set;
+    use cdn_trace::{GeneratorConfig, TraceGenerator};
+    use opt::{compute_opt, OptConfig};
+
+    fn window_dataset(seed: u64, n: u64, cache: u64) -> Dataset {
+        let trace = TraceGenerator::new(GeneratorConfig::small(seed, n)).generate();
+        let opt = compute_opt(trace.requests(), &OptConfig::bhr(cache)).unwrap();
+        let cfg = LfoConfig::default();
+        let mut tracker = FeatureTracker::new(cfg.num_gaps, cfg.cost_model);
+        build_training_set(trace.requests(), &opt, &mut tracker, cache)
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy_on_its_own_window() {
+        let data = window_dataset(1, 5_000, 4 * 1024 * 1024);
+        let trained = train_window(&data, &LfoConfig::default());
+        // The paper reports >93% test accuracy; training accuracy on the
+        // same window must be at least that.
+        assert!(
+            trained.train_accuracy > 0.9,
+            "train accuracy {}",
+            trained.train_accuracy
+        );
+    }
+
+    #[test]
+    fn generalizes_to_the_next_window() {
+        // Train on window 1, evaluate on window 2 of the same trace.
+        let cache = 4 * 1024 * 1024;
+        let trace = TraceGenerator::new(GeneratorConfig::small(2, 10_000)).generate();
+        let reqs = trace.requests();
+        let cfg = LfoConfig::default();
+        let mut tracker = FeatureTracker::new(cfg.num_gaps, cfg.cost_model);
+        let opt_a = compute_opt(&reqs[..5_000], &OptConfig::bhr(cache)).unwrap();
+        let data_a = build_training_set(&reqs[..5_000], &opt_a, &mut tracker, cache);
+        let opt_b = compute_opt(&reqs[5_000..], &OptConfig::bhr(cache)).unwrap();
+        let data_b = build_training_set(&reqs[5_000..], &opt_b, &mut tracker, cache);
+
+        let trained = train_window(&data_a, &cfg);
+        let test = evaluate(&trained.model, &data_b, cfg.cutoff);
+        let error = test.error_fraction();
+        assert!(error < 0.25, "test error {error}");
+    }
+
+    #[test]
+    fn equalize_cutoff_balances_error_rates() {
+        // Probabilities skewed high: many negatives score above 0.5, so the
+        // balancing cutoff must rise above 0.5.
+        let probs: Vec<f64> = (0..100).map(|i| 0.3 + 0.6 * (i as f64 / 100.0)).collect();
+        let labels: Vec<f32> = (0..100).map(|i| (i >= 70) as u8 as f32).collect();
+        let c = equalize_cutoff(&probs, &labels);
+        assert!(c > 0.5, "cutoff {c}");
+        let conf = Confusion::at_cutoff(&probs, &labels, c);
+        assert!(
+            (conf.false_positive_fraction() - conf.false_negative_fraction()).abs() < 0.05,
+            "rates not equalized at {c}"
+        );
+    }
+
+    #[test]
+    fn confusion_counts_cover_all_rows() {
+        let data = window_dataset(3, 2_000, 1024 * 1024);
+        let trained = train_window(&data, &LfoConfig::default());
+        assert_eq!(trained.train_confusion.total(), data.num_rows());
+        assert!((0.0..=1.0).contains(&trained.positive_fraction));
+    }
+}

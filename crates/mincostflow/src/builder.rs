@@ -1,0 +1,120 @@
+//! Ergonomic construction of flow instances.
+//!
+//! [`GraphBuilder`] lets callers name nodes with arbitrary keys instead of
+//! dense indices and tracks the supply balance as arcs and supplies are
+//! added. The `opt` crate uses it to assemble the per-request OPT graph.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::graph::{ArcId, Graph, NodeId};
+
+/// Builds a [`Graph`] from arbitrary hashable node keys.
+///
+/// ```
+/// use mincostflow::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.arc("src", "dst", 10, 2);
+/// b.supply("src", 4);
+/// b.supply("dst", -4);
+/// let (graph, ids) = b.build();
+/// let sol = graph.solve().unwrap();
+/// assert_eq!(sol.total_cost(), 8);
+/// assert!(ids.contains_key("src"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder<K: Eq + Hash + Clone> {
+    graph: Graph,
+    ids: HashMap<K, NodeId>,
+}
+
+impl<K: Eq + Hash + Clone> Default for GraphBuilder<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> GraphBuilder<K> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder {
+            graph: Graph::new(0),
+            ids: HashMap::new(),
+        }
+    }
+
+    /// Returns the node id for `key`, creating the node on first use.
+    pub fn node(&mut self, key: K) -> NodeId {
+        match self.ids.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.graph.add_node();
+                self.ids.insert(key, id);
+                id
+            }
+        }
+    }
+
+    /// Adds an arc between (possibly new) keyed nodes.
+    pub fn arc(&mut self, from: K, to: K, capacity: i64, cost: i64) -> ArcId {
+        let f = self.node(from);
+        let t = self.node(to);
+        self.graph.add_arc(f, t, capacity, cost)
+    }
+
+    /// Adds `delta` to the supply of the keyed node.
+    pub fn supply(&mut self, key: K, delta: i64) {
+        let n = self.node(key);
+        self.graph.add_supply(n, delta);
+    }
+
+    /// Current sum of supplies (zero for a feasible instance).
+    pub fn balance(&self) -> i64 {
+        self.graph.supply_balance()
+    }
+
+    /// Finishes construction, returning the graph and the key → node map.
+    pub fn build(self) -> (Graph, HashMap<K, NodeId>) {
+        (self.graph, self.ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_map_to_stable_ids() {
+        let mut b: GraphBuilder<&str> = GraphBuilder::new();
+        let a = b.node("a");
+        let a2 = b.node("a");
+        let c = b.node("c");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn supplies_accumulate_per_key() {
+        let mut b: GraphBuilder<u64> = GraphBuilder::new();
+        b.supply(7, 3);
+        b.supply(7, 2);
+        b.supply(9, -5);
+        assert_eq!(b.balance(), 0);
+        let (g, ids) = b.build();
+        assert_eq!(g.supply(ids[&7]), 5);
+    }
+
+    #[test]
+    fn builds_solvable_graph() {
+        let mut b: GraphBuilder<&str> = GraphBuilder::new();
+        let cheap = b.arc("s", "t", 5, 1);
+        let exp = b.arc("s", "t", 5, 3);
+        b.supply("s", 7);
+        b.supply("t", -7);
+        let (g, _) = b.build();
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.flow(cheap), 5);
+        assert_eq!(sol.flow(exp), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Directed flow network with paired residual arcs.
+//!
+//! Arcs are stored in forward/backward pairs: the forward arc created by
+//! [`Graph::add_arc`] lives at an even index and its residual twin at the
+//! following odd index. `arc ^ 1` is therefore always the reverse arc, a
+//! representation that keeps the residual graph implicit and cheap to
+//! traverse during shortest-path computations.
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Index of a *forward* arc in a [`Graph`], as returned by [`Graph::add_arc`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(pub u32);
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32 range"))
+    }
+}
+
+impl NodeId {
+    /// The node index as a usize, for direct indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ArcId {
+    /// The arc index as a usize, for direct indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// One directed arc of the internal representation (forward or residual).
+#[derive(Clone, Debug)]
+pub(crate) struct Arc {
+    /// Head (target) node of the arc.
+    pub head: u32,
+    /// Remaining residual capacity.
+    pub residual: i64,
+    /// Cost per unit of flow (negated on the residual twin).
+    pub cost: i64,
+}
+
+/// A directed flow network with integer capacities, integer per-unit costs,
+/// and per-node supplies (positive = excess/source, negative = deficit/sink).
+///
+/// Capacities must be non-negative; costs may be negative (the solver falls
+/// back to a Bellman–Ford potential initialization in that case). Supplies
+/// must sum to zero for the instance to be feasible.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    pub(crate) arcs: Vec<Arc>,
+    /// Original capacity of each arc pair's forward arc, indexed by pair.
+    pub(crate) capacity: Vec<i64>,
+    /// Outgoing arc indices (into `arcs`) per node — includes residual twins.
+    pub(crate) adjacency: Vec<Vec<u32>>,
+    pub(crate) supply: Vec<i64>,
+    pub(crate) has_negative_cost: bool,
+}
+
+impl Graph {
+    /// Creates a graph with `nodes` nodes and no arcs.
+    pub fn new(nodes: usize) -> Self {
+        Graph {
+            arcs: Vec::new(),
+            capacity: Vec::new(),
+            adjacency: vec![Vec::new(); nodes],
+            supply: vec![0; nodes],
+            has_negative_cost: false,
+        }
+    }
+
+    /// Creates a graph with `nodes` nodes, preallocating space for `arcs` arcs.
+    pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
+        let mut g = Self::new(nodes);
+        g.arcs.reserve(arcs * 2);
+        g.capacity.reserve(arcs);
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of forward arcs (residual twins are not counted).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Appends a new node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        self.supply.push(0);
+        NodeId::from(self.adjacency.len() - 1)
+    }
+
+    /// Adds a directed arc `from -> to` with the given capacity and per-unit
+    /// cost, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 0` or either endpoint is out of range.
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, capacity: i64, cost: i64) -> ArcId {
+        assert!(capacity >= 0, "arc capacity must be non-negative");
+        assert!(from.index() < self.num_nodes(), "`from` out of range");
+        assert!(to.index() < self.num_nodes(), "`to` out of range");
+        if cost < 0 {
+            self.has_negative_cost = true;
+        }
+        let fwd = self.arcs.len() as u32;
+        self.arcs.push(Arc {
+            head: to.0,
+            residual: capacity,
+            cost,
+        });
+        self.arcs.push(Arc {
+            head: from.0,
+            residual: 0,
+            cost: -cost,
+        });
+        self.adjacency[from.index()].push(fwd);
+        self.adjacency[to.index()].push(fwd + 1);
+        self.capacity.push(capacity);
+        ArcId(fwd / 2)
+    }
+
+    /// Sets the supply of a node: positive values are sources (excess flow),
+    /// negative values are sinks (flow demand).
+    pub fn set_supply(&mut self, node: NodeId, supply: i64) {
+        self.supply[node.index()] = supply;
+    }
+
+    /// Adds to the supply of a node (useful when a node is both the last
+    /// request of one object and the first of another).
+    pub fn add_supply(&mut self, node: NodeId, delta: i64) {
+        self.supply[node.index()] += delta;
+    }
+
+    /// The supply currently assigned to `node`.
+    pub fn supply(&self, node: NodeId) -> i64 {
+        self.supply[node.index()]
+    }
+
+    /// Sum of all node supplies; a feasible instance requires zero.
+    pub fn supply_balance(&self) -> i64 {
+        self.supply.iter().sum()
+    }
+
+    /// Capacity the arc was created with.
+    pub fn arc_capacity(&self, arc: ArcId) -> i64 {
+        self.capacity[arc.index()]
+    }
+
+    /// Per-unit cost the arc was created with.
+    pub fn arc_cost(&self, arc: ArcId) -> i64 {
+        self.arcs[arc.index() * 2].cost
+    }
+
+    /// Tail (source node) of a forward arc.
+    pub fn arc_tail(&self, arc: ArcId) -> NodeId {
+        NodeId(self.arcs[arc.index() * 2 + 1].head)
+    }
+
+    /// Head (target node) of a forward arc.
+    pub fn arc_head(&self, arc: ArcId) -> NodeId {
+        NodeId(self.arcs[arc.index() * 2].head)
+    }
+
+    /// Flow currently routed on a forward arc (defined as original capacity
+    /// minus remaining residual capacity). Zero before solving.
+    pub fn arc_flow(&self, arc: ArcId) -> i64 {
+        self.capacity[arc.index()] - self.arcs[arc.index() * 2].residual
+    }
+
+    /// Resets all flow to zero, keeping topology, capacities and supplies.
+    pub fn reset_flow(&mut self) {
+        for pair in 0..self.num_arcs() {
+            self.arcs[pair * 2].residual = self.capacity[pair];
+            self.arcs[pair * 2 + 1].residual = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_pairing_invariants() {
+        let mut g = Graph::new(2);
+        let a = g.add_arc(NodeId(0), NodeId(1), 5, 7);
+        assert_eq!(a, ArcId(0));
+        assert_eq!(g.arc_tail(a), NodeId(0));
+        assert_eq!(g.arc_head(a), NodeId(1));
+        assert_eq!(g.arc_capacity(a), 5);
+        assert_eq!(g.arc_cost(a), 7);
+        assert_eq!(g.arc_flow(a), 0);
+        assert_eq!(g.num_arcs(), 1);
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn supplies_accumulate() {
+        let mut g = Graph::new(3);
+        g.set_supply(NodeId(1), 4);
+        g.add_supply(NodeId(1), -1);
+        assert_eq!(g.supply(NodeId(1)), 3);
+        assert_eq!(g.supply_balance(), 3);
+        g.set_supply(NodeId(2), -3);
+        assert_eq!(g.supply_balance(), 0);
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = Graph::new(1);
+        let n = g.add_node();
+        assert_eq!(n, NodeId(1));
+        assert_eq!(g.num_nodes(), 2);
+        g.add_arc(NodeId(0), n, 1, 1);
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn negative_cost_is_flagged() {
+        let mut g = Graph::new(2);
+        g.add_arc(NodeId(0), NodeId(1), 1, -3);
+        assert!(g.has_negative_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_panics() {
+        let mut g = Graph::new(2);
+        g.add_arc(NodeId(0), NodeId(1), -1, 0);
+    }
+
+    #[test]
+    fn reset_flow_restores_capacity() {
+        let mut g = Graph::new(2);
+        let a = g.add_arc(NodeId(0), NodeId(1), 5, 1);
+        g.set_supply(NodeId(0), 5);
+        g.set_supply(NodeId(1), -5);
+        let sol = g.clone().solve().unwrap();
+        assert_eq!(sol.flow(a), 5);
+        // The original graph is untouched; reset on a solved clone works too.
+        let mut solved = g.clone();
+        solved.solve_in_place().unwrap();
+        assert_eq!(solved.arc_flow(a), 5);
+        solved.reset_flow();
+        assert_eq!(solved.arc_flow(a), 0);
+    }
+}

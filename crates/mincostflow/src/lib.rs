@@ -1,0 +1,59 @@
+//! # mincostflow — exact minimum-cost flow
+//!
+//! This crate is the numerical substrate for computing offline-optimal (OPT)
+//! caching decisions. The paper ("Towards Lightweight and Robust Machine
+//! Learning for CDN Caching", HotNets 2018) uses the LEMON C++ library for
+//! this; we implement the solver from scratch.
+//!
+//! The solver implements **successive shortest paths (SSP) with node
+//! potentials** (Johnson reduction), which is exact for any min-cost flow
+//! instance with integral capacities and costs:
+//!
+//! 1. Node potentials are initialized with Bellman–Ford (so arcs with
+//!    negative costs are supported), or with zeros when all costs are
+//!    non-negative.
+//! 2. Repeatedly run Dijkstra on *reduced costs* from the set of nodes with
+//!    remaining excess to the nearest node with remaining deficit, and push
+//!    the bottleneck amount of flow along the shortest path.
+//! 3. After each iteration, fold the computed distances into the potentials,
+//!    keeping all reduced costs non-negative.
+//!
+//! A second, independent solver (Bellman–Ford-based SSP, [`solve_spfa`]) and
+//! an optimality validator ([`validate`]) exist purely for cross-checking in
+//! tests: two independent implementations plus a complementary-slackness
+//! check give high confidence in the flow solutions that OPT labels are
+//! derived from.
+//!
+//! ## Example
+//!
+//! ```
+//! use mincostflow::{Graph, NodeId};
+//!
+//! // Route 4 units from node 0 to node 2; the direct arc is cheap but small.
+//! let mut g = Graph::new(3);
+//! let direct = g.add_arc(NodeId(0), NodeId(2), 3, 1);
+//! g.add_arc(NodeId(0), NodeId(1), 10, 2);
+//! g.add_arc(NodeId(1), NodeId(2), 10, 2);
+//! g.set_supply(NodeId(0), 4);
+//! g.set_supply(NodeId(2), -4);
+//! let sol = g.solve().unwrap();
+//! assert_eq!(sol.total_cost(), 3 * 1 + 1 * 4);
+//! assert_eq!(sol.flow(direct), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dimacs;
+pub mod graph;
+pub mod solver;
+pub mod spfa;
+pub mod validate;
+
+pub use builder::GraphBuilder;
+pub use dimacs::{read_dimacs, write_dimacs, DimacsError};
+pub use graph::{ArcId, Graph, NodeId};
+pub use solver::{FlowError, FlowSolution};
+pub use spfa::solve_spfa;
+pub use validate::{check_feasible, check_optimal, validate, ValidationError};

@@ -1,0 +1,424 @@
+//! Successive-shortest-paths solver with Johnson potentials.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::graph::{ArcId, Graph};
+
+/// Why a min-cost flow instance could not be solved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// Node supplies do not sum to zero, so no feasible flow exists.
+    Unbalanced {
+        /// The (non-zero) sum of all supplies.
+        balance: i64,
+    },
+    /// Some excess flow cannot reach any remaining deficit (cut of zero
+    /// residual capacity separates sources from sinks).
+    Infeasible,
+    /// A negative-cost cycle of unbounded capacity was detected during
+    /// potential initialization; the optimum is unbounded below.
+    NegativeCycle,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Unbalanced { balance } => {
+                write!(f, "supplies sum to {balance}, expected 0")
+            }
+            FlowError::Infeasible => write!(f, "no feasible flow: sources cut off from sinks"),
+            FlowError::NegativeCycle => write!(f, "negative-cost cycle: optimum unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// An optimal flow, produced by [`Graph::solve`].
+#[derive(Clone, Debug)]
+pub struct FlowSolution {
+    graph: Graph,
+    total_cost: i128,
+    augmentations: usize,
+}
+
+impl FlowSolution {
+    /// Flow routed on a forward arc in the optimal solution.
+    pub fn flow(&self, arc: ArcId) -> i64 {
+        self.graph.arc_flow(arc)
+    }
+
+    /// Total cost `sum(flow(a) * cost(a))` of the optimal solution.
+    ///
+    /// Returned as `i128`: byte-granularity capacities times scaled per-byte
+    /// costs can exceed `i64` on large windows.
+    pub fn total_cost(&self) -> i128 {
+        self.total_cost
+    }
+
+    /// Number of augmenting-path iterations the solver performed.
+    pub fn augmentations(&self) -> usize {
+        self.augmentations
+    }
+
+    /// The solved graph (arc flows are reflected in residual capacities).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes the solution, returning the solved graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+impl From<crate::spfa::FlowSolutionParts> for FlowSolution {
+    fn from(parts: crate::spfa::FlowSolutionParts) -> Self {
+        FlowSolution {
+            graph: parts.graph,
+            total_cost: parts.total_cost,
+            augmentations: parts.augmentations,
+        }
+    }
+}
+
+impl Graph {
+    /// Solves the instance, consuming the graph.
+    pub fn solve(mut self) -> Result<FlowSolution, FlowError> {
+        let augmentations = self.solve_in_place()?;
+        let total_cost = self.current_cost();
+        Ok(FlowSolution {
+            graph: self,
+            total_cost,
+            augmentations,
+        })
+    }
+
+    /// Total cost of the flow currently routed on the graph.
+    pub fn current_cost(&self) -> i128 {
+        (0..self.num_arcs())
+            .map(|i| {
+                let arc = ArcId(i as u32);
+                i128::from(self.arc_flow(arc)) * i128::from(self.arc_cost(arc))
+            })
+            .sum()
+    }
+
+    /// Solves the instance in place, leaving the optimal flow reflected in
+    /// the arcs' residual capacities. Returns the number of augmentations.
+    pub fn solve_in_place(&mut self) -> Result<usize, FlowError> {
+        let balance = self.supply_balance();
+        if balance != 0 {
+            return Err(FlowError::Unbalanced { balance });
+        }
+
+        let n = self.num_nodes();
+        let mut excess = self.supply.clone();
+        let mut potential = vec![0i64; n];
+        if self.has_negative_cost {
+            self.init_potentials_bellman_ford(&mut potential)?;
+        }
+
+        let mut dist = vec![i64::MAX; n];
+        let mut parent_arc: Vec<u32> = vec![u32::MAX; n];
+        let mut visited = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        let mut touched: Vec<u32> = Vec::new();
+        let mut augmentations = 0usize;
+
+        // Single-source successive shortest paths: drain one excess node at
+        // a time. On the near-linear graphs OPT produces, the nearest
+        // deficit is usually close to the source, so each Dijkstra settles
+        // a small local region instead of sweeping the whole graph.
+        for source in 0..n {
+            while excess[source] > 0 {
+                // Dijkstra on reduced costs from `source`, stopping at the
+                // first deficit node settled.
+                heap.clear();
+                for &t in &touched {
+                    let t = t as usize;
+                    dist[t] = i64::MAX;
+                    visited[t] = false;
+                    parent_arc[t] = u32::MAX;
+                }
+                touched.clear();
+                dist[source] = 0;
+                touched.push(source as u32);
+                heap.push(Reverse((0, source as u32)));
+
+                let mut target: Option<usize> = None;
+                while let Some(Reverse((d, v))) = heap.pop() {
+                    let v = v as usize;
+                    if visited[v] {
+                        continue;
+                    }
+                    visited[v] = true;
+                    if excess[v] < 0 {
+                        target = Some(v);
+                        break;
+                    }
+                    for &ai in &self.adjacency[v] {
+                        let arc = &self.arcs[ai as usize];
+                        if arc.residual <= 0 {
+                            continue;
+                        }
+                        let u = arc.head as usize;
+                        if visited[u] {
+                            continue;
+                        }
+                        let reduced = arc.cost + potential[v] - potential[u];
+                        debug_assert!(reduced >= 0, "negative reduced cost {reduced}");
+                        let nd = d + reduced;
+                        if nd < dist[u] {
+                            if dist[u] == i64::MAX {
+                                touched.push(u as u32);
+                            }
+                            dist[u] = nd;
+                            parent_arc[u] = ai;
+                            heap.push(Reverse((nd, u as u32)));
+                        }
+                    }
+                }
+
+                let Some(t) = target else {
+                    return Err(FlowError::Infeasible);
+                };
+                let d_t = dist[t];
+
+                // Fold distances into potentials. Only settled nodes need
+                // updating: a uniform shift of all potentials leaves every
+                // reduced cost unchanged, so `π(v) += min(dist(v), d_t) −
+                // d_t` touches just the settled region (zero for the rest).
+                for &v in &touched {
+                    let v = v as usize;
+                    if visited[v] && dist[v] < d_t {
+                        potential[v] += dist[v] - d_t;
+                    }
+                }
+
+                // Walk parents back from the target to find the bottleneck.
+                let mut bottleneck = (-excess[t]).min(excess[source]);
+                let mut v = t;
+                while parent_arc[v] != u32::MAX {
+                    let ai = parent_arc[v] as usize;
+                    bottleneck = bottleneck.min(self.arcs[ai].residual);
+                    v = self.arcs[ai ^ 1].head as usize;
+                }
+                debug_assert_eq!(v, source);
+                debug_assert!(bottleneck > 0);
+
+                // Apply the augmentation.
+                let mut v = t;
+                while parent_arc[v] != u32::MAX {
+                    let ai = parent_arc[v] as usize;
+                    self.arcs[ai].residual -= bottleneck;
+                    self.arcs[ai ^ 1].residual += bottleneck;
+                    v = self.arcs[ai ^ 1].head as usize;
+                }
+                excess[source] -= bottleneck;
+                excess[t] += bottleneck;
+                augmentations += 1;
+            }
+        }
+
+        Ok(augmentations)
+    }
+
+    /// Bellman–Ford potential initialization for graphs with negative arc
+    /// costs. Distances start at zero for every node (equivalent to a free
+    /// virtual source), so the result lower-bounds every reduced cost.
+    fn init_potentials_bellman_ford(&self, potential: &mut [i64]) -> Result<(), FlowError> {
+        let n = self.num_nodes();
+        potential.fill(0);
+        for round in 0..n {
+            let mut changed = false;
+            for v in 0..n {
+                if potential[v] == i64::MAX {
+                    continue;
+                }
+                for &ai in &self.adjacency[v] {
+                    let arc = &self.arcs[ai as usize];
+                    if arc.residual <= 0 {
+                        continue;
+                    }
+                    let u = arc.head as usize;
+                    let nd = potential[v] + arc.cost;
+                    if nd < potential[u] {
+                        potential[u] = nd;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+            if round == n - 1 {
+                return Err(FlowError::NegativeCycle);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn single_arc() {
+        let mut g = Graph::new(2);
+        let a = g.add_arc(n(0), n(1), 10, 3);
+        g.set_supply(n(0), 7);
+        g.set_supply(n(1), -7);
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.flow(a), 7);
+        assert_eq!(sol.total_cost(), 21);
+        assert_eq!(sol.augmentations(), 1);
+    }
+
+    #[test]
+    fn prefers_cheaper_path() {
+        // 0 -> 1 -> 3 costs 2, 0 -> 2 -> 3 costs 10.
+        let mut g = Graph::new(4);
+        let a01 = g.add_arc(n(0), n(1), 5, 1);
+        let a13 = g.add_arc(n(1), n(3), 5, 1);
+        let a02 = g.add_arc(n(0), n(2), 5, 5);
+        let a23 = g.add_arc(n(2), n(3), 5, 5);
+        g.set_supply(n(0), 5);
+        g.set_supply(n(3), -5);
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.flow(a01), 5);
+        assert_eq!(sol.flow(a13), 5);
+        assert_eq!(sol.flow(a02), 0);
+        assert_eq!(sol.flow(a23), 0);
+        assert_eq!(sol.total_cost(), 10);
+    }
+
+    #[test]
+    fn splits_across_paths_when_capacity_binds() {
+        let mut g = Graph::new(4);
+        let cheap1 = g.add_arc(n(0), n(1), 3, 1);
+        let cheap2 = g.add_arc(n(1), n(3), 3, 1);
+        let exp1 = g.add_arc(n(0), n(2), 10, 4);
+        let exp2 = g.add_arc(n(2), n(3), 10, 4);
+        g.set_supply(n(0), 8);
+        g.set_supply(n(3), -8);
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.flow(cheap1), 3);
+        assert_eq!(sol.flow(cheap2), 3);
+        assert_eq!(sol.flow(exp1), 5);
+        assert_eq!(sol.flow(exp2), 5);
+        assert_eq!(sol.total_cost(), 3 * 2 + 5 * 8);
+    }
+
+    #[test]
+    fn multi_source_multi_sink() {
+        let mut g = Graph::new(4);
+        g.add_arc(n(0), n(2), 10, 1);
+        g.add_arc(n(0), n(3), 10, 5);
+        g.add_arc(n(1), n(2), 10, 5);
+        g.add_arc(n(1), n(3), 10, 1);
+        g.set_supply(n(0), 4);
+        g.set_supply(n(1), 6);
+        g.set_supply(n(2), -4);
+        g.set_supply(n(3), -6);
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.total_cost(), 10);
+    }
+
+    #[test]
+    fn unbalanced_rejected() {
+        let mut g = Graph::new(2);
+        g.add_arc(n(0), n(1), 1, 1);
+        g.set_supply(n(0), 2);
+        g.set_supply(n(1), -1);
+        assert_eq!(g.solve().unwrap_err(), FlowError::Unbalanced { balance: 1 });
+    }
+
+    #[test]
+    fn infeasible_rejected() {
+        let mut g = Graph::new(3);
+        g.add_arc(n(0), n(1), 1, 1); // node 2 unreachable
+        g.set_supply(n(0), 1);
+        g.set_supply(n(2), -1);
+        assert_eq!(g.solve().unwrap_err(), FlowError::Infeasible);
+    }
+
+    #[test]
+    fn capacity_too_small_is_infeasible() {
+        let mut g = Graph::new(2);
+        g.add_arc(n(0), n(1), 3, 1);
+        g.set_supply(n(0), 5);
+        g.set_supply(n(1), -5);
+        assert_eq!(g.solve().unwrap_err(), FlowError::Infeasible);
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        // Taking the negative arc is optimal.
+        let mut g = Graph::new(3);
+        let neg = g.add_arc(n(0), n(1), 5, -2);
+        let pos = g.add_arc(n(1), n(2), 5, 1);
+        let direct = g.add_arc(n(0), n(2), 5, 0);
+        g.set_supply(n(0), 5);
+        g.set_supply(n(2), -5);
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.flow(neg), 5);
+        assert_eq!(sol.flow(pos), 5);
+        assert_eq!(sol.flow(direct), 0);
+        assert_eq!(sol.total_cost(), -5);
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let mut g = Graph::new(2);
+        g.add_arc(n(0), n(1), 10, -5);
+        g.add_arc(n(1), n(0), 10, 2);
+        g.set_supply(n(0), 0);
+        g.set_supply(n(1), 0);
+        assert_eq!(g.solve().unwrap_err(), FlowError::NegativeCycle);
+    }
+
+    #[test]
+    fn zero_supply_is_trivially_optimal() {
+        let mut g = Graph::new(3);
+        let a = g.add_arc(n(0), n(1), 10, 1);
+        g.add_arc(n(1), n(2), 10, 1);
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.flow(a), 0);
+        assert_eq!(sol.total_cost(), 0);
+        assert_eq!(sol.augmentations(), 0);
+    }
+
+    #[test]
+    fn parallel_arcs_fill_cheapest_first() {
+        let mut g = Graph::new(2);
+        let cheap = g.add_arc(n(0), n(1), 4, 1);
+        let mid = g.add_arc(n(0), n(1), 4, 2);
+        let exp = g.add_arc(n(0), n(1), 4, 3);
+        g.set_supply(n(0), 9);
+        g.set_supply(n(1), -9);
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.flow(cheap), 4);
+        assert_eq!(sol.flow(mid), 4);
+        assert_eq!(sol.flow(exp), 1);
+        assert_eq!(sol.total_cost(), 4 + 8 + 3);
+    }
+
+    #[test]
+    fn large_supplies_do_not_overflow_cost() {
+        let mut g = Graph::new(2);
+        g.add_arc(n(0), n(1), i64::MAX / 4, 1_000_000);
+        g.set_supply(n(0), 1 << 40);
+        g.set_supply(n(1), -(1 << 40));
+        let sol = g.solve().unwrap();
+        assert_eq!(sol.total_cost(), (1i128 << 40) * 1_000_000);
+    }
+}

@@ -1,0 +1,194 @@
+//! Independent reference solver used to cross-check [`crate::solver`].
+//!
+//! This is a deliberately simple successive-shortest-paths implementation
+//! that recomputes shortest paths with SPFA (queue-based Bellman–Ford) on
+//! the *raw* residual costs each iteration, with no potentials. It is
+//! asymptotically slower than the Dijkstra-with-potentials solver but shares
+//! no shortest-path machinery with it, which makes agreement between the two
+//! a meaningful correctness signal in tests and in the [`crate::validate`]
+//! property suite.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::solver::{FlowError, FlowSolution};
+
+/// Solves the instance with the reference SPFA-based algorithm.
+///
+/// Produces a flow with the same total cost as [`Graph::solve`] (individual
+/// arc flows may differ when multiple optima exist).
+pub fn solve_spfa(mut graph: Graph) -> Result<FlowSolution, FlowError> {
+    let balance = graph.supply_balance();
+    if balance != 0 {
+        return Err(FlowError::Unbalanced { balance });
+    }
+    let n = graph.num_nodes();
+    if graph.has_negative_cost {
+        detect_negative_cycle(&graph)?;
+    }
+    let mut excess = graph.supply.clone();
+    let mut augmentations = 0usize;
+
+    loop {
+        let Some(source) = (0..n).find(|&v| excess[v] > 0) else {
+            break;
+        };
+
+        // SPFA from the single chosen source on residual arcs.
+        let mut dist = vec![i64::MAX; n];
+        let mut parent: Vec<u32> = vec![u32::MAX; n];
+        let mut in_queue = vec![false; n];
+        let mut relaxations = vec![0u32; n];
+        let mut queue = VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source as u32);
+        in_queue[source] = true;
+        while let Some(v) = queue.pop_front() {
+            let v = v as usize;
+            in_queue[v] = false;
+            for &ai in &graph.adjacency[v] {
+                let arc = &graph.arcs[ai as usize];
+                if arc.residual <= 0 {
+                    continue;
+                }
+                let u = arc.head as usize;
+                let nd = dist[v].saturating_add(arc.cost);
+                if nd < dist[u] {
+                    dist[u] = nd;
+                    parent[u] = ai;
+                    if !in_queue[u] {
+                        relaxations[u] += 1;
+                        if relaxations[u] as usize > n + 1 {
+                            return Err(FlowError::NegativeCycle);
+                        }
+                        queue.push_back(u as u32);
+                        in_queue[u] = true;
+                    }
+                }
+            }
+        }
+
+        // Cheapest reachable deficit node.
+        let target = (0..n)
+            .filter(|&v| excess[v] < 0 && dist[v] < i64::MAX)
+            .min_by_key(|&v| dist[v]);
+        let Some(t) = target else {
+            return Err(FlowError::Infeasible);
+        };
+
+        let mut bottleneck = (-excess[t]).min(excess[source]);
+        let mut v = t;
+        while v != source {
+            let ai = parent[v] as usize;
+            bottleneck = bottleneck.min(graph.arcs[ai].residual);
+            v = graph.arcs[ai ^ 1].head as usize;
+        }
+        let mut v = t;
+        while v != source {
+            let ai = parent[v] as usize;
+            graph.arcs[ai].residual -= bottleneck;
+            graph.arcs[ai ^ 1].residual += bottleneck;
+            v = graph.arcs[ai ^ 1].head as usize;
+        }
+        excess[source] -= bottleneck;
+        excess[t] += bottleneck;
+        augmentations += 1;
+    }
+
+    let total_cost = graph.current_cost();
+    Ok(FlowSolutionParts {
+        graph,
+        total_cost,
+        augmentations,
+    }
+    .into())
+}
+
+/// Bellman–Ford over all arcs with residual capacity: rejects instances
+/// whose initial residual graph contains a negative-cost cycle, matching the
+/// primary solver's semantics (the SSP family is only defined on
+/// negative-cycle-free instances).
+fn detect_negative_cycle(graph: &Graph) -> Result<(), FlowError> {
+    let n = graph.num_nodes();
+    let mut dist = vec![0i64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for v in 0..n {
+            for &ai in &graph.adjacency[v] {
+                let arc = &graph.arcs[ai as usize];
+                if arc.residual <= 0 {
+                    continue;
+                }
+                let u = arc.head as usize;
+                if dist[v] + arc.cost < dist[u] {
+                    dist[u] = dist[v] + arc.cost;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+        if round == n {
+            return Err(FlowError::NegativeCycle);
+        }
+    }
+    Ok(())
+}
+
+/// Internal constructor bridge so `FlowSolution` stays opaque outside the
+/// crate while both solvers can produce it.
+pub(crate) struct FlowSolutionParts {
+    pub graph: Graph,
+    pub total_cost: i128,
+    pub augmentations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn agrees_with_primary_solver_on_diamond() {
+        let mut g = Graph::new(4);
+        g.add_arc(NodeId(0), NodeId(1), 3, 1);
+        g.add_arc(NodeId(1), NodeId(3), 3, 1);
+        g.add_arc(NodeId(0), NodeId(2), 10, 4);
+        g.add_arc(NodeId(2), NodeId(3), 10, 4);
+        g.set_supply(NodeId(0), 8);
+        g.set_supply(NodeId(3), -8);
+        let a = g.clone().solve().unwrap().total_cost();
+        let b = solve_spfa(g).unwrap().total_cost();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        let mut g = Graph::new(2);
+        g.set_supply(NodeId(0), 1);
+        assert_eq!(
+            solve_spfa(g).unwrap_err(),
+            FlowError::Unbalanced { balance: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_infeasible() {
+        let mut g = Graph::new(2);
+        g.set_supply(NodeId(0), 1);
+        g.set_supply(NodeId(1), -1);
+        assert_eq!(solve_spfa(g).unwrap_err(), FlowError::Infeasible);
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let mut g = Graph::new(3);
+        g.add_arc(NodeId(0), NodeId(1), 5, -2);
+        g.add_arc(NodeId(1), NodeId(2), 5, 1);
+        g.add_arc(NodeId(0), NodeId(2), 5, 0);
+        g.set_supply(NodeId(0), 5);
+        g.set_supply(NodeId(2), -5);
+        assert_eq!(solve_spfa(g).unwrap().total_cost(), -5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Optimality validation for flow solutions.
+//!
+//! A feasible flow is optimal iff the residual graph contains no
+//! negative-cost cycle, or equivalently iff there exists a node potential
+//! under which every residual arc has non-negative reduced cost. This module
+//! checks feasibility directly and optimality by running Bellman–Ford on the
+//! residual graph. It is used by the test suites of both this crate and the
+//! `opt` crate to certify the flows that OPT labels are derived from.
+
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::solver::FlowSolution;
+
+/// A violated flow property, reported by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Some arc carries negative flow or exceeds its capacity.
+    CapacityViolated {
+        /// Pair index of the offending arc.
+        arc: usize,
+        /// Flow currently on the arc.
+        flow: i64,
+        /// Capacity of the arc.
+        capacity: i64,
+    },
+    /// Flow conservation fails at a node: inflow - outflow != -supply.
+    ConservationViolated {
+        /// The offending node.
+        node: usize,
+        /// Net flow into the node minus its demand.
+        imbalance: i64,
+    },
+    /// The residual graph contains a negative-cost cycle, so the flow is
+    /// feasible but not optimal.
+    NotOptimal,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::CapacityViolated {
+                arc,
+                flow,
+                capacity,
+            } => write!(f, "arc {arc}: flow {flow} outside [0, {capacity}]"),
+            ValidationError::ConservationViolated { node, imbalance } => {
+                write!(f, "node {node}: conservation violated by {imbalance}")
+            }
+            ValidationError::NotOptimal => {
+                write!(f, "residual graph has a negative cycle: flow not optimal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks that `solution` is a feasible *and* optimal flow for its graph.
+pub fn validate(solution: &FlowSolution) -> Result<(), ValidationError> {
+    let graph = solution.graph();
+    check_feasible(graph)?;
+    check_optimal(graph)?;
+    Ok(())
+}
+
+/// Checks capacity bounds and flow conservation against node supplies.
+pub fn check_feasible(graph: &Graph) -> Result<(), ValidationError> {
+    let n = graph.num_nodes();
+    let mut net = vec![0i64; n]; // outflow - inflow per node
+    for pair in 0..graph.num_arcs() {
+        let arc = crate::graph::ArcId(pair as u32);
+        let flow = graph.arc_flow(arc);
+        let capacity = graph.arc_capacity(arc);
+        if flow < 0 || flow > capacity {
+            return Err(ValidationError::CapacityViolated {
+                arc: pair,
+                flow,
+                capacity,
+            });
+        }
+        net[graph.arc_tail(arc).index()] += flow;
+        net[graph.arc_head(arc).index()] -= flow;
+    }
+    for (v, &out_minus_in) in net.iter().enumerate() {
+        // A source with supply s must ship s net units out.
+        let imbalance = out_minus_in - graph.supply(v.into());
+        if imbalance != 0 {
+            return Err(ValidationError::ConservationViolated { node: v, imbalance });
+        }
+    }
+    Ok(())
+}
+
+/// Checks optimality: Bellman–Ford over residual arcs must converge.
+pub fn check_optimal(graph: &Graph) -> Result<(), ValidationError> {
+    let n = graph.num_nodes();
+    let mut dist = vec![0i64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for v in 0..n {
+            for &ai in &graph.adjacency[v] {
+                let arc = &graph.arcs[ai as usize];
+                if arc.residual <= 0 {
+                    continue;
+                }
+                let u = arc.head as usize;
+                let nd = dist[v] + arc.cost;
+                if nd < dist[u] {
+                    dist[u] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+        if round == n {
+            return Err(ValidationError::NotOptimal);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn validates_optimal_solution() {
+        let mut g = Graph::new(4);
+        g.add_arc(NodeId(0), NodeId(1), 3, 1);
+        g.add_arc(NodeId(1), NodeId(3), 3, 1);
+        g.add_arc(NodeId(0), NodeId(2), 10, 4);
+        g.add_arc(NodeId(2), NodeId(3), 10, 4);
+        g.set_supply(NodeId(0), 8);
+        g.set_supply(NodeId(3), -8);
+        let sol = g.solve().unwrap();
+        validate(&sol).unwrap();
+    }
+
+    #[test]
+    fn detects_suboptimal_flow() {
+        // Hand-build a feasible but suboptimal flow: route on the expensive
+        // arc while the cheap one is empty.
+        let mut g = Graph::new(2);
+        let _cheap = g.add_arc(NodeId(0), NodeId(1), 5, 1);
+        let expensive = g.add_arc(NodeId(0), NodeId(1), 5, 10);
+        g.set_supply(NodeId(0), 5);
+        g.set_supply(NodeId(1), -5);
+        // Manually push flow on `expensive`.
+        let ai = expensive.index() * 2;
+        g.arcs[ai].residual -= 5;
+        g.arcs[ai ^ 1].residual += 5;
+        check_feasible(&g).unwrap();
+        assert_eq!(check_optimal(&g), Err(ValidationError::NotOptimal));
+    }
+
+    #[test]
+    fn detects_conservation_violation() {
+        let mut g = Graph::new(2);
+        let a = g.add_arc(NodeId(0), NodeId(1), 5, 1);
+        // No supply, but flow routed anyway.
+        let ai = a.index() * 2;
+        g.arcs[ai].residual -= 2;
+        g.arcs[ai ^ 1].residual += 2;
+        assert!(matches!(
+            check_feasible(&g),
+            Err(ValidationError::ConservationViolated { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_capacity_violation() {
+        let mut g = Graph::new(2);
+        let a = g.add_arc(NodeId(0), NodeId(1), 5, 1);
+        let ai = a.index() * 2;
+        g.arcs[ai].residual = -1; // flow = 6 > capacity 5
+        assert!(matches!(
+            check_feasible(&g),
+            Err(ValidationError::CapacityViolated { flow: 6, .. })
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: the Dijkstra-with-potentials solver and the independent
+//! SPFA reference solver must agree on total cost for random instances, and
+//! every produced solution must pass the feasibility + optimality validator.
+
+use mincostflow::{check_feasible, solve_spfa, validate, FlowError, Graph, NodeId};
+use proptest::prelude::*;
+
+/// A random instance description: arcs plus a set of source/sink pairs.
+#[derive(Debug, Clone)]
+struct Instance {
+    nodes: usize,
+    arcs: Vec<(u32, u32, i64, i64)>,
+    demands: Vec<(u32, u32, i64)>, // (source, sink, amount)
+}
+
+fn instance_strategy(
+    max_nodes: usize,
+    max_arcs: usize,
+    allow_negative: bool,
+) -> impl Strategy<Value = Instance> {
+    (2usize..=max_nodes).prop_flat_map(move |nodes| {
+        let n = nodes as u32;
+        let cost_range = if allow_negative { -8i64..20 } else { 0i64..20 };
+        let arc = (0..n, 0..n, 1i64..30, cost_range);
+        let demand = (0..n, 0..n, 1i64..15);
+        (
+            Just(nodes),
+            proptest::collection::vec(arc, 1..=max_arcs),
+            proptest::collection::vec(demand, 1..=3),
+        )
+            .prop_map(|(nodes, arcs, demands)| Instance {
+                nodes,
+                arcs,
+                demands,
+            })
+    })
+}
+
+fn build(inst: &Instance) -> Graph {
+    let mut g = Graph::new(inst.nodes);
+    for &(f, t, cap, cost) in &inst.arcs {
+        if f != t {
+            g.add_arc(NodeId(f), NodeId(t), cap, cost);
+        }
+    }
+    for &(s, t, amount) in &inst.demands {
+        if s != t {
+            g.add_supply(NodeId(s), amount);
+            g.add_supply(NodeId(t), -amount);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solvers_agree_nonnegative_costs(inst in instance_strategy(8, 16, false)) {
+        let g = build(&inst);
+        let primary = g.clone().solve();
+        let reference = solve_spfa(g);
+        match (primary, reference) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.total_cost(), b.total_cost());
+                validate(&a).unwrap();
+                validate(&b).unwrap();
+            }
+            (Err(FlowError::Infeasible), Err(FlowError::Infeasible)) => {}
+            (p, r) => prop_assert!(false, "solver disagreement: {p:?} vs {r:?}"),
+        }
+    }
+
+    #[test]
+    fn solvers_agree_negative_costs(inst in instance_strategy(6, 10, true)) {
+        let g = build(&inst);
+        let primary = g.clone().solve();
+        let reference = solve_spfa(g);
+        match (primary, reference) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.total_cost(), b.total_cost());
+                validate(&a).unwrap();
+            }
+            (Err(FlowError::Infeasible), Err(FlowError::Infeasible)) => {}
+            // Negative-cycle detection can fire in either solver; accept
+            // any pairing where both report an error for cyclic instances.
+            (Err(_), Err(_)) => {}
+            (p, r) => prop_assert!(false, "solver disagreement: {p:?} vs {r:?}"),
+        }
+    }
+
+    #[test]
+    fn solutions_are_feasible(inst in instance_strategy(10, 24, false)) {
+        let g = build(&inst);
+        if let Ok(sol) = g.solve() {
+            check_feasible(sol.graph()).unwrap();
+        }
+    }
+
+    #[test]
+    fn cost_never_negative_with_nonnegative_costs(inst in instance_strategy(8, 16, false)) {
+        let g = build(&inst);
+        if let Ok(sol) = g.solve() {
+            prop_assert!(sol.total_cost() >= 0);
+        }
+    }
+
+    #[test]
+    fn doubling_all_capacities_never_increases_cost(inst in instance_strategy(7, 14, false)) {
+        let g = build(&inst);
+        let mut doubled = Graph::new(inst.nodes);
+        for &(f, t, cap, cost) in &inst.arcs {
+            if f != t {
+                doubled.add_arc(NodeId(f), NodeId(t), cap * 2, cost);
+            }
+        }
+        for &(s, t, amount) in &inst.demands {
+            if s != t {
+                doubled.add_supply(NodeId(s), amount);
+                doubled.add_supply(NodeId(t), -amount);
+            }
+        }
+        if let (Ok(a), Ok(b)) = (g.solve(), doubled.solve()) {
+            prop_assert!(b.total_cost() <= a.total_cost());
+        }
+    }
+}

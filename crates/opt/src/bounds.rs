@@ -1,0 +1,118 @@
+//! Simple offline bounds that sandwich any caching policy's performance.
+//!
+//! Used by the benchmark harness to sanity-check simulation results: every
+//! online policy must fall between the all-miss floor and the
+//! infinite-cache ceiling, and (up to the flow formulation's accuracy)
+//! below OPT.
+
+use std::collections::HashMap;
+
+use cdn_trace::{ObjectId, Request};
+
+/// Byte- and object-hit ceilings for an infinitely large cache: every
+/// request after an object's first is a hit. No online or offline policy
+/// can beat these numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InfiniteCacheBound {
+    /// Maximum achievable hit bytes.
+    pub hit_bytes: u64,
+    /// Maximum achievable full-object hits.
+    pub hits: u64,
+    /// Total bytes requested.
+    pub total_bytes: u64,
+    /// Total requests.
+    pub requests: u64,
+}
+
+impl InfiniteCacheBound {
+    /// Byte hit ratio ceiling.
+    pub fn bhr(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Object hit ratio ceiling.
+    pub fn ohr(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Computes the infinite-cache bound for a window.
+pub fn infinite_cache_bound(requests: &[Request]) -> InfiniteCacheBound {
+    let mut seen: HashMap<ObjectId, ()> = HashMap::new();
+    let mut bound = InfiniteCacheBound {
+        hit_bytes: 0,
+        hits: 0,
+        total_bytes: 0,
+        requests: requests.len() as u64,
+    };
+    for r in requests {
+        bound.total_bytes += r.size;
+        if seen.insert(r.object, ()).is_some() {
+            bound.hit_bytes += r.size;
+            bound.hits += 1;
+        }
+    }
+    bound
+}
+
+/// Bytes that *must* miss under any policy (compulsory misses: the first
+/// request to each object).
+pub fn compulsory_miss_bytes(requests: &[Request]) -> u64 {
+    let b = infinite_cache_bound(requests);
+    b.total_bytes - b.hit_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compute_opt, OptConfig};
+    use cdn_trace::{GeneratorConfig, TraceGenerator};
+
+    #[test]
+    fn bound_counts_rerequests_only() {
+        let reqs = vec![
+            Request::new(0, 1u64, 10),
+            Request::new(1, 2u64, 5),
+            Request::new(2, 1u64, 10),
+            Request::new(3, 1u64, 10),
+        ];
+        let b = infinite_cache_bound(&reqs);
+        assert_eq!(b.hit_bytes, 20);
+        assert_eq!(b.hits, 2);
+        assert_eq!(b.total_bytes, 35);
+        assert_eq!(compulsory_miss_bytes(&reqs), 15);
+    }
+
+    #[test]
+    fn opt_never_exceeds_infinite_cache_bound() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(5, 3_000)).generate();
+        let bound = infinite_cache_bound(trace.requests());
+        let opt = compute_opt(trace.requests(), &OptConfig::bhr(8 * 1024 * 1024)).unwrap();
+        assert!(opt.hit_bytes <= bound.hit_bytes);
+        assert!(opt.hits as u64 <= bound.hits);
+    }
+
+    #[test]
+    fn opt_with_huge_cache_attains_the_bound() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(6, 1_000)).generate();
+        let bound = infinite_cache_bound(trace.requests());
+        let opt = compute_opt(trace.requests(), &OptConfig::bhr(u32::MAX as u64)).unwrap();
+        assert_eq!(opt.hit_bytes, bound.hit_bytes);
+        assert_eq!(opt.hits as u64, bound.hits);
+    }
+
+    #[test]
+    fn empty_window_bound_is_zero() {
+        let b = infinite_cache_bound(&[]);
+        assert_eq!(b.bhr(), 0.0);
+        assert_eq!(b.ohr(), 0.0);
+    }
+}

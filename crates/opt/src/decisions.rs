@@ -1,0 +1,231 @@
+//! Extracting OPT's per-request decisions from a solved flow.
+
+use cdn_trace::Request;
+
+use crate::flow_model::{FlowModel, OptConfig, OptError};
+
+/// OPT's decisions and performance for one request window.
+///
+/// Per the paper: "To derive whether OPT caches a request, we verify that
+/// all the request's bytes (starting at its node) are routed along the
+/// central path. If not, OPT does not cache this object." The footnote
+/// notes that fractional splits are possible in theory but rare; the
+/// [`OptResult::split_requests`] counter records how often they occur.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    /// Per request: does OPT admit (cache) the object at this request?
+    pub admit: Vec<bool>,
+    /// Per request: bytes served from the cache (`size` on a full hit, `0`
+    /// on a full miss or a first-ever request, in between on a split).
+    pub cached_bytes: Vec<u64>,
+    /// Per request: true iff *all* bytes were served from cache.
+    pub full_hit: Vec<bool>,
+    /// Requests where the flow split between central path and bypass.
+    pub split_requests: usize,
+    /// Total bytes requested in the window.
+    pub total_bytes: u64,
+    /// Total bytes served from cache across the window.
+    pub hit_bytes: u64,
+    /// Number of requests with a full hit.
+    pub hits: usize,
+    /// The solver's objective: total scaled miss cost.
+    pub scaled_miss_cost: i128,
+    /// Number of augmenting-path iterations used by the solver.
+    pub augmentations: usize,
+}
+
+impl OptResult {
+    /// OPT's byte hit ratio over the window.
+    pub fn bhr(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// OPT's object hit ratio over the window (full hits only).
+    pub fn ohr(&self) -> f64 {
+        if self.admit.is_empty() {
+            0.0
+        } else {
+            self.hits as f64 / self.admit.len() as f64
+        }
+    }
+
+    /// Number of requests covered.
+    pub fn len(&self) -> usize {
+        self.admit.len()
+    }
+
+    /// True when the result covers no requests.
+    pub fn is_empty(&self) -> bool {
+        self.admit.is_empty()
+    }
+}
+
+/// Computes OPT's decisions for a window of requests by building and solving
+/// the min-cost flow model.
+///
+/// Runtime grows superlinearly with the window; for long windows use
+/// [`crate::compute_opt_segmented`] or [`crate::compute_opt_pruned`].
+pub fn compute_opt(requests: &[Request], config: &OptConfig) -> Result<OptResult, OptError> {
+    if requests.is_empty() {
+        return Err(OptError::EmptyWindow);
+    }
+    let mut model = FlowModel::build(requests, config);
+    let augmentations = model.graph.solve_in_place()?;
+    Ok(extract(requests, &model, augmentations))
+}
+
+/// Reads decisions out of a `FlowModel` whose graph has been solved.
+pub(crate) fn extract(requests: &[Request], model: &FlowModel, augmentations: usize) -> OptResult {
+    let n = requests.len();
+    let mut admit = vec![false; n];
+    let mut cached_bytes = vec![0u64; n];
+    let mut full_hit = vec![false; n];
+    let mut split_requests = 0usize;
+    let mut total_bytes = 0u64;
+    let mut hit_bytes = 0u64;
+    let mut hits = 0usize;
+    let mut scaled_miss_cost: i128 = 0;
+
+    for (k, r) in requests.iter().enumerate() {
+        total_bytes += r.size;
+        // Admission: all bytes leave along the central path.
+        if let Some(arc) = model.bypass_out[k] {
+            let miss_flow = model.graph.arc_flow(arc);
+            admit[k] = miss_flow == 0;
+            if miss_flow > 0 && miss_flow < r.size as i64 {
+                split_requests += 1;
+            }
+        }
+        // Hit accounting: bytes that arrived through the cache.
+        if let Some(arc) = model.bypass_in[k] {
+            let miss_flow = model.graph.arc_flow(arc) as u64;
+            let cached = r.size - miss_flow;
+            cached_bytes[k] = cached;
+            hit_bytes += cached;
+            if miss_flow == 0 {
+                full_hit[k] = true;
+                hits += 1;
+            }
+            scaled_miss_cost += i128::from(miss_flow) * i128::from(model.per_byte_cost[k]);
+        }
+    }
+
+    OptResult {
+        admit,
+        cached_bytes,
+        full_hit,
+        split_requests,
+        total_bytes,
+        hit_bytes,
+        hits,
+        scaled_miss_cost,
+        augmentations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::example;
+    use cdn_trace::Request;
+
+    #[test]
+    fn empty_window_is_an_error() {
+        assert!(matches!(
+            compute_opt(&[], &OptConfig::bhr(10)),
+            Err(OptError::EmptyWindow)
+        ));
+    }
+
+    #[test]
+    fn infinite_cache_caches_every_reused_request() {
+        // Cache big enough for everything: every non-last request of a
+        // multi-request object is admitted; every non-first is a full hit.
+        let trace = example::figure3_trace();
+        let r = compute_opt(trace.requests(), &OptConfig::bhr(1_000)).unwrap();
+        // a b c b d a c d a b b a
+        // Non-first requests: indices 3(b),5(a),6(c),7(d),8(a),9(b),10(b),11(a).
+        let expected_hits = [3, 5, 6, 7, 8, 9, 10, 11];
+        for k in 0..r.len() {
+            assert_eq!(
+                r.full_hit[k],
+                expected_hits.contains(&k),
+                "hit mismatch at request {k}"
+            );
+        }
+        assert_eq!(r.hits, 8);
+        assert_eq!(r.scaled_miss_cost, 0);
+        // Every request with a future re-request is admitted.
+        for k in [0, 1, 2, 3, 4, 5, 8, 9] {
+            assert!(r.admit[k], "request {k} should be admitted");
+        }
+        // Last requests are never admitted (no future benefit):
+        // c at 6, d at 7, b at 10, a at 11.
+        assert!(!r.admit[6] && !r.admit[7] && !r.admit[10] && !r.admit[11]);
+    }
+
+    #[test]
+    fn zero_cache_caches_nothing() {
+        let trace = example::figure3_trace();
+        let r = compute_opt(trace.requests(), &OptConfig::bhr(0)).unwrap();
+        assert!(r.admit.iter().all(|&a| !a));
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.hit_bytes, 0);
+    }
+
+    #[test]
+    fn figure3_with_cache_3_is_selective() {
+        // With capacity 3 OPT must choose: caching `a` (size 3) uses the
+        // whole cache. The small objects b (1) and c (1) and d (2) compete.
+        let trace = example::figure3_trace();
+        let r = compute_opt(
+            trace.requests(),
+            &OptConfig::bhr(example::FIGURE4_CACHE_SIZE),
+        )
+        .unwrap();
+        // OPT must achieve at least what "cache only b" achieves: b is
+        // requested 4 times (3 re-requests, 1 byte each = 3 hit bytes) and
+        // fits alongside c or d at times.
+        assert!(r.hit_bytes >= 3, "hit_bytes = {}", r.hit_bytes);
+        // And the cache constraint must bind: with 19 re-requested bytes
+        // total, capacity 3 cannot serve them all.
+        assert!(r.hit_bytes < 19);
+        // Hits and admissions must be consistent: a full hit at k requires
+        // the previous same-object request to have been admitted.
+        let reqs = trace.requests();
+        for k in 0..r.len() {
+            if r.full_hit[k] {
+                let prev = (0..k).rfind(|&i| reqs[i].object == reqs[k].object).unwrap();
+                assert!(r.admit[prev], "hit at {k} but no admit at {prev}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_size_trace_matches_hand_computed_opt() {
+        // Objects x,y,z of size 1, cache of 1: x y x y x — OPT can keep only
+        // one object; keeping x yields 2 hits (requests 2 and 4).
+        let reqs: Vec<Request> = [(1u64, 1u64), (2, 1), (1, 1), (2, 1), (1, 1)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, s))| Request::new(i as u64, id, s))
+            .collect();
+        let r = compute_opt(&reqs, &OptConfig::ohr(1)).unwrap();
+        // OPT achieves exactly 2 hits here: y's re-requests interleave with
+        // x's, and only one object fits.
+        assert_eq!(r.hits, 2, "hits = {:?}", r.full_hit);
+    }
+
+    #[test]
+    fn bhr_and_ohr_are_ratios() {
+        let trace = example::figure3_trace();
+        let r = compute_opt(trace.requests(), &OptConfig::bhr(1_000)).unwrap();
+        assert!((0.0..=1.0).contains(&r.bhr()));
+        assert!((0.0..=1.0).contains(&r.ohr()));
+        assert!((r.ohr() - 8.0 / 12.0).abs() < 1e-12);
+    }
+}

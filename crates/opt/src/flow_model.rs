@@ -1,0 +1,251 @@
+//! Trace → min-cost flow translation (paper §2.1, Figure 4).
+
+use std::collections::HashMap;
+
+use cdn_trace::{CostModel, ObjectId, Request};
+use mincostflow::{ArcId, FlowError, Graph, NodeId};
+
+/// Default fixed-point scale for per-byte costs.
+///
+/// Bypass arcs cost `C_i / S_i` per byte, which is fractional for every cost
+/// model except byte-hit-ratio; costs are stored as integers after
+/// multiplying by this scale. 2^24 keeps exact per-byte resolution for
+/// objects up to 16 MiB while leaving ample headroom in `i64` path-cost
+/// arithmetic for million-request windows.
+pub const DEFAULT_COST_SCALE: u64 = 1 << 24;
+
+/// Configuration of an OPT computation.
+#[derive(Clone, Debug)]
+pub struct OptConfig {
+    /// Cache capacity in bytes (capacity of the central arcs).
+    pub cache_size: u64,
+    /// How the miss cost `C_i` is derived from object size.
+    pub cost_model: CostModel,
+    /// Fixed-point scale applied to per-byte costs.
+    pub cost_scale: u64,
+}
+
+impl OptConfig {
+    /// OPT for the byte hit ratio (`C_i = S_i`), the paper's main setting.
+    pub fn bhr(cache_size: u64) -> Self {
+        OptConfig {
+            cache_size,
+            cost_model: CostModel::ByteHitRatio,
+            cost_scale: DEFAULT_COST_SCALE,
+        }
+    }
+
+    /// OPT for the object hit ratio (`C_i = 1`).
+    pub fn ohr(cache_size: u64) -> Self {
+        OptConfig {
+            cache_size,
+            cost_model: CostModel::ObjectHitRatio,
+            cost_scale: DEFAULT_COST_SCALE,
+        }
+    }
+
+    /// The scaled integer per-byte cost of a miss of an object of `size`
+    /// bytes: `max(1, round(scale * C_i / S_i))`.
+    pub fn scaled_per_byte_cost(&self, size: u64) -> i64 {
+        let c = self.cost_model.cost(size) as f64;
+        let per_byte = c / size as f64 * self.cost_scale as f64;
+        (per_byte.round() as i64).max(1)
+    }
+}
+
+/// Errors from OPT computation.
+#[derive(Debug)]
+pub enum OptError {
+    /// The underlying flow instance could not be solved. With a correctly
+    /// built model this indicates a bug, not a user error: the bypass arcs
+    /// always provide a feasible all-miss routing.
+    Flow(FlowError),
+    /// The window is empty.
+    EmptyWindow,
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::Flow(e) => write!(f, "flow solve failed: {e}"),
+            OptError::EmptyWindow => write!(f, "cannot compute OPT for an empty window"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<FlowError> for OptError {
+    fn from(e: FlowError) -> Self {
+        OptError::Flow(e)
+    }
+}
+
+/// The min-cost flow instance for a request window, with the bookkeeping
+/// needed to read OPT decisions back out of a solved flow.
+pub struct FlowModel {
+    /// The flow instance (node *k* = request *k* of the window).
+    pub graph: Graph,
+    /// For each request, the bypass arc to the *next* request of the same
+    /// object, if any. `None` for the last request of an object.
+    pub bypass_out: Vec<Option<ArcId>>,
+    /// For each request, the bypass arc from the *previous* request of the
+    /// same object, if any. `None` for first requests.
+    pub bypass_in: Vec<Option<ArcId>>,
+    /// Scaled per-byte miss cost per request (for miss-cost accounting).
+    pub per_byte_cost: Vec<i64>,
+}
+
+impl FlowModel {
+    /// Builds the Figure 4 flow instance for a window of requests.
+    ///
+    /// Single-request objects get no supplies and no bypass arcs: OPT gains
+    /// nothing from caching them, so their admission label is *false* and
+    /// they do not constrain the flow.
+    pub fn build(requests: &[Request], config: &OptConfig) -> Self {
+        let n = requests.len();
+        let mut graph = Graph::with_capacity(n, 2 * n);
+        // Central path: capacity = cache size, cost 0.
+        for k in 0..n.saturating_sub(1) {
+            graph.add_arc(
+                NodeId::from(k),
+                NodeId::from(k + 1),
+                config.cache_size as i64,
+                0,
+            );
+        }
+
+        let mut bypass_out: Vec<Option<ArcId>> = vec![None; n];
+        let mut bypass_in: Vec<Option<ArcId>> = vec![None; n];
+        let mut per_byte_cost: Vec<i64> = Vec::with_capacity(n);
+        let mut prev_occurrence: HashMap<ObjectId, usize> = HashMap::new();
+        let mut first_occurrence: HashMap<ObjectId, usize> = HashMap::new();
+
+        for (k, r) in requests.iter().enumerate() {
+            per_byte_cost.push(config.scaled_per_byte_cost(r.size));
+            if let Some(&prev) = prev_occurrence.get(&r.object) {
+                let arc = graph.add_arc(
+                    NodeId::from(prev),
+                    NodeId::from(k),
+                    r.size as i64,
+                    per_byte_cost[k],
+                );
+                bypass_out[prev] = Some(arc);
+                bypass_in[k] = Some(arc);
+            } else {
+                first_occurrence.insert(r.object, k);
+            }
+            prev_occurrence.insert(r.object, k);
+        }
+
+        // Supplies: +size at first request, -size at last request of each
+        // object that is requested more than once.
+        for (object, &first) in &first_occurrence {
+            let last = prev_occurrence[object];
+            if last != first {
+                let size = requests[first].size as i64;
+                graph.add_supply(NodeId::from(first), size);
+                graph.add_supply(NodeId::from(last), -size);
+            }
+        }
+
+        FlowModel {
+            graph,
+            bypass_out,
+            bypass_in,
+            per_byte_cost,
+        }
+    }
+
+    /// Number of requests (= nodes) in the model.
+    pub fn len(&self) -> usize {
+        self.bypass_out.len()
+    }
+
+    /// True when the model covers no requests.
+    pub fn is_empty(&self) -> bool {
+        self.bypass_out.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::example;
+
+    #[test]
+    fn figure4_graph_shape() {
+        // The Figure 4 graph: 12 nodes, 11 central edges, and bypass edges
+        // for each consecutive same-object pair: a (3 pairs), b (3 pairs),
+        // c (1 pair), d (1 pair) = 8 bypass arcs.
+        let trace = example::figure3_trace();
+        let model = FlowModel::build(
+            trace.requests(),
+            &OptConfig::bhr(example::FIGURE4_CACHE_SIZE),
+        );
+        assert_eq!(model.graph.num_nodes(), 12);
+        assert_eq!(model.graph.num_arcs(), 11 + 8);
+        // Supplies match the +3/+1/+1/+2 and matching negatives of Figure 4.
+        assert_eq!(model.graph.supply(NodeId(0)), 3); // first a
+        assert_eq!(model.graph.supply(NodeId(1)), 1); // first b
+        assert_eq!(model.graph.supply(NodeId(2)), 1); // first c
+        assert_eq!(model.graph.supply(NodeId(4)), 2); // first d
+        assert_eq!(model.graph.supply(NodeId(6)), -1); // last c
+        assert_eq!(model.graph.supply(NodeId(7)), -2); // last d
+        assert_eq!(model.graph.supply(NodeId(10)), -1); // last b
+        assert_eq!(model.graph.supply(NodeId(11)), -3); // last a
+        assert_eq!(model.graph.supply_balance(), 0);
+    }
+
+    #[test]
+    fn bypass_arcs_link_consecutive_same_object_requests() {
+        let trace = example::figure3_trace();
+        let model = FlowModel::build(trace.requests(), &OptConfig::bhr(3));
+        // First a (index 0) bypasses to second a (index 5).
+        let arc = model.bypass_out[0].unwrap();
+        assert_eq!(model.graph.arc_tail(arc), NodeId(0));
+        assert_eq!(model.graph.arc_head(arc), NodeId(5));
+        assert_eq!(model.graph.arc_capacity(arc), 3);
+        assert_eq!(model.bypass_in[5], Some(arc));
+        // Last request of each object has no outgoing bypass.
+        assert!(model.bypass_out[11].is_none()); // last a
+        assert!(model.bypass_out[10].is_none()); // last b
+    }
+
+    #[test]
+    fn per_byte_costs_bhr_equal_scale() {
+        let trace = example::figure3_trace();
+        let cfg = OptConfig::bhr(3);
+        let model = FlowModel::build(trace.requests(), &cfg);
+        // BHR: C_i = S_i, so every per-byte cost is exactly the scale.
+        for &c in &model.per_byte_cost {
+            assert_eq!(c, DEFAULT_COST_SCALE as i64);
+        }
+    }
+
+    #[test]
+    fn per_byte_costs_ohr_scale_inversely_with_size() {
+        let cfg = OptConfig::ohr(100);
+        assert_eq!(cfg.scaled_per_byte_cost(1), DEFAULT_COST_SCALE as i64);
+        assert_eq!(
+            cfg.scaled_per_byte_cost(2),
+            (DEFAULT_COST_SCALE / 2) as i64
+        );
+        // Costs never round down to zero.
+        assert_eq!(cfg.scaled_per_byte_cost(u64::MAX / 2), 1);
+    }
+
+    #[test]
+    fn single_request_objects_do_not_constrain_flow() {
+        let requests = vec![
+            Request::new(0, 1u64, 10),
+            Request::new(1, 2u64, 20), // only request to object 2
+            Request::new(2, 1u64, 10),
+        ];
+        let model = FlowModel::build(&requests, &OptConfig::bhr(100));
+        assert_eq!(model.graph.supply(NodeId(1)), 0);
+        assert!(model.bypass_out[1].is_none());
+        assert!(model.bypass_in[1].is_none());
+        assert_eq!(model.graph.num_arcs(), 2 + 1); // 2 central + 1 bypass
+    }
+}

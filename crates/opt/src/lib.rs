@@ -1,0 +1,48 @@
+//! # opt — offline-optimal caching decisions
+//!
+//! Implements §2.1 of the paper: OPT minimizes the total cost of cache
+//! misses subject to never exceeding the cache capacity, and is approximated
+//! by the min-cost flow formulation of Berger, Beckmann & Harchol-Balter
+//! ("Practical Bounds on Optimal Caching with Variable Object Sizes",
+//! SIGMETRICS 2018):
+//!
+//! - one node per request, connected by **central** arcs with capacity equal
+//!   to the cache size and zero cost (a byte of flow on a central arc is a
+//!   byte stored in the cache);
+//! - a **bypass** arc between each pair of consecutive requests to the same
+//!   object, with capacity equal to the object size and per-byte cost equal
+//!   to the retrieval cost over the size (a byte of flow on a bypass arc is
+//!   a byte of cache miss);
+//! - excess flow (the object size) at an object's first request, equal
+//!   demand at its last.
+//!
+//! A request is *cached by OPT* iff all of its bytes are routed along the
+//! central path to the object's next request (see [`OptResult`]).
+//!
+//! On top of the exact formulation this crate provides the two
+//! approximations the paper describes:
+//!
+//! - [`segmentation`] — split the trace along the **time axis** and solve
+//!   segments independently (the approach of the SIGMETRICS paper);
+//! - [`rank_pruning`] — the HotNets paper's proposal: split along a
+//!   **ranking axis** `C_i / (S_i · L_i)` and run the flow solver only for
+//!   popular requests, "saving 90% of the calculation time".
+//!
+//! [`belady`] implements the classic farthest-in-future policy, which is
+//! exactly optimal for unit-size objects and is used to cross-validate the
+//! flow formulation in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod belady;
+pub mod bounds;
+pub mod decisions;
+pub mod flow_model;
+pub mod rank_pruning;
+pub mod segmentation;
+
+pub use decisions::{compute_opt, OptResult};
+pub use flow_model::{FlowModel, OptConfig, OptError};
+pub use rank_pruning::{compute_opt_pruned, PrunedOpt};
+pub use segmentation::compute_opt_segmented;

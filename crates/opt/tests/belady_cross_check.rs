@@ -1,0 +1,107 @@
+//! Cross-validation of the min-cost-flow OPT against Belady's MIN.
+//!
+//! For unit-size objects, Belady (farthest-in-future) is *exactly* optimal
+//! for the object hit ratio, and the flow formulation's LP is integral — so
+//! the two independently-implemented algorithms must report identical hit
+//! counts. For variable sizes, any feasible policy (including Belady-Size)
+//! maps to a feasible flow of equal miss cost, so the flow optimum is a
+//! valid upper bound on their hit bytes.
+
+use cdn_trace::{GeneratorConfig, ObjectId, Request, TraceGenerator};
+use opt::belady::{simulate_belady, simulate_belady_size};
+use opt::{compute_opt, OptConfig};
+use proptest::prelude::*;
+
+fn unit_trace(ids: &[u8]) -> Vec<Request> {
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| Request::new(i as u64, id as u64 + 1, 1))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unit-size traces: flow OPT hit count == Belady hit count, exactly.
+    #[test]
+    fn flow_opt_equals_belady_on_unit_sizes(
+        ids in proptest::collection::vec(0u8..12, 1..120),
+        cache in 1u64..8,
+    ) {
+        let reqs = unit_trace(&ids);
+        let flow = compute_opt(&reqs, &OptConfig::ohr(cache)).unwrap();
+        let belady = simulate_belady(&reqs, cache);
+        prop_assert_eq!(
+            flow.hits, belady.hits,
+            "flow {} vs belady {} (cache {}, ids {:?})",
+            flow.hits, belady.hits, cache, ids
+        );
+    }
+
+    /// Variable sizes: flow OPT upper-bounds any feasible policy's hit bytes.
+    #[test]
+    fn flow_opt_upper_bounds_belady_size(
+        spec in proptest::collection::vec((0u8..10, 1u64..64), 1..100),
+        cache in 1u64..128,
+    ) {
+        let reqs: Vec<Request> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, size))| Request::new(i as u64, id as u64 + 1, size))
+            .collect();
+        // Sizes must be stable per object: take the first size seen.
+        let mut canonical: std::collections::HashMap<ObjectId, u64> =
+            std::collections::HashMap::new();
+        let reqs: Vec<Request> = reqs
+            .into_iter()
+            .map(|mut r| {
+                let s = *canonical.entry(r.object).or_insert(r.size);
+                r.size = s;
+                r
+            })
+            .collect();
+        let flow = compute_opt(&reqs, &OptConfig::bhr(cache)).unwrap();
+        let heuristic = simulate_belady_size(&reqs, cache);
+        prop_assert!(
+            flow.hit_bytes >= heuristic.hit_bytes,
+            "flow {} < belady-size {}",
+            flow.hit_bytes,
+            heuristic.hit_bytes
+        );
+    }
+}
+
+/// Same check on a realistic generated trace (one deterministic case, kept
+/// outside proptest because it is slower).
+#[test]
+fn flow_opt_equals_belady_on_generated_unit_trace() {
+    let mut cfg = GeneratorConfig::small(11, 3_000);
+    // Replace sizes with 1 to get a unit-size trace with realistic skew.
+    let reqs: Vec<Request> = TraceGenerator::new(cfg.clone())
+        .map(|mut r| {
+            r.size = 1;
+            r
+        })
+        .collect();
+    cfg.num_requests = 0; // silence unused warning path
+    for cache in [1u64, 10, 100, 1000] {
+        let flow = compute_opt(&reqs, &OptConfig::ohr(cache)).unwrap();
+        let belady = simulate_belady(&reqs, cache);
+        assert_eq!(flow.hits, belady.hits, "cache {cache}");
+    }
+}
+
+#[test]
+fn flow_opt_dominates_belady_size_on_generated_trace() {
+    let trace = TraceGenerator::new(GeneratorConfig::small(12, 3_000)).generate();
+    for cache in [64 * 1024u64, 1024 * 1024, 16 * 1024 * 1024] {
+        let flow = compute_opt(trace.requests(), &OptConfig::bhr(cache)).unwrap();
+        let heuristic = simulate_belady_size(trace.requests(), cache);
+        assert!(
+            flow.hit_bytes >= heuristic.hit_bytes,
+            "cache {cache}: flow {} < belady-size {}",
+            flow.hit_bytes,
+            heuristic.hit_bytes
+        );
+    }
+}

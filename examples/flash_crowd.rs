@@ -1,0 +1,73 @@
+//! Flash crowd: how quickly does LFO adapt when the traffic mix changes?
+//!
+//! Models the paper's motivating scenario — "iOS software downloads are
+//! large in size with popularity spikes on iOS update days" plus a
+//! load-balancer reshuffle that redirects a new user population to the
+//! server — and tracks LFO's per-window byte hit ratio as it retrains.
+//!
+//! ```sh
+//! cargo run --release --example flash_crowd
+//! ```
+
+use cdn_trace::generator::{FlashCrowd, Reshuffle};
+use lfo_suite::prelude::*;
+
+fn main() {
+    let mut gen_config = GeneratorConfig::production(99, 120_000);
+    // At request 40K: an OS-update flash crowd — 30% of traffic goes to 8
+    // fresh, very large download objects for 30K requests.
+    gen_config.flash_crowds = vec![FlashCrowd {
+        start: 40_000,
+        duration: 30_000,
+        share: 0.3,
+        objects: 8,
+        class: 3,
+    }];
+    // At request 80K: a load balancer reshuffle replaces 40% of the catalog.
+    gen_config.reshuffles = vec![Reshuffle {
+        at: 80_000,
+        fraction: 0.4,
+    }];
+    let trace = TraceGenerator::new(gen_config).generate();
+    let stats = TraceStats::from_trace(&trace);
+    let cache_size = stats.cache_size_for_fraction(0.08);
+
+    let config = PipelineConfig {
+        window: 10_000,
+        cache_size,
+        ..Default::default()
+    };
+    let report = run_pipeline(trace.requests(), &config).expect("pipeline");
+
+    println!("events: flash crowd @40K-70K, reshuffle @80K");
+    println!("cache: {:.1} MiB\n", cache_size as f64 / (1024.0 * 1024.0));
+    println!("  win   requests   live BHR   OPT BHR   pred.err");
+    for w in &report.windows {
+        let marker = match w.index {
+            4..=6 => " <- flash crowd",
+            8 => " <- reshuffle",
+            _ => "",
+        };
+        println!(
+            "  {:>3}   {:>8}   {:>7.3}   {:>7.3}   {:>7}{}",
+            w.index,
+            w.requests,
+            w.live.bhr(),
+            w.opt_bhr,
+            w.prediction_error
+                .map(|e| format!("{:.3}", e))
+                .unwrap_or_else(|| "-".into()),
+            marker
+        );
+    }
+
+    // Adaptation summary: prediction error right after each event vs the
+    // window after retraining.
+    let err = |i: usize| report.windows[i].prediction_error.unwrap_or(0.0);
+    println!("\nprediction error entering the flash crowd: {:.3}", err(4));
+    println!("prediction error after one retrain:         {:.3}", err(5));
+    println!("prediction error entering the reshuffle:    {:.3}", err(8));
+    if report.windows.len() > 9 {
+        println!("prediction error after one retrain:         {:.3}", err(9));
+    }
+}

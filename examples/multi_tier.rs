@@ -1,0 +1,80 @@
+//! Multi-tier CDN server: the paper's §5 hierarchical extension.
+//!
+//! A CDN edge box serves from RAM, SSD and HDD. Level 1 of the model
+//! decides *whether* to cache (standard LFO admission); level 2 decides
+//! *where*, by predicting how soon the object will be re-referenced.
+//!
+//! ```sh
+//! cargo run --release --example multi_tier
+//! ```
+
+use std::sync::Arc;
+
+use lfo::features::FeatureTracker;
+use lfo::hierarchy::{train_placement_model, Placement, TierSpec, TieredLfoCache};
+use lfo::labels::build_training_set;
+use lfo::train::train_window;
+use lfo_suite::prelude::*;
+
+fn main() {
+    let trace = TraceGenerator::new(GeneratorConfig::production(21, 60_000)).generate();
+    let reqs = trace.requests();
+    let total = TraceStats::from_trace(&trace).cache_size_for_fraction(0.12);
+    let window = 20_000usize;
+    let lfo_config = LfoConfig::default();
+
+    // Level 1: should we cache at all? (imitates OPT, as in the paper)
+    let opt = compute_opt(&reqs[..window], &OptConfig::bhr(total)).expect("opt");
+    let mut tracker = FeatureTracker::new(lfo_config.num_gaps, lfo_config.cost_model);
+    let data = build_training_set(&reqs[..window], &opt, &mut tracker, total);
+    let trained = train_window(&data, &lfo_config);
+    println!(
+        "level-1 admission model: {:.1}% training accuracy",
+        trained.train_accuracy * 100.0
+    );
+    let admission = Arc::new(trained.model);
+
+    // Level 2: where? Predict the re-reference interval.
+    let placement = Arc::new(train_placement_model(
+        &reqs[..window],
+        vec![1_000, 10_000],
+        &lfo_config,
+    ));
+    println!("level-2 placement model: 2 boundary classifiers (re-use <1K, <10K reqs)");
+
+    let specs = TierSpec::standard(total / 20, total / 4, total - total / 20 - total / 4);
+    println!(
+        "tiers: ram {} MiB (1us), ssd {} MiB (100us), hdd {} MiB (8ms)\n",
+        specs[0].capacity >> 20,
+        specs[1].capacity >> 20,
+        specs[2].capacity >> 20
+    );
+
+    for (label, placement) in [
+        ("pin to HDD (single tier)", Placement::Pin(2)),
+        (
+            "size heuristic (<32K ram, <1M ssd)",
+            Placement::SizeThresholds(vec![32 * 1024, 1024 * 1024]),
+        ),
+        ("learned re-reference placement", Placement::Learned(Arc::clone(&placement))),
+    ] {
+        let mut cache = TieredLfoCache::new(specs.clone(), placement, lfo_config.clone());
+        cache.install_admission_model(Arc::clone(&admission));
+        for r in &reqs[window..] {
+            use cdn_cache::CachePolicy;
+            cache.handle(r);
+        }
+        let report = &cache.report;
+        println!("{label}:");
+        println!(
+            "  BHR {:.3} | hits ram/ssd/hdd = {}/{}/{} | mean hit latency {:.0}us | \
+             wear-weighted writes {:.1} MB-eq",
+            report.bhr(),
+            report.hits_per_tier[0],
+            report.hits_per_tier[1],
+            report.hits_per_tier[2],
+            report.mean_hit_latency_us(&specs),
+            report.weighted_write_wear(&specs) / 1e6,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Policy shootout: every implemented caching policy vs OPT on one trace —
+//! a miniature of the paper's Figure 6.
+//!
+//! ```sh
+//! cargo run --release --example policy_shootout
+//! ```
+
+use lfo_suite::prelude::*;
+
+use cdn_cache::policies::{by_name, opt_replay::OptReplay, FIGURE6_POLICIES};
+
+fn main() {
+    let trace = TraceGenerator::new(GeneratorConfig::production(7, 80_000)).generate();
+    let stats = TraceStats::from_trace(&trace);
+    let cache_size = stats.cache_size_for_fraction(0.10);
+    println!(
+        "{} requests, cache {:.1} MiB\n",
+        trace.len(),
+        cache_size as f64 / (1024.0 * 1024.0)
+    );
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+
+    // Online baselines.
+    for name in FIGURE6_POLICIES
+        .iter()
+        .chain(["LRU", "RND", "GDSF", "TinyLFU", "RLC"].iter())
+    {
+        let mut policy = by_name(name, cache_size, 1).expect("known policy");
+        let r = simulate(policy.as_mut(), trace.requests(), &SimConfig::default());
+        if !rows.iter().any(|(n, _, _)| n == r.policy.as_str()) {
+            rows.push((r.policy.clone(), r.bhr(), r.ohr()));
+        }
+    }
+
+    // LFO via the sliding-window pipeline (trained windows only).
+    let config = PipelineConfig {
+        window: 20_000,
+        cache_size,
+        ..Default::default()
+    };
+    let report = run_pipeline(trace.requests(), &config).expect("pipeline");
+    rows.push((
+        "LFO".into(),
+        report.live_trained.bhr(),
+        report.live_trained.ohr(),
+    ));
+
+    // OPT replay (offline upper reference).
+    let opt = compute_opt(trace.requests(), &OptConfig::bhr(cache_size)).expect("opt");
+    let mut replay = OptReplay::new(cache_size, opt.admit.clone());
+    let r = simulate(&mut replay, trace.requests(), &SimConfig::default());
+    rows.push(("OPT".into(), r.bhr(), r.ohr()));
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("{:<12} {:>8} {:>8}", "policy", "BHR", "OHR");
+    for (name, bhr, ohr) in &rows {
+        println!("{name:<12} {bhr:>8.3} {ohr:>8.3}");
+    }
+}

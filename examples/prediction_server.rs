@@ -1,0 +1,61 @@
+//! Prediction server: trains an LFO model and measures how its prediction
+//! throughput scales with worker threads — a miniature of Figure 7,
+//! including the paper's 40 Gbit/s feasibility arithmetic.
+//!
+//! ```sh
+//! cargo run --release --example prediction_server
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lfo::features::FeatureTracker;
+use lfo::labels::build_training_set;
+use lfo::serve::{prediction_throughput, PredictionServer};
+use lfo::train::train_window;
+use lfo_suite::prelude::*;
+
+fn main() {
+    // Train a model exactly as the pipeline would.
+    let trace = TraceGenerator::new(GeneratorConfig::production(3, 30_000)).generate();
+    let stats = TraceStats::from_trace(&trace);
+    let cache_size = stats.cache_size_for_fraction(0.10);
+    let opt = compute_opt(trace.requests(), &OptConfig::bhr(cache_size)).expect("opt");
+    let lfo_config = LfoConfig::default();
+    let mut tracker = FeatureTracker::new(lfo_config.num_gaps, lfo_config.cost_model);
+    let data = build_training_set(trace.requests(), &opt, &mut tracker, cache_size);
+    let trained = train_window(&data, &lfo_config);
+    println!(
+        "model: {} trees, train accuracy {:.1}%",
+        trained.model.trees().len(),
+        trained.train_accuracy * 100.0
+    );
+
+    // Feature rows to score (reuse the training rows).
+    let rows: Vec<Vec<f32>> = (0..data.num_rows().min(4096)).map(|r| data.row(r)).collect();
+
+    // Thread-scaling sweep.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    println!("\nthreads  predictions/s  implied Gbit/s @32KB objects");
+    for threads in [1, 2, 4, 8, 16, 32] {
+        if threads > cores * 2 {
+            break;
+        }
+        let r = prediction_throughput(&trained.model, &rows, threads, Duration::from_millis(300));
+        println!(
+            "{:>7}  {:>13.0}  {:>6.1}",
+            threads,
+            r.per_second(),
+            r.implied_bits_per_second(32 * 1024) / 1e9
+        );
+    }
+
+    // The channel-fed production-shaped server.
+    let server = PredictionServer::start(Arc::new(trained.model), 4);
+    for id in 0..32u64 {
+        let batch: Vec<Vec<f32>> = rows.iter().take(256).cloned().collect();
+        server.submit(id, batch);
+    }
+    let (served, results) = server.shutdown();
+    println!("\nprediction server: {served} predictions over {} batches", results.len());
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train LFO on a synthetic CDN trace and compare it to LRU.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lfo_suite::prelude::*;
+
+fn main() {
+    // 1. A production-like CDN trace: 60K requests over a four-class
+    //    content mix (web / photo / video / software downloads).
+    let trace = TraceGenerator::new(GeneratorConfig::production(42, 60_000)).generate();
+    let stats = TraceStats::from_trace(&trace);
+    println!(
+        "trace: {} requests, {} objects, {:.1} MiB footprint, {:.0}% one-hit wonders",
+        stats.requests,
+        stats.unique_objects,
+        stats.unique_bytes as f64 / (1024.0 * 1024.0),
+        stats.one_hit_wonder_ratio * 100.0
+    );
+
+    // 2. Size the cache at 10% of the trace's unique bytes.
+    let cache_size = stats.cache_size_for_fraction(0.10);
+    println!("cache: {:.1} MiB", cache_size as f64 / (1024.0 * 1024.0));
+
+    // 3. Run the LFO pipeline: record a window, compute OPT, train, deploy.
+    let config = PipelineConfig {
+        window: 15_000,
+        cache_size,
+        ..Default::default()
+    };
+    let report = run_pipeline(trace.requests(), &config).expect("pipeline runs");
+
+    // 4. Baseline: plain LRU over the same trace.
+    let mut lru = cdn_cache::policies::lru::Lru::new(cache_size);
+    let lru_result = simulate(&mut lru, trace.requests(), &SimConfig::default());
+
+    println!("\nper-window view (LFO):");
+    println!("  win  model?  live BHR   pred.err   OPT BHR");
+    for w in &report.windows {
+        println!(
+            "  {:>3}  {:>6}  {:>7.3}    {:>7}    {:>6.3}",
+            w.index,
+            if w.had_model { "yes" } else { "no" },
+            w.live.bhr(),
+            w.prediction_error
+                .map(|e| format!("{:.3}", e))
+                .unwrap_or_else(|| "-".into()),
+            w.opt_bhr,
+        );
+    }
+
+    println!("\noverall byte hit ratios:");
+    println!("  LRU                {:.3}", lru_result.bhr());
+    println!("  LFO (all windows)  {:.3}", report.live_total.bhr());
+    println!("  LFO (trained only) {:.3}", report.live_trained.bhr());
+    if let Some(acc) = report.mean_prediction_accuracy() {
+        println!("\nLFO agrees with OPT on {:.1}% of decisions", acc * 100.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # lfo-suite — facade crate
+//!
+//! A single dependency that re-exports the whole reproduction of
+//! *"Towards Lightweight and Robust Machine Learning for CDN Caching"*
+//! (Berger, HotNets 2018):
+//!
+//! - [`lfo`] — the paper's contribution: Learning From OPT.
+//! - [`opt`] — offline-optimal decisions via min-cost flow.
+//! - [`mincostflow`] — the flow solver substrate.
+//! - [`gbdt`] — the boosted-decision-tree learner substrate.
+//! - [`cdn_cache`] — the cache simulator and baseline-policy zoo.
+//! - [`cdn_trace`] — request model and synthetic CDN trace generation.
+//!
+//! The [`prelude`] pulls in the handful of types most programs need; the
+//! `examples/` directory shows end-to-end usage, and the `bench` crate
+//! regenerates every figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cdn_cache;
+pub use cdn_trace;
+pub use gbdt;
+pub use lfo;
+pub use mincostflow;
+pub use opt;
+
+/// The types most programs start with.
+pub mod prelude {
+    pub use cdn_cache::{simulate, CachePolicy, RequestOutcome, SimConfig, SimResult};
+    pub use cdn_trace::{
+        CostModel, GeneratorConfig, ObjectId, Request, Trace, TraceGenerator, TraceStats,
+    };
+    pub use gbdt::{GbdtParams, Model};
+    pub use lfo::{
+        pipeline::{run_pipeline, PipelineConfig, PipelineReport},
+        LfoCache, LfoConfig,
+    };
+    pub use opt::{compute_opt, OptConfig, OptResult};
+}

@@ -1,0 +1,93 @@
+//! Cross-cutting property tests over the whole policy zoo and OPT.
+//!
+//! For arbitrary small traces and cache sizes:
+//! - every policy respects its byte capacity after every request;
+//! - hit reporting is consistent with residency;
+//! - the flow-based OPT upper-bounds every online policy's hit bytes.
+
+use std::collections::HashMap;
+
+use lfo_suite::prelude::*;
+
+use cdn_cache::policies::by_name;
+use proptest::prelude::*;
+
+const POLICIES: [&str; 14] = [
+    "RND", "FIFO", "LRU", "LRU-K", "LFU", "LFUDA", "GDSF", "GD-Wheel", "S4LRU",
+    "AdaptSize", "Hyperbolic", "LHD", "TinyLFU", "RLC",
+];
+
+fn arb_trace() -> impl Strategy<Value = Vec<Request>> {
+    proptest::collection::vec((0u64..20, 1u64..200), 1..300).prop_map(|spec| {
+        // Sizes must be stable per object: first size seen wins.
+        let mut canonical: HashMap<u64, u64> = HashMap::new();
+        spec.into_iter()
+            .enumerate()
+            .map(|(i, (id, size))| {
+                let s = *canonical.entry(id).or_insert(size);
+                Request::new(i as u64, id + 1, s)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn policies_respect_capacity_and_report_hits_consistently(
+        reqs in arb_trace(),
+        cache in 1u64..500,
+        seed in 0u64..8,
+    ) {
+        for name in POLICIES {
+            let mut policy = by_name(name, cache, seed).expect("known policy");
+            for r in &reqs {
+                let resident_before = policy.contains(r.object);
+                let outcome = policy.handle(r);
+                prop_assert_eq!(
+                    outcome.is_hit(), resident_before,
+                    "{}: hit/contains mismatch", name
+                );
+                prop_assert!(
+                    policy.used() <= policy.capacity(),
+                    "{}: {} used > {} capacity", name, policy.used(), policy.capacity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_upper_bounds_every_policy(
+        reqs in arb_trace(),
+        cache in 50u64..800,
+    ) {
+        let opt = compute_opt(&reqs, &OptConfig::bhr(cache)).unwrap();
+        for name in ["LRU", "GDSF", "S4LRU", "LHD"] {
+            let mut policy = by_name(name, cache, 1).expect("known policy");
+            let r = simulate(policy.as_mut(), &reqs, &SimConfig::default());
+            prop_assert!(
+                opt.hit_bytes >= r.measured.hit_bytes,
+                "{} beat OPT: {} > {}",
+                name, r.measured.hit_bytes, opt.hit_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn opt_decisions_never_admit_final_requests(
+        reqs in arb_trace(),
+        cache in 1u64..500,
+    ) {
+        let opt = compute_opt(&reqs, &OptConfig::bhr(cache)).unwrap();
+        // The last request to each object can never produce a future hit,
+        // so OPT never admits it (no bypass arc leaves it).
+        let mut last: HashMap<ObjectId, usize> = HashMap::new();
+        for (k, r) in reqs.iter().enumerate() {
+            last.insert(r.object, k);
+        }
+        for (_, &k) in &last {
+            prop_assert!(!opt.admit[k], "admitted final request {k}");
+        }
+    }
+}
