@@ -21,10 +21,19 @@ fn flow_benches(c: &mut Criterion) {
             b.iter(|| compute_opt(window, &config).unwrap().hit_bytes)
         });
         group.bench_with_input(BenchmarkId::new("segmented_1k", n), &n, |b, _| {
-            b.iter(|| compute_opt_segmented(window, &config, 1_000).unwrap().hit_bytes)
+            b.iter(|| {
+                compute_opt_segmented(window, &config, 1_000)
+                    .unwrap()
+                    .hit_bytes
+            })
         });
         group.bench_with_input(BenchmarkId::new("pruned_10pct", n), &n, |b, _| {
-            b.iter(|| compute_opt_pruned(window, &config, 0.1).unwrap().result.hit_bytes)
+            b.iter(|| {
+                compute_opt_pruned(window, &config, 0.1)
+                    .unwrap()
+                    .result
+                    .hit_bytes
+            })
         });
     }
     group.finish();

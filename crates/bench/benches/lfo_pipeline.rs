@@ -48,7 +48,9 @@ fn pipeline_benches(c: &mut Criterion) {
         b.iter(|| {
             let mut cache_policy = LfoCache::new(cache, lfo_config.clone());
             cache_policy.install_model(Arc::clone(&model));
-            simulate(&mut cache_policy, serve_window, &SimConfig::default()).measured.hits
+            simulate(&mut cache_policy, serve_window, &SimConfig::default())
+                .measured
+                .hits
         })
     });
     group.finish();
@@ -62,7 +64,10 @@ fn pipeline_benches(c: &mut Criterion) {
                 cache_size: cache,
                 ..Default::default()
             };
-            run_pipeline(trace.requests(), &config).unwrap().live_total.hits
+            run_pipeline(trace.requests(), &config)
+                .unwrap()
+                .live_total
+                .hits
         })
     });
     group.finish();

@@ -34,7 +34,9 @@ fn policy_benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
             b.iter(|| {
                 let mut policy = by_name(name, cache, 1).expect("known policy");
-                simulate(policy.as_mut(), trace.requests(), &SimConfig::default()).measured.hits
+                simulate(policy.as_mut(), trace.requests(), &SimConfig::default())
+                    .measured
+                    .hits
             })
         });
     }

@@ -71,14 +71,9 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     }
 
     // The OPT reference over the same measured region.
-    let opt = compute_opt_segmented(
-        trace.requests(),
-        &OptConfig::bhr(cache_size),
-        window * 2,
-    )
-    .expect("OPT");
-    let mut replay =
-        cdn_cache::policies::opt_replay::OptReplay::new(cache_size, opt.admit.clone());
+    let opt = compute_opt_segmented(trace.requests(), &OptConfig::bhr(cache_size), window * 2)
+        .expect("OPT");
+    let mut replay = cdn_cache::policies::opt_replay::OptReplay::new(cache_size, opt.admit.clone());
     let opt_sim = simulate(
         &mut replay,
         trace.requests(),
@@ -87,7 +82,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             interval: 0,
         },
     );
-    println!("  {:<34} {:>7.3} {:>7.3}", "OPT", opt_sim.bhr(), opt_sim.ohr());
+    println!(
+        "  {:<34} {:>7.3} {:>7.3}",
+        "OPT",
+        opt_sim.bhr(),
+        opt_sim.ohr()
+    );
     csv.push(format!("OPT,{:.6},{:.6}", opt_sim.bhr(), opt_sim.ohr()));
     ctx.write_csv("design_ablation.csv", "design,bhr,ohr", &csv)?;
 

@@ -25,7 +25,10 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         let r = simulate(
             policy.as_mut(),
             trace.requests(),
-            &SimConfig { warmup, interval: 0 },
+            &SimConfig {
+                warmup,
+                interval: 0,
+            },
         );
         println!("  {:<6} OHR {:.3}", name, r.ohr());
         rows.push(format!("{},{:.6}", name, r.ohr()));
@@ -42,7 +45,11 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         .fold(0.0f64, f64::max);
     println!(
         "  shape: GDSF {} the other policies ({:.3} vs best-other {:.3})",
-        if gdsf > best_other { "beats" } else { "DOES NOT beat" },
+        if gdsf > best_other {
+            "beats"
+        } else {
+            "DOES NOT beat"
+        },
         gdsf,
         best_other
     );

@@ -19,7 +19,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     let cache_size = ctx.standard_cache_size(&trace);
     let w = ctx.window();
     let reqs = trace.requests();
-    let te = train_and_eval(&reqs[..w], &reqs[w..2 * w], cache_size, &GbdtParams::lfo_paper());
+    let te = train_and_eval(
+        &reqs[..w],
+        &reqs[w..2 * w],
+        cache_size,
+        &GbdtParams::lfo_paper(),
+    );
 
     println!("\n== Figure 5a: FP/FN vs likelihood cutoff ==");
     println!("  cutoff     FP%     FN%   total err%");
@@ -48,7 +53,10 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     // to the extremes.
     let plateau_spread = plateau.iter().cloned().fold(f64::MIN, f64::max)
         - plateau.iter().cloned().fold(f64::MAX, f64::min);
-    let extreme = te.confusion(0.02).error_fraction().max(te.confusion(0.98).error_fraction())
+    let extreme = te
+        .confusion(0.02)
+        .error_fraction()
+        .max(te.confusion(0.98).error_fraction())
         * 100.0;
     let mid = te.error(0.5) * 100.0;
     println!(

@@ -30,19 +30,11 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         for subset in 0..subsets {
             // Each subset is a different region of a longer trace.
             let n = (w + eval_len) as u64;
-            let trace = TraceGenerator::new(GeneratorConfig::production(
-                500 + subset as u64,
-                n,
-            ))
-            .generate();
+            let trace =
+                TraceGenerator::new(GeneratorConfig::production(500 + subset as u64, n)).generate();
             let cache_size = ctx.standard_cache_size(&trace);
             let reqs = trace.requests();
-            let te = train_and_eval(
-                &reqs[..w],
-                &reqs[w..],
-                cache_size,
-                &GbdtParams::lfo_paper(),
-            );
+            let te = train_and_eval(&reqs[..w], &reqs[w..], cache_size, &GbdtParams::lfo_paper());
             let err = te.error(0.5) * 100.0;
             rows.push(format!("{w},{subset},{err:.4}"));
             errors.push(err);
@@ -53,11 +45,19 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         println!("  {w:>7}  {mean:>8.2}  {min:.2}..{max:.2}");
         means.push(mean);
     }
-    ctx.write_csv("fig5b_samples.csv", "training_samples,subset,error_pct", &rows)?;
+    ctx.write_csv(
+        "fig5b_samples.csv",
+        "training_samples,subset,error_pct",
+        &rows,
+    )?;
 
     println!(
         "  shape: error {} from smallest to largest training set ({:.2}% -> {:.2}%)",
-        if means.last() < means.first() { "decays" } else { "DOES NOT decay" },
+        if means.last() < means.first() {
+            "decays"
+        } else {
+            "DOES NOT decay"
+        },
         means.first().unwrap(),
         means.last().unwrap()
     );

@@ -42,7 +42,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         .generate();
         let cache_size = ctx.standard_cache_size(&trace);
         let reqs = trace.requests();
-        let te = train_and_eval(&reqs[..w], &reqs[w..], cache_size, &seeded_params(seed as u64));
+        let te = train_and_eval(
+            &reqs[..w],
+            &reqs[w..],
+            cache_size,
+            &seeded_params(seed as u64),
+        );
         let err = te.error(0.5) * 100.0;
         rows.push(format!("{seed},{err:.4}"));
         errors.push(err);
@@ -52,14 +57,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
     let min = errors.iter().cloned().fold(f64::MAX, f64::min);
     let max = errors.iter().cloned().fold(f64::MIN, f64::max);
-    let std = (errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
-        / errors.len() as f64)
-        .sqrt();
+    let std =
+        (errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64).sqrt();
     println!("  error: mean {mean:.2}%, min {min:.2}%, max {max:.2}%, std {std:.2}pp");
 
     // Seed-only sensitivity on one fixed subset.
-    let trace = TraceGenerator::new(GeneratorConfig::production(901, (w + eval) as u64))
-        .generate();
+    let trace = TraceGenerator::new(GeneratorConfig::production(901, (w + eval) as u64)).generate();
     let cache_size = ctx.standard_cache_size(&trace);
     let reqs = trace.requests();
     let mut seed_only = Vec::new();
@@ -75,7 +78,11 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     );
     println!(
         "  shape: paper reports a ~.5% band; seed-only spread {} that band",
-        if so_max - so_min <= 1.0 { "is within" } else { "EXCEEDS" }
+        if so_max - so_min <= 1.0 {
+            "is within"
+        } else {
+            "EXCEEDS"
+        }
     );
     Ok(())
 }

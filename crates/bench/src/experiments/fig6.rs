@@ -69,16 +69,16 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     // objects split). Long traces use the time-axis segmentation, as the
     // paper's source [8] prescribes.
     let opt_cfg = OptConfig::bhr(cache_size);
-    let opt = compute_opt_segmented(trace.requests(), &opt_cfg, window * 2)
-        .expect("OPT over the trace");
+    let opt =
+        compute_opt_segmented(trace.requests(), &opt_cfg, window * 2).expect("OPT over the trace");
     let reqs = trace.requests();
     let mut opt_hit_bytes = 0u64;
     let mut opt_hits = 0u64;
     let mut measured_bytes = 0u64;
-    for k in window..reqs.len() {
+    for (k, req) in reqs.iter().enumerate().skip(window) {
         opt_hit_bytes += opt.cached_bytes[k];
         opt_hits += opt.full_hit[k] as u64;
-        measured_bytes += reqs[k].size;
+        measured_bytes += req.size;
     }
     let measured_requests = (reqs.len() - window) as f64;
     rows.push((
@@ -97,7 +97,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     ctx.write_csv("fig6_bhr.csv", "policy,bhr,ohr", &csv)?;
 
     // Shape checks.
-    let get = |n: &str| rows.iter().find(|(p, _, _)| p == n).map(|(_, b, _)| *b).unwrap();
+    let get = |n: &str| {
+        rows.iter()
+            .find(|(p, _, _)| p == n)
+            .map(|(_, b, _)| *b)
+            .unwrap()
+    };
     let lfo = get("LFO").max(get("LFO-tuned"));
     let opt_bhr = get("OPT");
     let best_heuristic = rows
@@ -107,7 +112,11 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         .fold(0.0f64, f64::max);
     println!(
         "  shape: LFO {} the best heuristic ({:.3} vs {:.3}); LFO/OPT = {:.2}",
-        if lfo > best_heuristic { "beats" } else { "DOES NOT beat" },
+        if lfo > best_heuristic {
+            "beats"
+        } else {
+            "DOES NOT beat"
+        },
         lfo,
         best_heuristic,
         lfo / opt_bhr

@@ -20,13 +20,20 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     let cache_size = ctx.standard_cache_size(&trace);
     let w = ctx.window();
     let reqs = trace.requests();
-    let te = train_and_eval(&reqs[..w], &reqs[w..2 * w], cache_size, &GbdtParams::lfo_paper());
+    let te = train_and_eval(
+        &reqs[..w],
+        &reqs[w..2 * w],
+        cache_size,
+        &GbdtParams::lfo_paper(),
+    );
 
     // Rows to score: realistic feature vectors from the trace.
     let data = window_dataset(&reqs[..w.min(4_096)], cache_size);
     let rows: Vec<Vec<f32>> = (0..data.num_rows()).map(|r| data.row(r)).collect();
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let duration = Duration::from_millis(ctx.scale.pick(200, 1_000));
     println!("\n== Figure 7: prediction throughput vs threads ({cores} cores) ==");
     println!("  threads  preds/s     Gbit/s @32KB");
@@ -45,7 +52,11 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         csv.push(format!("{threads},{:.0},{gbps:.2}", r.per_second()));
         series.push((threads, r.per_second()));
     }
-    ctx.write_csv("fig7_throughput.csv", "threads,predictions_per_sec,gbps_at_32kb", &csv)?;
+    ctx.write_csv(
+        "fig7_throughput.csv",
+        "threads,predictions_per_sec,gbps_at_32kb",
+        &csv,
+    )?;
 
     if series.len() >= 2 {
         let (t0, p0) = series[0];

@@ -20,7 +20,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     let cache_size = ctx.standard_cache_size(&trace);
     let w = ctx.window();
     let reqs = trace.requests();
-    let te = train_and_eval(&reqs[..w], &reqs[w..2 * w], cache_size, &GbdtParams::lfo_paper());
+    let te = train_and_eval(
+        &reqs[..w],
+        &reqs[w..2 * w],
+        cache_size,
+        &GbdtParams::lfo_paper(),
+    );
 
     let importance = FeatureImportance::of_model(&te.model, ImportanceKind::SplitCount);
     let fractions = importance.fractions();

@@ -45,7 +45,10 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     ];
 
     println!("\n== §3: hyperparameter sensitivity ==");
-    println!("  {:<22} {:>10} {:>10}", "config", "test acc%", "train acc%");
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "config", "test acc%", "train acc%"
+    );
     let mut csv = Vec::new();
     let mut results = Vec::new();
     for (label, params) in &configs {
@@ -56,13 +59,16 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         let probs: Vec<f64> = (0..data_a.num_rows())
             .map(|r| te.model.predict_proba(&data_a.row(r)))
             .collect();
-        let train_acc =
-            gbdt::accuracy(&probs, data_a.labels(), 0.5) * 100.0;
+        let train_acc = gbdt::accuracy(&probs, data_a.labels(), 0.5) * 100.0;
         println!("  {label:<22} {test_acc:>10.2} {train_acc:>10.2}");
         csv.push(format!("{label},{test_acc:.4},{train_acc:.4}"));
         results.push((label.to_string(), test_acc, train_acc));
     }
-    ctx.write_csv("hyper_sensitivity.csv", "config,test_accuracy_pct,train_accuracy_pct", &csv)?;
+    ctx.write_csv(
+        "hyper_sensitivity.csv",
+        "config,test_accuracy_pct,train_accuracy_pct",
+        &csv,
+    )?;
 
     let base = results[0].1;
     let more = results[1].1;
@@ -70,8 +76,16 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!(
         "  shape: more-iters {} baseline ({more:.2}% vs {base:.2}%); \
          huge trees {} baseline ({huge:.2}%)",
-        if more >= base - 0.1 { "matches/improves" } else { "UNDERPERFORMS" },
-        if huge <= base + 0.1 { "does not beat" } else { "BEATS (unexpected)" },
+        if more >= base - 0.1 {
+            "matches/improves"
+        } else {
+            "UNDERPERFORMS"
+        },
+        if huge <= base + 0.1 {
+            "does not beat"
+        } else {
+            "BEATS (unexpected)"
+        },
     );
     Ok(())
 }

@@ -13,15 +13,16 @@ pub mod fig7;
 pub mod fig8;
 pub mod hyper;
 pub mod prune;
+pub mod staged;
 pub mod thin;
 pub mod tiers;
 
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 15] = [
-    "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper",
-    "prune", "design", "thin", "tiers", "summary",
+pub const ALL: [&str; 16] = [
+    "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper", "prune",
+    "design", "thin", "tiers", "staged", "summary",
 ];
 
 /// Runs one experiment by name. Unknown names return `false`.
@@ -41,6 +42,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "design" => design::run(ctx)?,
         "thin" => thin::run(ctx)?,
         "tiers" => tiers::run(ctx)?,
+        "staged" => staged::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

@@ -59,10 +59,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             "size heuristic",
             Placement::SizeThresholds(vec![32 * 1024, 1024 * 1024]),
         ),
-        (
-            "learned",
-            Placement::Learned(Arc::clone(&placement_model)),
-        ),
+        ("learned", Placement::Learned(Arc::clone(&placement_model))),
     ];
 
     let mut csv = Vec::new();

@@ -44,12 +44,7 @@ impl Context {
     }
 
     /// Writes a CSV file: a header line plus rows.
-    pub fn write_csv(
-        &self,
-        name: &str,
-        header: &str,
-        rows: &[String],
-    ) -> std::io::Result<PathBuf> {
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) -> std::io::Result<PathBuf> {
         let path = self.out_dir.join(name);
         let mut f = fs::File::create(&path)?;
         writeln!(f, "{header}")?;

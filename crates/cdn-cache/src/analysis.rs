@@ -173,9 +173,7 @@ mod tests {
         let trace = TraceGenerator::new(GeneratorConfig::small(2, 20_000)).generate();
         let model = WorkloadModel::from_requests(trace.requests());
         let stats = TraceStats::from_trace(&trace);
-        let caps: Vec<u64> = (1..=8)
-            .map(|i| stats.unique_bytes * i / 8)
-            .collect();
+        let caps: Vec<u64> = (1..=8).map(|i| stats.unique_bytes * i / 8).collect();
         let curve = model.hit_ratio_curve(&caps);
         for w in curve.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-9, "curve not monotone: {curve:?}");

@@ -144,7 +144,10 @@ impl AdaptSize {
     }
 
     fn record(&mut self, request: &Request) {
-        let entry = self.window.entry(request.object).or_insert((0, request.size));
+        let entry = self
+            .window
+            .entry(request.object)
+            .or_insert((0, request.size));
         entry.0 += 1;
         self.requests_in_window += 1;
         if self.requests_in_window >= TUNE_INTERVAL {
@@ -238,15 +241,13 @@ mod tests {
         let before = cache.admission_parameter();
         // Hot small objects + a flood of one-shot large ones: the model
         // should learn to keep the small hot set by lowering c.
-        let mut t = 0u64;
         for round in 0..TUNE_INTERVAL {
             let r = if round % 3 == 0 {
                 req(round % 50, 2_000) // hot set of 50 small objects
             } else {
                 req(1_000_000 + round, 150_000) // one-shot large
             };
-            let _ = cache.handle(&Request::new(t, r.object, r.size));
-            t += 1;
+            let _ = cache.handle(&Request::new(round, r.object, r.size));
         }
         let after = cache.admission_parameter();
         assert!(

@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn oversized_bypasses() {
         let mut c = Fifo::new(5);
-        assert_eq!(c.handle(&req(1, 6)), RequestOutcome::Miss { admitted: false });
+        assert_eq!(
+            c.handle(&req(1, 6)),
+            RequestOutcome::Miss { admitted: false }
+        );
         assert_eq!(c.used(), 0);
     }
 }

@@ -109,10 +109,7 @@ impl GdWheel {
     fn remove_entry(&mut self, object: ObjectId) -> u64 {
         let loc = self.index.remove(&object).expect("indexed");
         if loc.in_overflow {
-            let list = self
-                .overflow
-                .get_mut(&loc.abs_slot)
-                .expect("overflow slot");
+            let list = self.overflow.get_mut(&loc.abs_slot).expect("overflow slot");
             list.remove(loc.handle);
             if list.is_empty() {
                 self.overflow.remove(&loc.abs_slot);

@@ -99,8 +99,7 @@ impl CachePolicy for Gdsf {
             return RequestOutcome::Miss { admitted: false };
         }
         while self.used + request.size > self.capacity {
-            let &(OrderedF64(priority), t, victim) =
-                self.queue.iter().next().expect("nonempty");
+            let &(OrderedF64(priority), t, victim) = self.queue.iter().next().expect("nonempty");
             self.queue.remove(&(OrderedF64(priority), t, victim));
             let entry = self.entries.remove(&victim).expect("entry exists");
             self.used -= entry.size;

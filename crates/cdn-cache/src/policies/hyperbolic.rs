@@ -61,8 +61,14 @@ impl Hyperbolic {
         let mut victim_slot = 0usize;
         let mut victim_priority = f64::INFINITY;
         let n = self.objects.len();
-        for _ in 0..SAMPLE.min(n) {
-            let slot = self.rng.gen_range(0..n);
+        // Fewer residents than the sample size: examine all of them (the
+        // exact minimum) instead of drawing with replacement.
+        for k in 0..SAMPLE.min(n) {
+            let slot = if n <= SAMPLE {
+                k
+            } else {
+                self.rng.gen_range(0..n)
+            };
             let p = self.priority(&self.objects[slot].1);
             if p < victim_priority {
                 victim_priority = p;

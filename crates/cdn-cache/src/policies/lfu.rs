@@ -62,9 +62,9 @@ impl CachePolicy for Lfu {
     fn handle(&mut self, request: &Request) -> RequestOutcome {
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(&request.object) {
-            let removed =
-                self.queue
-                    .remove(&(entry.frequency, entry.tiebreak, request.object));
+            let removed = self
+                .queue
+                .remove(&(entry.frequency, entry.tiebreak, request.object));
             debug_assert!(removed);
             entry.frequency += 1;
             self.queue

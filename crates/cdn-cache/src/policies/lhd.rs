@@ -91,8 +91,14 @@ impl Lhd {
         let n = self.objects.len();
         let mut victim_slot = 0usize;
         let mut victim_density = f64::INFINITY;
-        for _ in 0..SAMPLE.min(n) {
-            let slot = self.rng.gen_range(0..n);
+        // Fewer residents than the sample size: examine all of them (the
+        // exact minimum) instead of drawing with replacement.
+        for k in 0..SAMPLE.min(n) {
+            let slot = if n <= SAMPLE {
+                k
+            } else {
+                self.rng.gen_range(0..n)
+            };
             let d = self.density(&self.objects[slot].1);
             if d < victim_density {
                 victim_density = d;
@@ -110,7 +116,7 @@ impl Lhd {
     }
 
     fn maybe_decay(&mut self) {
-        if self.clock % DECAY_INTERVAL == 0 {
+        if self.clock.is_multiple_of(DECAY_INTERVAL) {
             for h in self.hits.iter_mut() {
                 *h *= DECAY;
             }
@@ -203,7 +209,10 @@ mod tests {
         }
         // After training, the hot small set should be resident.
         let resident_small = (0..5).filter(|&i| c.contains(ObjectId(i))).count();
-        assert!(resident_small >= 4, "only {resident_small} hot objects resident");
+        assert!(
+            resident_small >= 4,
+            "only {resident_small} hot objects resident"
+        );
     }
 
     #[test]

@@ -211,8 +211,8 @@ mod tests {
         c.handle(&req(1, 10));
         c.handle(&req(2, 10));
         c.handle(&req(3, 10)); // evicts 1 or 2 (both <K)
-        // Re-request object 1: its history should still count the earlier
-        // reference, giving it a full 2-history now.
+                               // Re-request object 1: its history should still count the earlier
+                               // reference, giving it a full 2-history now.
         c.handle(&req(1, 10));
         assert!(c.history[&ObjectId(1)].len() == 2);
     }

@@ -133,7 +133,7 @@ impl CachePolicy for Rlc {
     fn handle(&mut self, request: &Request) -> RequestOutcome {
         self.requests += 1;
         // Bound auxiliary state: periodically forget cold counters.
-        if self.requests % 1_000_000 == 0 {
+        if self.requests.is_multiple_of(1_000_000) {
             self.counts.retain(|_, c| *c > 2);
             let resident = &self.index;
             self.pending.retain(|o, _| resident.contains_key(o));
@@ -160,7 +160,8 @@ impl CachePolicy for Rlc {
         } else {
             0
         };
-        self.pending.insert(request.object, Pending { state, action });
+        self.pending
+            .insert(request.object, Pending { state, action });
         if action == 0 {
             return RequestOutcome::Miss { admitted: false };
         }

@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn scan_flushes_only_the_bottom_segment() {
         let mut c = S4Lru::new(80); // 20 bytes per segment
-        // Promote a hot object to L1.
+                                    // Promote a hot object to L1.
         c.handle(&req(1, 10));
         c.handle(&req(1, 10));
         // Scan 10 one-shot objects through L0.

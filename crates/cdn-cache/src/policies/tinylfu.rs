@@ -49,12 +49,7 @@ impl CountMinSketch {
         CountMinSketch {
             width,
             rows: vec![vec![0; width]; SKETCH_ROWS],
-            seeds: [
-                mix(1, seed),
-                mix(2, seed),
-                mix(3, seed),
-                mix(4, seed),
-            ],
+            seeds: [mix(1, seed), mix(2, seed), mix(3, seed), mix(4, seed)],
             additions: 0,
             sample_window,
         }

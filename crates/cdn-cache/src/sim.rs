@@ -6,7 +6,7 @@ use crate::cache::{CachePolicy, RequestOutcome};
 use crate::metrics::{IntervalMetrics, SimResult};
 
 /// Simulation options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimConfig {
     /// Requests excluded from the measured metrics while the cache fills.
     /// The paper's evaluation trains on one trace part and measures on the
@@ -15,15 +15,6 @@ pub struct SimConfig {
     /// Emit an [`IntervalMetrics`] entry every `interval` measured
     /// requests; 0 disables the series.
     pub interval: usize,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            warmup: 0,
-            interval: 0,
-        }
-    }
 }
 
 /// Replays `requests` against `policy`, collecting hit metrics.

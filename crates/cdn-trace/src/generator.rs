@@ -241,7 +241,7 @@ impl TraceGenerator {
         self.next += 1;
 
         // Scheduled dynamics.
-        if self.config.churn_interval > 0 && t > 0 && t % self.config.churn_interval == 0 {
+        if self.config.churn_interval > 0 && t > 0 && t.is_multiple_of(self.config.churn_interval) {
             self.apply_churn();
         }
         let reshuffle_fraction: Vec<f64> = self

@@ -110,10 +110,13 @@ pub fn to_binary(trace: &Trace) -> Bytes {
 
 /// Deserializes a trace from the compact binary format.
 pub fn from_binary(mut bytes: Bytes) -> Result<Trace, TraceIoError> {
-    if bytes.len() % 24 != 0 {
+    if !bytes.len().is_multiple_of(24) {
         return Err(TraceIoError::Parse {
             position: bytes.len() / 24 + 1,
-            message: format!("binary trace length {} is not a multiple of 24", bytes.len()),
+            message: format!(
+                "binary trace length {} is not a multiple of 24",
+                bytes.len()
+            ),
         });
     }
     let mut trace = Trace::new();

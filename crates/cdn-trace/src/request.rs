@@ -6,9 +6,7 @@ use std::fmt;
 /// Identifier of a cacheable object.
 ///
 /// Production CDN traces anonymize URLs to opaque ids; we do the same.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ObjectId(pub u64);
 
 impl fmt::Debug for ObjectId {
@@ -91,9 +89,7 @@ impl CostModel {
         match *self {
             CostModel::ByteHitRatio => size,
             CostModel::ObjectHitRatio => 1,
-            CostModel::PerByteLatency { fixed, per_kib } => {
-                fixed + per_kib * size.div_ceil(1024)
-            }
+            CostModel::PerByteLatency { fixed, per_kib } => fixed + per_kib * size.div_ceil(1024),
         }
     }
 }

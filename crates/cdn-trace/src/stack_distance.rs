@@ -136,7 +136,10 @@ impl StackDistances {
 
     /// The full LRU miss-ratio curve at the given capacities.
     pub fn lru_mrc(&self, capacities: &[u64]) -> Vec<(u64, f64)> {
-        capacities.iter().map(|&c| (c, 1.0 - self.lru_ohr(c))).collect()
+        capacities
+            .iter()
+            .map(|&c| (c, 1.0 - self.lru_ohr(c)))
+            .collect()
     }
 }
 

@@ -166,7 +166,13 @@ mod tests {
 
     #[test]
     fn top_fraction_share_of_skewed_trace() {
-        let t = trace(&[(1, 1); 99].iter().chain(&[(2, 1)]).copied().collect::<Vec<_>>());
+        let t = trace(
+            &[(1, 1); 99]
+                .iter()
+                .chain(&[(2, 1)])
+                .copied()
+                .collect::<Vec<_>>(),
+        );
         let s = TraceStats::from_trace(&t);
         // Top 50% of objects (= 1 of 2 objects) takes 99% of requests.
         assert!((s.top_fraction_share(0.5) - 0.99).abs() < 1e-12);

@@ -43,6 +43,12 @@ pub struct GbdtParams {
     /// Stop when the validation loss has not improved for this many
     /// iterations; 0 disables early stopping.
     pub early_stopping_rounds: usize,
+    /// Scoped threads for per-feature histogram building and split search
+    /// inside the tree grower; 1 (the default) runs the exact serial path.
+    /// Any value produces bit-identical models — the per-feature work is
+    /// independent and reductions happen in feature order — so this only
+    /// trades wall-clock for cores.
+    pub num_threads: usize,
 }
 
 impl Default for GbdtParams {
@@ -61,6 +67,7 @@ impl Default for GbdtParams {
             max_bins: 255,
             seed: 0,
             early_stopping_rounds: 0,
+            num_threads: 1,
         }
     }
 }
@@ -155,7 +162,11 @@ pub fn train_with_validation(
     train_impl(data, Some(valid), params)
 }
 
-fn train_impl(data: &Dataset, valid: Option<&Dataset>, params: &GbdtParams) -> (Model, TrainReport) {
+fn train_impl(
+    data: &Dataset,
+    valid: Option<&Dataset>,
+    params: &GbdtParams,
+) -> (Model, TrainReport) {
     assert!(params.num_leaves >= 2, "num_leaves must be at least 2");
     assert!(
         (0.0..=1.0).contains(&params.feature_fraction) && params.feature_fraction > 0.0,
@@ -202,6 +213,7 @@ fn train_impl(data: &Dataset, valid: Option<&Dataset>, params: &GbdtParams) -> (
         min_sum_hessian: params.min_sum_hessian,
         lambda_l2: params.lambda_l2,
         leaf_scale: params.learning_rate,
+        threads: params.num_threads.max(1),
     };
 
     let all_rows: Vec<u32> = (0..n as u32).collect();
@@ -244,8 +256,8 @@ fn train_impl(data: &Dataset, valid: Option<&Dataset>, params: &GbdtParams) -> (
         let tree = grow_tree(&binned, &grad, &hess, &mut rows, &features, &grow);
 
         // Update scores on all rows (not just bagged ones).
-        for r in 0..n {
-            scores[r] += tree.predict(&data.row(r));
+        for (r, score) in scores.iter_mut().enumerate().take(n) {
+            *score += tree.predict(&data.row(r));
         }
         report.train_loss.push(log_loss(
             &scores.iter().map(|&s| sigmoid(s)).collect::<Vec<_>>(),
@@ -369,6 +381,31 @@ mod tests {
     }
 
     #[test]
+    fn num_threads_does_not_change_the_model() {
+        let (rows, labels) = disc_dataset(600, 11);
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let mut params = GbdtParams::lfo_paper();
+        params.feature_fraction = 0.5;
+        params.bagging_fraction = 0.7;
+        params.bagging_freq = 1;
+        params.seed = 42;
+        let serial = train(&data, &params);
+        for threads in [2, 4, 9] {
+            let mut p = params.clone();
+            p.num_threads = threads;
+            let par = train(&data, &p);
+            for i in 0..40 {
+                let row = vec![i as f32 / 40.0 - 0.5, 0.2];
+                assert_eq!(
+                    serial.predict_proba(&row).to_bits(),
+                    par.predict_proba(&row).to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn different_seeds_with_subsampling_differ_slightly() {
         let (rows, labels) = disc_dataset(500, 5);
         let data = Dataset::from_rows(rows, labels).unwrap();
@@ -393,9 +430,11 @@ mod tests {
         let (vrows, vlabels) = disc_dataset(200, 7);
         let data = Dataset::from_rows(rows, labels).unwrap();
         let valid = Dataset::from_rows(vrows, vlabels).unwrap();
-        let mut params = GbdtParams::default();
-        params.num_iterations = 200;
-        params.early_stopping_rounds = 5;
+        let params = GbdtParams {
+            num_iterations: 200,
+            early_stopping_rounds: 5,
+            ..Default::default()
+        };
         let (model, report) = train_with_validation(&data, &valid, &params);
         assert_eq!(model.trees().len(), report.best_iteration);
         assert!(model.trees().len() <= 200);

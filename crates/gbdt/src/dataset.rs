@@ -323,18 +323,14 @@ mod tests {
 
     #[test]
     fn rejects_nan() {
-        let err =
-            Dataset::from_rows(vec![vec![1.0], vec![f32::NAN]], vec![0.0, 1.0]).unwrap_err();
+        let err = Dataset::from_rows(vec![vec![1.0], vec![f32::NAN]], vec![0.0, 1.0]).unwrap_err();
         assert_eq!(err, DatasetError::NonFiniteValue { row: 1, feature: 0 });
     }
 
     #[test]
     fn binning_few_distinct_values_gets_one_bin_each() {
-        let d = Dataset::from_columns(
-            vec![vec![1.0, 2.0, 1.0, 3.0, 2.0, 1.0]],
-            vec![0.0; 6],
-        )
-        .unwrap();
+        let d =
+            Dataset::from_columns(vec![vec![1.0, 2.0, 1.0, 3.0, 2.0, 1.0]], vec![0.0; 6]).unwrap();
         let b = BinnedDataset::build(&d, 255);
         assert_eq!(b.num_bins(0), 3);
         assert_eq!(b.bin(0, 0), 0); // value 1.0
@@ -381,8 +377,7 @@ mod tests {
         let d = Dataset::from_columns(vec![col], vec![0.0; 1000]).unwrap();
         let b = BinnedDataset::build(&d, 32);
         // The small values must span many bins.
-        let small_bins: std::collections::HashSet<u8> =
-            (0..990).map(|r| b.bin(0, r)).collect();
+        let small_bins: std::collections::HashSet<u8> = (0..990).map(|r| b.bin(0, r)).collect();
         assert!(small_bins.len() >= 16, "only {} bins", small_bins.len());
     }
 }

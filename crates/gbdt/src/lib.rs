@@ -46,8 +46,8 @@ pub mod metrics;
 pub mod tree;
 
 pub use boosting::{sigmoid, train, train_with_validation, GbdtParams, Model, TrainReport};
-pub use metrics::{accuracy, error_rate, log_loss, Confusion};
 pub use dataset::{BinnedDataset, Dataset, DatasetError};
 pub use dump::{dump_model, dump_tree};
 pub use importance::{FeatureImportance, ImportanceKind};
+pub use metrics::{accuracy, error_rate, log_loss, Confusion};
 pub use tree::Tree;

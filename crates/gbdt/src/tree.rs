@@ -62,7 +62,11 @@ impl Tree {
                         .get(feature as usize)
                         .map(|&v| v <= threshold)
                         .unwrap_or(false);
-                    at = if go_left { left as usize } else { right as usize };
+                    at = if go_left {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
                 }
             }
         }
@@ -106,6 +110,10 @@ pub(crate) struct GrowParams {
     pub lambda_l2: f64,
     /// Multiplier applied to leaf outputs (the boosting learning rate).
     pub leaf_scale: f64,
+    /// Scoped threads for histogram building and split search; 1 = serial.
+    /// Results are bit-identical for any value (per-feature work is
+    /// independent and the reduction is performed in feature order).
+    pub threads: usize,
 }
 
 /// Per-bin gradient statistics.
@@ -156,9 +164,7 @@ pub(crate) fn grow_tree(
     features: &[usize],
     params: &GrowParams,
 ) -> Tree {
-    let leaf_value = |g: f64, h: f64| -> f64 {
-        params.leaf_scale * (-g / (h + params.lambda_l2))
-    };
+    let leaf_value = |g: f64, h: f64| -> f64 { params.leaf_scale * (-g / (h + params.lambda_l2)) };
 
     let root_grad: f64 = rows.iter().map(|&r| grad[r as usize]).sum();
     let root_hess: f64 = rows.iter().map(|&r| hess[r as usize]).sum();
@@ -179,7 +185,15 @@ pub(crate) fn grow_tree(
     });
 
     // Prepare the root's histograms and candidate.
-    build_histograms(binned, grad, hess, rows, features, &mut leaves[0]);
+    build_histograms(
+        binned,
+        grad,
+        hess,
+        rows,
+        features,
+        &mut leaves[0],
+        params.threads,
+    );
     find_candidate(binned, features, params, &mut leaves[0]);
 
     let mut num_leaves = 1usize;
@@ -273,7 +287,7 @@ pub(crate) fn grow_tree(
         } else {
             (&mut right, &mut left)
         };
-        build_histograms(binned, grad, hess, rows, features, small);
+        build_histograms(binned, grad, hess, rows, features, small, params.threads);
         big.hist = Some(subtract_histograms(
             parent_hist,
             small.hist.as_ref().expect("small child histograms"),
@@ -295,6 +309,40 @@ pub(crate) fn grow_tree(
     Tree { nodes }
 }
 
+/// Accumulates one feature's histogram over the leaf's rows. The bins are
+/// filled in row order, so the floating-point sums do not depend on which
+/// thread runs the feature.
+fn fill_feature_histogram(
+    binned: &BinnedDataset,
+    grad: &[f64],
+    hess: &[f64],
+    slice: &[u32],
+    feature: usize,
+    h: &mut [HistBin],
+) {
+    let bins = binned.bin_column(feature);
+    for &r in slice {
+        let b = bins[r as usize] as usize;
+        let cell = &mut h[b];
+        cell.grad += grad[r as usize];
+        cell.hess += hess[r as usize];
+        cell.count += 1;
+    }
+}
+
+/// Deals `items` contiguous work units to `threads` workers, invoking
+/// `spawn_run(first_index, count)` once per worker inside the scope.
+fn for_each_shard(items: usize, threads: usize, mut next_shard: impl FnMut(usize, usize)) {
+    let base = items / threads;
+    let extra = items % threads;
+    let mut start = 0usize;
+    for worker in 0..threads {
+        let count = base + usize::from(worker < extra);
+        next_shard(start, count);
+        start += count;
+    }
+}
+
 fn build_histograms(
     binned: &BinnedDataset,
     grad: &[f64],
@@ -302,22 +350,36 @@ fn build_histograms(
     rows: &[u32],
     features: &[usize],
     leaf: &mut LeafState,
+    threads: usize,
 ) {
     let slice = &rows[leaf.start..leaf.end];
     let mut hist: Histograms = features
         .iter()
         .map(|&f| vec![HistBin::default(); binned.num_bins(f)])
         .collect();
-    for (fi, &f) in features.iter().enumerate() {
-        let bins = binned.bin_column(f);
-        let h = &mut hist[fi];
-        for &r in slice {
-            let b = bins[r as usize] as usize;
-            let cell = &mut h[b];
-            cell.grad += grad[r as usize];
-            cell.hess += hess[r as usize];
-            cell.count += 1;
+    let threads = threads.clamp(1, features.len().max(1));
+    if threads == 1 {
+        for (fi, &f) in features.iter().enumerate() {
+            fill_feature_histogram(binned, grad, hess, slice, f, &mut hist[fi]);
         }
+    } else {
+        std::thread::scope(|scope| {
+            let mut hist_rest = hist.as_mut_slice();
+            let mut feat_rest = features;
+            for_each_shard(features.len(), threads, |_, count| {
+                // `mem::take` moves the full-lifetime slice out of the
+                // closure capture so the split halves live for the scope.
+                let (h_head, h_tail) = std::mem::take(&mut hist_rest).split_at_mut(count);
+                let (f_head, f_tail) = feat_rest.split_at(count);
+                hist_rest = h_tail;
+                feat_rest = f_tail;
+                scope.spawn(move || {
+                    for (h, &f) in h_head.iter_mut().zip(f_head) {
+                        fill_feature_histogram(binned, grad, hess, slice, f, h);
+                    }
+                });
+            });
+        });
     }
     leaf.hist = Some(hist);
 }
@@ -333,6 +395,61 @@ fn subtract_histograms(mut parent: Histograms, small: &Histograms) -> Histograms
     parent
 }
 
+/// Scans one feature's histogram for its best split. The local best uses the
+/// same strict-improvement rule (`gain > previous`, seeded at `1e-12`) the
+/// original single-pass scan used, so the earliest bin attaining a feature's
+/// maximum gain wins, exactly as before.
+fn feature_candidate(
+    binned: &BinnedDataset,
+    feature: usize,
+    h: &[HistBin],
+    total: usize,
+    sum_grad: f64,
+    sum_hess: f64,
+    params: &GrowParams,
+) -> Option<Candidate> {
+    let nbins = binned.num_bins(feature);
+    if nbins < 2 {
+        return None;
+    }
+    let score = |g: f64, h: f64| g * g / (h + params.lambda_l2);
+    let parent_score = score(sum_grad, sum_hess);
+    let mut best: Option<Candidate> = None;
+    let mut gl = 0.0f64;
+    let mut hl = 0.0f64;
+    let mut cl = 0usize;
+    // Split after bin b: left = bins 0..=b. The last bin cannot be a
+    // split point (right side would be empty).
+    for (b, bin) in h.iter().enumerate().take(nbins - 1) {
+        gl += bin.grad;
+        hl += bin.hess;
+        cl += bin.count as usize;
+        if cl < params.min_data_in_leaf {
+            continue;
+        }
+        let cr = total - cl;
+        if cr < params.min_data_in_leaf {
+            break;
+        }
+        let (gr, hr) = (sum_grad - gl, sum_hess - hl);
+        if hl < params.min_sum_hessian || hr < params.min_sum_hessian {
+            continue;
+        }
+        let gain = 0.5 * (score(gl, hl) + score(gr, hr) - parent_score);
+        if gain > best.map(|c| c.gain).unwrap_or(1e-12) {
+            best = Some(Candidate {
+                gain,
+                feature,
+                split_bin: b as u8,
+                left_grad: gl,
+                left_hess: hl,
+                left_count: cl,
+            });
+        }
+    }
+    best
+}
+
 fn find_candidate(
     binned: &BinnedDataset,
     features: &[usize],
@@ -345,47 +462,54 @@ fn find_candidate(
         return;
     }
     let hist = leaf.hist.as_ref().expect("histograms built");
-    let score = |g: f64, h: f64| g * g / (h + params.lambda_l2);
-    let parent_score = score(leaf.sum_grad, leaf.sum_hess);
 
-    let mut best: Option<Candidate> = None;
-    for (fi, &f) in features.iter().enumerate() {
-        let h = &hist[fi];
-        let nbins = binned.num_bins(f);
-        if nbins < 2 {
-            continue;
-        }
-        let mut gl = 0.0f64;
-        let mut hl = 0.0f64;
-        let mut cl = 0usize;
-        // Split after bin b: left = bins 0..=b. The last bin cannot be a
-        // split point (right side would be empty).
-        for b in 0..nbins - 1 {
-            gl += h[b].grad;
-            hl += h[b].hess;
-            cl += h[b].count as usize;
-            if cl < params.min_data_in_leaf {
-                continue;
-            }
-            let cr = total - cl;
-            if cr < params.min_data_in_leaf {
-                break;
-            }
-            let (gr, hr) = (leaf.sum_grad - gl, leaf.sum_hess - hl);
-            if hl < params.min_sum_hessian || hr < params.min_sum_hessian {
-                continue;
-            }
-            let gain = 0.5 * (score(gl, hl) + score(gr, hr) - parent_score);
-            if gain > best.map(|c| c.gain).unwrap_or(1e-12) {
-                best = Some(Candidate {
-                    gain,
-                    feature: f,
-                    split_bin: b as u8,
-                    left_grad: gl,
-                    left_hess: hl,
-                    left_count: cl,
+    let threads = params.threads.clamp(1, features.len().max(1));
+    let locals: Vec<Option<Candidate>> = if threads == 1 {
+        features
+            .iter()
+            .enumerate()
+            .map(|(fi, &f)| {
+                feature_candidate(
+                    binned,
+                    f,
+                    &hist[fi],
+                    total,
+                    leaf.sum_grad,
+                    leaf.sum_hess,
+                    params,
+                )
+            })
+            .collect()
+    } else {
+        let mut locals = vec![None; features.len()];
+        std::thread::scope(|scope| {
+            let mut locals_rest = locals.as_mut_slice();
+            let mut feat_rest = features;
+            let mut hist_rest = hist.as_slice();
+            let (sum_grad, sum_hess) = (leaf.sum_grad, leaf.sum_hess);
+            for_each_shard(features.len(), threads, |_, count| {
+                let (l_head, l_tail) = std::mem::take(&mut locals_rest).split_at_mut(count);
+                let (f_head, f_tail) = feat_rest.split_at(count);
+                let (h_head, h_tail) = hist_rest.split_at(count);
+                locals_rest = l_tail;
+                feat_rest = f_tail;
+                hist_rest = h_tail;
+                scope.spawn(move || {
+                    for ((slot, &f), h) in l_head.iter_mut().zip(f_head).zip(h_head) {
+                        *slot = feature_candidate(binned, f, h, total, sum_grad, sum_hess, params);
+                    }
                 });
-            }
+            });
+        });
+        locals
+    };
+
+    // Reduce in feature order with strict improvement, so ties keep the
+    // earliest feature — identical to the serial running-best scan.
+    let mut best: Option<Candidate> = None;
+    for cand in locals.into_iter().flatten() {
+        if best.map(|b| cand.gain > b.gain).unwrap_or(true) {
+            best = Some(cand);
         }
     }
     leaf.candidate = best;
@@ -416,6 +540,7 @@ mod tests {
             min_sum_hessian: 1e-3,
             lambda_l2: 0.0,
             leaf_scale: 1.0,
+            threads: 1,
         }
     }
 
@@ -549,6 +674,31 @@ mod tests {
         let t = grow_simple(rows, labels, default_params());
         assert_eq!(t.num_leaves(), 1);
         assert!((t.predict(&[25.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threaded_growth_matches_serial_bit_for_bit() {
+        // A noisy two-feature problem so many splits compete closely.
+        let rows: Vec<Vec<f32>> = (0..500)
+            .map(|i| vec![(i % 83) as f32, ((i * 7) % 59) as f32, (i % 11) as f32])
+            .collect();
+        let labels: Vec<f32> = (0..500)
+            .map(|i| ((i % 83 > 40) ^ ((i * 7) % 59 > 29)) as u8 as f32)
+            .collect();
+        let serial = grow_simple(rows.clone(), labels.clone(), default_params());
+        for threads in [2, 3, 16] {
+            let mut p = default_params();
+            p.threads = threads;
+            let par = grow_simple(rows.clone(), labels.clone(), p);
+            assert_eq!(serial.nodes().len(), par.nodes().len(), "threads={threads}");
+            for r in &rows {
+                assert_eq!(
+                    serial.predict(r).to_bits(),
+                    par.predict(r).to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl FeatureTracker {
                 }
                 out.extend(self.schedule.iter().map(|&k| dense[k - 1]));
             }
-            None => out.extend(std::iter::repeat(MISSING_GAP).take(self.schedule.len())),
+            None => out.extend(std::iter::repeat_n(MISSING_GAP, self.schedule.len())),
         }
         out
     }
@@ -140,9 +140,8 @@ impl FeatureTracker {
     /// on unbounded streams.
     pub fn forget_older_than(&mut self, time: u64) {
         let last_touch = &self.last_touch;
-        self.history.retain(|o, _| {
-            last_touch.get(o).copied().unwrap_or(0) >= time
-        });
+        self.history
+            .retain(|o, _| last_touch.get(o).copied().unwrap_or(0) >= time);
         self.last_touch.retain(|_, &mut t| t >= time);
     }
 

@@ -126,19 +126,14 @@ pub fn train_placement_model(
     assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
     let next_use = opt::belady::next_use_indices(requests);
     let mut tracker = config.tracker();
-    let rows: Vec<Vec<f32>> = requests
-        .iter()
-        .map(|r| tracker.observe(r, 0))
-        .collect();
+    let rows: Vec<Vec<f32>> = requests.iter().map(|r| tracker.observe(r, 0)).collect();
 
     let mut boundary_models = Vec::with_capacity(boundaries.len());
     for &b in &boundaries {
         let labels: Vec<f32> = next_use
             .iter()
             .enumerate()
-            .map(|(k, &nu)| {
-                (nu != usize::MAX && (nu - k) as u64 <= b) as u8 as f32
-            })
+            .map(|(k, &nu)| (nu != usize::MAX && (nu - k) as u64 <= b) as u8 as f32)
             .collect();
         let data = gbdt::Dataset::from_rows(rows.clone(), labels)
             .expect("windows are non-empty and finite");
@@ -183,7 +178,8 @@ impl Tier {
     }
 
     fn insert(&mut self, object: ObjectId, priority: f64, tiebreak: u64, size: u64) {
-        self.entries.insert(object, (Priority(priority), tiebreak, size));
+        self.entries
+            .insert(object, (Priority(priority), tiebreak, size));
         self.queue.insert((Priority(priority), tiebreak, object));
         self.used += size;
     }
@@ -344,13 +340,7 @@ impl TieredLfoCache {
     }
 
     /// Inserts into `tier`, demoting evicted objects down the hierarchy.
-    fn insert_with_demotion(
-        &mut self,
-        tier: usize,
-        object: ObjectId,
-        priority: f64,
-        size: u64,
-    ) {
+    fn insert_with_demotion(&mut self, tier: usize, object: ObjectId, priority: f64, size: u64) {
         // Objects larger than the tier get bumped to the next one down.
         let mut tier = tier;
         while tier < self.tiers.len() && size > self.tiers[tier].spec.capacity {
@@ -537,7 +527,10 @@ mod tests {
             let f = tracker.observe(r, 0);
             tiers_seen.insert(model.place(&f));
         }
-        assert!(tiers_seen.len() >= 2, "placement is constant: {tiers_seen:?}");
+        assert!(
+            tiers_seen.len() >= 2,
+            "placement is constant: {tiers_seen:?}"
+        );
     }
 
     #[test]
@@ -545,8 +538,11 @@ mod tests {
         let trace = TraceGenerator::new(GeneratorConfig::small(4, 20_000)).generate();
         let reqs = trace.requests();
         let config = LfoConfig::default();
-        let placement_model =
-            Arc::new(train_placement_model(&reqs[..10_000], vec![500, 5_000], &config));
+        let placement_model = Arc::new(train_placement_model(
+            &reqs[..10_000],
+            vec![500, 5_000],
+            &config,
+        ));
 
         let stats = cdn_trace::TraceStats::from_requests(reqs);
         let total = stats.cache_size_for_fraction(0.15);
@@ -557,8 +553,7 @@ mod tests {
             Placement::Learned(placement_model),
             config.clone(),
         );
-        let mut pinned =
-            TieredLfoCache::new(tier_specs.clone(), Placement::Pin(2), config.clone());
+        let mut pinned = TieredLfoCache::new(tier_specs.clone(), Placement::Pin(2), config.clone());
         for r in &reqs[10_000..] {
             learned.handle(r);
             pinned.handle(r);

@@ -55,10 +55,13 @@ pub mod serve;
 pub mod train;
 
 pub use config::{CutoffMode, LfoConfig, PolicyDesign};
-pub use features::{FeatureTracker, FEATURE_GAPS};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, WindowReport};
 pub use drift::{DriftVerdict, FeatureSketch};
+pub use features::{FeatureTracker, FEATURE_GAPS};
 pub use hierarchy::{Placement, TierSpec, TieredLfoCache};
 pub use persist::LfoArtifact;
-pub use policy::LfoCache;
+pub use pipeline::{
+    run_pipeline, run_pipeline_serial, DeployMode, PipelineConfig, PipelineReport, StageTiming,
+    WindowReport,
+};
+pub use policy::{LfoCache, ModelSlot};
 pub use train::{train_window, TrainedWindow};

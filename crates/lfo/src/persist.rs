@@ -77,7 +77,12 @@ impl From<serde_json::Error> for PersistError {
 
 impl LfoArtifact {
     /// Wraps a trained model for deployment.
-    pub fn new(config: LfoConfig, model: Model, deployed_cutoff: f64, provenance: impl Into<String>) -> Self {
+    pub fn new(
+        config: LfoConfig,
+        model: Model,
+        deployed_cutoff: f64,
+        provenance: impl Into<String>,
+    ) -> Self {
         LfoArtifact {
             version: ARTIFACT_VERSION,
             config,
@@ -126,7 +131,7 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..100)
             .map(|i| {
                 let mut row = vec![i as f32 * 100.0, i as f32 * 100.0, 0.0];
-                row.extend(std::iter::repeat(5.0).take(config.num_gaps));
+                row.extend(std::iter::repeat_n(5.0, config.num_gaps));
                 row
             })
             .collect();
@@ -142,7 +147,7 @@ mod tests {
     fn roundtrip_preserves_predictions_and_metadata() {
         let artifact = toy_artifact();
         let mut row = vec![100.0f32, 100.0, 0.0];
-        row.extend(std::iter::repeat(5.0).take(50));
+        row.extend(std::iter::repeat_n(5.0, 50));
         let before = artifact.model.predict_proba(&row);
 
         let mut buf = Vec::new();

@@ -1,0 +1,464 @@
+//! The sliding-window pipeline (paper Figure 2), staged.
+//!
+//! "LFO records a sliding window of consecutive requests (W\[t\]). For the
+//! requests in W\[t\], LFO calculates OPT's decisions and derives a vector
+//! of online features. LFO then trains a caching policy that maps the
+//! online features to OPT's decisions. The trained policy is then used over
+//! the next window, t + 1, during which LFO again records the requests."
+//!
+//! The pipeline simultaneously (a) serves requests through the live
+//! [`LfoCache`](crate::LfoCache) (untrained ⇒ LRU fallback in the first
+//! window) and (b) evaluates each window's model against the *next*
+//! window's OPT decisions — the paper's prediction-error metric ("LFO is
+//! trained on one part e.g. requests 0–1M and evaluated on the ensuing
+//! part").
+//!
+//! [`run_pipeline`] runs the staged architecture — Collector → Labeler
+//! (OPT) → Trainer → Deployer, with labeling/training off the serving
+//! path on background threads (see [`stages`]) and models rolled out via an
+//! atomic [`ModelSlot`](crate::ModelSlot) swap. The default
+//! [`DeployMode::Boundary`] reproduces the serial schedule bit-for-bit;
+//! [`run_pipeline_serial`] keeps the single-threaded reference
+//! implementation for comparison and testing.
+
+mod report;
+mod stages;
+
+pub use report::{PipelineReport, StageTiming, WindowReport};
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdn_cache::{simulate, IntervalMetrics, SimConfig};
+use cdn_trace::Request;
+use gbdt::Model;
+use opt::{
+    compute_opt, compute_opt_pruned, compute_opt_segmented_parallel, OptConfig, OptError, OptResult,
+};
+
+use crate::config::LfoConfig;
+use crate::labels::build_training_set;
+use crate::policy::LfoCache;
+use crate::train::{equalize_cutoff, evaluate, train_window};
+
+use report::merge;
+
+/// When a freshly trained model becomes visible to the serving cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeployMode {
+    /// Deploy at the window boundary: the collector waits for window *t*'s
+    /// model before serving window *t+1*. Per-window metrics are
+    /// bit-identical to [`run_pipeline_serial`].
+    #[default]
+    Boundary,
+    /// Deploy the moment training finishes: the trainer publishes into the
+    /// shared [`ModelSlot`](crate::ModelSlot) and the cache picks the model
+    /// up mid-window on its next request. Lowest time-to-rollout, at the
+    /// cost of run-to-run timing-dependent (but structurally valid) metrics.
+    Async,
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Requests per window (the paper uses 1M on the production trace).
+    pub window: usize,
+    /// Cache capacity in bytes.
+    pub cache_size: u64,
+    /// LFO learner/policy settings.
+    pub lfo: LfoConfig,
+    /// OPT time-axis segment size; 0 = exact solve per window.
+    pub opt_segment: usize,
+    /// OPT rank-pruning keep fraction; 1.0 = no pruning.
+    pub opt_prune: f64,
+    /// Model rollout discipline for the staged pipeline.
+    pub deploy: DeployMode,
+    /// Scoped threads for intra-stage parallelism (segmented OPT solves and
+    /// the GBDT grower's per-feature split search); 0 = one per available
+    /// core, 1 = serial. Any value yields bit-identical results.
+    pub threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            window: 100_000,
+            cache_size: 64 * 1024 * 1024,
+            lfo: LfoConfig::default(),
+            opt_segment: 0,
+            opt_prune: 1.0,
+            deploy: DeployMode::Boundary,
+            threads: 1,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The effective intra-stage thread count (resolving 0 = auto).
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Solves OPT for one window with the configured approximation, matching
+/// the serial reference exactly (the parallel segmented solver merges in
+/// segment order, so its result equals the serial one bit-for-bit).
+fn solve_opt(
+    window: &[Request],
+    opt_config: &OptConfig,
+    config: &PipelineConfig,
+    threads: usize,
+) -> Result<OptResult, OptError> {
+    if config.opt_prune < 1.0 {
+        Ok(compute_opt_pruned(window, opt_config, config.opt_prune)?.result)
+    } else if config.opt_segment > 0 {
+        compute_opt_segmented_parallel(window, opt_config, config.opt_segment, threads)
+    } else {
+        compute_opt(window, opt_config)
+    }
+}
+
+/// Runs the Figure 2 loop over `requests` with the staged architecture:
+/// labeling and training happen on background threads while the collector
+/// serves, and models roll out per [`PipelineConfig::deploy`].
+///
+/// Returns an error if a window's OPT computation fails (which indicates a
+/// bug rather than bad input — see [`OptError`]).
+pub fn run_pipeline(
+    requests: &[Request],
+    config: &PipelineConfig,
+) -> Result<PipelineReport, OptError> {
+    stages::run_staged(requests, config)
+}
+
+/// The single-threaded reference implementation of the Figure 2 loop.
+///
+/// Kept for determinism testing and wall-clock comparison: under
+/// [`DeployMode::Boundary`] the staged [`run_pipeline`] produces
+/// bit-identical per-window metrics to this function.
+pub fn run_pipeline_serial(
+    requests: &[Request],
+    config: &PipelineConfig,
+) -> Result<PipelineReport, OptError> {
+    if requests.is_empty() {
+        return Err(OptError::EmptyWindow);
+    }
+    let opt_config = OptConfig {
+        cache_size: config.cache_size,
+        cost_model: config.lfo.cost_model,
+        ..OptConfig::bhr(config.cache_size)
+    };
+
+    let mut cache = LfoCache::new(config.cache_size, config.lfo.clone());
+    let mut training_tracker = config.lfo.tracker();
+    let mut report = PipelineReport {
+        windows: Vec::new(),
+        live_total: IntervalMetrics::default(),
+        live_trained: IntervalMetrics::default(),
+        final_model: None,
+    };
+    let mut previous_model: Option<Arc<Model>> = None;
+
+    for (index, window) in requests.chunks(config.window.max(1)).enumerate() {
+        let had_model = cache.has_model();
+
+        // (a) Serve the window live through the LFO cache.
+        let serve_started = Instant::now();
+        let live = simulate(&mut cache, window, &SimConfig::default()).measured;
+        let serve = serve_started.elapsed();
+
+        // (b) Compute OPT for the window just recorded, and (c) build the
+        // training set (advances the training tracker).
+        let label_started = Instant::now();
+        let opt = solve_opt(window, &opt_config, config, 1)?;
+        let data = build_training_set(window, &opt, &mut training_tracker, config.cache_size);
+        let label = label_started.elapsed();
+
+        // (d) Evaluate the previous model on this window (paper's
+        // train-on-t, test-on-t+1 protocol).
+        let train_started = Instant::now();
+        let (prediction_error, false_positive, false_negative) = match &previous_model {
+            Some(model) => {
+                let confusion = evaluate(model, &data, config.lfo.cutoff);
+                (
+                    Some(confusion.error_fraction()),
+                    Some(confusion.false_positive_fraction()),
+                    Some(confusion.false_negative_fraction()),
+                )
+            }
+            None => (None, None, None),
+        };
+
+        // (e) Train on this window; deploy for the next — optionally with
+        // a re-tuned cutoff (§3's FP/FN equalization).
+        let trained = train_window(&data, &config.lfo);
+        let deployed_cutoff = match config.lfo.cutoff_mode {
+            crate::CutoffMode::Fixed(c) => c,
+            crate::CutoffMode::EqualizeErrorRates => {
+                equalize_cutoff(&trained.train_probs, &trained.train_labels)
+            }
+        };
+        let train = train_started.elapsed();
+        cache.set_cutoff(deployed_cutoff);
+        let model = Arc::new(trained.model);
+        cache.install_model(Arc::clone(&model));
+        previous_model = Some(Arc::clone(&model));
+        report.final_model = Some(model);
+
+        merge(&mut report.live_total, &live);
+        if had_model {
+            merge(&mut report.live_trained, &live);
+        }
+        report.windows.push(WindowReport {
+            index,
+            requests: window.len(),
+            live,
+            had_model,
+            prediction_error,
+            false_positive,
+            false_negative,
+            train_accuracy: trained.train_accuracy,
+            opt_bhr: opt.bhr(),
+            opt_ohr: opt.ohr(),
+            deployed_cutoff,
+            timing: StageTiming {
+                serve,
+                label,
+                train,
+                deploy_wait: Duration::ZERO,
+            },
+        });
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::{GeneratorConfig, TraceGenerator};
+
+    fn small_config(window: usize, cache: u64) -> PipelineConfig {
+        PipelineConfig {
+            window,
+            cache_size: cache,
+            ..Default::default()
+        }
+    }
+
+    /// Asserts every serial-reproducible field of two reports is identical,
+    /// bit-for-bit where floating point is involved. Timings are excluded —
+    /// they are the only fields allowed to differ.
+    fn assert_reports_identical(a: &PipelineReport, b: &PipelineReport) {
+        assert_eq!(a.windows.len(), b.windows.len());
+        for (wa, wb) in a.windows.iter().zip(&b.windows) {
+            assert_eq!(wa.index, wb.index);
+            assert_eq!(wa.requests, wb.requests);
+            assert_eq!(wa.live.requests, wb.live.requests);
+            assert_eq!(wa.live.hits, wb.live.hits);
+            assert_eq!(wa.live.total_bytes, wb.live.total_bytes);
+            assert_eq!(wa.live.hit_bytes, wb.live.hit_bytes);
+            assert_eq!(wa.had_model, wb.had_model);
+            assert_eq!(
+                wa.prediction_error.map(f64::to_bits),
+                wb.prediction_error.map(f64::to_bits),
+                "window {}",
+                wa.index
+            );
+            assert_eq!(
+                wa.false_positive.map(f64::to_bits),
+                wb.false_positive.map(f64::to_bits)
+            );
+            assert_eq!(
+                wa.false_negative.map(f64::to_bits),
+                wb.false_negative.map(f64::to_bits)
+            );
+            assert_eq!(wa.train_accuracy.to_bits(), wb.train_accuracy.to_bits());
+            assert_eq!(wa.opt_bhr.to_bits(), wb.opt_bhr.to_bits());
+            assert_eq!(wa.opt_ohr.to_bits(), wb.opt_ohr.to_bits());
+            assert_eq!(wa.deployed_cutoff.to_bits(), wb.deployed_cutoff.to_bits());
+        }
+        assert_eq!(a.live_total.hit_bytes, b.live_total.hit_bytes);
+        assert_eq!(a.live_trained.hit_bytes, b.live_trained.hit_bytes);
+        assert_eq!(
+            a.mean_prediction_accuracy().map(f64::to_bits),
+            b.mean_prediction_accuracy().map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(run_pipeline(&[], &PipelineConfig::default()).is_err());
+        assert!(run_pipeline_serial(&[], &PipelineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn window_structure_and_model_rollout() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(1, 9_000)).generate();
+        let report = run_pipeline(trace.requests(), &small_config(3_000, 4 * 1024 * 1024)).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        assert!(!report.windows[0].had_model, "window 0 must be untrained");
+        assert!(report.windows[1].had_model);
+        assert!(report.windows[2].had_model);
+        assert!(report.windows[0].prediction_error.is_none());
+        assert!(report.windows[1].prediction_error.is_some());
+        assert!(report.final_model.is_some());
+    }
+
+    #[test]
+    fn prediction_accuracy_is_high() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(2, 15_000)).generate();
+        let report = run_pipeline(trace.requests(), &small_config(5_000, 8 * 1024 * 1024)).unwrap();
+        let acc = report.mean_prediction_accuracy().unwrap();
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn live_metrics_partition_into_windows() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(3, 6_000)).generate();
+        let report = run_pipeline(trace.requests(), &small_config(2_000, 2 * 1024 * 1024)).unwrap();
+        let sum: u64 = report.windows.iter().map(|w| w.live.requests).sum();
+        assert_eq!(sum, 6_000);
+        assert_eq!(report.live_total.requests, 6_000);
+        assert_eq!(report.live_trained.requests, 4_000);
+    }
+
+    #[test]
+    fn equalized_cutoff_mode_tunes_per_window() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(6, 6_000)).generate();
+        let mut config = small_config(3_000, 4 * 1024 * 1024);
+        config.lfo.cutoff_mode = crate::CutoffMode::EqualizeErrorRates;
+        let report = run_pipeline(trace.requests(), &config).unwrap();
+        for w in &report.windows {
+            assert!((0.0..=1.0).contains(&w.deployed_cutoff));
+        }
+        // At least one window should deviate from the fixed 0.5.
+        assert!(
+            report
+                .windows
+                .iter()
+                .any(|w| (w.deployed_cutoff - 0.5).abs() > 1e-9),
+            "tuning never moved the cutoff"
+        );
+    }
+
+    #[test]
+    fn pruned_opt_pipeline_also_works() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(4, 6_000)).generate();
+        let mut config = small_config(3_000, 4 * 1024 * 1024);
+        config.opt_prune = 0.5;
+        let report = run_pipeline(trace.requests(), &config).unwrap();
+        assert_eq!(report.windows.len(), 2);
+        assert!(report.mean_prediction_accuracy().unwrap() > 0.7);
+    }
+
+    #[test]
+    fn segmented_opt_pipeline_also_works() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(5, 6_000)).generate();
+        let mut config = small_config(3_000, 4 * 1024 * 1024);
+        config.opt_segment = 1_000;
+        let report = run_pipeline(trace.requests(), &config).unwrap();
+        assert_eq!(report.windows.len(), 2);
+    }
+
+    #[test]
+    fn staged_boundary_matches_serial_bit_for_bit() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(8, 8_000)).generate();
+        let mut config = small_config(2_000, 4 * 1024 * 1024);
+        config.opt_segment = 500;
+        config.threads = 3;
+        let serial = run_pipeline_serial(trace.requests(), &config).unwrap();
+        let staged = run_pipeline(trace.requests(), &config).unwrap();
+        assert_reports_identical(&serial, &staged);
+    }
+
+    #[test]
+    fn staged_boundary_matches_serial_with_tuned_cutoffs() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(9, 6_000)).generate();
+        let mut config = small_config(1_500, 4 * 1024 * 1024);
+        config.lfo.cutoff_mode = crate::CutoffMode::EqualizeErrorRates;
+        config.threads = 2;
+        let serial = run_pipeline_serial(trace.requests(), &config).unwrap();
+        let staged = run_pipeline(trace.requests(), &config).unwrap();
+        assert_reports_identical(&serial, &staged);
+    }
+
+    #[test]
+    fn async_deploy_survives_small_uneven_windows() {
+        // 8 windows of 700 with a 100-request final partial window; async
+        // rollout + auto thread count. Metrics are timing-dependent, but the
+        // structure must hold.
+        let trace = TraceGenerator::new(GeneratorConfig::small(10, 5_000)).generate();
+        let mut config = small_config(700, 2 * 1024 * 1024);
+        config.deploy = DeployMode::Async;
+        config.threads = 0;
+        config.opt_segment = 200;
+        let report = run_pipeline(trace.requests(), &config).unwrap();
+        assert_eq!(report.windows.len(), 8);
+        assert_eq!(report.windows.last().unwrap().requests, 100);
+        let sum: u64 = report.windows.iter().map(|w| w.live.requests).sum();
+        assert_eq!(sum, 5_000);
+        assert!(report.final_model.is_some());
+        for (position, w) in report.windows.iter().enumerate() {
+            assert_eq!(w.index, position);
+            assert!((0.0..=1.0).contains(&w.opt_bhr), "opt_bhr {}", w.opt_bhr);
+            assert!((0.0..=1.0).contains(&w.opt_ohr));
+            assert!((0.0..=1.0).contains(&w.train_accuracy));
+            if let Some(e) = w.prediction_error {
+                assert!((0.0..=1.0).contains(&e));
+            }
+            assert_eq!(w.timing.deploy_wait, Duration::ZERO);
+        }
+        // Every window after the first *may* have a model; the last ones
+        // almost surely do. At minimum window 0 is untrained.
+        assert!(!report.windows[0].had_model);
+    }
+
+    #[test]
+    fn mean_prediction_accuracy_weights_by_request_count() {
+        let window = |index: usize, requests: usize, error: Option<f64>| WindowReport {
+            index,
+            requests,
+            live: IntervalMetrics::default(),
+            had_model: index > 0,
+            prediction_error: error,
+            false_positive: None,
+            false_negative: None,
+            train_accuracy: 1.0,
+            opt_bhr: 0.5,
+            opt_ohr: 0.5,
+            deployed_cutoff: 0.5,
+            timing: StageTiming::default(),
+        };
+        let report = PipelineReport {
+            windows: vec![
+                window(0, 1_000, None),
+                window(1, 1_000, Some(0.10)),
+                window(2, 100, Some(0.90)),
+            ],
+            live_total: IntervalMetrics::default(),
+            live_trained: IntervalMetrics::default(),
+            final_model: None,
+        };
+        // Weighted: 1 - (0.10·1000 + 0.90·100) / 1100 ≈ 0.8273, not the
+        // unweighted 1 - 0.5 = 0.5.
+        let acc = report.mean_prediction_accuracy().unwrap();
+        assert!((acc - (1.0 - 190.0 / 1100.0)).abs() < 1e-12, "acc {acc}");
+    }
+
+    #[test]
+    fn total_timing_accumulates_all_stages() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(11, 4_000)).generate();
+        let report = run_pipeline(trace.requests(), &small_config(2_000, 2 * 1024 * 1024)).unwrap();
+        let total = report.total_timing();
+        let serve_sum: Duration = report.windows.iter().map(|w| w.timing.serve).sum();
+        assert_eq!(total.serve, serve_sum);
+        assert!(total.label > Duration::ZERO);
+        assert!(total.train > Duration::ZERO);
+    }
+}

@@ -1,0 +1,119 @@
+//! Pipeline outcome types: per-window diagnostics, per-stage wall-clock,
+//! and the aggregate report.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdn_cache::IntervalMetrics;
+use gbdt::Model;
+
+/// Wall-clock spent in each pipeline stage for one window.
+///
+/// `serve` is measured on the collector (main) thread; `label` and `train`
+/// on the background stage threads; `deploy_wait` is how long the collector
+/// blocked at the window boundary waiting for the trained model (zero under
+/// [`crate::DeployMode::Async`], where rollout happens mid-window).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTiming {
+    /// Live cache simulation over the window.
+    pub serve: Duration,
+    /// OPT decisions + feature/label derivation for the window.
+    pub label: Duration,
+    /// Model evaluation + training on the window's labels.
+    pub train: Duration,
+    /// Time the collector blocked at the boundary for the deploy.
+    pub deploy_wait: Duration,
+}
+
+impl StageTiming {
+    /// Accumulates another window's timings into this one.
+    pub fn accumulate(&mut self, other: &StageTiming) {
+        self.serve += other.serve;
+        self.label += other.label;
+        self.train += other.train;
+        self.deploy_wait += other.deploy_wait;
+    }
+}
+
+/// Per-window pipeline diagnostics.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Window index (0-based).
+    pub index: usize,
+    /// Requests in the window.
+    pub requests: usize,
+    /// LFO's live hit metrics over this window.
+    pub live: IntervalMetrics,
+    /// Whether a trained model served this window (at its first request).
+    pub had_model: bool,
+    /// Prediction error of the *previous* window's model against this
+    /// window's OPT decisions (the Figure 5 metric); `None` for window 0.
+    pub prediction_error: Option<f64>,
+    /// False-positive fraction of that evaluation.
+    pub false_positive: Option<f64>,
+    /// False-negative fraction of that evaluation.
+    pub false_negative: Option<f64>,
+    /// Training accuracy of the model trained *on* this window.
+    pub train_accuracy: f64,
+    /// OPT's byte hit ratio on this window (upper reference).
+    pub opt_bhr: f64,
+    /// OPT's object hit ratio on this window.
+    pub opt_ohr: f64,
+    /// Admission cutoff deployed for the *next* window (differs from the
+    /// configured value under [`crate::CutoffMode::EqualizeErrorRates`]).
+    pub deployed_cutoff: f64,
+    /// Per-stage wall-clock for this window.
+    pub timing: StageTiming,
+}
+
+/// The pipeline's overall outcome.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Per-window diagnostics.
+    pub windows: Vec<WindowReport>,
+    /// LFO's live metrics across all windows.
+    pub live_total: IntervalMetrics,
+    /// LFO's live metrics excluding window 0 (the untrained fallback) —
+    /// comparable to the paper's evaluation protocol.
+    pub live_trained: IntervalMetrics,
+    /// The final trained model.
+    pub final_model: Option<Arc<Model>>,
+}
+
+impl PipelineReport {
+    /// Mean prediction accuracy across evaluated windows (the paper's
+    /// "LFO matches OPT's prediction for over 93% of the requests"),
+    /// weighted by each window's request count so a short final window
+    /// cannot skew the trace-wide figure.
+    pub fn mean_prediction_accuracy(&self) -> Option<f64> {
+        let mut weight = 0u64;
+        let mut weighted_error = 0.0f64;
+        for w in &self.windows {
+            if let Some(error) = w.prediction_error {
+                weight += w.requests as u64;
+                weighted_error += error * w.requests as f64;
+            }
+        }
+        if weight == 0 {
+            None
+        } else {
+            Some(1.0 - weighted_error / weight as f64)
+        }
+    }
+
+    /// Per-stage wall-clock summed over all windows.
+    pub fn total_timing(&self) -> StageTiming {
+        let mut total = StageTiming::default();
+        for w in &self.windows {
+            total.accumulate(&w.timing);
+        }
+        total
+    }
+}
+
+pub(super) fn merge(into: &mut IntervalMetrics, from: &IntervalMetrics) {
+    into.requests += from.requests;
+    into.hits += from.hits;
+    into.total_bytes += from.total_bytes;
+    into.hit_bytes += from.hit_bytes;
+}

@@ -1,0 +1,296 @@
+//! The staged pipeline: Collector → Labeler → Trainer → Deployer.
+//!
+//! The collector (main thread) serves windows through the live [`LfoCache`]
+//! while a labeler thread computes OPT decisions + features and a trainer
+//! thread fits each window's model. Because the labeler's feature tracker is
+//! independent of the serving cache, labeling and training of window *t*
+//! overlap with serving of window *t* itself.
+//!
+//! Under [`DeployMode::Boundary`] the collector blocks at each window
+//! boundary until window *t*'s model is trained and deploys it before the
+//! first request of window *t+1* — the exact schedule of
+//! [`super::run_pipeline_serial`], so per-window metrics are bit-identical.
+//! Under [`DeployMode::Async`] the trainer publishes straight into the
+//! shared [`ModelSlot`] the moment training finishes, so a model can roll
+//! out mid-window and the collector never blocks.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdn_cache::{simulate, IntervalMetrics, SimConfig};
+use cdn_trace::Request;
+use gbdt::{Dataset, Model};
+use opt::{OptConfig, OptError};
+
+use crate::labels::build_training_set;
+use crate::policy::{LfoCache, ModelSlot};
+use crate::train::{equalize_cutoff, evaluate, train_window};
+
+use super::report::{merge, PipelineReport, StageTiming, WindowReport};
+use super::{solve_opt, DeployMode, PipelineConfig};
+
+/// Labeler → trainer: one window's training set and OPT reference ratios.
+struct LabeledWindow {
+    data: Dataset,
+    opt_bhr: f64,
+    opt_ohr: f64,
+    label_time: Duration,
+}
+
+/// Trainer → deployer: one window's model and training-side diagnostics.
+struct TrainOutcome {
+    index: usize,
+    model: Arc<Model>,
+    deployed_cutoff: f64,
+    train_accuracy: f64,
+    prediction_error: Option<f64>,
+    false_positive: Option<f64>,
+    false_negative: Option<f64>,
+    opt_bhr: f64,
+    opt_ohr: f64,
+    label_time: Duration,
+    train_time: Duration,
+}
+
+/// Collector-side view of one window.
+struct ServePart {
+    index: usize,
+    requests: usize,
+    live: IntervalMetrics,
+    had_model: bool,
+    serve_time: Duration,
+    deploy_wait: Duration,
+}
+
+pub(super) fn run_staged(
+    requests: &[Request],
+    config: &PipelineConfig,
+) -> Result<PipelineReport, OptError> {
+    if requests.is_empty() {
+        return Err(OptError::EmptyWindow);
+    }
+    let opt_config = OptConfig {
+        cache_size: config.cache_size,
+        cost_model: config.lfo.cost_model,
+        ..OptConfig::bhr(config.cache_size)
+    };
+    let threads = config.resolved_threads();
+    // The thread knob only trades wall-clock for cores: segmented OPT solves
+    // merge in segment order and the GBDT grower reduces split candidates in
+    // feature order, so results are bit-identical for any thread count.
+    let mut lfo = config.lfo.clone();
+    lfo.gbdt.num_threads = threads;
+
+    let slot = ModelSlot::new();
+    let mut cache = LfoCache::with_slot(config.cache_size, lfo.clone(), slot.clone());
+    let windows: Vec<&[Request]> = requests.chunks(config.window.max(1)).collect();
+
+    let mut serve_parts: Vec<ServePart> = Vec::with_capacity(windows.len());
+    let mut outcomes: Vec<TrainOutcome> = Vec::with_capacity(windows.len());
+    let mut opt_failure: Option<OptError> = None;
+
+    std::thread::scope(|scope| {
+        let (window_tx, window_rx) = channel::<(usize, &[Request])>();
+        let (labeled_tx, labeled_rx) = channel::<Result<(usize, LabeledWindow), OptError>>();
+        let (outcome_tx, outcome_rx) = channel::<Result<TrainOutcome, OptError>>();
+
+        // Labeler: owns the training-side feature tracker (sequential state),
+        // so windows must be labeled in order — but independently of serving.
+        let labeler_lfo = lfo.clone();
+        scope.spawn(move || {
+            let mut tracker = labeler_lfo.tracker();
+            while let Ok((index, window)) = window_rx.recv() {
+                let started = Instant::now();
+                let opt = match solve_opt(window, &opt_config, config, threads) {
+                    Ok(opt) => opt,
+                    Err(error) => {
+                        let _ = labeled_tx.send(Err(error));
+                        return;
+                    }
+                };
+                let data = build_training_set(window, &opt, &mut tracker, config.cache_size);
+                let labeled = LabeledWindow {
+                    data,
+                    opt_bhr: opt.bhr(),
+                    opt_ohr: opt.ohr(),
+                    label_time: started.elapsed(),
+                };
+                if labeled_tx.send(Ok((index, labeled))).is_err() {
+                    return;
+                }
+            }
+        });
+
+        // Trainer: evaluates the previous window's model on the new labels
+        // (the paper's train-on-t, test-on-t+1 protocol), trains this
+        // window's model, and — in async mode — publishes it immediately.
+        let trainer_slot = slot.clone();
+        let trainer_lfo = lfo.clone();
+        let deploy = config.deploy;
+        scope.spawn(move || {
+            let mut previous: Option<Arc<Model>> = None;
+            while let Ok(message) = labeled_rx.recv() {
+                let (index, labeled) = match message {
+                    Ok(labeled) => labeled,
+                    Err(error) => {
+                        let _ = outcome_tx.send(Err(error));
+                        return;
+                    }
+                };
+                let started = Instant::now();
+                let (prediction_error, false_positive, false_negative) = match &previous {
+                    Some(model) => {
+                        let confusion = evaluate(model, &labeled.data, trainer_lfo.cutoff);
+                        (
+                            Some(confusion.error_fraction()),
+                            Some(confusion.false_positive_fraction()),
+                            Some(confusion.false_negative_fraction()),
+                        )
+                    }
+                    None => (None, None, None),
+                };
+                let trained = train_window(&labeled.data, &trainer_lfo);
+                let deployed_cutoff = match trainer_lfo.cutoff_mode {
+                    crate::CutoffMode::Fixed(c) => c,
+                    crate::CutoffMode::EqualizeErrorRates => {
+                        equalize_cutoff(&trained.train_probs, &trained.train_labels)
+                    }
+                };
+                let model = Arc::new(trained.model);
+                if deploy == DeployMode::Async {
+                    // Mid-window rollout: the serving cache picks this up on
+                    // its next request via the slot's version bump.
+                    trainer_slot.publish(Arc::clone(&model), deployed_cutoff);
+                }
+                previous = Some(Arc::clone(&model));
+                let outcome = TrainOutcome {
+                    index,
+                    model,
+                    deployed_cutoff,
+                    train_accuracy: trained.train_accuracy,
+                    prediction_error,
+                    false_positive,
+                    false_negative,
+                    opt_bhr: labeled.opt_bhr,
+                    opt_ohr: labeled.opt_ohr,
+                    label_time: labeled.label_time,
+                    train_time: started.elapsed(),
+                };
+                if outcome_tx.send(Ok(outcome)).is_err() {
+                    return;
+                }
+            }
+        });
+
+        // Collector/deployer (this thread). The whole trace is already in
+        // memory, so every window is handed to the labeler upfront; the
+        // labeler works ahead while earlier windows are still being served.
+        for (index, window) in windows.iter().enumerate() {
+            let _ = window_tx.send((index, window));
+        }
+        drop(window_tx);
+
+        let sim = SimConfig::default();
+        for (index, window) in windows.iter().enumerate() {
+            let had_model = cache.has_model();
+            let started = Instant::now();
+            let live = simulate(&mut cache, window, &sim).measured;
+            let serve_time = started.elapsed();
+
+            let mut deploy_wait = Duration::ZERO;
+            match config.deploy {
+                DeployMode::Boundary => {
+                    // Deterministic rollout: window t's model must be live
+                    // before the first request of window t+1, exactly as in
+                    // the serial reference.
+                    let waited = Instant::now();
+                    match outcome_rx.recv() {
+                        Ok(Ok(outcome)) => {
+                            debug_assert_eq!(outcome.index, index);
+                            cache.set_cutoff(outcome.deployed_cutoff);
+                            cache.install_model(Arc::clone(&outcome.model));
+                            outcomes.push(outcome);
+                        }
+                        Ok(Err(error)) => opt_failure = Some(error),
+                        Err(_) => {}
+                    }
+                    deploy_wait = waited.elapsed();
+                }
+                DeployMode::Async => {
+                    // Models were already published mid-window; just collect
+                    // whatever diagnostics have arrived so far.
+                    while let Ok(message) = outcome_rx.try_recv() {
+                        match message {
+                            Ok(outcome) => outcomes.push(outcome),
+                            Err(error) => {
+                                opt_failure = Some(error);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            serve_parts.push(ServePart {
+                index,
+                requests: window.len(),
+                live,
+                had_model,
+                serve_time,
+                deploy_wait,
+            });
+            if opt_failure.is_some() {
+                break;
+            }
+        }
+
+        // Drain the stage threads' tail (async stragglers, or everything
+        // after an error); ends when the trainer drops its sender.
+        for message in outcome_rx.iter() {
+            match message {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(error) => opt_failure = Some(error),
+            }
+        }
+    });
+
+    if let Some(error) = opt_failure {
+        return Err(error);
+    }
+
+    outcomes.sort_by_key(|o| o.index);
+    debug_assert_eq!(serve_parts.len(), outcomes.len());
+    let mut report = PipelineReport {
+        windows: Vec::with_capacity(serve_parts.len()),
+        live_total: IntervalMetrics::default(),
+        live_trained: IntervalMetrics::default(),
+        final_model: outcomes.last().map(|o| Arc::clone(&o.model)),
+    };
+    for (part, outcome) in serve_parts.into_iter().zip(outcomes) {
+        debug_assert_eq!(part.index, outcome.index);
+        merge(&mut report.live_total, &part.live);
+        if part.had_model {
+            merge(&mut report.live_trained, &part.live);
+        }
+        report.windows.push(WindowReport {
+            index: part.index,
+            requests: part.requests,
+            live: part.live,
+            had_model: part.had_model,
+            prediction_error: outcome.prediction_error,
+            false_positive: outcome.false_positive,
+            false_negative: outcome.false_negative,
+            train_accuracy: outcome.train_accuracy,
+            opt_bhr: outcome.opt_bhr,
+            opt_ohr: outcome.opt_ohr,
+            deployed_cutoff: outcome.deployed_cutoff,
+            timing: StageTiming {
+                serve: part.serve_time,
+                label: outcome.label_time,
+                train: outcome.train_time,
+                deploy_wait: part.deploy_wait,
+            },
+        });
+    }
+    Ok(report)
+}

@@ -15,7 +15,8 @@
 //! labels.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use cdn_trace::{ObjectId, Request};
 use gbdt::Model;
@@ -24,6 +25,81 @@ use cdn_cache::cache::{CachePolicy, RequestOutcome};
 
 use crate::config::{LfoConfig, PolicyDesign};
 use crate::features::FeatureTracker;
+
+/// A shared publication point for trained models and admission cutoffs.
+///
+/// The staged pipeline's trainer publishes through a clone of the slot while
+/// the cache serves requests on another thread; the cache notices the bumped
+/// version on its next request and refreshes its local `Arc<Model>` — an
+/// atomic rollout without locking the serving hot path (the fast path is a
+/// single atomic load).
+#[derive(Clone, Default)]
+pub struct ModelSlot {
+    inner: Arc<SlotInner>,
+}
+
+#[derive(Default)]
+struct SlotInner {
+    version: AtomicU64,
+    state: Mutex<SlotState>,
+}
+
+#[derive(Clone, Default)]
+struct SlotState {
+    model: Option<Arc<Model>>,
+    cutoff: Option<f64>,
+}
+
+impl ModelSlot {
+    /// An empty slot (no model, no cutoff override).
+    pub fn new() -> Self {
+        ModelSlot::default()
+    }
+
+    /// Publishes a model and its admission cutoff as one rollout event.
+    pub fn publish(&self, model: Arc<Model>, cutoff: f64) {
+        let mut state = self.inner.state.lock().expect("slot lock poisoned");
+        state.model = Some(model);
+        state.cutoff = Some(cutoff);
+        self.inner.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Publishes a model, leaving the cutoff as previously published.
+    pub fn publish_model(&self, model: Arc<Model>) {
+        let mut state = self.inner.state.lock().expect("slot lock poisoned");
+        state.model = Some(model);
+        self.inner.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Publishes a cutoff, leaving the model as previously published.
+    pub fn publish_cutoff(&self, cutoff: f64) {
+        let mut state = self.inner.state.lock().expect("slot lock poisoned");
+        state.cutoff = Some(cutoff);
+        self.inner.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current publication version (bumped on every publish).
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
+    }
+
+    /// Whether a model has ever been published.
+    pub fn has_model(&self) -> bool {
+        self.inner
+            .state
+            .lock()
+            .expect("slot lock poisoned")
+            .model
+            .is_some()
+    }
+
+    /// A consistent (version, model, cutoff) snapshot.
+    fn snapshot(&self) -> (u64, Option<Arc<Model>>, Option<f64>) {
+        let state = self.inner.state.lock().expect("slot lock poisoned");
+        let version = self.inner.version.load(Ordering::Acquire);
+        (version, state.model.clone(), state.cutoff)
+    }
+}
 
 /// Priority key in the eviction queue (ordered ascending: victim first).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,6 +130,8 @@ pub struct LfoCache {
     used: u64,
     config: LfoConfig,
     model: Option<Arc<Model>>,
+    slot: ModelSlot,
+    slot_seen: u64,
     tracker: FeatureTracker,
     queue: BTreeSet<(Priority, u64, ObjectId)>,
     entries: HashMap<ObjectId, Entry>,
@@ -68,35 +146,70 @@ impl LfoCache {
     /// Creates an LFO cache of `capacity` bytes with no model installed
     /// (LRU fallback until [`LfoCache::install_model`] is called).
     pub fn new(capacity: u64, config: LfoConfig) -> Self {
+        LfoCache::with_slot(capacity, config, ModelSlot::new())
+    }
+
+    /// Creates an LFO cache attached to an externally shared [`ModelSlot`];
+    /// models published through any clone of the slot (e.g. from a trainer
+    /// thread) roll out on the cache's next request.
+    pub fn with_slot(capacity: u64, config: LfoConfig, slot: ModelSlot) -> Self {
         let tracker = config.tracker();
-        LfoCache {
+        let mut cache = LfoCache {
             capacity,
             used: 0,
             config,
             model: None,
+            slot,
+            slot_seen: 0,
             tracker,
             queue: BTreeSet::new(),
             entries: HashMap::new(),
             tick: 0,
             rescored_to_bottom: 0,
-        }
+        };
+        cache.sync_slot();
+        cache
+    }
+
+    /// The publication slot this cache refreshes from.
+    pub fn slot(&self) -> &ModelSlot {
+        &self.slot
     }
 
     /// Installs (or replaces) the trained model; subsequent requests are
     /// scored with it. Existing residents keep their old priorities until
     /// re-requested, exactly like a production rollout would.
     pub fn install_model(&mut self, model: Arc<Model>) {
-        self.model = Some(model);
+        self.slot.publish_model(model);
+        self.sync_slot();
     }
 
-    /// Whether a model is installed.
+    /// Whether a model is installed (directly or via the shared slot).
     pub fn has_model(&self) -> bool {
-        self.model.is_some()
+        self.slot.has_model()
     }
 
     /// Updates the admission cutoff (used by per-window cutoff tuning).
     pub fn set_cutoff(&mut self, cutoff: f64) {
-        self.config.cutoff = cutoff;
+        self.slot.publish_cutoff(cutoff);
+        self.sync_slot();
+    }
+
+    /// Pulls the latest published (model, cutoff) out of the slot if its
+    /// version moved. The fast path — no new publication — is one atomic
+    /// load.
+    fn sync_slot(&mut self) {
+        if self.slot.version() == self.slot_seen {
+            return;
+        }
+        let (version, model, cutoff) = self.slot.snapshot();
+        if let Some(model) = model {
+            self.model = Some(model);
+        }
+        if let Some(cutoff) = cutoff {
+            self.config.cutoff = cutoff;
+        }
+        self.slot_seen = version;
     }
 
     /// Current admission cutoff.
@@ -129,9 +242,7 @@ impl LfoCache {
     }
 
     fn queue_remove(&mut self, object: ObjectId, entry: &Entry) {
-        let removed = self
-            .queue
-            .remove(&(entry.priority, entry.tiebreak, object));
+        let removed = self.queue.remove(&(entry.priority, entry.tiebreak, object));
         debug_assert!(removed, "queue out of sync");
     }
 
@@ -170,6 +281,7 @@ impl CachePolicy for LfoCache {
     }
 
     fn handle(&mut self, request: &Request) -> RequestOutcome {
+        self.sync_slot();
         self.tick += 1;
         let free = self.capacity - self.used;
         let features = self.tracker.observe(request, free);
@@ -258,7 +370,7 @@ mod tests {
             .map(|i| {
                 let size = (i % 40) as f32 * 25.0 + 1.0;
                 let mut row = vec![size, size, 1000.0];
-                row.extend(std::iter::repeat(100.0).take(cfg.num_gaps));
+                row.extend(std::iter::repeat_n(100.0, cfg.num_gaps));
                 row
             })
             .collect();
@@ -313,7 +425,7 @@ mod tests {
         // Admit a mid-size (likelihood lower) and a small (higher).
         c.handle(&req(0, 1, 400)); // low-ish likelihood
         c.handle(&req(1, 2, 100)); // high likelihood
-        // A new small object forces one eviction: the 400-byte object goes.
+                                   // A new small object forces one eviction: the 400-byte object goes.
         c.handle(&req(2, 3, 300));
         assert!(!c.contains(ObjectId(1)));
         assert!(c.contains(ObjectId(2)));
@@ -330,7 +442,10 @@ mod tests {
         // so the next admission evicts it even though it just hit.
         assert!(c.handle(&req(2, 1, 450)).is_hit());
         c.handle(&req(3, 3, 200));
-        assert!(!c.contains(ObjectId(1)), "hit object should have been evicted");
+        assert!(
+            !c.contains(ObjectId(1)),
+            "hit object should have been evicted"
+        );
         assert!(c.rescored_to_bottom > 0);
     }
 
@@ -350,8 +465,10 @@ mod tests {
 
     #[test]
     fn protected_admission_never_displaces_stronger_residents() {
-        let mut config = LfoConfig::default();
-        config.design = PolicyDesign::ProtectedAdmission;
+        let config = LfoConfig {
+            design: PolicyDesign::ProtectedAdmission,
+            ..Default::default()
+        };
         let mut c = LfoCache::new(600, config);
         c.install_model(small_object_model());
         // Two high-likelihood small objects fill the cache.
@@ -370,8 +487,10 @@ mod tests {
 
     #[test]
     fn protected_admission_admits_into_free_space() {
-        let mut config = LfoConfig::default();
-        config.design = PolicyDesign::ProtectedAdmission;
+        let config = LfoConfig {
+            design: PolicyDesign::ProtectedAdmission,
+            ..Default::default()
+        };
         let mut c = LfoCache::new(10_000, config);
         c.install_model(small_object_model());
         assert_eq!(
@@ -383,9 +502,11 @@ mod tests {
     #[test]
     fn density_ranking_prefers_small_objects_under_ohr() {
         use cdn_trace::CostModel;
-        let mut config = LfoConfig::default();
-        config.design = PolicyDesign::DensityRanked;
-        config.cost_model = CostModel::ObjectHitRatio;
+        let config = LfoConfig {
+            design: PolicyDesign::DensityRanked,
+            cost_model: CostModel::ObjectHitRatio,
+            ..Default::default()
+        };
         let mut c = LfoCache::new(600, config);
         c.install_model(small_object_model());
         // Small and mid-size object, similar likelihood class; under OHR
@@ -403,6 +524,41 @@ mod tests {
         assert_eq!(c.cutoff(), 0.5);
         c.set_cutoff(0.65);
         assert_eq!(c.cutoff(), 0.65);
+    }
+
+    #[test]
+    fn slot_publication_rolls_out_between_requests() {
+        let slot = ModelSlot::new();
+        let mut c = LfoCache::with_slot(10_000, LfoConfig::default(), slot.clone());
+        assert!(!c.has_model());
+        // LRU fallback admits the large object.
+        assert_eq!(
+            c.handle(&req(0, 1, 900)),
+            RequestOutcome::Miss { admitted: true }
+        );
+        // Publish through the shared handle (in the staged pipeline this
+        // happens on the trainer thread).
+        slot.publish(small_object_model(), 0.5);
+        assert!(c.has_model());
+        // The very next request is scored by the published model.
+        assert_eq!(
+            c.handle(&req(1, 2, 900)),
+            RequestOutcome::Miss { admitted: false }
+        );
+    }
+
+    #[test]
+    fn slot_versions_and_prepublished_cutoff() {
+        let slot = ModelSlot::new();
+        assert_eq!(slot.version(), 0);
+        slot.publish_cutoff(0.7);
+        assert_eq!(slot.version(), 1);
+        // The constructor syncs state already in the slot.
+        let mut c = LfoCache::with_slot(100, LfoConfig::default(), slot.clone());
+        assert_eq!(c.cutoff(), 0.7);
+        c.set_cutoff(0.6);
+        assert_eq!(slot.version(), 2);
+        assert_eq!(c.cutoff(), 0.6);
     }
 
     #[test]

@@ -5,15 +5,15 @@
 //! 300K predictions/s and scaling is near-linear to 44 threads. This module
 //! provides both the measurement harness ([`prediction_throughput`]) and a
 //! small production-shaped prediction service ([`PredictionServer`]) where
-//! worker threads consume feature batches from a crossbeam channel.
+//! worker threads consume feature batches from a bounded std mpsc channel
+//! behind a shared receiver.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
 use gbdt::Model;
-use parking_lot::Mutex;
 
 /// Result of a throughput measurement.
 #[derive(Clone, Copy, Debug)]
@@ -94,33 +94,46 @@ pub fn prediction_throughput(
 /// A batch of feature rows submitted to the [`PredictionServer`].
 pub type FeatureBatch = Vec<Vec<f32>>;
 
+/// One submitted batch travelling through the server: (batch id, features).
+type BatchItem = (u64, FeatureBatch);
+/// The shared sink of (batch id, scores) results.
+type ResultSink = Arc<Mutex<Vec<(u64, Vec<f64>)>>>;
+
 /// A small production-shaped prediction service: worker threads consume
 /// feature batches from a bounded channel and append (batch id, scores)
 /// results to a shared sink.
 pub struct PredictionServer {
-    sender: Option<Sender<(u64, FeatureBatch)>>,
+    sender: Option<SyncSender<BatchItem>>,
     workers: Vec<std::thread::JoinHandle<u64>>,
-    results: Arc<Mutex<Vec<(u64, Vec<f64>)>>>,
+    results: ResultSink,
 }
 
 impl PredictionServer {
     /// Starts `threads` workers sharing `model`.
     pub fn start(model: Arc<Model>, threads: usize) -> Self {
         assert!(threads > 0);
-        let (sender, receiver) = bounded::<(u64, FeatureBatch)>(threads * 4);
-        let results: Arc<Mutex<Vec<(u64, Vec<f64>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let (sender, receiver) = sync_channel::<BatchItem>(threads * 4);
+        // std mpsc receivers are single-consumer; a mutex turns the channel
+        // into the multi-consumer work queue crossbeam used to provide.
+        let receiver: Arc<Mutex<Receiver<BatchItem>>> = Arc::new(Mutex::new(receiver));
+        let results: ResultSink = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..threads)
             .map(|_| {
-                let receiver = receiver.clone();
+                let receiver = Arc::clone(&receiver);
                 let model = Arc::clone(&model);
                 let results = Arc::clone(&results);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
-                    while let Ok((id, batch)) = receiver.recv() {
+                    loop {
+                        let next = receiver.lock().expect("receiver lock poisoned").recv();
+                        let Ok((id, batch)) = next else { break };
                         let scores: Vec<f64> =
                             batch.iter().map(|row| model.predict_proba(row)).collect();
                         served += scores.len() as u64;
-                        results.lock().push((id, scores));
+                        results
+                            .lock()
+                            .expect("results lock poisoned")
+                            .push((id, scores));
                     }
                     served
                 })
@@ -149,7 +162,7 @@ impl PredictionServer {
         for w in self.workers.drain(..) {
             total += w.join().expect("worker panicked");
         }
-        let results = std::mem::take(&mut *self.results.lock());
+        let results = std::mem::take(&mut *self.results.lock().expect("results lock poisoned"));
         (total, results)
     }
 }
@@ -162,7 +175,10 @@ mod tests {
     fn toy_model() -> Model {
         let rows: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32, (i % 7) as f32]).collect();
         let labels: Vec<f32> = (0..200).map(|i| (i > 100) as u8 as f32).collect();
-        train(&Dataset::from_rows(rows, labels).unwrap(), &GbdtParams::lfo_paper())
+        train(
+            &Dataset::from_rows(rows, labels).unwrap(),
+            &GbdtParams::lfo_paper(),
+        )
     }
 
     #[test]

@@ -29,11 +29,7 @@ pub fn solve_spfa(mut graph: Graph) -> Result<FlowSolution, FlowError> {
     let mut excess = graph.supply.clone();
     let mut augmentations = 0usize;
 
-    loop {
-        let Some(source) = (0..n).find(|&v| excess[v] > 0) else {
-            break;
-        };
-
+    while let Some(source) = (0..n).find(|&v| excess[v] > 0) {
         // SPFA from the single chosen source on residual arcs.
         let mut dist = vec![i64::MAX; n];
         let mut parent: Vec<u32> = vec![u32::MAX; n];

@@ -215,10 +215,7 @@ mod tests {
 
     #[test]
     fn oversized_objects_never_admitted() {
-        let r = vec![
-            Request::new(0, 1u64, 100),
-            Request::new(1, 1u64, 100),
-        ];
+        let r = vec![Request::new(0, 1u64, 100), Request::new(1, 1u64, 100)];
         let res = simulate_belady(&r, 10);
         assert_eq!(res.hits, 0);
     }

@@ -227,10 +227,7 @@ mod tests {
     fn per_byte_costs_ohr_scale_inversely_with_size() {
         let cfg = OptConfig::ohr(100);
         assert_eq!(cfg.scaled_per_byte_cost(1), DEFAULT_COST_SCALE as i64);
-        assert_eq!(
-            cfg.scaled_per_byte_cost(2),
-            (DEFAULT_COST_SCALE / 2) as i64
-        );
+        assert_eq!(cfg.scaled_per_byte_cost(2), (DEFAULT_COST_SCALE / 2) as i64);
         // Costs never round down to zero.
         assert_eq!(cfg.scaled_per_byte_cost(u64::MAX / 2), 1);
     }

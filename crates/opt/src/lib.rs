@@ -45,4 +45,4 @@ pub mod segmentation;
 pub use decisions::{compute_opt, OptResult};
 pub use flow_model::{FlowModel, OptConfig, OptError};
 pub use rank_pruning::{compute_opt_pruned, PrunedOpt};
-pub use segmentation::compute_opt_segmented;
+pub use segmentation::{compute_opt_segmented, compute_opt_segmented_parallel};

@@ -97,8 +97,7 @@ pub fn compute_opt_pruned(
         in_reduced[next_use[k]] = true;
     }
     let reduced_indices: Vec<usize> = (0..n).filter(|&k| in_reduced[k]).collect();
-    let reduced_requests: Vec<Request> =
-        reduced_indices.iter().map(|&k| requests[k]).collect();
+    let reduced_requests: Vec<Request> = reduced_indices.iter().map(|&k| requests[k]).collect();
 
     // Degenerate case: nothing survives pruning → all-miss result.
     if reduced_requests.is_empty() {
@@ -232,9 +231,6 @@ mod tests {
         // BHR: C = S, so rank = 1/L — distance decides.
         assert!(rank_of(&small_soon, 0, 2, &cfg) > rank_of(&large_late, 0, 50, &cfg));
         // No next request = minimal rank.
-        assert_eq!(
-            rank_of(&small_soon, 0, usize::MAX, &cfg),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(rank_of(&small_soon, 0, usize::MAX, &cfg), f64::NEG_INFINITY);
     }
 }

@@ -25,6 +25,21 @@ pub fn compute_opt_segmented(
     config: &OptConfig,
     segment_size: usize,
 ) -> Result<OptResult, OptError> {
+    compute_opt_segmented_parallel(requests, config, segment_size, 1)
+}
+
+/// [`compute_opt_segmented`] with the independent segment solves spread over
+/// up to `threads` scoped threads.
+///
+/// Segments are dealt to workers as contiguous runs and each result lands in
+/// its segment's slot, so the merge is performed in segment order and the
+/// output is bit-identical to the serial computation for any thread count.
+pub fn compute_opt_segmented_parallel(
+    requests: &[Request],
+    config: &OptConfig,
+    segment_size: usize,
+    threads: usize,
+) -> Result<OptResult, OptError> {
     if requests.is_empty() {
         return Err(OptError::EmptyWindow);
     }
@@ -37,9 +52,39 @@ pub fn compute_opt_segmented(
         return compute_opt(requests, config);
     }
 
+    let chunks: Vec<&[Request]> = requests.chunks(segment_size).collect();
+    let threads = threads.clamp(1, chunks.len());
+    let mut parts: Vec<Option<Result<OptResult, OptError>>> = Vec::new();
+    parts.resize_with(chunks.len(), || None);
+
+    if threads == 1 {
+        for (slot, chunk) in parts.iter_mut().zip(&chunks) {
+            *slot = Some(compute_opt(chunk, config));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let chunks = &chunks;
+            let base = chunks.len() / threads;
+            let extra = chunks.len() % threads;
+            let mut rest = parts.as_mut_slice();
+            let mut start = 0usize;
+            for worker in 0..threads {
+                let count = base + usize::from(worker < extra);
+                let (head, rest_after) = rest.split_at_mut(count);
+                rest = rest_after;
+                scope.spawn(move || {
+                    for (offset, slot) in head.iter_mut().enumerate() {
+                        *slot = Some(compute_opt(chunks[start + offset], config));
+                    }
+                });
+                start += count;
+            }
+        });
+    }
+
     let mut merged: Option<OptResult> = None;
-    for chunk in requests.chunks(segment_size) {
-        let part = compute_opt(chunk, config)?;
+    for part in parts {
+        let part = part.expect("every segment solved")?;
         merged = Some(match merged {
             None => part,
             Some(mut acc) => {
@@ -103,5 +148,26 @@ mod tests {
     #[test]
     fn empty_window_rejected() {
         assert!(compute_opt_segmented(&[], &OptConfig::bhr(1), 10).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_thread_count() {
+        let trace = TraceGenerator::new(GeneratorConfig::small(7, 3_000)).generate();
+        let cfg = OptConfig::bhr(8 * 1024 * 1024);
+        let serial = compute_opt_segmented(trace.requests(), &cfg, 400).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let par = compute_opt_segmented_parallel(trace.requests(), &cfg, 400, threads).unwrap();
+            assert_eq!(serial.admit, par.admit, "threads={threads}");
+            assert_eq!(serial.cached_bytes, par.cached_bytes, "threads={threads}");
+            assert_eq!(serial.full_hit, par.full_hit, "threads={threads}");
+            assert_eq!(serial.hit_bytes, par.hit_bytes, "threads={threads}");
+            assert_eq!(serial.hits, par.hits, "threads={threads}");
+            assert_eq!(serial.total_bytes, par.total_bytes, "threads={threads}");
+            assert_eq!(
+                serial.split_requests, par.split_requests,
+                "threads={threads}"
+            );
+            assert_eq!(serial.augmentations, par.augmentations, "threads={threads}");
+        }
     }
 }

@@ -56,7 +56,10 @@ fn main() {
             "size heuristic (<32K ram, <1M ssd)",
             Placement::SizeThresholds(vec![32 * 1024, 1024 * 1024]),
         ),
-        ("learned re-reference placement", Placement::Learned(Arc::clone(&placement))),
+        (
+            "learned re-reference placement",
+            Placement::Learned(Arc::clone(&placement)),
+        ),
     ] {
         let mut cache = TieredLfoCache::new(specs.clone(), placement, lfo_config.clone());
         cache.install_admission_model(Arc::clone(&admission));

@@ -32,10 +32,14 @@ fn main() {
     );
 
     // Feature rows to score (reuse the training rows).
-    let rows: Vec<Vec<f32>> = (0..data.num_rows().min(4096)).map(|r| data.row(r)).collect();
+    let rows: Vec<Vec<f32>> = (0..data.num_rows().min(4096))
+        .map(|r| data.row(r))
+        .collect();
 
     // Thread-scaling sweep.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!("\nthreads  predictions/s  implied Gbit/s @32KB objects");
     for threads in [1, 2, 4, 8, 16, 32] {
         if threads > cores * 2 {
@@ -57,5 +61,8 @@ fn main() {
         server.submit(id, batch);
     }
     let (served, results) = server.shutdown();
-    println!("\nprediction server: {served} predictions over {} batches", results.len());
+    println!(
+        "\nprediction server: {served} predictions over {} batches",
+        results.len()
+    );
 }

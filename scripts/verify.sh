@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, formatting, lints.
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release test suite (debug tests only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+if [[ "$quick" == 1 ]]; then
+    echo "== cargo test (debug, quick) =="
+    cargo test --workspace -q
+else
+    echo "== cargo test --release =="
+    cargo test --workspace -q --release
+fi
+
+echo "verify: OK"

@@ -18,8 +18,20 @@ fn every_policy_stays_between_zero_and_the_infinite_cache_bound() {
     let (trace, cache) = standard_trace();
     let bound = infinite_cache_bound(trace.requests());
     for name in [
-        "RND", "FIFO", "LRU", "LRU-K", "LFU", "LFUDA", "GDSF", "GD-Wheel", "S4LRU",
-        "AdaptSize", "Hyperbolic", "LHD", "TinyLFU", "RLC",
+        "RND",
+        "FIFO",
+        "LRU",
+        "LRU-K",
+        "LFU",
+        "LFUDA",
+        "GDSF",
+        "GD-Wheel",
+        "S4LRU",
+        "AdaptSize",
+        "Hyperbolic",
+        "LHD",
+        "TinyLFU",
+        "RLC",
     ] {
         let mut policy = by_name(name, cache, 7).expect("known policy");
         let r = simulate(policy.as_mut(), trace.requests(), &SimConfig::default());

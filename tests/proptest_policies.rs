@@ -13,8 +13,20 @@ use cdn_cache::policies::by_name;
 use proptest::prelude::*;
 
 const POLICIES: [&str; 14] = [
-    "RND", "FIFO", "LRU", "LRU-K", "LFU", "LFUDA", "GDSF", "GD-Wheel", "S4LRU",
-    "AdaptSize", "Hyperbolic", "LHD", "TinyLFU", "RLC",
+    "RND",
+    "FIFO",
+    "LRU",
+    "LRU-K",
+    "LFU",
+    "LFUDA",
+    "GDSF",
+    "GD-Wheel",
+    "S4LRU",
+    "AdaptSize",
+    "Hyperbolic",
+    "LHD",
+    "TinyLFU",
+    "RLC",
 ];
 
 fn arb_trace() -> impl Strategy<Value = Vec<Request>> {
@@ -86,7 +98,7 @@ proptest! {
         for (k, r) in reqs.iter().enumerate() {
             last.insert(r.object, k);
         }
-        for (_, &k) in &last {
+        for &k in last.values() {
             prop_assert!(!opt.admit[k], "admitted final request {k}");
         }
     }

@@ -1,0 +1,94 @@
+//! Integration tests for the staged pipeline (Collector → Labeler →
+//! Trainer → Deployer): boundary-deploy determinism against the serial
+//! reference, and async mid-window rollout under uneven window stress.
+
+use cdn_trace::{GeneratorConfig, TraceGenerator, TraceStats};
+use lfo::{run_pipeline, run_pipeline_serial, DeployMode, PipelineConfig};
+
+fn production_config(
+    window: usize,
+    trace_seed: u64,
+    n: u64,
+) -> (Vec<cdn_trace::Request>, PipelineConfig) {
+    let trace = TraceGenerator::new(GeneratorConfig::production(trace_seed, n)).generate();
+    let cache_size = TraceStats::from_trace(&trace).cache_size_for_fraction(0.10);
+    let config = PipelineConfig {
+        window,
+        cache_size,
+        ..Default::default()
+    };
+    (trace.requests().to_vec(), config)
+}
+
+#[test]
+fn staged_boundary_reproduces_serial_on_production_mix() {
+    let (requests, mut config) = production_config(4_000, 31, 16_000);
+    config.opt_segment = 800;
+    config.threads = 4;
+    let serial = run_pipeline_serial(&requests, &config).unwrap();
+    let staged = run_pipeline(&requests, &config).unwrap();
+
+    assert_eq!(serial.windows.len(), staged.windows.len());
+    for (s, p) in serial.windows.iter().zip(&staged.windows) {
+        assert_eq!(s.live.hits, p.live.hits, "window {}", s.index);
+        assert_eq!(s.live.hit_bytes, p.live.hit_bytes, "window {}", s.index);
+        assert_eq!(s.had_model, p.had_model);
+        assert_eq!(
+            s.prediction_error.map(f64::to_bits),
+            p.prediction_error.map(f64::to_bits),
+            "window {}",
+            s.index
+        );
+        assert_eq!(s.train_accuracy.to_bits(), p.train_accuracy.to_bits());
+        assert_eq!(s.opt_bhr.to_bits(), p.opt_bhr.to_bits());
+        assert_eq!(s.deployed_cutoff.to_bits(), p.deployed_cutoff.to_bits());
+    }
+    assert_eq!(serial.live_total.hit_bytes, staged.live_total.hit_bytes);
+    assert_eq!(serial.live_trained.hit_bytes, staged.live_trained.hit_bytes);
+    assert_eq!(
+        serial.mean_prediction_accuracy().map(f64::to_bits),
+        staged.mean_prediction_accuracy().map(f64::to_bits)
+    );
+}
+
+#[test]
+fn async_deploy_stress_with_tiny_final_window() {
+    // 999-request windows over 7,000 requests: eight windows, the last
+    // holding just 7 requests — the pipeline must label, train, and report
+    // every window including the degenerate tail.
+    let (requests, mut config) = production_config(999, 32, 7_000);
+    config.deploy = DeployMode::Async;
+    config.threads = 3;
+    config.opt_segment = 250;
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    assert_eq!(report.windows.len(), 8);
+    assert_eq!(report.windows.last().unwrap().requests, 7);
+    let served: u64 = report.windows.iter().map(|w| w.live.requests).sum();
+    assert_eq!(served, 7_000);
+    assert!(report.final_model.is_some());
+    assert!(!report.windows[0].had_model);
+    for (position, w) in report.windows.iter().enumerate() {
+        assert_eq!(w.index, position);
+        assert!((0.0..=1.0).contains(&w.opt_bhr));
+        assert!((0.0..=1.0).contains(&w.train_accuracy));
+        assert!(w.timing.label > std::time::Duration::ZERO);
+        assert_eq!(w.timing.deploy_wait, std::time::Duration::ZERO);
+    }
+}
+
+#[test]
+fn stage_timings_cover_every_window() {
+    let (requests, config) = production_config(3_000, 33, 9_000);
+    let report = run_pipeline(&requests, &config).unwrap();
+    assert_eq!(report.windows.len(), 3);
+    let total = report.total_timing();
+    assert!(total.serve > std::time::Duration::ZERO);
+    assert!(total.label > std::time::Duration::ZERO);
+    assert!(total.train > std::time::Duration::ZERO);
+    // Boundary deploy: the collector blocked (possibly briefly) at each
+    // boundary; the wait is recorded, never negative, and bounded by sanity.
+    for w in &report.windows {
+        assert!(w.timing.deploy_wait >= std::time::Duration::ZERO);
+    }
+}

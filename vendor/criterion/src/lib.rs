@@ -1,0 +1,214 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! Provides the macro + builder surface this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`). Without the `--bench`
+//! CLI flag (i.e. under `cargo test`) each routine runs once as a smoke test;
+//! with it, each routine is timed over a handful of iterations and the mean
+//! wall-clock time is printed. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with criterion's `black_box`.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iterations` times, recording total wall-clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    timed: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench`; under `cargo test`
+        // the flag is absent and we only smoke-run each routine once.
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion { timed }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.timed, &id.id, &mut routine);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub picks its own iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub ignores target times.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.timed, &label, &mut routine);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.timed, &label, &mut |b: &mut Bencher| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(timed: bool, label: &str, routine: &mut R) {
+    let iterations = if timed { 5 } else { 1 };
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    if timed {
+        let mean = bencher.elapsed / u32::try_from(iterations).unwrap();
+        println!("{label}: {mean:?} mean over {iterations} iterations");
+    } else {
+        println!("{label}: ok (smoke run)");
+    }
+}
+
+/// Declares a function that runs each listed bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_routines() {
+        let mut criterion = Criterion { timed: false };
+        let mut calls = 0;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("plain", |b| b.iter(|| calls += 1));
+            group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| {
+                b.iter(|| calls += n)
+            });
+            group.finish();
+        }
+        criterion.bench_function("top", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn timed_mode_runs_multiple_iterations() {
+        let mut criterion = Criterion { timed: true };
+        let mut calls = 0u64;
+        criterion.bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 5);
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors the small slice of `rand` it actually uses:
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and [`seq::SliceRandom`] (`shuffle`, `partial_shuffle`,
+//! `choose`). The generator core is xoshiro256++ seeded via SplitMix64 —
+//! not bit-compatible with upstream `StdRng` (ChaCha12), but every consumer
+//! in this workspace asserts statistical properties, not exact streams.
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Seed type (kept for API compatibility; unused by `seed_from_u64`).
+    type Seed;
+
+    /// Creates a generator from a 32-byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core random source: uniformly distributed `u64`s.
+pub trait RngCore {
+    /// The next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over the full range for integers, `[0, 1)` for floats,
+    /// fair coin for `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: IntoUniformRange<T>,
+    {
+        let (low, high_incl) = range.bounds();
+        T::sample_uniform(self, low, high_incl)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// Forwarding impl so `rng.gen()` works on `&mut R` receivers with
+// `R: Rng + ?Sized` generics (method resolution reborrows `&mut *rng`).
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard {
+    /// Draws one standard-distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types samplable by [`Rng::gen_range`].
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform sample from `[low, high_inclusive]`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self) -> Self {
+                assert!(low <= high_inclusive, "empty range in gen_range");
+                let span = (high_inclusive as i128) - (low as i128) + 1;
+                // Lemire-style widening reduction; the O(2^-64) modulo bias
+                // is irrelevant for the statistical tests in this workspace.
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                (low as i128 + r) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self) -> Self {
+        low + f64::sample_standard(rng) * (high_inclusive - low)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self) -> Self {
+        low + f32::sample_standard(rng) * (high_inclusive - low)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait IntoUniformRange<T> {
+    /// Returns `(low, high_inclusive)` bounds.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformSample + RangeStep> IntoUniformRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end.step_down())
+    }
+}
+
+impl<T: UniformSample> IntoUniformRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Converts an exclusive upper bound into an inclusive one.
+pub trait RangeStep {
+    /// The largest value strictly below `self` (for floats, `self` itself —
+    /// matching `rand`'s half-open float ranges closely enough).
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_range_step_int {
+    ($($t:ty),*) => {$(
+        impl RangeStep for $t {
+            fn step_down(self) -> Self {
+                self.checked_sub(1).expect("empty range in gen_range")
+            }
+        }
+    )*};
+}
+impl_range_step_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeStep for f64 {
+    fn step_down(self) -> Self {
+        self
+    }
+}
+
+impl RangeStep for f32 {
+    fn step_down(self) -> Self {
+        self
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Statistically strong and fast; seeded deterministically via
+    /// SplitMix64 like the xoshiro reference implementation.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion (Vigna's reference).
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut words = [0u64; 4];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            if words.iter().all(|&w| w == 0) {
+                return StdRng::from_u64(0);
+            }
+            StdRng { s: words }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng::from_u64(state)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the "small" generator shares the standard core here.
+    pub type SmallRng = StdRng;
+}
+
+/// Slice sampling and shuffling.
+pub mod seq {
+    use super::{Rng, RngCore, UniformSample};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle of the whole slice.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Shuffles the first `amount` elements into place (the rest is the
+        /// unshuffled remainder, in unspecified order), returning the two
+        /// regions.
+        fn partial_shuffle<R: RngCore>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_uniform(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+
+        fn partial_shuffle<R: RngCore>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let amount = amount.min(self.len());
+            for i in 0..amount {
+                let j = usize::sample_uniform(rng, i, self.len() - 1);
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Re-export of the `rand::prelude` names the workspace uses.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_distinct_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let xc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn floats_in_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_keeps_all_elements() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        let (head, tail) = v.partial_shuffle(&mut r, 10);
+        assert_eq!(head.len(), 10);
+        assert_eq!(tail.len(), 40);
+        let mut all: Vec<u32> = head.iter().chain(tail.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,424 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! type shapes this workspace actually uses — non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple, and struct variants) — by walking
+//! the raw `TokenStream` directly, since `syn`/`quote` are unavailable in
+//! the offline build environment. Serde field/container attributes are not
+//! supported and will simply be ignored (none are used in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree serialization).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree deserialization).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---- item model ----
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---- token-stream parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut at = 0usize;
+    skip_attrs_and_vis(&tokens, &mut at);
+
+    let kind = match &tokens[at] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    at += 1;
+    let name = match &tokens[at] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    at += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(at) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive does not support generic type `{name}`");
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(tokens.get(at))),
+        "enum" => {
+            let body = match tokens.get(at) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("expected enum body for `{name}`"),
+            };
+            Shape::Enum(parse_variants(body))
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Skips outer attributes (`#[...]`, doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], at: &mut usize) {
+    loop {
+        match tokens.get(*at) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *at += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *at += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*at) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *at += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_fields(body: Option<&TokenTree>) -> Fields {
+    match body {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        _ => Fields::Unit,
+    }
+}
+
+/// Parses `attr* vis? name: Type,`* bodies into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut at = 0usize;
+    while at < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut at);
+        let Some(TokenTree::Ident(name)) = tokens.get(at) else {
+            break;
+        };
+        fields.push(name.to_string());
+        at += 1;
+        // Expect ':', then skip the type up to the next top-level comma.
+        match tokens.get(at) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => at += 1,
+            other => panic!(
+                "expected `:` after field `{}`, found {other:?}",
+                fields.last().unwrap()
+            ),
+        }
+        skip_type(&tokens, &mut at);
+        if let Some(TokenTree::Punct(p)) = tokens.get(at) {
+            if p.as_char() == ',' {
+                at += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut at = 0usize;
+    while at < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut at);
+        if at >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut at);
+        if let Some(TokenTree::Punct(p)) = tokens.get(at) {
+            if p.as_char() == ',' {
+                at += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Advances past one type, tracking `<...>` nesting so commas inside
+/// generic arguments are not mistaken for field separators.
+fn skip_type(tokens: &[TokenTree], at: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(tt) = tokens.get(*at) {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            },
+            _ => {}
+        }
+        *at += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut at = 0usize;
+    while at < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut at);
+        let Some(TokenTree::Ident(name)) = tokens.get(at) else {
+            break;
+        };
+        let name = name.to_string();
+        at += 1;
+        let fields = match tokens.get(at) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                at += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                at += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(at) {
+            if p.as_char() == '=' {
+                at += 1;
+                while let Some(tt) = tokens.get(at) {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    at += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(at) {
+            if p.as_char() == ',' {
+                at += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            // Newtype structs serialize transparently, like real serde.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        Fields::Unit => format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"),
+        Fields::Tuple(1) => format!(
+            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+             ::serde::Serialize::to_value(f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let vals: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                 ::serde::Value::Seq(vec![{}]))]),",
+                binds.join(", "),
+                vals.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                 ::serde::Value::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::msg(\
+                         \"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                         .ok_or_else(|| ::serde::DeError::msg(\"{name} tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Seq(items) => Ok({name}({})), \
+                 _ => Err(::serde::DeError::msg(\"expected array for {name}\")) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => {
+                        let vn = &v.name;
+                        unit_arms.push(format!("\"{vn}\" => return Ok({name}::{vn}),"));
+                    }
+                    _ => payload_arms.push(deserialize_variant_check(name, v)),
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(s) = v {{\n\
+                 match s.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 {}\n\
+                 Err(::serde::DeError::msg(\"unknown {name} variant\"))",
+                unit_arms.join(" "),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_variant_check(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        Fields::Unit => unreachable!("unit variants handled separately"),
+        Fields::Tuple(1) => format!(
+            "if let Some(inner) = v.get(\"{vn}\") {{\n\
+             return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?));\n\
+             }}"
+        ),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                         .ok_or_else(|| ::serde::DeError::msg(\"{name}::{vn} tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "if let Some(inner) = v.get(\"{vn}\") {{\n\
+                 return match inner {{\n\
+                 ::serde::Value::Seq(items) => Ok({name}::{vn}({})),\n\
+                 _ => Err(::serde::DeError::msg(\"expected array for {name}::{vn}\")),\n\
+                 }};\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::msg(\
+                         \"missing field `{f}` in {name}::{vn}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "if let Some(inner) = v.get(\"{vn}\") {{\n\
+                 return Ok({name}::{vn} {{ {} }});\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
