@@ -20,16 +20,19 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("  window  pred.acc%   FP%    FN%   train.acc%");
     let mut csv = Vec::new();
     for w in &report.windows {
-        if let (Some(e), Some(fp), Some(fn_)) =
-            (w.prediction_error, w.false_positive, w.false_negative)
-        {
+        if let (Some(e), Some(fp), Some(fn_), Some(train)) = (
+            w.prediction_error,
+            w.false_positive,
+            w.false_negative,
+            w.train_accuracy,
+        ) {
             println!(
                 "  {:>6}  {:>8.2}  {:>5.2}  {:>5.2}  {:>9.2}",
                 w.index,
                 (1.0 - e) * 100.0,
                 fp * 100.0,
                 fn_ * 100.0,
-                w.train_accuracy * 100.0
+                train * 100.0
             );
             csv.push(format!(
                 "{},{:.4},{:.4},{:.4},{:.4}",
@@ -37,7 +40,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 (1.0 - e) * 100.0,
                 fp * 100.0,
                 fn_ * 100.0,
-                w.train_accuracy * 100.0
+                train * 100.0
             ));
         }
     }

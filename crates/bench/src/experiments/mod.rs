@@ -3,6 +3,7 @@
 pub mod acc;
 pub mod common;
 pub mod design;
+pub mod faults;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5a;
@@ -20,9 +21,9 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper", "prune",
-    "design", "thin", "tiers", "staged", "summary",
+    "design", "thin", "tiers", "staged", "faults", "summary",
 ];
 
 /// Runs one experiment by name. Unknown names return `false`.
@@ -43,6 +44,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "thin" => thin::run(ctx)?,
         "tiers" => tiers::run(ctx)?,
         "staged" => staged::run(ctx)?,
+        "faults" => faults::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

@@ -9,7 +9,7 @@
 //! - **Binary** — three little-endian `u64`s per request, for fast loading
 //!   of multi-million-request traces.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -48,6 +48,31 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
+/// Longest accepted text line, in bytes. Three decimal `u64`s plus
+/// whitespace fit in well under 100 bytes; anything past this is a
+/// runaway/corrupt line and is rejected (or skipped in lenient mode)
+/// *without* buffering it into memory.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// Options for trace reading.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadOptions {
+    /// Drop malformed records (counting them in [`ReadReport::dropped`])
+    /// instead of failing the whole read — for real-world trace files with
+    /// trailing garbage, torn writes, or the odd corrupt line.
+    pub skip_malformed: bool,
+}
+
+/// What a read parsed and what it dropped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadReport {
+    /// Records parsed into the trace.
+    pub parsed: usize,
+    /// Malformed records dropped (always 0 unless
+    /// [`ReadOptions::skip_malformed`] is set).
+    pub dropped: usize,
+}
+
 /// Writes a trace in webcachesim text format (`time id size` per line).
 pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
     for r in trace {
@@ -56,45 +81,117 @@ pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError>
     Ok(())
 }
 
-/// Reads a trace in webcachesim text format. Blank lines and lines starting
-/// with `#` are skipped.
-pub fn read_text<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
-    let mut trace = Trace::new();
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+/// Consumes the remainder of the current line without buffering it —
+/// bounded memory even against a gigabyte-long runaway line.
+fn drain_line<R: BufRead>(r: &mut R) -> io::Result<()> {
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
         }
-        let mut parts = line.split_ascii_whitespace();
-        let parse = |field: Option<&str>, name: &str| -> Result<u64, TraceIoError> {
-            field
-                .ok_or_else(|| TraceIoError::Parse {
-                    position: lineno + 1,
-                    message: format!("missing field `{name}`"),
-                })?
-                .parse::<u64>()
-                .map_err(|e| TraceIoError::Parse {
-                    position: lineno + 1,
-                    message: format!("bad `{name}`: {e}"),
-                })
-        };
-        let time = parse(parts.next(), "time")?;
-        let id = parse(parts.next(), "object_id")?;
-        let size = parse(parts.next(), "size")?;
-        if size == 0 {
-            return Err(TraceIoError::Parse {
-                position: lineno + 1,
-                message: "size must be positive".into(),
-            });
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                r.consume(newline + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                r.consume(len);
+            }
         }
-        trace.push(Request {
-            time,
-            object: ObjectId(id),
-            size,
-        });
     }
-    Ok(trace)
+}
+
+/// Reads a trace in webcachesim text format. Blank lines and lines starting
+/// with `#` are skipped; extra fields after `time id size` are ignored
+/// (LRB-style traces append feature columns). Equivalent to
+/// [`read_text_with`] under strict [`ReadOptions`].
+pub fn read_text<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    read_text_with(r, ReadOptions::default()).map(|(trace, _)| trace)
+}
+
+/// Reads a trace in webcachesim text format with explicit [`ReadOptions`].
+///
+/// Malformed lines — non-numeric fields, missing fields, zero sizes,
+/// invalid UTF-8, lines over [`MAX_LINE_BYTES`] — are a
+/// [`TraceIoError::Parse`] with the 1-based line number, or are counted
+/// and skipped when [`ReadOptions::skip_malformed`] is set. Oversized
+/// lines are never buffered whole, so a corrupt multi-gigabyte line
+/// cannot exhaust memory.
+pub fn read_text_with<R: BufRead>(
+    mut r: R,
+    options: ReadOptions,
+) -> Result<(Trace, ReadReport), TraceIoError> {
+    let mut trace = Trace::new();
+    let mut report = ReadReport::default();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        buf.clear();
+        let read = r
+            .by_ref()
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)?;
+        if read == 0 {
+            break;
+        }
+        let oversized = buf.len() > MAX_LINE_BYTES && buf.last() != Some(&b'\n');
+        let outcome = if oversized {
+            Err(format!("line exceeds {MAX_LINE_BYTES} bytes"))
+        } else {
+            parse_text_line(&buf)
+        };
+        match outcome {
+            Ok(Some(request)) => {
+                trace.push(request);
+                report.parsed += 1;
+            }
+            Ok(None) => {}
+            Err(message) => {
+                if !options.skip_malformed {
+                    return Err(TraceIoError::Parse {
+                        position: lineno,
+                        message,
+                    });
+                }
+                report.dropped += 1;
+            }
+        }
+        if oversized {
+            drain_line(&mut r)?;
+        }
+    }
+    Ok((trace, report))
+}
+
+/// Parses one text line into a request; `Ok(None)` for blanks/comments,
+/// `Err(description)` for malformed content.
+fn parse_text_line(raw: &[u8]) -> Result<Option<Request>, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "invalid UTF-8".to_string())?;
+    let line = text.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_ascii_whitespace();
+    let mut parse = |name: &str| -> Result<u64, String> {
+        parts
+            .next()
+            .ok_or_else(|| format!("missing field `{name}`"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad `{name}`: {e}"))
+    };
+    let time = parse("time")?;
+    let id = parse("object_id")?;
+    let size = parse("size")?;
+    if size == 0 {
+        return Err("size must be positive".into());
+    }
+    Ok(Some(Request {
+        time,
+        object: ObjectId(id),
+        size,
+    }))
 }
 
 /// Serializes a trace into the compact binary format.
@@ -108,16 +205,38 @@ pub fn to_binary(trace: &Trace) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a trace from the compact binary format.
-pub fn from_binary(mut bytes: Bytes) -> Result<Trace, TraceIoError> {
-    if !bytes.len().is_multiple_of(24) {
-        return Err(TraceIoError::Parse {
-            position: bytes.len() / 24 + 1,
-            message: format!(
-                "binary trace length {} is not a multiple of 24",
-                bytes.len()
-            ),
-        });
+/// Deserializes a trace from the compact binary format. Equivalent to
+/// [`from_binary_with`] under strict [`ReadOptions`].
+pub fn from_binary(bytes: Bytes) -> Result<Trace, TraceIoError> {
+    from_binary_with(bytes, ReadOptions::default()).map(|(trace, _)| trace)
+}
+
+/// Deserializes a trace from the compact binary format with explicit
+/// [`ReadOptions`].
+///
+/// Trailing garbage (a byte length that is not a multiple of 24 — a torn
+/// final write) and zero-size records are a [`TraceIoError::Parse`] with
+/// the 1-based record number, or are counted and skipped when
+/// [`ReadOptions::skip_malformed`] is set.
+pub fn from_binary_with(
+    mut bytes: Bytes,
+    options: ReadOptions,
+) -> Result<(Trace, ReadReport), TraceIoError> {
+    let mut report = ReadReport::default();
+    let trailing = bytes.len() % 24;
+    if trailing != 0 {
+        if !options.skip_malformed {
+            return Err(TraceIoError::Parse {
+                position: bytes.len() / 24 + 1,
+                message: format!(
+                    "binary trace length {} is not a multiple of 24",
+                    bytes.len()
+                ),
+            });
+        }
+        // The torn trailing record counts as one dropped record.
+        bytes = bytes.slice(0..bytes.len() - trailing);
+        report.dropped += 1;
     }
     let mut trace = Trace::new();
     let mut record = 0usize;
@@ -127,18 +246,23 @@ pub fn from_binary(mut bytes: Bytes) -> Result<Trace, TraceIoError> {
         let id = bytes.get_u64_le();
         let size = bytes.get_u64_le();
         if size == 0 {
-            return Err(TraceIoError::Parse {
-                position: record,
-                message: "size must be positive".into(),
-            });
+            if !options.skip_malformed {
+                return Err(TraceIoError::Parse {
+                    position: record,
+                    message: "size must be positive".into(),
+                });
+            }
+            report.dropped += 1;
+            continue;
         }
         trace.push(Request {
             time,
             object: ObjectId(id),
             size,
         });
+        report.parsed += 1;
     }
-    Ok(trace)
+    Ok((trace, report))
 }
 
 #[cfg(test)]
@@ -213,5 +337,133 @@ mod tests {
         write_text(&t, &mut buf).unwrap();
         assert!(read_text(buf.as_slice()).unwrap().is_empty());
         assert!(from_binary(to_binary(&t)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_line_is_a_typed_error_with_line_number() {
+        let mut input = String::from("0 1 10\n");
+        input.push_str(&"9".repeat(MAX_LINE_BYTES + 100));
+        input.push('\n');
+        let err = read_text(input.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { position, message } => {
+                assert_eq!(position, 2);
+                assert!(message.contains("exceeds"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_skips_oversized_line_and_keeps_reading() {
+        let mut input = String::from("0 1 10\n");
+        input.push_str(&"9".repeat(3 * MAX_LINE_BYTES));
+        input.push('\n');
+        input.push_str("1 2 20\n");
+        let (trace, report) = read_text_with(
+            input.as_bytes(),
+            ReadOptions {
+                skip_malformed: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 2, "lines after the runaway line must parse");
+        assert_eq!(
+            report,
+            ReadReport {
+                parsed: 2,
+                dropped: 1
+            }
+        );
+    }
+
+    #[test]
+    fn lenient_mode_counts_each_kind_of_bad_line() {
+        // Garbage field, missing field, zero size, invalid UTF-8 — one
+        // dropped record each; comments and blanks are not "dropped".
+        let mut input: Vec<u8> = b"# header\n0 1 10\n0 abc 10\n0 1\n1 2 0\n".to_vec();
+        input.extend_from_slice(&[0xff, 0xfe, b' ', b'1', b' ', b'2', b'\n']);
+        input.extend_from_slice(b"\n2 3 30\n");
+        let (trace, report) = read_text_with(
+            input.as_slice(),
+            ReadOptions {
+                skip_malformed: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(
+            report,
+            ReadReport {
+                parsed: 2,
+                dropped: 4
+            }
+        );
+    }
+
+    #[test]
+    fn strict_mode_reports_zero_dropped() {
+        let (trace, report) =
+            read_text_with("0 1 10\n1 2 20\n".as_bytes(), ReadOptions::default()).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(
+            report,
+            ReadReport {
+                parsed: 2,
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn lenient_binary_drops_torn_trailing_record() {
+        let t = sample();
+        // 3 full records plus 7 garbage bytes of trailing junk.
+        let mut raw = to_binary(&t).to_vec();
+        raw.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x02]);
+        let strict = from_binary(Bytes::from(raw.clone()));
+        assert!(strict.is_err(), "strict mode must reject trailing garbage");
+        let (trace, report) = from_binary_with(
+            Bytes::from(raw),
+            ReadOptions {
+                skip_malformed: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(trace, t);
+        assert_eq!(
+            report,
+            ReadReport {
+                parsed: 3,
+                dropped: 1
+            }
+        );
+    }
+
+    #[test]
+    fn lenient_binary_drops_zero_size_records() {
+        let t = sample();
+        // Append a full 24-byte record with size 0 (invalid) by hand —
+        // `Request::new` itself refuses to construct one.
+        let mut raw = to_binary(&t).to_vec();
+        raw.extend_from_slice(&3u64.to_le_bytes());
+        raw.extend_from_slice(&9u64.to_le_bytes());
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        assert!(from_binary(Bytes::from(raw.clone())).is_err());
+        let (trace, report) = from_binary_with(
+            Bytes::from(raw),
+            ReadOptions {
+                skip_malformed: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(
+            report,
+            ReadReport {
+                parsed: 3,
+                dropped: 1
+            }
+        );
     }
 }

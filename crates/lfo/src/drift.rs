@@ -6,13 +6,21 @@
 //! adds the production guardrail: detect *abrupt* distribution shift
 //! between the window a model was trained on and the live traffic, so a
 //! deployment can retrain early (or roll back) instead of serving a stale
-//! model through a flash crowd.
+//! model through a flash crowd. The staged pipeline's drift rollout gate
+//! ([`crate::DriftGate`]) is built on this module.
 //!
 //! Detection compares per-feature histograms of the training window
 //! against a live window using the population stability index (PSI) — the
 //! standard model-monitoring statistic: `PSI = Σ (pᵢ − qᵢ)·ln(pᵢ/qᵢ)` over
 //! histogram bins. Common practice: PSI < 0.1 stable, 0.1–0.25 drifting,
 //! > 0.25 shifted.
+//!
+//! Because the gate runs inside the pipeline's control plane, this API is
+//! total: malformed inputs (empty references, ragged rows, feature-count
+//! mismatches) return [`DriftError`] instead of panicking, NaN values sort
+//! and bin deterministically via total ordering, and Laplace smoothing
+//! keeps every PSI term finite — a drift check must never be able to take
+//! down the serving path it guards.
 
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +28,45 @@ use serde::{Deserialize, Serialize};
 const BINS: usize = 16;
 /// Laplace smoothing mass per bin.
 const SMOOTHING: f64 = 0.5;
+
+/// Why a drift computation could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriftError {
+    /// [`FeatureSketch::fit`] needs at least one reference row.
+    EmptyReference,
+    /// A reference row's width differs from the first row's.
+    RaggedRows {
+        /// Index of the offending row.
+        row: usize,
+        /// Width of row 0.
+        expected: usize,
+        /// Width of the offending row.
+        got: usize,
+    },
+    /// A scored row's width differs from the sketch's feature count.
+    FeatureMismatch {
+        /// The sketch's feature count.
+        expected: usize,
+        /// Width of the offending row.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DriftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriftError::EmptyReference => write!(f, "cannot fit a sketch on zero rows"),
+            DriftError::RaggedRows { row, expected, got } => {
+                write!(f, "row {row} has {got} features, row 0 has {expected}")
+            }
+            DriftError::FeatureMismatch { expected, got } => {
+                write!(f, "row has {got} features, sketch has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriftError {}
 
 /// A per-feature histogram sketch of a feature distribution.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -33,17 +80,27 @@ pub struct FeatureSketch {
 impl FeatureSketch {
     /// Builds a sketch from the training window's feature rows.
     ///
-    /// # Panics
-    ///
-    /// Panics if `rows` is empty or ragged.
-    pub fn fit(rows: &[Vec<f32>]) -> Self {
-        assert!(!rows.is_empty(), "need at least one row");
+    /// Constant features are fine (every quantile edge collapses to the
+    /// same value; all mass lands in one smoothed bin), as are NaN values
+    /// (totally ordered into the edge bins). Empty or ragged input is a
+    /// [`DriftError`].
+    pub fn fit(rows: &[Vec<f32>]) -> Result<Self, DriftError> {
+        if rows.is_empty() {
+            return Err(DriftError::EmptyReference);
+        }
         let width = rows[0].len();
+        if let Some((row, r)) = rows.iter().enumerate().find(|(_, r)| r.len() != width) {
+            return Err(DriftError::RaggedRows {
+                row,
+                expected: width,
+                got: r.len(),
+            });
+        }
         let mut edges = Vec::with_capacity(width);
         let mut reference = Vec::with_capacity(width);
         for f in 0..width {
             let mut column: Vec<f32> = rows.iter().map(|r| r[f]).collect();
-            column.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            column.sort_by(|a, b| a.total_cmp(b));
             // Quantile edges over the reference distribution.
             let e: Vec<f32> = (1..BINS)
                 .map(|i| column[(i * column.len()) / BINS])
@@ -53,7 +110,7 @@ impl FeatureSketch {
             reference.push(counts.into_iter().map(|c| c / total).collect());
             edges.push(e);
         }
-        FeatureSketch { edges, reference }
+        Ok(FeatureSketch { edges, reference })
     }
 
     /// Number of features sketched.
@@ -62,12 +119,21 @@ impl FeatureSketch {
     }
 
     /// Population stability index of `rows` against the reference, per
-    /// feature.
-    pub fn psi(&self, rows: &[Vec<f32>]) -> Vec<f64> {
+    /// feature. An empty live window scores zero on every feature (no
+    /// evidence of drift); a row of the wrong width is a
+    /// [`DriftError::FeatureMismatch`].
+    pub fn psi(&self, rows: &[Vec<f32>]) -> Result<Vec<f64>, DriftError> {
         if rows.is_empty() {
-            return vec![0.0; self.num_features()];
+            return Ok(vec![0.0; self.num_features()]);
         }
-        (0..self.num_features())
+        let width = self.num_features();
+        if let Some(r) = rows.iter().find(|r| r.len() != width) {
+            return Err(DriftError::FeatureMismatch {
+                expected: width,
+                got: r.len(),
+            });
+        }
+        Ok((0..width)
             .map(|f| {
                 let counts = bin_counts(rows.iter().map(|r| r[f]), &self.edges[f]);
                 let total: f64 = counts.iter().sum();
@@ -79,12 +145,12 @@ impl FeatureSketch {
                 }
                 psi
             })
-            .collect()
+            .collect())
     }
 
     /// The largest per-feature PSI — the deployment's drift score.
-    pub fn max_psi(&self, rows: &[Vec<f32>]) -> f64 {
-        self.psi(rows).into_iter().fold(0.0, f64::max)
+    pub fn max_psi(&self, rows: &[Vec<f32>]) -> Result<f64, DriftError> {
+        Ok(self.psi(rows)?.into_iter().fold(0.0, f64::max))
     }
 
     /// Standard interpretation of a drift score.
@@ -113,7 +179,7 @@ pub enum DriftVerdict {
 fn bin_counts(values: impl Iterator<Item = f32>, edges: &[f32]) -> Vec<f64> {
     let mut counts = vec![SMOOTHING; edges.len() + 1];
     for v in values {
-        let bin = edges.partition_point(|&e| e < v);
+        let bin = edges.partition_point(|&e| e.total_cmp(&v).is_lt());
         counts[bin] += 1.0;
     }
     counts
@@ -144,21 +210,21 @@ mod tests {
 
     #[test]
     fn identical_distribution_scores_stable() {
-        let sketch = FeatureSketch::fit(&gaussian_rows(5_000, 0.0, 1));
-        let score = sketch.max_psi(&gaussian_rows(5_000, 0.0, 2));
+        let sketch = FeatureSketch::fit(&gaussian_rows(5_000, 0.0, 1)).unwrap();
+        let score = sketch.max_psi(&gaussian_rows(5_000, 0.0, 2)).unwrap();
         assert!(score < 0.1, "score {score}");
         assert_eq!(FeatureSketch::verdict(score), DriftVerdict::Stable);
     }
 
     #[test]
     fn mean_shift_is_detected_on_the_right_feature() {
-        let sketch = FeatureSketch::fit(&gaussian_rows(5_000, 0.0, 3));
+        let sketch = FeatureSketch::fit(&gaussian_rows(5_000, 0.0, 3)).unwrap();
         let shifted = gaussian_rows(5_000, 1.5, 4);
-        let psi = sketch.psi(&shifted);
+        let psi = sketch.psi(&shifted).unwrap();
         assert!(psi[0] > 0.25, "feature 0 psi {}", psi[0]);
         assert!(psi[1] < 0.1, "feature 1 psi {}", psi[1]);
         assert_eq!(
-            FeatureSketch::verdict(sketch.max_psi(&shifted)),
+            FeatureSketch::verdict(sketch.max_psi(&shifted).unwrap()),
             DriftVerdict::Shifted
         );
     }
@@ -182,9 +248,9 @@ mod tests {
             .iter()
             .map(|r| tracker.observe(r, 0))
             .collect();
-        let sketch = FeatureSketch::fit(&rows[..15_000]);
-        let calm = sketch.max_psi(&rows[10_000..15_000]);
-        let crowd = sketch.max_psi(&rows[15_000..]);
+        let sketch = FeatureSketch::fit(&rows[..15_000]).unwrap();
+        let calm = sketch.max_psi(&rows[10_000..15_000]).unwrap();
+        let crowd = sketch.max_psi(&rows[15_000..]).unwrap();
         assert!(
             crowd > calm * 2.0,
             "crowd psi {crowd} not clearly above calm psi {calm}"
@@ -193,18 +259,81 @@ mod tests {
 
     #[test]
     fn empty_live_window_scores_zero() {
-        let sketch = FeatureSketch::fit(&gaussian_rows(100, 0.0, 5));
-        assert_eq!(sketch.max_psi(&[]), 0.0);
+        let sketch = FeatureSketch::fit(&gaussian_rows(100, 0.0, 5)).unwrap();
+        assert_eq!(sketch.max_psi(&[]).unwrap(), 0.0);
+        assert_eq!(sketch.psi(&[]).unwrap(), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn empty_reference_is_an_error_not_a_panic() {
+        assert_eq!(
+            FeatureSketch::fit(&[]).unwrap_err(),
+            DriftError::EmptyReference
+        );
+    }
+
+    #[test]
+    fn ragged_reference_is_an_error_not_a_panic() {
+        let rows = vec![vec![1.0, 2.0], vec![1.0, 2.0, 3.0]];
+        assert_eq!(
+            FeatureSketch::fit(&rows).unwrap_err(),
+            DriftError::RaggedRows {
+                row: 1,
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn feature_count_mismatch_is_an_error_not_a_panic() {
+        let sketch = FeatureSketch::fit(&gaussian_rows(100, 0.0, 6)).unwrap();
+        let wrong = vec![vec![1.0, 2.0, 3.0]];
+        assert_eq!(
+            sketch.psi(&wrong).unwrap_err(),
+            DriftError::FeatureMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert!(sketch.max_psi(&wrong).is_err());
+    }
+
+    #[test]
+    fn constant_features_stay_finite() {
+        // Every quantile edge collapses onto the same value: all mass in
+        // one bin, zero-width everywhere else. Identical live rows must
+        // score (near) zero, not NaN, and a shifted constant must score
+        // high but finite.
+        let rows: Vec<Vec<f32>> = (0..500).map(|_| vec![42.0, 7.0]).collect();
+        let sketch = FeatureSketch::fit(&rows).unwrap();
+        let same = sketch.max_psi(&rows).unwrap();
+        assert!(same.is_finite() && same < 0.1, "same-constant psi {same}");
+        let moved: Vec<Vec<f32>> = (0..500).map(|_| vec![999.0, 7.0]).collect();
+        let shifted = sketch.max_psi(&moved).unwrap();
+        assert!(shifted.is_finite(), "shifted-constant psi {shifted}");
+        assert!(shifted > 0.25, "shifted-constant psi {shifted}");
+    }
+
+    #[test]
+    fn nan_values_bin_deterministically() {
+        // Total order places NaN deterministically at the edge bins;
+        // scoring a NaN-bearing window must neither panic nor produce NaN.
+        let mut rows = gaussian_rows(200, 0.0, 8);
+        rows[3][0] = f32::NAN;
+        let sketch = FeatureSketch::fit(&rows).unwrap();
+        let score = sketch.max_psi(&rows).unwrap();
+        assert!(score.is_finite(), "psi {score}");
     }
 
     #[test]
     fn sketch_serde_roundtrip() {
-        let sketch = FeatureSketch::fit(&gaussian_rows(500, 0.0, 6));
+        let sketch = FeatureSketch::fit(&gaussian_rows(500, 0.0, 6)).unwrap();
         let json = serde_json::to_string(&sketch).unwrap();
         let back: FeatureSketch = serde_json::from_str(&json).unwrap();
         let rows = gaussian_rows(500, 0.7, 7);
-        let a = sketch.max_psi(&rows);
-        let b = back.max_psi(&rows);
+        let a = sketch.max_psi(&rows).unwrap();
+        let b = back.max_psi(&rows).unwrap();
         assert!((a - b).abs() < 1e-12);
     }
 }

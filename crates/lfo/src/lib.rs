@@ -23,6 +23,9 @@
 //!   compute OPT, train, deploy the model over W\[t+1\].
 //! - [`serve`] — the multi-threaded prediction-throughput harness behind
 //!   Figure 7.
+//! - [`faults`] + [`drift`] — the robustness control plane (DESIGN.md §8):
+//!   deterministic fault injection, stage supervision with bounded retries
+//!   and graceful window-skip degradation, and PSI/holdout rollout gates.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@
 
 pub mod config;
 pub mod drift;
+pub mod faults;
 pub mod features;
 pub mod hierarchy;
 pub mod labels;
@@ -55,13 +59,14 @@ pub mod serve;
 pub mod train;
 
 pub use config::{CutoffMode, LfoConfig, PolicyDesign};
-pub use drift::{DriftVerdict, FeatureSketch};
+pub use drift::{DriftError, DriftVerdict, FeatureSketch};
+pub use faults::{FaultKind, FaultPlan, FaultPoint};
 pub use features::{FeatureTracker, FEATURE_GAPS};
 pub use hierarchy::{Placement, TierSpec, TieredLfoCache};
 pub use persist::LfoArtifact;
 pub use pipeline::{
-    run_pipeline, run_pipeline_serial, DeployMode, PipelineConfig, PipelineReport, StageTiming,
-    WindowReport,
+    run_pipeline, run_pipeline_serial, AccuracyGate, DeployMode, DriftGate, GateConfig,
+    PipelineConfig, PipelineReport, RolloutDecision, StageTiming, SupervisionConfig, WindowReport,
 };
 pub use policy::{LfoCache, ModelSlot};
 pub use train::{train_window, TrainedWindow};

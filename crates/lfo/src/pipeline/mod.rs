@@ -24,7 +24,7 @@
 mod report;
 mod stages;
 
-pub use report::{PipelineReport, StageTiming, WindowReport};
+pub use report::{PipelineReport, RolloutDecision, StageTiming, WindowReport};
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,6 +37,7 @@ use opt::{
 };
 
 use crate::config::LfoConfig;
+use crate::faults::FaultPlan;
 use crate::labels::build_training_set;
 use crate::policy::LfoCache;
 use crate::train::{equalize_cutoff, evaluate, train_window};
@@ -58,6 +59,105 @@ pub enum DeployMode {
     Async,
 }
 
+/// Retry, backoff, and deadline budgets for the labeler and trainer stages.
+///
+/// Stage supervision treats the learning loop as an unreliable component:
+/// a failed or panicking stage is retried with bounded backoff, and on
+/// exhaustion the *window* is skipped — the collector keeps serving on the
+/// incumbent model (or the LRU fallback) instead of the run aborting.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisionConfig {
+    /// Attempts beyond the first, per window per stage.
+    pub max_retries: u32,
+    /// Base backoff between attempts; attempt *k* sleeps `k × backoff`.
+    pub backoff: Duration,
+    /// Per-window training deadline: a model that finishes training later
+    /// than this is discarded (the window rolls out nothing) instead of
+    /// deploying stale. `None` disables the deadline.
+    pub train_deadline: Option<Duration>,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            max_retries: 2,
+            backoff: Duration::from_millis(5),
+            train_deadline: None,
+        }
+    }
+}
+
+/// The holdout-accuracy rollout gate.
+///
+/// When enabled, the trainer holds the trailing `holdout_fraction` of each
+/// window's rows out of training and compares the candidate's accuracy on
+/// that holdout against the incumbent's; a candidate that undershoots the
+/// incumbent by more than `margin` is rejected (the incumbent keeps
+/// serving). Note the holdout shrinks the training set, so gated runs are
+/// not bit-identical to ungated ones.
+#[derive(Clone, Copy, Debug)]
+pub struct AccuracyGate {
+    /// Fraction of each window's rows held out for validation.
+    pub holdout_fraction: f64,
+    /// Allowed accuracy shortfall vs. the incumbent.
+    pub margin: f64,
+}
+
+impl Default for AccuracyGate {
+    fn default() -> Self {
+        AccuracyGate {
+            holdout_fraction: 0.2,
+            margin: 0.01,
+        }
+    }
+}
+
+/// The PSI drift rollout gate.
+///
+/// When enabled, the collector samples live feature rows as it serves and
+/// the trainer fits a [`crate::FeatureSketch`] on each candidate's training
+/// rows; a candidate whose training distribution scores a max per-feature
+/// PSI above `max_psi` against the live sample is rejected. The free-bytes
+/// feature is excluded from the comparison (training rows carry OPT's
+/// occupancy, live rows the real cache's — a systematic, benign offset).
+#[derive(Clone, Copy, Debug)]
+pub struct DriftGate {
+    /// Reject above this max per-feature PSI (0.25 = "shifted" in the
+    /// standard interpretation).
+    pub max_psi: f64,
+    /// Serve-side feature sampling stride (every Nth request).
+    pub sample_every: usize,
+}
+
+impl Default for DriftGate {
+    fn default() -> Self {
+        DriftGate {
+            max_psi: 0.25,
+            sample_every: 16,
+        }
+    }
+}
+
+/// Validation gates between the trainer and the serving [`crate::ModelSlot`].
+///
+/// Both gates default to off, preserving the unconditional-rollout
+/// behaviour (and bit-identical boundary determinism) of the ungated
+/// pipeline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GateConfig {
+    /// Holdout accuracy vs. the incumbent.
+    pub accuracy: Option<AccuracyGate>,
+    /// PSI drift between training and live features.
+    pub drift: Option<DriftGate>,
+}
+
+impl GateConfig {
+    /// Whether any gate is enabled.
+    pub fn enabled(&self) -> bool {
+        self.accuracy.is_some() || self.drift.is_some()
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
@@ -77,6 +177,12 @@ pub struct PipelineConfig {
     /// the GBDT grower's per-feature split search); 0 = one per available
     /// core, 1 = serial. Any value yields bit-identical results.
     pub threads: usize,
+    /// Scripted fault injection (default: empty, injects nothing).
+    pub faults: FaultPlan,
+    /// Stage retry/backoff/deadline budgets.
+    pub supervision: SupervisionConfig,
+    /// Rollout validation gates (default: disabled).
+    pub gates: GateConfig,
 }
 
 impl Default for PipelineConfig {
@@ -89,6 +195,9 @@ impl Default for PipelineConfig {
             opt_prune: 1.0,
             deploy: DeployMode::Boundary,
             threads: 1,
+            faults: FaultPlan::default(),
+            supervision: SupervisionConfig::default(),
+            gates: GateConfig::default(),
         }
     }
 }
@@ -127,8 +236,11 @@ fn solve_opt(
 /// labeling and training happen on background threads while the collector
 /// serves, and models roll out per [`PipelineConfig::deploy`].
 ///
-/// Returns an error if a window's OPT computation fails (which indicates a
-/// bug rather than bad input — see [`OptError`]).
+/// The only error is an empty trace. Per-window failures — a failing OPT
+/// solve, a trainer panic, an injected fault — are handled by stage
+/// supervision: bounded retries, then the window is *skipped* and the
+/// cache keeps serving on its incumbent model (or the LRU fallback), with
+/// the decision recorded in the [`WindowReport`].
 pub fn run_pipeline(
     requests: &[Request],
     config: &PipelineConfig,
@@ -139,8 +251,12 @@ pub fn run_pipeline(
 /// The single-threaded reference implementation of the Figure 2 loop.
 ///
 /// Kept for determinism testing and wall-clock comparison: under
-/// [`DeployMode::Boundary`] the staged [`run_pipeline`] produces
-/// bit-identical per-window metrics to this function.
+/// [`DeployMode::Boundary`] (with an empty [`FaultPlan`] and gates
+/// disabled) the staged [`run_pipeline`] produces bit-identical per-window
+/// metrics to this function. The reference ignores the fault-tolerance
+/// control plane ([`PipelineConfig::faults`], `supervision`, `gates`) —
+/// it *is* the "everything works" schedule the staged pipeline degrades
+/// from, and it still aborts on the first [`OptError`].
 pub fn run_pipeline_serial(
     requests: &[Request],
     config: &PipelineConfig,
@@ -166,6 +282,7 @@ pub fn run_pipeline_serial(
 
     for (index, window) in requests.chunks(config.window.max(1)).enumerate() {
         let had_model = cache.has_model();
+        let slot_version = cache.slot().version();
 
         // (a) Serve the window live through the LFO cache.
         let serve_started = Instant::now();
@@ -219,13 +336,19 @@ pub fn run_pipeline_serial(
             requests: window.len(),
             live,
             had_model,
+            slot_version,
             prediction_error,
             false_positive,
             false_negative,
-            train_accuracy: trained.train_accuracy,
-            opt_bhr: opt.bhr(),
-            opt_ohr: opt.ohr(),
-            deployed_cutoff,
+            train_accuracy: Some(trained.train_accuracy),
+            opt_bhr: Some(opt.bhr()),
+            opt_ohr: Some(opt.ohr()),
+            deployed_cutoff: Some(deployed_cutoff),
+            rollout: RolloutDecision::Deployed,
+            retries: 0,
+            drift_psi: None,
+            holdout_accuracy: None,
+            incumbent_accuracy: None,
             timing: StageTiming {
                 serve,
                 label,
@@ -264,6 +387,8 @@ mod tests {
             assert_eq!(wa.live.total_bytes, wb.live.total_bytes);
             assert_eq!(wa.live.hit_bytes, wb.live.hit_bytes);
             assert_eq!(wa.had_model, wb.had_model);
+            assert_eq!(wa.slot_version, wb.slot_version);
+            assert_eq!(wa.rollout, wb.rollout);
             assert_eq!(
                 wa.prediction_error.map(f64::to_bits),
                 wb.prediction_error.map(f64::to_bits),
@@ -278,10 +403,16 @@ mod tests {
                 wa.false_negative.map(f64::to_bits),
                 wb.false_negative.map(f64::to_bits)
             );
-            assert_eq!(wa.train_accuracy.to_bits(), wb.train_accuracy.to_bits());
-            assert_eq!(wa.opt_bhr.to_bits(), wb.opt_bhr.to_bits());
-            assert_eq!(wa.opt_ohr.to_bits(), wb.opt_ohr.to_bits());
-            assert_eq!(wa.deployed_cutoff.to_bits(), wb.deployed_cutoff.to_bits());
+            assert_eq!(
+                wa.train_accuracy.map(f64::to_bits),
+                wb.train_accuracy.map(f64::to_bits)
+            );
+            assert_eq!(wa.opt_bhr.map(f64::to_bits), wb.opt_bhr.map(f64::to_bits));
+            assert_eq!(wa.opt_ohr.map(f64::to_bits), wb.opt_ohr.map(f64::to_bits));
+            assert_eq!(
+                wa.deployed_cutoff.map(f64::to_bits),
+                wb.deployed_cutoff.map(f64::to_bits)
+            );
         }
         assert_eq!(a.live_total.hit_bytes, b.live_total.hit_bytes);
         assert_eq!(a.live_trained.hit_bytes, b.live_trained.hit_bytes);
@@ -335,14 +466,14 @@ mod tests {
         config.lfo.cutoff_mode = crate::CutoffMode::EqualizeErrorRates;
         let report = run_pipeline(trace.requests(), &config).unwrap();
         for w in &report.windows {
-            assert!((0.0..=1.0).contains(&w.deployed_cutoff));
+            assert!((0.0..=1.0).contains(&w.deployed_cutoff.unwrap()));
         }
         // At least one window should deviate from the fixed 0.5.
         assert!(
             report
                 .windows
                 .iter()
-                .any(|w| (w.deployed_cutoff - 0.5).abs() > 1e-9),
+                .any(|w| (w.deployed_cutoff.unwrap() - 0.5).abs() > 1e-9),
             "tuning never moved the cutoff"
         );
     }
@@ -406,9 +537,11 @@ mod tests {
         assert!(report.final_model.is_some());
         for (position, w) in report.windows.iter().enumerate() {
             assert_eq!(w.index, position);
-            assert!((0.0..=1.0).contains(&w.opt_bhr), "opt_bhr {}", w.opt_bhr);
-            assert!((0.0..=1.0).contains(&w.opt_ohr));
-            assert!((0.0..=1.0).contains(&w.train_accuracy));
+            let bhr = w.opt_bhr.unwrap();
+            assert!((0.0..=1.0).contains(&bhr), "opt_bhr {bhr}");
+            assert!((0.0..=1.0).contains(&w.opt_ohr.unwrap()));
+            assert!((0.0..=1.0).contains(&w.train_accuracy.unwrap()));
+            assert_eq!(w.rollout, RolloutDecision::Deployed);
             if let Some(e) = w.prediction_error {
                 assert!((0.0..=1.0).contains(&e));
             }
@@ -426,13 +559,19 @@ mod tests {
             requests,
             live: IntervalMetrics::default(),
             had_model: index > 0,
+            slot_version: 2 * index as u64,
             prediction_error: error,
             false_positive: None,
             false_negative: None,
-            train_accuracy: 1.0,
-            opt_bhr: 0.5,
-            opt_ohr: 0.5,
-            deployed_cutoff: 0.5,
+            train_accuracy: Some(1.0),
+            opt_bhr: Some(0.5),
+            opt_ohr: Some(0.5),
+            deployed_cutoff: Some(0.5),
+            rollout: RolloutDecision::Deployed,
+            retries: 0,
+            drift_psi: None,
+            holdout_accuracy: None,
+            incumbent_accuracy: None,
             timing: StageTiming::default(),
         };
         let report = PipelineReport {

@@ -35,6 +35,37 @@ impl StageTiming {
     }
 }
 
+/// What the deployer decided to do with the model trained on a window.
+///
+/// Anything other than [`Deployed`](RolloutDecision::Deployed) means the
+/// serving cache kept its incumbent model (or the LRU fallback if none was
+/// ever deployed) — the degradation ladder of DESIGN.md §8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RolloutDecision {
+    /// The model was installed into the serving [`crate::ModelSlot`].
+    #[default]
+    Deployed,
+    /// The candidate's holdout accuracy fell short of the incumbent's by
+    /// more than the configured margin.
+    RejectedAccuracy,
+    /// The PSI between the training window's features and the live serving
+    /// features exceeded the configured threshold.
+    RejectedDrift,
+    /// Labeling or training failed (error or panic) and exhausted the
+    /// retry budget; the window produced no candidate at all.
+    SkippedFault,
+    /// Training finished after the per-window deadline; the (stale) model
+    /// was discarded rather than deployed.
+    SkippedDeadline,
+}
+
+impl RolloutDecision {
+    /// Whether the window degraded (no fresh model reached the cache).
+    pub fn is_degraded(&self) -> bool {
+        *self != RolloutDecision::Deployed
+    }
+}
+
 /// Per-window pipeline diagnostics.
 #[derive(Clone, Debug)]
 pub struct WindowReport {
@@ -46,22 +77,42 @@ pub struct WindowReport {
     pub live: IntervalMetrics,
     /// Whether a trained model served this window (at its first request).
     pub had_model: bool,
-    /// Prediction error of the *previous* window's model against this
-    /// window's OPT decisions (the Figure 5 metric); `None` for window 0.
+    /// [`crate::ModelSlot`] publication version visible at the window's
+    /// first request — a rejected rollout leaves the next window's version
+    /// unchanged, which is how tests prove nothing was installed.
+    pub slot_version: u64,
+    /// Prediction error of the incumbent model against this window's OPT
+    /// decisions (the Figure 5 metric); `None` for window 0 and for
+    /// windows whose labeling was skipped.
     pub prediction_error: Option<f64>,
     /// False-positive fraction of that evaluation.
     pub false_positive: Option<f64>,
     /// False-negative fraction of that evaluation.
     pub false_negative: Option<f64>,
-    /// Training accuracy of the model trained *on* this window.
-    pub train_accuracy: f64,
-    /// OPT's byte hit ratio on this window (upper reference).
-    pub opt_bhr: f64,
+    /// Training accuracy of the model trained *on* this window; `None`
+    /// when the window was skipped before a model existed.
+    pub train_accuracy: Option<f64>,
+    /// OPT's byte hit ratio on this window (upper reference); `None` when
+    /// the labeler skipped the window.
+    pub opt_bhr: Option<f64>,
     /// OPT's object hit ratio on this window.
-    pub opt_ohr: f64,
+    pub opt_ohr: Option<f64>,
     /// Admission cutoff deployed for the *next* window (differs from the
-    /// configured value under [`crate::CutoffMode::EqualizeErrorRates`]).
-    pub deployed_cutoff: f64,
+    /// configured value under [`crate::CutoffMode::EqualizeErrorRates`]);
+    /// `None` when no model was deployed from this window.
+    pub deployed_cutoff: Option<f64>,
+    /// What happened to this window's candidate model.
+    pub rollout: RolloutDecision,
+    /// Retries spent by stage supervision on this window (labeler plus
+    /// trainer attempts beyond the first).
+    pub retries: u32,
+    /// Max per-feature PSI between the training window and the live
+    /// serving features, when the drift gate evaluated it.
+    pub drift_psi: Option<f64>,
+    /// Candidate holdout accuracy, when the accuracy gate evaluated it.
+    pub holdout_accuracy: Option<f64>,
+    /// Incumbent holdout accuracy, when the accuracy gate evaluated it.
+    pub incumbent_accuracy: Option<f64>,
     /// Per-stage wall-clock for this window.
     pub timing: StageTiming,
 }
@@ -108,6 +159,30 @@ impl PipelineReport {
             total.accumulate(&w.timing);
         }
         total
+    }
+
+    /// Number of windows that did not roll out a fresh model (skipped by
+    /// supervision, rejected by a gate, or past the training deadline).
+    pub fn degraded_windows(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.rollout.is_degraded())
+            .count()
+    }
+
+    /// Wall-clock spent serving without any trained model — the bottom of
+    /// the degradation ladder, where the cache runs on its LRU fallback.
+    pub fn fallback_time(&self) -> Duration {
+        self.windows
+            .iter()
+            .filter(|w| !w.had_model)
+            .map(|w| w.timing.serve)
+            .sum()
+    }
+
+    /// Total supervision retries across all windows.
+    pub fn total_retries(&self) -> u32 {
+        self.windows.iter().map(|w| w.retries).sum()
     }
 }
 

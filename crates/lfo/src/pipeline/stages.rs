@@ -1,4 +1,5 @@
-//! The staged pipeline: Collector → Labeler → Trainer → Deployer.
+//! The staged pipeline: Collector → Labeler → Trainer → Deployer, under
+//! fault-tolerant stage supervision.
 //!
 //! The collector (main thread) serves windows through the live [`LfoCache`]
 //! while a labeler thread computes OPT decisions + features and a trainer
@@ -13,8 +14,19 @@
 //! Under [`DeployMode::Async`] the trainer publishes straight into the
 //! shared [`ModelSlot`] the moment training finishes, so a model can roll
 //! out mid-window and the collector never blocks.
+//!
+//! The learner is treated as an unreliable component behind the serving
+//! path (DESIGN.md §8): per-window labeler errors and trainer panics are
+//! retried with bounded backoff and, on exhaustion, the *window* is skipped
+//! — the cache keeps serving its incumbent model (or the LRU fallback).
+//! Before a trained model reaches the [`ModelSlot`] it must pass the
+//! configured rollout gates (holdout accuracy vs. the incumbent, PSI drift
+//! vs. the live feature distribution); every decision lands in the
+//! [`WindowReport`](super::WindowReport) as a
+//! [`RolloutDecision`](super::RolloutDecision).
 
-use std::sync::mpsc::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,34 +35,90 @@ use cdn_trace::Request;
 use gbdt::{Dataset, Model};
 use opt::{OptConfig, OptError};
 
+use crate::drift::FeatureSketch;
+use crate::faults::{corrupt_rows, FaultKind, FaultStage};
 use crate::labels::build_training_set;
 use crate::policy::{LfoCache, ModelSlot};
 use crate::train::{equalize_cutoff, evaluate, train_window};
 
-use super::report::{merge, PipelineReport, StageTiming, WindowReport};
+use super::report::{merge, PipelineReport, RolloutDecision, StageTiming, WindowReport};
 use super::{solve_opt, DeployMode, PipelineConfig};
+
+/// Feature index of the free-cache-bytes feature (see
+/// [`LfoConfig::feature_names`](crate::LfoConfig::feature_names)). Training
+/// rows carry OPT's occupancy and live rows the real cache's, so the drift
+/// gate excludes this column from the PSI comparison.
+const FREE_BYTES_FEATURE: usize = 2;
+
+/// Cap on training rows sampled into the drift sketch per window.
+const DRIFT_SKETCH_ROWS: usize = 4096;
 
 /// Labeler → trainer: one window's training set and OPT reference ratios.
 struct LabeledWindow {
     data: Dataset,
     opt_bhr: f64,
     opt_ohr: f64,
+}
+
+/// Labeler → trainer: the window's labeling outcome (every window produces
+/// exactly one message, skipped or not).
+struct LabelMessage {
+    index: usize,
+    /// `Err` carries the skip reason after supervision exhausted retries.
+    outcome: Result<LabeledWindow, String>,
+    retries: u32,
     label_time: Duration,
 }
 
-/// Trainer → deployer: one window's model and training-side diagnostics.
+/// Trainer → deployer: one window's rollout decision and diagnostics.
+/// `model` is `Some` exactly when `rollout == Deployed`.
 struct TrainOutcome {
     index: usize,
-    model: Arc<Model>,
-    deployed_cutoff: f64,
-    train_accuracy: f64,
+    model: Option<Arc<Model>>,
+    rollout: RolloutDecision,
+    retries: u32,
+    deployed_cutoff: Option<f64>,
+    train_accuracy: Option<f64>,
     prediction_error: Option<f64>,
     false_positive: Option<f64>,
     false_negative: Option<f64>,
-    opt_bhr: f64,
-    opt_ohr: f64,
+    opt_bhr: Option<f64>,
+    opt_ohr: Option<f64>,
+    drift_psi: Option<f64>,
+    holdout_accuracy: Option<f64>,
+    incumbent_accuracy: Option<f64>,
     label_time: Duration,
     train_time: Duration,
+}
+
+impl TrainOutcome {
+    /// An outcome for a window that produced no candidate model.
+    fn skipped(
+        index: usize,
+        rollout: RolloutDecision,
+        retries: u32,
+        label_time: Duration,
+        train_time: Duration,
+    ) -> Self {
+        TrainOutcome {
+            index,
+            model: None,
+            rollout,
+            retries,
+            deployed_cutoff: None,
+            train_accuracy: None,
+            prediction_error: None,
+            false_positive: None,
+            false_negative: None,
+            opt_bhr: None,
+            opt_ohr: None,
+            drift_psi: None,
+            holdout_accuracy: None,
+            incumbent_accuracy: None,
+            label_time,
+            train_time,
+        }
+    }
 }
 
 /// Collector-side view of one window.
@@ -59,8 +127,91 @@ struct ServePart {
     requests: usize,
     live: IntervalMetrics,
     had_model: bool,
+    slot_version: u64,
     serve_time: Duration,
     deploy_wait: Duration,
+}
+
+/// Splits a labeled window into (train, holdout) for the accuracy gate.
+/// Returns `None` when either side would be empty (the gate then passes).
+fn split_holdout(data: &Dataset, holdout_fraction: f64) -> Option<(Dataset, Dataset)> {
+    let n = data.num_rows();
+    let holdout = ((n as f64) * holdout_fraction.clamp(0.0, 1.0)).round() as usize;
+    if holdout == 0 || holdout >= n {
+        return None;
+    }
+    let cut = n - holdout;
+    let rows = |range: std::ops::Range<usize>| -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rs = Vec::with_capacity(range.len());
+        let mut ls = Vec::with_capacity(range.len());
+        for r in range {
+            rs.push(data.row(r));
+            ls.push(data.label(r));
+        }
+        (rs, ls)
+    };
+    let (train_rows, train_labels) = rows(0..cut);
+    let (hold_rows, hold_labels) = rows(cut..n);
+    let train = Dataset::from_rows(train_rows, train_labels).ok()?;
+    let hold = Dataset::from_rows(hold_rows, hold_labels).ok()?;
+    Some((train, hold))
+}
+
+/// Drops the free-bytes column so the drift comparison only covers features
+/// that are computed identically on both sides.
+fn strip_free_bytes(mut row: Vec<f32>) -> Vec<f32> {
+    if row.len() > FREE_BYTES_FEATURE {
+        row.remove(FREE_BYTES_FEATURE);
+    }
+    row
+}
+
+/// Max per-feature PSI of the live sample against the training window's
+/// feature distribution; `None` when either side is too small to compare.
+fn drift_score(train_data: &Dataset, live: &[Vec<f32>]) -> Option<f64> {
+    if live.is_empty() {
+        return None;
+    }
+    let n = train_data.num_rows();
+    let stride = n.div_ceil(DRIFT_SKETCH_ROWS).max(1);
+    let reference: Vec<Vec<f32>> = (0..n)
+        .step_by(stride)
+        .map(|r| strip_free_bytes(train_data.row(r)))
+        .collect();
+    let live_rows: Vec<Vec<f32>> = live.iter().map(|r| strip_free_bytes(r.clone())).collect();
+    let sketch = FeatureSketch::fit(&reference).ok()?;
+    sketch.max_psi(&live_rows).ok()
+}
+
+/// Blocks until the live-feature sample for `index` arrives (boundary
+/// deploy sends exactly one sample per window, in order).
+fn live_sample_for(
+    live_rx: &Receiver<(usize, Vec<Vec<f32>>)>,
+    index: usize,
+    latest: &mut Option<(usize, Vec<Vec<f32>>)>,
+) -> Option<Vec<Vec<f32>>> {
+    while latest.as_ref().is_none_or(|(i, _)| *i < index) {
+        match live_rx.recv() {
+            Ok(got) => *latest = Some(got),
+            Err(_) => break,
+        }
+    }
+    latest
+        .as_ref()
+        .filter(|(i, _)| *i == index)
+        .map(|(_, rows)| rows.clone())
+}
+
+/// Takes whatever live-feature samples have arrived and returns the newest
+/// (async deploy gates against the freshest view of live traffic).
+fn latest_live_sample(
+    live_rx: &Receiver<(usize, Vec<Vec<f32>>)>,
+    latest: &mut Option<(usize, Vec<Vec<f32>>)>,
+) -> Option<Vec<Vec<f32>>> {
+    while let Ok(got) = live_rx.try_recv() {
+        *latest = Some(got);
+    }
+    latest.as_ref().map(|(_, rows)| rows.clone())
 }
 
 pub(super) fn run_staged(
@@ -84,63 +235,116 @@ pub(super) fn run_staged(
 
     let slot = ModelSlot::new();
     let mut cache = LfoCache::with_slot(config.cache_size, lfo.clone(), slot.clone());
+    if let Some(gate) = config.gates.drift {
+        cache.enable_feature_sampling(gate.sample_every);
+    }
     let windows: Vec<&[Request]> = requests.chunks(config.window.max(1)).collect();
 
     let mut serve_parts: Vec<ServePart> = Vec::with_capacity(windows.len());
     let mut outcomes: Vec<TrainOutcome> = Vec::with_capacity(windows.len());
-    let mut opt_failure: Option<OptError> = None;
+    let supervision = config.supervision;
+    let gates = config.gates;
 
     std::thread::scope(|scope| {
         let (window_tx, window_rx) = channel::<(usize, &[Request])>();
-        let (labeled_tx, labeled_rx) = channel::<Result<(usize, LabeledWindow), OptError>>();
-        let (outcome_tx, outcome_rx) = channel::<Result<TrainOutcome, OptError>>();
+        let (labeled_tx, labeled_rx) = channel::<LabelMessage>();
+        let (outcome_tx, outcome_rx) = channel::<TrainOutcome>();
+        let (live_tx, live_rx) = channel::<(usize, Vec<Vec<f32>>)>();
 
         // Labeler: owns the training-side feature tracker (sequential state),
         // so windows must be labeled in order — but independently of serving.
+        // Per-window failures are retried with bounded backoff; exhaustion
+        // skips the window, advancing the tracker so gap history stays
+        // continuous for later windows.
         let labeler_lfo = lfo.clone();
+        let mut label_faults = config.faults.clone();
         scope.spawn(move || {
             let mut tracker = labeler_lfo.tracker();
             while let Ok((index, window)) = window_rx.recv() {
                 let started = Instant::now();
-                let opt = match solve_opt(window, &opt_config, config, threads) {
-                    Ok(opt) => opt,
-                    Err(error) => {
-                        let _ = labeled_tx.send(Err(error));
-                        return;
+                let mut retries = 0u32;
+                let outcome = loop {
+                    let injected = label_faults.take(index, FaultStage::Label);
+                    let solved: Result<_, String> = match injected {
+                        Some(FaultKind::LabelError) => Err("injected labeler fault".into()),
+                        _ => solve_opt(window, &opt_config, config, threads)
+                            .map_err(|e| e.to_string()),
+                    };
+                    match solved {
+                        Ok(opt) => {
+                            let mut data =
+                                build_training_set(window, &opt, &mut tracker, config.cache_size);
+                            if let Some(FaultKind::CorruptRows { fraction }) = injected {
+                                data = corrupt_rows(&data, fraction, label_faults.seed());
+                            }
+                            break Ok(LabeledWindow {
+                                data,
+                                opt_bhr: opt.bhr(),
+                                opt_ohr: opt.ohr(),
+                            });
+                        }
+                        Err(reason) => {
+                            if retries >= supervision.max_retries {
+                                for r in window {
+                                    let _ = tracker.observe(r, config.cache_size);
+                                }
+                                break Err(reason);
+                            }
+                            retries += 1;
+                            std::thread::sleep(supervision.backoff * retries);
+                        }
                     }
                 };
-                let data = build_training_set(window, &opt, &mut tracker, config.cache_size);
-                let labeled = LabeledWindow {
-                    data,
-                    opt_bhr: opt.bhr(),
-                    opt_ohr: opt.ohr(),
+                let message = LabelMessage {
+                    index,
+                    outcome,
+                    retries,
                     label_time: started.elapsed(),
                 };
-                if labeled_tx.send(Ok((index, labeled))).is_err() {
+                if labeled_tx.send(message).is_err() {
                     return;
                 }
             }
         });
 
-        // Trainer: evaluates the previous window's model on the new labels
+        // Trainer + gatekeeper: evaluates the incumbent on the new labels
         // (the paper's train-on-t, test-on-t+1 protocol), trains this
-        // window's model, and — in async mode — publishes it immediately.
+        // window's candidate under panic supervision, then decides its
+        // rollout — deadline, drift gate, accuracy gate — before publishing.
         let trainer_slot = slot.clone();
         let trainer_lfo = lfo.clone();
         let deploy = config.deploy;
+        let mut train_faults = config.faults.clone();
         scope.spawn(move || {
-            let mut previous: Option<Arc<Model>> = None;
+            let mut incumbent: Option<(Arc<Model>, f64)> = None;
+            let mut latest_live: Option<(usize, Vec<Vec<f32>>)> = None;
             while let Ok(message) = labeled_rx.recv() {
-                let (index, labeled) = match message {
+                let LabelMessage {
+                    index,
+                    outcome,
+                    retries: label_retries,
+                    label_time,
+                } = message;
+                let started = Instant::now();
+                let labeled = match outcome {
                     Ok(labeled) => labeled,
-                    Err(error) => {
-                        let _ = outcome_tx.send(Err(error));
-                        return;
+                    Err(_) => {
+                        let skipped = TrainOutcome::skipped(
+                            index,
+                            RolloutDecision::SkippedFault,
+                            label_retries,
+                            label_time,
+                            started.elapsed(),
+                        );
+                        if outcome_tx.send(skipped).is_err() {
+                            return;
+                        }
+                        continue;
                     }
                 };
-                let started = Instant::now();
-                let (prediction_error, false_positive, false_negative) = match &previous {
-                    Some(model) => {
+
+                let (prediction_error, false_positive, false_negative) = match &incumbent {
+                    Some((model, _)) => {
                         let confusion = evaluate(model, &labeled.data, trainer_lfo.cutoff);
                         (
                             Some(confusion.error_fraction()),
@@ -150,34 +354,153 @@ pub(super) fn run_staged(
                     }
                     None => (None, None, None),
                 };
-                let trained = train_window(&labeled.data, &trainer_lfo);
-                let deployed_cutoff = match trainer_lfo.cutoff_mode {
-                    crate::CutoffMode::Fixed(c) => c,
-                    crate::CutoffMode::EqualizeErrorRates => {
-                        equalize_cutoff(&trained.train_probs, &trained.train_labels)
+
+                // Accuracy gate: hold the window's tail out of training.
+                let split = gates
+                    .accuracy
+                    .and_then(|g| split_holdout(&labeled.data, g.holdout_fraction));
+                let (train_data, holdout): (&Dataset, Option<&Dataset>) = match &split {
+                    Some((train, hold)) => (train, Some(hold)),
+                    None => (&labeled.data, None),
+                };
+
+                // Supervised training: catch panics (real or injected),
+                // retry with bounded backoff, give up after the budget.
+                let mut retries = label_retries;
+                let trained = loop {
+                    let injected = train_faults.take(index, FaultStage::Train);
+                    if let Some(FaultKind::SlowTraining(stall)) = injected {
+                        std::thread::sleep(stall);
+                    }
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        if matches!(injected, Some(FaultKind::TrainerPanic)) {
+                            panic!("injected trainer panic (fault plan)");
+                        }
+                        train_window(train_data, &trainer_lfo)
+                    }));
+                    match attempt {
+                        Ok(trained) => break Some(trained),
+                        Err(_) => {
+                            if retries - label_retries >= supervision.max_retries {
+                                break None;
+                            }
+                            retries += 1;
+                            std::thread::sleep(supervision.backoff * (retries - label_retries));
+                        }
                     }
                 };
-                let model = Arc::new(trained.model);
-                if deploy == DeployMode::Async {
-                    // Mid-window rollout: the serving cache picks this up on
-                    // its next request via the slot's version bump.
-                    trainer_slot.publish(Arc::clone(&model), deployed_cutoff);
-                }
-                previous = Some(Arc::clone(&model));
-                let outcome = TrainOutcome {
-                    index,
-                    model,
-                    deployed_cutoff,
-                    train_accuracy: trained.train_accuracy,
-                    prediction_error,
-                    false_positive,
-                    false_negative,
-                    opt_bhr: labeled.opt_bhr,
-                    opt_ohr: labeled.opt_ohr,
-                    label_time: labeled.label_time,
-                    train_time: started.elapsed(),
+
+                let outcome = match trained {
+                    None => {
+                        let mut skipped = TrainOutcome::skipped(
+                            index,
+                            RolloutDecision::SkippedFault,
+                            retries,
+                            label_time,
+                            started.elapsed(),
+                        );
+                        skipped.prediction_error = prediction_error;
+                        skipped.false_positive = false_positive;
+                        skipped.false_negative = false_negative;
+                        skipped.opt_bhr = Some(labeled.opt_bhr);
+                        skipped.opt_ohr = Some(labeled.opt_ohr);
+                        skipped
+                    }
+                    Some(trained) => {
+                        let deployed_cutoff = match trainer_lfo.cutoff_mode {
+                            crate::CutoffMode::Fixed(c) => c,
+                            crate::CutoffMode::EqualizeErrorRates => {
+                                equalize_cutoff(&trained.train_probs, &trained.train_labels)
+                            }
+                        };
+
+                        let mut rollout = RolloutDecision::Deployed;
+                        let mut drift_psi = None;
+                        let mut holdout_accuracy = None;
+                        let mut incumbent_accuracy = None;
+
+                        // Degradation ladder, strictest first: a stalled
+                        // solve deploys nothing (the model is stale by
+                        // definition), then distribution shift, then the
+                        // head-to-head accuracy check.
+                        if supervision
+                            .train_deadline
+                            .is_some_and(|deadline| started.elapsed() > deadline)
+                        {
+                            rollout = RolloutDecision::SkippedDeadline;
+                        }
+
+                        if rollout == RolloutDecision::Deployed {
+                            if let Some(gate) = gates.drift {
+                                let live = match deploy {
+                                    DeployMode::Boundary => {
+                                        live_sample_for(&live_rx, index, &mut latest_live)
+                                    }
+                                    DeployMode::Async => {
+                                        latest_live_sample(&live_rx, &mut latest_live)
+                                    }
+                                };
+                                if let Some(score) = live
+                                    .as_deref()
+                                    .and_then(|rows| drift_score(&labeled.data, rows))
+                                {
+                                    drift_psi = Some(score);
+                                    if score > gate.max_psi {
+                                        rollout = RolloutDecision::RejectedDrift;
+                                    }
+                                }
+                            }
+                        }
+
+                        if rollout == RolloutDecision::Deployed {
+                            if let (Some(gate), Some(hold), Some((inc_model, inc_cutoff))) =
+                                (gates.accuracy, holdout, &incumbent)
+                            {
+                                let candidate = 1.0
+                                    - evaluate(&trained.model, hold, deployed_cutoff)
+                                        .error_fraction();
+                                let reference =
+                                    1.0 - evaluate(inc_model, hold, *inc_cutoff).error_fraction();
+                                holdout_accuracy = Some(candidate);
+                                incumbent_accuracy = Some(reference);
+                                if candidate + gate.margin < reference {
+                                    rollout = RolloutDecision::RejectedAccuracy;
+                                }
+                            }
+                        }
+
+                        let model = Arc::new(trained.model);
+                        let deployed = rollout == RolloutDecision::Deployed;
+                        if deployed {
+                            if deploy == DeployMode::Async {
+                                // Mid-window rollout: the serving cache picks
+                                // this up on its next request via the slot's
+                                // version bump.
+                                trainer_slot.publish(Arc::clone(&model), deployed_cutoff);
+                            }
+                            incumbent = Some((Arc::clone(&model), deployed_cutoff));
+                        }
+                        TrainOutcome {
+                            index,
+                            model: deployed.then_some(model),
+                            rollout,
+                            retries,
+                            deployed_cutoff: deployed.then_some(deployed_cutoff),
+                            train_accuracy: Some(trained.train_accuracy),
+                            prediction_error,
+                            false_positive,
+                            false_negative,
+                            opt_bhr: Some(labeled.opt_bhr),
+                            opt_ohr: Some(labeled.opt_ohr),
+                            drift_psi,
+                            holdout_accuracy,
+                            incumbent_accuracy,
+                            label_time,
+                            train_time: started.elapsed(),
+                        }
+                    }
                 };
-                if outcome_tx.send(Ok(outcome)).is_err() {
+                if outcome_tx.send(outcome).is_err() {
                     return;
                 }
             }
@@ -194,40 +517,40 @@ pub(super) fn run_staged(
         let sim = SimConfig::default();
         for (index, window) in windows.iter().enumerate() {
             let had_model = cache.has_model();
+            let slot_version = cache.slot().version();
             let started = Instant::now();
             let live = simulate(&mut cache, window, &sim).measured;
             let serve_time = started.elapsed();
+            if gates.drift.is_some() {
+                let _ = live_tx.send((index, cache.take_feature_samples()));
+            }
 
             let mut deploy_wait = Duration::ZERO;
             match config.deploy {
                 DeployMode::Boundary => {
-                    // Deterministic rollout: window t's model must be live
-                    // before the first request of window t+1, exactly as in
-                    // the serial reference.
+                    // Deterministic rollout: window t's accepted model must
+                    // be live before the first request of window t+1,
+                    // exactly as in the serial reference. A skipped or
+                    // rejected window installs nothing — the incumbent
+                    // keeps serving.
                     let waited = Instant::now();
-                    match outcome_rx.recv() {
-                        Ok(Ok(outcome)) => {
-                            debug_assert_eq!(outcome.index, index);
-                            cache.set_cutoff(outcome.deployed_cutoff);
-                            cache.install_model(Arc::clone(&outcome.model));
-                            outcomes.push(outcome);
+                    if let Ok(outcome) = outcome_rx.recv() {
+                        debug_assert_eq!(outcome.index, index);
+                        if let (Some(model), Some(cutoff)) =
+                            (&outcome.model, outcome.deployed_cutoff)
+                        {
+                            cache.set_cutoff(cutoff);
+                            cache.install_model(Arc::clone(model));
                         }
-                        Ok(Err(error)) => opt_failure = Some(error),
-                        Err(_) => {}
+                        outcomes.push(outcome);
                     }
                     deploy_wait = waited.elapsed();
                 }
                 DeployMode::Async => {
                     // Models were already published mid-window; just collect
                     // whatever diagnostics have arrived so far.
-                    while let Ok(message) = outcome_rx.try_recv() {
-                        match message {
-                            Ok(outcome) => outcomes.push(outcome),
-                            Err(error) => {
-                                opt_failure = Some(error);
-                                break;
-                            }
-                        }
+                    while let Ok(outcome) = outcome_rx.try_recv() {
+                        outcomes.push(outcome);
                     }
                 }
             }
@@ -236,27 +559,19 @@ pub(super) fn run_staged(
                 requests: window.len(),
                 live,
                 had_model,
+                slot_version,
                 serve_time,
                 deploy_wait,
             });
-            if opt_failure.is_some() {
-                break;
-            }
         }
+        drop(live_tx);
 
-        // Drain the stage threads' tail (async stragglers, or everything
-        // after an error); ends when the trainer drops its sender.
-        for message in outcome_rx.iter() {
-            match message {
-                Ok(outcome) => outcomes.push(outcome),
-                Err(error) => opt_failure = Some(error),
-            }
+        // Drain the stage threads' tail (async stragglers); ends when the
+        // trainer drops its sender.
+        for outcome in outcome_rx.iter() {
+            outcomes.push(outcome);
         }
     });
-
-    if let Some(error) = opt_failure {
-        return Err(error);
-    }
 
     outcomes.sort_by_key(|o| o.index);
     debug_assert_eq!(serve_parts.len(), outcomes.len());
@@ -264,7 +579,7 @@ pub(super) fn run_staged(
         windows: Vec::with_capacity(serve_parts.len()),
         live_total: IntervalMetrics::default(),
         live_trained: IntervalMetrics::default(),
-        final_model: outcomes.last().map(|o| Arc::clone(&o.model)),
+        final_model: outcomes.iter().rev().find_map(|o| o.model.clone()),
     };
     for (part, outcome) in serve_parts.into_iter().zip(outcomes) {
         debug_assert_eq!(part.index, outcome.index);
@@ -277,6 +592,7 @@ pub(super) fn run_staged(
             requests: part.requests,
             live: part.live,
             had_model: part.had_model,
+            slot_version: part.slot_version,
             prediction_error: outcome.prediction_error,
             false_positive: outcome.false_positive,
             false_negative: outcome.false_negative,
@@ -284,6 +600,11 @@ pub(super) fn run_staged(
             opt_bhr: outcome.opt_bhr,
             opt_ohr: outcome.opt_ohr,
             deployed_cutoff: outcome.deployed_cutoff,
+            rollout: outcome.rollout,
+            retries: outcome.retries,
+            drift_psi: outcome.drift_psi,
+            holdout_accuracy: outcome.holdout_accuracy,
+            incumbent_accuracy: outcome.incumbent_accuracy,
             timing: StageTiming {
                 serve: part.serve_time,
                 label: outcome.label_time,

@@ -136,6 +136,12 @@ pub struct LfoCache {
     queue: BTreeSet<(Priority, u64, ObjectId)>,
     entries: HashMap<ObjectId, Entry>,
     tick: u64,
+    /// Sampling stride for live feature rows (0 = sampling off).
+    sample_every: usize,
+    /// Sampled live feature rows since the last
+    /// [`LfoCache::take_feature_samples`] — the drift gate's view of the
+    /// serving-side distribution.
+    samples: Vec<Vec<f32>>,
     /// Count of hits whose re-scoring dropped the object below every other
     /// resident (the paper's "a hit may evict the hit object" events are a
     /// subset of these).
@@ -165,6 +171,8 @@ impl LfoCache {
             queue: BTreeSet::new(),
             entries: HashMap::new(),
             tick: 0,
+            sample_every: 0,
+            samples: Vec::new(),
             rescored_to_bottom: 0,
         };
         cache.sync_slot();
@@ -235,6 +243,20 @@ impl LfoCache {
         &mut self.tracker
     }
 
+    /// Starts sampling every `every`-th request's feature row (0 disables).
+    /// The staged pipeline's drift gate uses this to compare the live
+    /// serving distribution against each candidate's training window.
+    pub fn enable_feature_sampling(&mut self, every: usize) {
+        self.sample_every = every;
+        self.samples.clear();
+    }
+
+    /// Takes the feature rows sampled since the last call (typically one
+    /// serving window's worth), leaving the buffer empty.
+    pub fn take_feature_samples(&mut self) -> Vec<Vec<f32>> {
+        std::mem::take(&mut self.samples)
+    }
+
     /// Predicted likelihood that OPT would cache this request, or `None`
     /// while no model is installed.
     fn score(&self, features: &[f32]) -> Option<f64> {
@@ -285,6 +307,9 @@ impl CachePolicy for LfoCache {
         self.tick += 1;
         let free = self.capacity - self.used;
         let features = self.tracker.observe(request, free);
+        if self.sample_every != 0 && self.tick.is_multiple_of(self.sample_every as u64) {
+            self.samples.push(features.clone());
+        }
         // Likelihood that OPT caches this request; LRU fallback scores by
         // recency, normalized to stay within (0, 1).
         let likelihood = self
@@ -559,6 +584,24 @@ mod tests {
         c.set_cutoff(0.6);
         assert_eq!(slot.version(), 2);
         assert_eq!(c.cutoff(), 0.6);
+    }
+
+    #[test]
+    fn feature_sampling_collects_and_drains() {
+        let mut c = LfoCache::new(1_000, LfoConfig::default());
+        assert!(c.take_feature_samples().is_empty());
+        c.enable_feature_sampling(2);
+        for i in 0..10u64 {
+            c.handle(&req(i, i, 50));
+        }
+        let samples = c.take_feature_samples();
+        assert_eq!(samples.len(), 5, "every 2nd of 10 requests");
+        assert!(samples.iter().all(|r| r.len() == samples[0].len()));
+        // Draining leaves the buffer empty for the next window.
+        assert!(c.take_feature_samples().is_empty());
+        c.enable_feature_sampling(0);
+        c.handle(&req(10, 10, 50));
+        assert!(c.take_feature_samples().is_empty(), "sampling disabled");
     }
 
     #[test]

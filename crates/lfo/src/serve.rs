@@ -9,8 +9,8 @@
 //! behind a shared receiver.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use gbdt::Model;
@@ -99,9 +99,59 @@ type BatchItem = (u64, FeatureBatch);
 /// The shared sink of (batch id, scores) results.
 type ResultSink = Arc<Mutex<Vec<(u64, Vec<f64>)>>>;
 
+/// Why a batch submission was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full right now (apply backpressure and retry).
+    QueueFull,
+    /// The queue stayed full for the whole
+    /// [`submit_timeout`](PredictionServer::submit_timeout) budget.
+    Timeout,
+    /// Every worker has stopped (all of them panicked); the batch can never
+    /// be served.
+    WorkersStopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "prediction queue full"),
+            SubmitError::Timeout => write!(f, "prediction queue full past the timeout"),
+            SubmitError::WorkersStopped => write!(f, "all prediction workers stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Outcome of [`PredictionServer::shutdown`].
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Total predictions served by workers that exited cleanly.
+    pub served: u64,
+    /// Workers that died to a panic instead of exiting cleanly.
+    pub panicked_workers: usize,
+    /// All (batch id, scores) results, in completion order.
+    pub results: Vec<(u64, Vec<f64>)>,
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked — a
+/// dead worker must not take the rest of the server down with it.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A small production-shaped prediction service: worker threads consume
 /// feature batches from a bounded channel and append (batch id, scores)
 /// results to a shared sink.
+///
+/// The server is fault-contained: a panicking worker kills only itself
+/// (surviving workers recover any mutex it poisoned and keep serving), and
+/// [`shutdown`](PredictionServer::shutdown) reports the casualty count
+/// instead of propagating the panic. Submission offers blocking
+/// ([`submit`](PredictionServer::submit)), non-blocking
+/// ([`try_submit`](PredictionServer::try_submit)), and bounded-wait
+/// ([`submit_timeout`](PredictionServer::submit_timeout)) flavours.
 pub struct PredictionServer {
     sender: Option<SyncSender<BatchItem>>,
     workers: Vec<std::thread::JoinHandle<u64>>,
@@ -109,6 +159,12 @@ pub struct PredictionServer {
 }
 
 impl PredictionServer {
+    /// Fault-injection hook: a batch submitted with this id makes the
+    /// worker that picks it up panic, simulating a crash mid-batch. Used to
+    /// test that the server contains worker death (and by operators to
+    /// drill it); never use it as a real batch id.
+    pub const PANIC_PILL: u64 = u64::MAX;
+
     /// Starts `threads` workers sharing `model`.
     pub fn start(model: Arc<Model>, threads: usize) -> Self {
         assert!(threads > 0);
@@ -125,15 +181,15 @@ impl PredictionServer {
                 std::thread::spawn(move || {
                     let mut served = 0u64;
                     loop {
-                        let next = receiver.lock().expect("receiver lock poisoned").recv();
+                        let next = lock_unpoisoned(&receiver).recv();
                         let Ok((id, batch)) = next else { break };
+                        if id == PredictionServer::PANIC_PILL {
+                            panic!("injected prediction-worker panic (panic pill)");
+                        }
                         let scores: Vec<f64> =
                             batch.iter().map(|row| model.predict_proba(row)).collect();
                         served += scores.len() as u64;
-                        results
-                            .lock()
-                            .expect("results lock poisoned")
-                            .push((id, scores));
+                        lock_unpoisoned(&results).push((id, scores));
                     }
                     served
                 })
@@ -146,24 +202,77 @@ impl PredictionServer {
         }
     }
 
-    /// Submits a batch; blocks if the queue is full (backpressure).
-    pub fn submit(&self, id: u64, batch: FeatureBatch) {
-        self.sender
-            .as_ref()
-            .expect("server running")
-            .send((id, batch))
-            .expect("workers alive");
+    fn sender(&self) -> &SyncSender<BatchItem> {
+        self.sender.as_ref().expect("sender present until shutdown")
     }
 
-    /// Stops the workers and returns (total predictions served, results).
-    pub fn shutdown(mut self) -> (u64, Vec<(u64, Vec<f64>)>) {
-        drop(self.sender.take());
-        let mut total = 0;
-        for w in self.workers.drain(..) {
-            total += w.join().expect("worker panicked");
+    /// Submits a batch; blocks while the queue is full (backpressure).
+    /// Fails only when every worker has stopped.
+    pub fn submit(&self, id: u64, batch: FeatureBatch) -> Result<(), SubmitError> {
+        self.sender()
+            .send((id, batch))
+            .map_err(|_| SubmitError::WorkersStopped)
+    }
+
+    /// Submits a batch without blocking: a full queue is reported as
+    /// [`SubmitError::QueueFull`] instead of stalling the caller (the
+    /// serving hot path must never wait on the learner's side of the
+    /// house).
+    pub fn try_submit(&self, id: u64, batch: FeatureBatch) -> Result<(), SubmitError> {
+        self.sender().try_send((id, batch)).map_err(|e| match e {
+            TrySendError::Full(_) => SubmitError::QueueFull,
+            TrySendError::Disconnected(_) => SubmitError::WorkersStopped,
+        })
+    }
+
+    /// Submits a batch, waiting at most `timeout` for queue space. std's
+    /// `SyncSender` has no native `send_timeout`, so this polls
+    /// `try_send` with a short sleep — fine for a backpressure path that
+    /// is expected to succeed almost always.
+    pub fn submit_timeout(
+        &self,
+        id: u64,
+        batch: FeatureBatch,
+        timeout: Duration,
+    ) -> Result<(), SubmitError> {
+        const POLL: Duration = Duration::from_micros(200);
+        let deadline = Instant::now() + timeout;
+        let mut item = (id, batch);
+        loop {
+            match self.sender().try_send(item) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => return Err(SubmitError::WorkersStopped),
+                Err(TrySendError::Full(back)) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SubmitError::Timeout);
+                    }
+                    item = back;
+                    std::thread::sleep(POLL.min(deadline - now));
+                }
+            }
         }
-        let results = std::mem::take(&mut *self.results.lock().expect("results lock poisoned"));
-        (total, results)
+    }
+
+    /// Stops the workers and reports what was served, including how many
+    /// workers died to a panic along the way (their completed batches are
+    /// still in [`ShutdownReport::results`]).
+    pub fn shutdown(mut self) -> ShutdownReport {
+        drop(self.sender.take());
+        let mut served = 0;
+        let mut panicked_workers = 0;
+        for w in self.workers.drain(..) {
+            match w.join() {
+                Ok(count) => served += count,
+                Err(_) => panicked_workers += 1,
+            }
+        }
+        let results = std::mem::take(&mut *lock_unpoisoned(&self.results));
+        ShutdownReport {
+            served,
+            panicked_workers,
+            results,
+        }
     }
 }
 
@@ -216,12 +325,13 @@ mod tests {
         let server = PredictionServer::start(model, 3);
         for id in 0..20u64 {
             let batch: FeatureBatch = (0..50).map(|i| vec![i as f32, 0.0]).collect();
-            server.submit(id, batch);
+            server.submit(id, batch).unwrap();
         }
-        let (served, results) = server.shutdown();
-        assert_eq!(served, 20 * 50);
-        assert_eq!(results.len(), 20);
-        let mut ids: Vec<u64> = results.iter().map(|(id, _)| *id).collect();
+        let report = server.shutdown();
+        assert_eq!(report.served, 20 * 50);
+        assert_eq!(report.panicked_workers, 0);
+        assert_eq!(report.results.len(), 20);
+        let mut ids: Vec<u64> = report.results.iter().map(|(id, _)| *id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..20).collect::<Vec<_>>());
     }
@@ -231,9 +341,87 @@ mod tests {
         let model = Arc::new(toy_model());
         let server = PredictionServer::start(Arc::clone(&model), 2);
         let batch: FeatureBatch = vec![vec![150.0, 1.0], vec![10.0, 1.0]];
-        server.submit(7, batch.clone());
-        let (_, results) = server.shutdown();
-        assert_eq!(results[0].1[0], model.predict_proba(&batch[0]));
-        assert_eq!(results[0].1[1], model.predict_proba(&batch[1]));
+        server.submit(7, batch.clone()).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.results[0].1[0], model.predict_proba(&batch[0]));
+        assert_eq!(report.results[0].1[1], model.predict_proba(&batch[1]));
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full_instead_of_blocking() {
+        let model = Arc::new(toy_model());
+        // One worker, so the queue holds 4 batches. Keep the worker busy
+        // with a fat batch, then overfill the queue: try_submit must come
+        // back with QueueFull, not block.
+        let server = PredictionServer::start(model, 1);
+        let fat: FeatureBatch = (0..200_000).map(|i| vec![i as f32, 1.0]).collect();
+        server.submit(0, fat).unwrap();
+        let mut saw_full = false;
+        for id in 1..=8u64 {
+            if server.try_submit(id, vec![vec![1.0, 1.0]]) == Err(SubmitError::QueueFull) {
+                saw_full = true;
+                break;
+            }
+        }
+        assert!(saw_full, "overfilling the queue never reported QueueFull");
+        let started = Instant::now();
+        assert_eq!(
+            server.submit_timeout(99, vec![vec![1.0, 1.0]], Duration::from_millis(5)),
+            Err(SubmitError::Timeout)
+        );
+        assert!(started.elapsed() >= Duration::from_millis(5));
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_reported() {
+        let model = Arc::new(toy_model());
+        let server = PredictionServer::start(model, 2);
+        server.submit(1, vec![vec![1.0, 1.0]]).unwrap();
+        // Kill one worker with the scripted panic pill.
+        server
+            .submit(PredictionServer::PANIC_PILL, Vec::new())
+            .unwrap();
+        // The surviving worker must keep serving new batches.
+        for id in 2..10u64 {
+            server
+                .submit_timeout(id, vec![vec![2.0, 0.0]], Duration::from_secs(5))
+                .unwrap();
+        }
+        let report = server.shutdown();
+        assert_eq!(report.panicked_workers, 1);
+        // Every completed batch reaches the results sink — even ones served
+        // by the worker that later died (its in-thread `served` tally is
+        // lost with it, so only bound that count).
+        assert_eq!(report.results.len(), 9);
+        assert!((8..=9).contains(&report.served), "served {}", report.served);
+    }
+
+    #[test]
+    fn all_workers_dead_is_workers_stopped_not_a_hang() {
+        let model = Arc::new(toy_model());
+        let server = PredictionServer::start(model, 1);
+        server
+            .submit(PredictionServer::PANIC_PILL, Vec::new())
+            .unwrap();
+        // The lone worker dies and drops the queue's receiver; every submit
+        // flavour must now fail fast instead of blocking forever.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match server.try_submit(5, vec![vec![1.0, 1.0]]) {
+                Err(SubmitError::WorkersStopped) => break,
+                _ => assert!(Instant::now() < deadline, "never saw WorkersStopped"),
+            }
+        }
+        assert_eq!(
+            server.submit(6, vec![vec![1.0, 1.0]]),
+            Err(SubmitError::WorkersStopped)
+        );
+        assert_eq!(
+            server.submit_timeout(7, vec![vec![1.0, 1.0]], Duration::from_millis(1)),
+            Err(SubmitError::WorkersStopped)
+        );
+        let report = server.shutdown();
+        assert_eq!(report.panicked_workers, 1);
     }
 }

@@ -53,7 +53,7 @@ fn main() {
             w.index,
             w.requests,
             w.live.bhr(),
-            w.opt_bhr,
+            w.opt_bhr.unwrap_or(f64::NAN),
             w.prediction_error
                 .map(|e| format!("{:.3}", e))
                 .unwrap_or_else(|| "-".into()),

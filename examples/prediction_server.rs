@@ -54,15 +54,21 @@ fn main() {
         );
     }
 
-    // The channel-fed production-shaped server.
+    // The channel-fed production-shaped server. Submission is fallible:
+    // a full queue can be waited out (bounded), and a dead worker pool is
+    // reported instead of wedging the caller.
     let server = PredictionServer::start(Arc::new(trained.model), 4);
     for id in 0..32u64 {
         let batch: Vec<Vec<f32>> = rows.iter().take(256).cloned().collect();
-        server.submit(id, batch);
+        server
+            .submit_timeout(id, batch, Duration::from_secs(5))
+            .expect("prediction workers alive");
     }
-    let (served, results) = server.shutdown();
+    let report = server.shutdown();
     println!(
-        "\nprediction server: {served} predictions over {} batches",
-        results.len()
+        "\nprediction server: {} predictions over {} batches ({} worker panics)",
+        report.served,
+        report.results.len(),
+        report.panicked_workers
     );
 }

@@ -46,7 +46,7 @@ fn main() {
             w.prediction_error
                 .map(|e| format!("{:.3}", e))
                 .unwrap_or_else(|| "-".into()),
-            w.opt_bhr,
+            w.opt_bhr.unwrap_or(f64::NAN),
         );
     }
 

@@ -25,4 +25,11 @@ else
     cargo test --workspace -q --release
 fi
 
+# Fault-injection suite, run explicitly so a regression in the degraded
+# paths is named in CI output. Fault hooks are always compiled (no cargo
+# feature): an empty FaultPlan is free on the hot path, and feature-gating
+# would let the supervised/gated paths rot untested in default builds.
+echo "== cargo test --test pipeline_faults (fault injection) =="
+cargo test -q --test pipeline_faults
+
 echo "verify: OK"

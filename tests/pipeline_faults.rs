@@ -1,0 +1,218 @@
+//! Fault-injection integration tests: injected stage failures degrade a
+//! single window — the run completes, the incumbent model (or the LRU
+//! fallback) keeps serving, and every decision is visible in the report.
+//!
+//! The `slot_version` assertions are the load-bearing ones: the serving
+//! cache's [`ModelSlot`] bumps its version on every install, so a frozen
+//! version across a window boundary *proves* a skipped or gated-out model
+//! was never published to the serving path.
+
+use std::time::Duration;
+
+use cdn_trace::{GeneratorConfig, TraceGenerator, TraceStats};
+use lfo::{
+    run_pipeline, AccuracyGate, DriftGate, FaultKind, FaultPlan, PipelineConfig, RolloutDecision,
+};
+
+fn production_config(
+    window: usize,
+    trace_seed: u64,
+    n: u64,
+) -> (Vec<cdn_trace::Request>, PipelineConfig) {
+    let trace = TraceGenerator::new(GeneratorConfig::production(trace_seed, n)).generate();
+    let cache_size = TraceStats::from_trace(&trace).cache_size_for_fraction(0.10);
+    let config = PipelineConfig {
+        window,
+        cache_size,
+        ..Default::default()
+    };
+    (trace.requests().to_vec(), config)
+}
+
+/// Silences the default panic hook (backtrace splat) around a closure that
+/// is expected to *catch* injected panics.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn labeler_fault_exhausting_retries_skips_the_window_not_the_run() {
+    let (requests, mut config) = production_config(2_000, 71, 8_000);
+    let attempts = 1 + config.supervision.max_retries as usize;
+    config.faults = FaultPlan::new().inject_n(1, FaultKind::LabelError, attempts);
+
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    assert_eq!(report.windows.len(), 4, "the run must complete all windows");
+    let skipped = &report.windows[1];
+    assert_eq!(skipped.rollout, RolloutDecision::SkippedFault);
+    assert_eq!(skipped.retries, config.supervision.max_retries);
+    assert!(skipped.opt_bhr.is_none(), "no labels for a skipped window");
+    assert!(skipped.deployed_cutoff.is_none());
+    // The skipped window still served every request (on window 0's model).
+    assert_eq!(skipped.live.requests, 2_000);
+    assert!(skipped.had_model);
+    // Labeling resumes cleanly afterwards: the tracker was advanced over
+    // the skipped window, so later windows label, train, and deploy.
+    for w in &report.windows[2..] {
+        assert_eq!(w.rollout, RolloutDecision::Deployed, "window {}", w.index);
+        assert!(w.opt_bhr.is_some());
+    }
+    assert_eq!(report.degraded_windows(), 1);
+    assert_eq!(report.total_retries(), config.supervision.max_retries);
+}
+
+#[test]
+fn transient_fault_is_retried_and_the_run_matches_fault_free() {
+    let (requests, config) = production_config(2_000, 72, 6_000);
+    let clean = run_pipeline(&requests, &config).unwrap();
+
+    // One injected labeler error: the first attempt fails, the retry
+    // succeeds, and — because OPT and training are deterministic — the
+    // recovered run is bit-identical to the fault-free one.
+    let mut faulted_cfg = config.clone();
+    faulted_cfg.faults = FaultPlan::new().inject(1, FaultKind::LabelError);
+    let faulted = run_pipeline(&requests, &faulted_cfg).unwrap();
+
+    assert_eq!(faulted.windows[1].retries, 1);
+    assert_eq!(faulted.windows[1].rollout, RolloutDecision::Deployed);
+    assert_eq!(faulted.degraded_windows(), 0);
+    for (c, f) in clean.windows.iter().zip(&faulted.windows) {
+        assert_eq!(c.live.hit_bytes, f.live.hit_bytes, "window {}", c.index);
+        assert_eq!(c.slot_version, f.slot_version, "window {}", c.index);
+        assert_eq!(
+            c.prediction_error.map(f64::to_bits),
+            f.prediction_error.map(f64::to_bits),
+            "window {}",
+            c.index
+        );
+        assert_eq!(
+            c.deployed_cutoff.map(f64::to_bits),
+            f.deployed_cutoff.map(f64::to_bits)
+        );
+    }
+}
+
+#[test]
+fn trainer_panic_is_contained_and_the_incumbent_keeps_serving() {
+    let (requests, mut config) = production_config(2_000, 73, 8_000);
+    let attempts = 1 + config.supervision.max_retries as usize;
+    config.faults = FaultPlan::new().inject_n(2, FaultKind::TrainerPanic, attempts);
+
+    let report = with_quiet_panics(|| run_pipeline(&requests, &config).unwrap());
+
+    assert_eq!(report.windows.len(), 4);
+    assert_eq!(report.windows[2].rollout, RolloutDecision::SkippedFault);
+    // Labeling succeeded before the trainer blew up, so OPT metrics exist.
+    assert!(report.windows[2].opt_bhr.is_some());
+    assert!(report.windows[2].deployed_cutoff.is_none());
+    // Nothing was installed at the 2→3 boundary: the slot version is
+    // frozen, and window 3 serves on window 1's (incumbent) model.
+    assert_eq!(
+        report.windows[3].slot_version,
+        report.windows[2].slot_version
+    );
+    assert!(report.windows[3].had_model);
+    assert_eq!(report.windows[3].rollout, RolloutDecision::Deployed);
+    // Only window 0 (before any model existed) ran on the LRU fallback.
+    assert_eq!(report.fallback_time(), report.windows[0].timing.serve);
+}
+
+#[test]
+fn training_deadline_overrun_discards_the_model() {
+    let (requests, mut config) = production_config(1_500, 74, 6_000);
+    // The injected stall must dwarf the deadline, and the deadline must
+    // dwarf real (debug-build) training time, so the test is not flaky.
+    config.faults =
+        FaultPlan::new().inject(1, FaultKind::SlowTraining(Duration::from_millis(3_000)));
+    config.supervision.train_deadline = Some(Duration::from_millis(1_000));
+
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    assert_eq!(report.windows[1].rollout, RolloutDecision::SkippedDeadline);
+    assert!(report.windows[1].deployed_cutoff.is_none());
+    // The late model was discarded, never installed.
+    assert_eq!(
+        report.windows[2].slot_version,
+        report.windows[1].slot_version
+    );
+    // Un-faulted windows train well inside the deadline and deploy.
+    assert_eq!(report.windows[2].rollout, RolloutDecision::Deployed);
+    assert!(report.windows[3].slot_version > report.windows[2].slot_version);
+    assert_eq!(report.degraded_windows(), 1);
+}
+
+#[test]
+fn drift_gate_rejects_a_poisoned_model_and_never_installs_it() {
+    let (requests, mut config) = production_config(2_000, 75, 8_000);
+    config.gates.drift = Some(DriftGate::default());
+    config.faults = FaultPlan::with_seed(9).inject(1, FaultKind::CorruptRows { fraction: 0.7 });
+
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    let rejected = &report.windows[1];
+    assert_eq!(rejected.rollout, RolloutDecision::RejectedDrift);
+    let psi = rejected
+        .drift_psi
+        .expect("gate records the PSI it measured");
+    assert!(
+        psi > DriftGate::default().max_psi,
+        "corrupt rows must score as shifted, got PSI {psi}"
+    );
+    assert!(rejected.deployed_cutoff.is_none());
+    // The poisoned model never reached the serving slot; window 2 still
+    // serves on window 0's model.
+    assert_eq!(
+        report.windows[2].slot_version,
+        report.windows[1].slot_version
+    );
+    assert!(report.windows[2].had_model);
+    // Healthy windows pass the same gate.
+    for w in [&report.windows[0], &report.windows[2]] {
+        assert_eq!(w.rollout, RolloutDecision::Deployed, "window {}", w.index);
+        assert!(w.drift_psi.unwrap_or(f64::INFINITY) <= DriftGate::default().max_psi);
+    }
+    assert_eq!(report.degraded_windows(), 1);
+}
+
+#[test]
+fn accuracy_gate_rejection_keeps_the_incumbent_installed() {
+    let (requests, mut config) = production_config(2_000, 76, 8_000);
+    // A margin of -1.0 turns the gate into "reject any candidate once an
+    // incumbent exists" (candidate + margin < reference always holds),
+    // making the rejection path deterministic without relying on a
+    // genuinely bad model.
+    config.gates.accuracy = Some(AccuracyGate {
+        holdout_fraction: 0.2,
+        margin: -1.0,
+    });
+
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    // Window 0's model faces no incumbent and deploys; every later
+    // candidate is rejected and the first model serves the whole run.
+    assert_eq!(report.windows[0].rollout, RolloutDecision::Deployed);
+    let frozen = report.windows[1].slot_version;
+    for w in &report.windows[1..] {
+        assert_eq!(
+            w.rollout,
+            RolloutDecision::RejectedAccuracy,
+            "window {}",
+            w.index
+        );
+        assert!(w.holdout_accuracy.is_some());
+        assert!(w.incumbent_accuracy.is_some());
+        assert!(w.deployed_cutoff.is_none());
+        assert_eq!(w.slot_version, frozen, "window {}", w.index);
+        assert!(w.had_model, "the incumbent keeps serving");
+    }
+    assert_eq!(report.degraded_windows(), report.windows.len() - 1);
+    assert!(
+        report.final_model.is_some(),
+        "the incumbent is the final model"
+    );
+}

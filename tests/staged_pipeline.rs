@@ -39,9 +39,17 @@ fn staged_boundary_reproduces_serial_on_production_mix() {
             "window {}",
             s.index
         );
-        assert_eq!(s.train_accuracy.to_bits(), p.train_accuracy.to_bits());
-        assert_eq!(s.opt_bhr.to_bits(), p.opt_bhr.to_bits());
-        assert_eq!(s.deployed_cutoff.to_bits(), p.deployed_cutoff.to_bits());
+        assert_eq!(
+            s.train_accuracy.map(f64::to_bits),
+            p.train_accuracy.map(f64::to_bits)
+        );
+        assert_eq!(s.opt_bhr.map(f64::to_bits), p.opt_bhr.map(f64::to_bits));
+        assert_eq!(
+            s.deployed_cutoff.map(f64::to_bits),
+            p.deployed_cutoff.map(f64::to_bits)
+        );
+        assert_eq!(s.slot_version, p.slot_version);
+        assert_eq!(s.rollout, p.rollout);
     }
     assert_eq!(serial.live_total.hit_bytes, staged.live_total.hit_bytes);
     assert_eq!(serial.live_trained.hit_bytes, staged.live_trained.hit_bytes);
@@ -70,8 +78,8 @@ fn async_deploy_stress_with_tiny_final_window() {
     assert!(!report.windows[0].had_model);
     for (position, w) in report.windows.iter().enumerate() {
         assert_eq!(w.index, position);
-        assert!((0.0..=1.0).contains(&w.opt_bhr));
-        assert!((0.0..=1.0).contains(&w.train_accuracy));
+        assert!((0.0..=1.0).contains(&w.opt_bhr.unwrap()));
+        assert!((0.0..=1.0).contains(&w.train_accuracy.unwrap()));
         assert!(w.timing.label > std::time::Duration::ZERO);
         assert_eq!(w.timing.deploy_wait, std::time::Duration::ZERO);
     }
