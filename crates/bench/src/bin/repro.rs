@@ -13,7 +13,7 @@ use bench::{Context, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--full] [--out DIR] (all | {} ...)",
+        "usage: repro [--smoke | --quick | --full] [--out DIR] (all | {} ...)",
         experiments::ALL.join(" | ")
     );
     std::process::exit(2);
@@ -29,6 +29,7 @@ fn main() -> std::io::Result<()> {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--smoke" => scale = Scale::Smoke,
             "--out" => out_dir = args.next().unwrap_or_else(|| usage()),
             "-h" | "--help" => usage(),
             name => names.push(name.to_string()),

@@ -15,6 +15,7 @@ use crate::harness::Context;
 /// Runs the training-set-size sweep.
 pub fn run(ctx: &Context) -> std::io::Result<()> {
     let sizes: &[usize] = match ctx.scale {
+        crate::Scale::Smoke => &[1_000, 3_000],
         crate::Scale::Quick => &[1_000, 3_000, 10_000, 30_000],
         crate::Scale::Full => &[1_000, 3_000, 10_000, 30_000, 100_000, 300_000],
     };

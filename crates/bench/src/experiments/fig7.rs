@@ -12,6 +12,7 @@ use gbdt::GbdtParams;
 
 use crate::experiments::common::{train_and_eval, window_dataset};
 use crate::harness::Context;
+use crate::perf::{BenchServe, Fig7Row};
 use lfo::serve::prediction_throughput;
 
 /// Runs the thread-scaling sweep.
@@ -39,6 +40,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("  threads  preds/s     Gbit/s @32KB");
     let mut csv = Vec::new();
     let mut series = Vec::new();
+    let mut json_rows = Vec::new();
     for &threads in &[1usize, 2, 4, 8, 12, 16, 24, 32, 40] {
         // Sweep past the core count (oversubscription shows up as a flat
         // line, which is itself informative on small hosts), but stop at
@@ -51,12 +53,21 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         println!("  {threads:>7}  {:>10.0}  {gbps:>6.1}", r.per_second());
         csv.push(format!("{threads},{:.0},{gbps:.2}", r.per_second()));
         series.push((threads, r.per_second()));
+        json_rows.push(Fig7Row {
+            threads,
+            preds_per_sec: r.per_second(),
+            gbps_at_32kb: gbps,
+        });
     }
     ctx.write_csv(
         "fig7_throughput.csv",
         "threads,predictions_per_sec,gbps_at_32kb",
         &csv,
     )?;
+    let mut doc = BenchServe::load(ctx);
+    doc.host_cores = BenchServe::detect_cores();
+    doc.fig7 = json_rows;
+    doc.store(ctx)?;
 
     if series.len() >= 2 {
         let (t0, p0) = series[0];

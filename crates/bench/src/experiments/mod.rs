@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod hyper;
 pub mod prune;
+pub mod serve;
 pub mod staged;
 pub mod thin;
 pub mod tiers;
@@ -21,9 +22,9 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper", "prune",
-    "design", "thin", "tiers", "staged", "faults", "summary",
+    "design", "thin", "tiers", "staged", "faults", "serve", "summary",
 ];
 
 /// Runs one experiment by name. Unknown names return `false`.
@@ -45,6 +46,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "tiers" => tiers::run(ctx)?,
         "staged" => staged::run(ctx)?,
         "faults" => faults::run(ctx)?,
+        "serve" => serve::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

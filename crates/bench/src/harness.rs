@@ -9,6 +9,9 @@ use cdn_trace::{GeneratorConfig, Trace, TraceGenerator, TraceStats};
 /// How big to run the experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
+    /// Seconds-level: the CI smoke configuration (tiny traces, just enough
+    /// to exercise every code path end to end).
+    Smoke,
     /// Minutes-level: smaller traces, fewer seeds. The default.
     Quick,
     /// The full configuration used for EXPERIMENTS.md.
@@ -16,9 +19,19 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Scales a (quick, full) pair.
+    /// Scales a (quick, full) pair; smoke runs use the quick value unless
+    /// an experiment opts into [`Scale::pick3`].
     pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
+            Scale::Smoke | Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Scales a (smoke, quick, full) triple.
+    pub fn pick3<T>(self, smoke: T, quick: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
             Scale::Quick => quick,
             Scale::Full => full,
         }
@@ -56,7 +69,7 @@ impl Context {
 
     /// The standard evaluation trace: a seeded production-like mix.
     pub fn standard_trace(&self, seed: u64) -> Trace {
-        let n = self.scale.pick(60_000, 400_000);
+        let n = self.scale.pick3(12_000, 60_000, 400_000);
         TraceGenerator::new(GeneratorConfig::production(seed, n)).generate()
     }
 
@@ -69,7 +82,7 @@ impl Context {
 
     /// Window size for pipeline experiments.
     pub fn window(&self) -> usize {
-        self.scale.pick(15_000, 50_000)
+        self.scale.pick3(4_000, 15_000, 50_000)
     }
 }
 

@@ -14,5 +14,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{Context, Scale};

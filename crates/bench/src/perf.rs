@@ -1,0 +1,138 @@
+//! The machine-readable perf summary: `results/BENCH_serve.json`.
+//!
+//! Both serving benchmarks write into one file so CI can upload a single
+//! artifact: `repro fig7` fills the `fig7` section (prediction throughput
+//! vs threads) and `repro serve` fills the `serve` section (end-to-end
+//! sharded request throughput). Each writer loads the existing file,
+//! replaces only its own section, and writes the merged result back, so
+//! running the experiments in either order produces the same file.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::harness::Context;
+
+/// File name inside the results directory.
+pub const BENCH_SERVE_FILE: &str = "BENCH_serve.json";
+
+/// One row of the Figure 7 thread sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Predictor threads.
+    pub threads: usize,
+    /// Single predictions scored per second across all threads.
+    pub preds_per_sec: f64,
+    /// Implied serving bandwidth at 32 KB objects.
+    pub gbps_at_32kb: f64,
+}
+
+/// One row of the sharded serving sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeRow {
+    /// Cache shards (one worker thread each).
+    pub shards: usize,
+    /// Requests replayed per second, admission + eviction included.
+    pub reqs_per_sec: f64,
+    /// Implied serving bandwidth at 32 KB objects.
+    pub gbps_at_32kb: f64,
+    /// Aggregate byte hit ratio over the replay.
+    pub bhr: f64,
+    /// `bhr` minus the unsharded single-cache reference BHR.
+    pub bhr_delta_vs_unsharded: f64,
+}
+
+/// The whole `BENCH_serve.json` document. Both sections are always
+/// present (possibly empty) so partial files round-trip through the
+/// vendored serde_json without optional-field handling.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchServe {
+    /// Host cores observed by the writing run (0 if unknown).
+    pub host_cores: usize,
+    /// `repro fig7` output.
+    pub fig7: Vec<Fig7Row>,
+    /// `repro serve` output.
+    pub serve: Vec<ServeRow>,
+}
+
+impl BenchServe {
+    /// Loads the current file, or a default document if it is missing or
+    /// unreadable (e.g. written by an older layout).
+    pub fn load(ctx: &Context) -> BenchServe {
+        let path = ctx.out_dir.join(BENCH_SERVE_FILE);
+        fs::read_to_string(path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_default()
+    }
+
+    /// Writes the document back, pretty-printed.
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_SERVE_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_serve encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// The core count to record; 0 when the host does not report one.
+    pub fn detect_cores() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn sections_merge_across_writers() {
+        let dir = std::env::temp_dir().join("lfo-bench-serve-json");
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = Context::new(&dir, Scale::Smoke).unwrap();
+
+        // Missing file loads as empty.
+        let mut doc = BenchServe::load(&ctx);
+        assert!(doc.fig7.is_empty() && doc.serve.is_empty());
+
+        // fig7 writes its section first...
+        doc.fig7 = vec![Fig7Row {
+            threads: 1,
+            preds_per_sec: 250_000.0,
+            gbps_at_32kb: 65.5,
+        }];
+        doc.store(&ctx).unwrap();
+
+        // ...then serve loads, adds its own, and fig7's rows survive.
+        let mut doc = BenchServe::load(&ctx);
+        assert_eq!(doc.fig7.len(), 1);
+        doc.serve = vec![ServeRow {
+            shards: 4,
+            reqs_per_sec: 1_000_000.0,
+            gbps_at_32kb: 262.1,
+            bhr: 0.71,
+            bhr_delta_vs_unsharded: -0.003,
+        }];
+        doc.store(&ctx).unwrap();
+
+        let doc = BenchServe::load(&ctx);
+        assert_eq!(doc.fig7.len(), 1);
+        assert_eq!(doc.serve.len(), 1);
+        assert_eq!(doc.fig7[0].threads, 1);
+        assert_eq!(doc.serve[0].shards, 4);
+    }
+
+    #[test]
+    fn unreadable_files_fall_back_to_default() {
+        let dir = std::env::temp_dir().join("lfo-bench-serve-json-bad");
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = Context::new(&dir, Scale::Smoke).unwrap();
+        fs::write(ctx.out_dir.join(BENCH_SERVE_FILE), "not json").unwrap();
+        let doc = BenchServe::load(&ctx);
+        assert!(doc.fig7.is_empty() && doc.serve.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Flat (structure-of-arrays) inference for trained ensembles.
+//!
+//! [`Model::predict_proba`](crate::Model::predict_proba) walks each tree's
+//! `Vec<Node>` arena through an enum match — fine for training-time use, but
+//! the serving hot path pays for the enum discriminant, the per-node `f64`
+//! gain it never reads, and pointer-chasing across per-tree allocations. A
+//! [`FlatModel`] is built once at model-publish time: every tree's nodes are
+//! flattened into one contiguous SoA layout (`feature`, `threshold`,
+//! `left`/`right` as absolute node indices, leaf values inline in `value`),
+//! so a prediction touches four tightly packed arrays and nothing else.
+//!
+//! Predictions are **bit-equal** to the recursive walk: the per-row raw
+//! score accumulates tree contributions in the same order
+//! (`init_score + t₀ + t₁ + …`) with the same `f64` arithmetic, and the
+//! branch rule is the same `value <= threshold`, with a missing feature
+//! taking the right branch.
+//!
+//! [`FlatModel::predict_proba_batch`] additionally scores a whole batch per
+//! tree-walk (outer loop over trees, inner loop over rows), which keeps each
+//! tree's node arrays cache-hot across the batch instead of re-streaming the
+//! full ensemble per row.
+
+use crate::boosting::{sigmoid, Model};
+use crate::tree::Node;
+
+/// Sentinel in [`FlatModel`]'s `feature` array marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// A trained ensemble flattened for serving (see the module docs).
+#[derive(Clone, Debug)]
+pub struct FlatModel {
+    init_score: f64,
+    num_features: usize,
+    /// Node-index ranges per tree: tree `t` owns `tree_starts[t]..tree_starts[t+1]`.
+    tree_starts: Vec<u32>,
+    /// Split feature per node; [`LEAF`] marks leaves.
+    feature: Vec<u32>,
+    /// Split threshold per node (unused for leaves).
+    threshold: Vec<f32>,
+    /// Absolute left-child node index (unused for leaves).
+    left: Vec<u32>,
+    /// Absolute right-child node index (unused for leaves).
+    right: Vec<u32>,
+    /// Leaf output per node, inline (0 for splits).
+    value: Vec<f64>,
+}
+
+impl From<&Model> for FlatModel {
+    fn from(model: &Model) -> Self {
+        let total_nodes: usize = model.trees().iter().map(|t| t.nodes().len()).sum();
+        let mut flat = FlatModel {
+            init_score: model.init_score(),
+            num_features: model.num_features(),
+            tree_starts: Vec::with_capacity(model.trees().len() + 1),
+            feature: Vec::with_capacity(total_nodes),
+            threshold: Vec::with_capacity(total_nodes),
+            left: Vec::with_capacity(total_nodes),
+            right: Vec::with_capacity(total_nodes),
+            value: Vec::with_capacity(total_nodes),
+        };
+        for tree in model.trees() {
+            let base = flat.feature.len() as u32;
+            flat.tree_starts.push(base);
+            for node in tree.nodes() {
+                match *node {
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                        ..
+                    } => {
+                        flat.feature.push(feature);
+                        flat.threshold.push(threshold);
+                        flat.left.push(base + left);
+                        flat.right.push(base + right);
+                        flat.value.push(0.0);
+                    }
+                    Node::Leaf { value } => {
+                        flat.feature.push(LEAF);
+                        flat.threshold.push(0.0);
+                        flat.left.push(0);
+                        flat.right.push(0);
+                        flat.value.push(value);
+                    }
+                }
+            }
+        }
+        flat.tree_starts.push(flat.feature.len() as u32);
+        flat
+    }
+}
+
+impl FlatModel {
+    /// Number of features the source model was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.tree_starts.len() - 1
+    }
+
+    /// Total flattened nodes across all trees.
+    pub fn num_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Walks one tree (starting at absolute node `at`) for one row.
+    /// Missing features (row shorter than the split feature index) take the
+    /// right branch, matching [`crate::Tree::predict`].
+    #[inline]
+    fn walk(&self, mut at: usize, row: &[f32]) -> f64 {
+        loop {
+            let f = self.feature[at];
+            if f == LEAF {
+                return self.value[at];
+            }
+            let go_left = row
+                .get(f as usize)
+                .map(|&v| v <= self.threshold[at])
+                .unwrap_or(false);
+            at = if go_left {
+                self.left[at] as usize
+            } else {
+                self.right[at] as usize
+            };
+        }
+    }
+
+    /// Raw additive score (log-odds) for one row; bit-equal to
+    /// [`Model::predict_raw`].
+    pub fn predict_raw(&self, row: &[f32]) -> f64 {
+        // Sum tree contributions first and add `init_score` last — the same
+        // association as `init_score + trees.map(predict).sum()`, which is
+        // what bit-equality with the recursive walk requires.
+        let mut acc = 0.0f64;
+        for w in self.tree_starts.windows(2) {
+            acc += self.walk(w[0] as usize, row);
+        }
+        self.init_score + acc
+    }
+
+    /// Predicted probability of the positive class; bit-equal to
+    /// [`Model::predict_proba`].
+    pub fn predict_proba(&self, row: &[f32]) -> f64 {
+        sigmoid(self.predict_raw(row))
+    }
+
+    /// Scores a batch of rows packed row-major into `rows` (stride
+    /// [`FlatModel::num_features`]), writing one probability per row into
+    /// `out`. The batch is scored per tree-walk — the outer loop is over
+    /// trees, so each tree's nodes stay cache-hot across all rows — and
+    /// every output is bit-equal to [`Model::predict_proba`] on the same
+    /// row, because per-row contributions still accumulate in tree order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != out.len() * self.num_features()`.
+    pub fn predict_proba_batch(&self, rows: &[f32], out: &mut [f64]) {
+        let stride = self.num_features;
+        assert_eq!(
+            rows.len(),
+            out.len() * stride,
+            "rows must be row-major with stride num_features"
+        );
+        // Accumulate tree sums seeded at 0 and add `init_score` at the end,
+        // matching the association of the recursive path bit for bit.
+        out.fill(0.0);
+        for w in self.tree_starts.windows(2) {
+            let root = w[0] as usize;
+            for (row, acc) in rows.chunks_exact(stride.max(1)).zip(out.iter_mut()) {
+                *acc += self.walk(root, row);
+            }
+        }
+        for acc in out.iter_mut() {
+            *acc = sigmoid(self.init_score + *acc);
+        }
+    }
+}
+
+impl Model {
+    /// Flattens the ensemble into the contiguous serving layout. Build this
+    /// once when a model is published, not per prediction.
+    pub fn flatten(&self) -> FlatModel {
+        FlatModel::from(self)
+    }
+
+    /// One-row prediction through a prebuilt [`FlatModel`]; bit-equal to
+    /// [`Model::predict_proba`]. Convenience for call sites that keep the
+    /// flat layout next to the model.
+    pub fn predict_proba_flat(&self, flat: &FlatModel, row: &[f32]) -> f64 {
+        debug_assert_eq!(flat.num_features(), self.num_features());
+        flat.predict_proba(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{train, Dataset, GbdtParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(seed: u64, n: usize, d: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-5.0f32..5.0)).collect())
+            .collect();
+        let labels: Vec<f32> = rows
+            .iter()
+            .map(|r| {
+                let s: f32 = r
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v * (i as f32 - 1.0))
+                    .sum();
+                (s > 0.0) as u8 as f32
+            })
+            .collect();
+        (rows, labels)
+    }
+
+    #[test]
+    fn flat_predictions_bit_equal_across_seeds() {
+        for seed in 0..8u64 {
+            let d = 2 + (seed as usize % 4);
+            let (rows, labels) = random_dataset(seed, 400, d);
+            let data = Dataset::from_rows(rows.clone(), labels).unwrap();
+            let mut params = GbdtParams::lfo_paper();
+            params.seed = seed;
+            if seed % 2 == 0 {
+                params.feature_fraction = 0.7;
+                params.bagging_fraction = 0.8;
+                params.bagging_freq = 1;
+            }
+            let model = train(&data, &params);
+            let flat = model.flatten();
+            assert_eq!(flat.num_trees(), model.trees().len());
+            for row in rows.iter().take(100) {
+                assert_eq!(
+                    model.predict_proba(row).to_bits(),
+                    flat.predict_proba(row).to_bits(),
+                    "seed {seed}"
+                );
+                assert_eq!(
+                    model.predict_raw(row).to_bits(),
+                    flat.predict_raw(row).to_bits(),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_row_bit_for_bit() {
+        let (rows, labels) = random_dataset(42, 500, 3);
+        let data = Dataset::from_rows(rows.clone(), labels).unwrap();
+        let model = train(&data, &GbdtParams::lfo_paper());
+        let flat = model.flatten();
+        let stride = flat.num_features();
+        let packed: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let mut out = vec![0.0f64; rows.len()];
+        flat.predict_proba_batch(&packed, &mut out);
+        for (row, &p) in rows.iter().zip(&out) {
+            assert_eq!(p.to_bits(), model.predict_proba(row).to_bits());
+        }
+        assert_eq!(packed.len(), out.len() * stride);
+    }
+
+    #[test]
+    fn short_rows_take_the_right_branch_like_the_recursive_walk() {
+        let (rows, labels) = random_dataset(7, 300, 4);
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let model = train(&data, &GbdtParams::lfo_paper());
+        let flat = model.flatten();
+        for short in [&[][..], &[0.5][..], &[0.5, -1.0][..]] {
+            assert_eq!(
+                model.predict_proba(short).to_bits(),
+                flat.predict_proba(short).to_bits()
+            );
+        }
+        // Padding a short row with +inf is equivalent to the row being
+        // short: `inf <= threshold` is false, i.e. the right branch.
+        let padded = [0.5, f32::INFINITY, f32::INFINITY, f32::INFINITY];
+        assert_eq!(
+            flat.predict_proba(&[0.5]).to_bits(),
+            flat.predict_proba(&padded).to_bits()
+        );
+    }
+
+    #[test]
+    fn predict_proba_flat_convenience_agrees() {
+        let (rows, labels) = random_dataset(3, 200, 2);
+        let data = Dataset::from_rows(rows.clone(), labels).unwrap();
+        let model = train(&data, &GbdtParams::lfo_paper());
+        let flat = model.flatten();
+        assert_eq!(
+            model.predict_proba_flat(&flat, &rows[0]).to_bits(),
+            model.predict_proba(&rows[0]).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major")]
+    fn batch_rejects_misaligned_buffers() {
+        let (rows, labels) = random_dataset(5, 100, 3);
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let model = train(&data, &GbdtParams::lfo_paper());
+        let flat = model.flatten();
+        let mut out = vec![0.0f64; 2];
+        flat.predict_proba_batch(&[1.0; 5], &mut out);
+    }
+
+    #[test]
+    fn constant_model_flattens() {
+        // An ensemble of constant trees (all-equal labels) still flattens
+        // and predicts identically.
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let data = Dataset::from_rows(rows, vec![1.0; 50]).unwrap();
+        let model = train(&data, &GbdtParams::lfo_paper());
+        let flat = model.flatten();
+        assert_eq!(
+            model.predict_proba(&[3.0]).to_bits(),
+            flat.predict_proba(&[3.0]).to_bits()
+        );
+    }
+}

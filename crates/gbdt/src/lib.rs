@@ -17,6 +17,9 @@
 //!   ([`boosting`]);
 //! - **split-count and gain feature importance** ([`importance`]) — needed
 //!   to reproduce Figure 8 of the paper;
+//! - **flat SoA serving layout** ([`flat`]) — the per-tree node arenas
+//!   flattened into contiguous arrays at model-publish time, with a batched
+//!   per-tree-walk scorer, bit-equal to the recursive path;
 //! - model (de)serialization via serde ([`Model`] derives it).
 //!
 //! ## Example
@@ -41,6 +44,7 @@
 pub mod boosting;
 pub mod dataset;
 pub mod dump;
+pub mod flat;
 pub mod importance;
 pub mod metrics;
 pub mod tree;
@@ -48,6 +52,7 @@ pub mod tree;
 pub use boosting::{sigmoid, train, train_with_validation, GbdtParams, Model, TrainReport};
 pub use dataset::{BinnedDataset, Dataset, DatasetError};
 pub use dump::{dump_model, dump_tree};
+pub use flat::FlatModel;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use metrics::{accuracy, error_rate, log_loss, Confusion};
 pub use tree::Tree;

@@ -96,29 +96,45 @@ impl FeatureTracker {
     /// [`crate::LfoConfig::feature_names`].
     pub fn features(&self, request: &Request, free_bytes: u64) -> Vec<f32> {
         let mut out = Vec::with_capacity(3 + self.schedule.len());
+        self.features_into(request, free_bytes, &mut out);
+        out
+    }
+
+    /// Like [`Self::features`], but writes into `out` (cleared first)
+    /// instead of allocating — the serving hot path reuses one scratch
+    /// buffer per cache instead of heap-allocating per request.
+    pub fn features_into(&self, request: &Request, free_bytes: u64, out: &mut Vec<f32>) {
+        out.clear();
         out.push(request.size as f32);
         out.push(self.cost_model.cost(request.size) as f32);
         out.push(free_bytes as f32);
         match self.history.get(&request.object) {
             Some(times) => {
                 // gap_1 = now − t₁; gap_k = t_{k−1} − t_k (shift invariant).
-                // Compute dense gaps to the tracked depth, emit scheduled.
+                // Walk the dense gaps to the tracked depth, emitting only
+                // the scheduled indices as they pass by.
                 let mut prev = request.time;
-                let mut dense = Vec::with_capacity(self.depth);
+                let mut next = 0usize; // index into the ascending schedule
                 for k in 0..self.depth {
-                    match times.get(k) {
+                    let gap = match times.get(k) {
                         Some(&t) => {
-                            dense.push(prev.saturating_sub(t) as f32);
+                            let g = prev.saturating_sub(t) as f32;
                             prev = t;
+                            g
                         }
-                        None => dense.push(MISSING_GAP),
+                        None => MISSING_GAP,
+                    };
+                    if self.schedule[next] == k + 1 {
+                        out.push(gap);
+                        next += 1;
+                        if next == self.schedule.len() {
+                            break;
+                        }
                     }
                 }
-                out.extend(self.schedule.iter().map(|&k| dense[k - 1]));
             }
             None => out.extend(std::iter::repeat_n(MISSING_GAP, self.schedule.len())),
         }
-        out
     }
 
     /// Records a request into the history (call after [`Self::features`]).
@@ -284,6 +300,28 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_schedule_rejected() {
         FeatureTracker::with_schedule(vec![2, 1], CostModel::ByteHitRatio);
+    }
+
+    #[test]
+    fn features_into_matches_features_and_reuses_the_buffer() {
+        let mut dense = FeatureTracker::new(6, CostModel::ByteHitRatio);
+        let mut thinned = FeatureTracker::with_schedule(vec![1, 3, 6], CostModel::ByteHitRatio);
+        let mut scratch = Vec::new();
+        for t in 0..40u64 {
+            let r = req(t * 3, t % 5, 10 + t);
+            for tr in [&mut dense, &mut thinned] {
+                let allocated = tr.features(&r, 17);
+                tr.features_into(&r, 17, &mut scratch);
+                assert_eq!(allocated, scratch);
+            }
+            dense.record(&r);
+            thinned.record(&r);
+        }
+        // The scratch buffer's capacity stabilizes — no per-call growth.
+        let cap = scratch.capacity();
+        let r = req(1000, 1, 10);
+        dense.features_into(&r, 0, &mut scratch);
+        assert_eq!(scratch.capacity(), cap);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   compute OPT, train, deploy the model over W\[t+1\].
 //! - [`serve`] — the multi-threaded prediction-throughput harness behind
 //!   Figure 7.
+//! - [`shard`] — the sharded serving layer: hash-partitioned [`LfoCache`]
+//!   shards on worker threads, one shared [`ModelSlot`], aggregated
+//!   metrics (`repro serve` measures it end to end).
 //! - [`faults`] + [`drift`] — the robustness control plane (DESIGN.md §8):
 //!   deterministic fault injection, stage supervision with bounded retries
 //!   and graceful window-skip degradation, and PSI/holdout rollout gates.
@@ -56,6 +59,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod policy;
 pub mod serve;
+pub mod shard;
 pub mod train;
 
 pub use config::{CutoffMode, LfoConfig, PolicyDesign};
@@ -68,5 +72,8 @@ pub use pipeline::{
     run_pipeline, run_pipeline_serial, AccuracyGate, DeployMode, DriftGate, GateConfig,
     PipelineConfig, PipelineReport, RolloutDecision, StageTiming, SupervisionConfig, WindowReport,
 };
-pub use policy::{LfoCache, ModelSlot};
+pub use policy::{LfoCache, ModelSlot, SharedOccupancy};
+pub use shard::{
+    shard_of, CacheMetrics, ShardMode, ShardParams, ShardReport, ShardStatus, ShardedLfoCache,
+};
 pub use train::{train_window, TrainedWindow};

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cdn_trace::{ObjectId, Request};
-use gbdt::Model;
+use gbdt::{FlatModel, Model};
 
 use cdn_cache::cache::{CachePolicy, RequestOutcome};
 
@@ -47,6 +47,9 @@ struct SlotInner {
 #[derive(Clone, Default)]
 struct SlotState {
     model: Option<Arc<Model>>,
+    /// Flattened SoA serving layout, built once per publish so every
+    /// subscriber (each shard of a sharded cache) shares one copy.
+    flat: Option<Arc<FlatModel>>,
     cutoff: Option<f64>,
 }
 
@@ -57,17 +60,22 @@ impl ModelSlot {
     }
 
     /// Publishes a model and its admission cutoff as one rollout event.
+    /// The flat serving layout is built here, once, not per subscriber.
     pub fn publish(&self, model: Arc<Model>, cutoff: f64) {
+        let flat = Arc::new(model.flatten());
         let mut state = self.inner.state.lock().expect("slot lock poisoned");
         state.model = Some(model);
+        state.flat = Some(flat);
         state.cutoff = Some(cutoff);
         self.inner.version.fetch_add(1, Ordering::Release);
     }
 
     /// Publishes a model, leaving the cutoff as previously published.
     pub fn publish_model(&self, model: Arc<Model>) {
+        let flat = Arc::new(model.flatten());
         let mut state = self.inner.state.lock().expect("slot lock poisoned");
         state.model = Some(model);
+        state.flat = Some(flat);
         self.inner.version.fetch_add(1, Ordering::Release);
     }
 
@@ -93,13 +101,111 @@ impl ModelSlot {
             .is_some()
     }
 
-    /// A consistent (version, model, cutoff) snapshot.
-    fn snapshot(&self) -> (u64, Option<Arc<Model>>, Option<f64>) {
+    /// A consistent (version, model, flat layout, cutoff) snapshot.
+    #[allow(clippy::type_complexity)]
+    fn snapshot(&self) -> (u64, Option<Arc<Model>>, Option<Arc<FlatModel>>, Option<f64>) {
         let state = self.inner.state.lock().expect("slot lock poisoned");
         let version = self.inner.version.load(Ordering::Acquire);
-        (version, state.model.clone(), state.cutoff)
+        (
+            version,
+            state.model.clone(),
+            state.flat.clone(),
+            state.cutoff,
+        )
     }
 }
+
+/// A fleet-wide byte pool shared by the shards of a sharded cache
+/// (memcached-style: the object *index* is partitioned, the memory is
+/// not). Every member adds its admissions and subtracts its evictions, so
+/// `capacity − used` is the same global free-bytes signal an unsharded
+/// cache would present to the model, and the pool's budget — not the
+/// shard's — decides when eviction is needed.
+///
+/// The pool also carries a **frontier board**: each member publishes the
+/// priority of its weakest resident (its local eviction frontier) after
+/// every queue mutation. When the pool needs bytes back, only members
+/// whose frontier is within [`FRONTIER_SLACK`] of the *global* minimum
+/// evict; everyone else defers, leaving a transient overshoot that the
+/// first near-frontier member to see traffic reclaims. That approximates
+/// the unsharded cache's victim selection (always the global minimum)
+/// without any cross-thread eviction — the board is one relaxed atomic
+/// store per queue mutation, read at eviction time only.
+#[derive(Clone)]
+pub struct SharedOccupancy {
+    /// Total byte capacity of the pool.
+    capacity: u64,
+    /// Bytes resident across all member caches.
+    used: Arc<AtomicU64>,
+    /// Per-member eviction-frontier priorities as `f64::to_bits` (monotone
+    /// for the nonnegative priorities the policy produces); `u64::MAX`
+    /// means the member holds nothing.
+    frontiers: Arc<Vec<AtomicU64>>,
+}
+
+impl SharedOccupancy {
+    /// A fresh pool of `capacity` total bytes shared by `members` caches.
+    pub fn new(capacity: u64, members: usize) -> Self {
+        SharedOccupancy {
+            capacity,
+            used: Arc::new(AtomicU64::new(0)),
+            frontiers: Arc::new(
+                (0..members.max(1))
+                    .map(|_| AtomicU64::new(u64::MAX))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The pool's total byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident across all members.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The pool-wide free bytes right now.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    fn add(&self, bytes: u64) {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn sub(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    fn set_frontier(&self, member: usize, bits: u64) {
+        self.frontiers[member].store(bits, Ordering::Relaxed);
+    }
+
+    /// The lowest frontier priority on the board (`+inf` when every member
+    /// is empty).
+    fn min_frontier(&self) -> f64 {
+        self.frontiers.iter().fold(f64::INFINITY, |min, f| {
+            let bits = f.load(Ordering::Relaxed);
+            if bits == u64::MAX {
+                min
+            } else {
+                min.min(f64::from_bits(bits))
+            }
+        })
+    }
+}
+
+/// How far above the pool's global minimum frontier a member's own
+/// frontier may sit while still evicting for the pool. Zero would force
+/// every reclaim through the single member holding the exact minimum
+/// (overshoot then lives until *that* member sees traffic); a small slack
+/// lets any member whose weakest resident is nearly as weak reclaim
+/// immediately, at the cost of victims up to this much likelihood above
+/// the unsharded cache's choice.
+const FRONTIER_SLACK: f64 = 0.20;
 
 /// Priority key in the eviction queue (ordered ascending: victim first).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -130,9 +236,25 @@ pub struct LfoCache {
     used: u64,
     config: LfoConfig,
     model: Option<Arc<Model>>,
+    /// Flattened serving layout of `model` (same publication); the hot path
+    /// scores with this.
+    flat: Option<Arc<FlatModel>>,
     slot: ModelSlot,
     slot_seen: u64,
     tracker: FeatureTracker,
+    /// Reusable feature-row buffer: the serving hot path performs no
+    /// per-request heap allocation (sampling clones out of it only when the
+    /// stride fires).
+    scratch: Vec<f32>,
+    /// Multiplier applied to the free-bytes feature before scoring (not to
+    /// the actual accounting). See [`LfoCache::set_feature_free_scale`].
+    free_scale: u64,
+    /// Fleet-wide occupancy the free-bytes feature, admission budget, and
+    /// eviction coordination are derived from when shards share one pool.
+    /// See [`LfoCache::join_pool`].
+    shared: Option<SharedOccupancy>,
+    /// This cache's slot on the pool's frontier board (0 when unpooled).
+    member: usize,
     queue: BTreeSet<(Priority, u64, ObjectId)>,
     entries: HashMap<ObjectId, Entry>,
     tick: u64,
@@ -146,6 +268,8 @@ pub struct LfoCache {
     /// resident (the paper's "a hit may evict the hit object" events are a
     /// subset of these).
     pub rescored_to_bottom: u64,
+    /// Objects evicted over the cache's lifetime.
+    pub evictions: u64,
 }
 
 impl LfoCache {
@@ -165,15 +289,21 @@ impl LfoCache {
             used: 0,
             config,
             model: None,
+            flat: None,
             slot,
             slot_seen: 0,
             tracker,
+            scratch: Vec::new(),
+            free_scale: 1,
+            shared: None,
+            member: 0,
             queue: BTreeSet::new(),
             entries: HashMap::new(),
             tick: 0,
             sample_every: 0,
             samples: Vec::new(),
             rescored_to_bottom: 0,
+            evictions: 0,
         };
         cache.sync_slot();
         cache
@@ -210,14 +340,69 @@ impl LfoCache {
         if self.slot.version() == self.slot_seen {
             return;
         }
-        let (version, model, cutoff) = self.slot.snapshot();
+        let (version, model, flat, cutoff) = self.slot.snapshot();
         if let Some(model) = model {
             self.model = Some(model);
+            self.flat = flat;
         }
         if let Some(cutoff) = cutoff {
             self.config.cutoff = cutoff;
         }
         self.slot_seen = version;
+    }
+
+    /// The slot version this cache last synced to — in a sharded cache,
+    /// equal across shards exactly when a rollout has reached all of them.
+    pub fn model_version(&self) -> u64 {
+        self.slot_seen
+    }
+
+    /// Scales the free-bytes *feature* presented to the model (cache
+    /// accounting is untouched). A shard of a hash-partitioned cache holds
+    /// `1/N` of the fleet's capacity, but the model is trained against the
+    /// global cache's free bytes; without correction every shard looks
+    /// nearly full to the model and admissions collapse. Presenting
+    /// `free × N` restores the feature distribution the model was trained
+    /// on. Defaults to 1 (a standalone cache reports its own free bytes).
+    pub fn set_feature_free_scale(&mut self, scale: u64) {
+        self.free_scale = scale.max(1);
+    }
+
+    /// Joins a fleet-wide byte pool: the free-bytes feature, the admission
+    /// budget, and the eviction trigger all come from the shared
+    /// [`SharedOccupancy`] instead of this cache's own accounting (which
+    /// keeps counting this cache's residents). Two failure modes of hard
+    /// per-shard budgets disappear:
+    ///
+    /// - an object larger than `capacity/N` (but not than the fleet) stays
+    ///   cacheable — the index is partitioned, the memory is not;
+    /// - the model's free-bytes feedback stays on the trained trajectory.
+    ///   Likelihoods *rise* as free bytes shrink (OPT's cache is full for
+    ///   most of the training window), so a shard fed only its own scaled
+    ///   free can latch empty: it never fills, and the model keeps
+    ///   declining admission.
+    ///
+    /// Victim selection is coordinated through the pool's frontier board:
+    /// this member evicts only while it owns the globally weakest resident,
+    /// deferring otherwise so the owning member reclaims the overshoot on
+    /// its next request — the same victims the unsharded cache would pick,
+    /// without cross-thread eviction. The cost is schedule-exact
+    /// reproducibility (the pool's value at a given request depends on the
+    /// other members' progress). This cache's `capacity` should equal the
+    /// pool's; `member` is this cache's slot on the frontier board.
+    pub fn join_pool(&mut self, pool: SharedOccupancy, member: usize) {
+        debug_assert_eq!(self.used, 0, "join_pool before serving");
+        self.member = member;
+        self.shared = Some(pool);
+    }
+
+    /// Whether admitting `incoming` bytes would exceed the byte budget —
+    /// the shared pool's if this cache joined one, else this cache's own.
+    fn over_budget(&self, incoming: u64) -> bool {
+        match &self.shared {
+            Some(pool) => pool.used().saturating_add(incoming) > pool.capacity(),
+            None => self.used + incoming > self.capacity,
+        }
     }
 
     /// Current admission cutoff.
@@ -258,9 +443,14 @@ impl LfoCache {
     }
 
     /// Predicted likelihood that OPT would cache this request, or `None`
-    /// while no model is installed.
+    /// while no model is installed. Scored through the flat SoA layout
+    /// (bit-equal to `Model::predict_proba`).
     fn score(&self, features: &[f32]) -> Option<f64> {
-        self.model.as_ref().map(|m| m.predict_proba(features))
+        match (&self.flat, &self.model) {
+            (Some(flat), _) => Some(flat.predict_proba(features)),
+            (None, Some(model)) => Some(model.predict_proba(features)),
+            (None, None) => None,
+        }
     }
 
     fn queue_remove(&mut self, object: ObjectId, entry: &Entry) {
@@ -271,6 +461,7 @@ impl LfoCache {
     fn queue_insert(&mut self, object: ObjectId, entry: Entry) {
         self.entries.insert(object, entry);
         self.queue.insert((entry.priority, entry.tiebreak, object));
+        self.publish_frontier();
     }
 
     fn evict_min(&mut self) {
@@ -278,6 +469,59 @@ impl LfoCache {
         self.queue.remove(&(p, t, victim));
         let entry = self.entries.remove(&victim).expect("entry exists");
         self.used -= entry.size;
+        if let Some(shared) = &self.shared {
+            shared.sub(entry.size);
+        }
+        self.evictions += 1;
+        self.publish_frontier();
+    }
+
+    /// Posts this cache's eviction frontier (the priority of its weakest
+    /// resident) to the pool's frontier board. Priorities are nonnegative,
+    /// so their bit patterns order like the values.
+    fn publish_frontier(&self) {
+        if let Some(pool) = &self.shared {
+            let bits = match self.queue.iter().next() {
+                Some(&(Priority(p), _, _)) => {
+                    debug_assert!(p >= 0.0, "priorities must stay nonnegative");
+                    p.to_bits()
+                }
+                None => u64::MAX,
+            };
+            pool.set_frontier(self.member, bits);
+        }
+    }
+
+    /// Whether this member's weakest resident is within [`FRONTIER_SLACK`]
+    /// of the globally weakest on the pool's frontier board (trivially true
+    /// when unpooled, or when this member IS the global minimum). Only
+    /// near-frontier members evict for the pool: victims stay within the
+    /// slack of what the unsharded cache would have picked, while any
+    /// near-frontier member — not just the exact owner — can reclaim an
+    /// overshoot as soon as it sees traffic.
+    fn near_global_frontier(&self) -> bool {
+        match (&self.shared, self.queue.iter().next()) {
+            (Some(pool), Some(&(Priority(p), _, _))) => p <= pool.min_frontier() + FRONTIER_SLACK,
+            _ => true,
+        }
+    }
+
+    /// Cooperative reclaim: if the pool is over budget (another member
+    /// admitted and deferred eviction to the frontier owner), evict while
+    /// this member owns the global frontier. Runs at the top of every
+    /// request, so overshoot lives only until the owning shard's next
+    /// request.
+    fn trim_pool(&mut self) {
+        loop {
+            let over = match &self.shared {
+                Some(pool) => pool.used() > pool.capacity(),
+                None => return,
+            };
+            if !over || self.queue.is_empty() || !self.near_global_frontier() {
+                return;
+            }
+            self.evict_min();
+        }
     }
 }
 
@@ -304,9 +548,21 @@ impl CachePolicy for LfoCache {
 
     fn handle(&mut self, request: &Request) -> RequestOutcome {
         self.sync_slot();
+        self.trim_pool();
         self.tick += 1;
-        let free = self.capacity - self.used;
-        let features = self.tracker.observe(request, free);
+        let free = match &self.shared {
+            Some(shared) => shared.free(),
+            None => (self.capacity - self.used).saturating_mul(self.free_scale),
+        };
+        // Build the feature row into the reusable scratch buffer: zero heap
+        // allocation on the hot path (the buffer is moved out and back to
+        // satisfy the borrow checker; a move is pointer-sized, not a copy).
+        let features = {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.tracker.features_into(request, free, &mut scratch);
+            self.tracker.record(request);
+            scratch
+        };
         if self.sample_every != 0 && self.tick.is_multiple_of(self.sample_every as u64) {
             self.samples.push(features.clone());
         }
@@ -315,6 +571,7 @@ impl CachePolicy for LfoCache {
         let likelihood = self
             .score(&features)
             .unwrap_or_else(|| 1.0 - 1.0 / (1.0 + self.tick as f64));
+        self.scratch = features;
 
         if let Some(&entry) = self.entries.get(&request.object) {
             // Re-evaluate on every hit; the hit object may become the
@@ -347,7 +604,7 @@ impl CachePolicy for LfoCache {
                         // The newcomer may only displace strictly weaker
                         // residents; with room to spare the cutoff decides.
                         above_cutoff
-                            && (self.used + request.size <= self.capacity
+                            && (!self.over_budget(request.size)
                                 || self
                                     .queue
                                     .iter()
@@ -362,7 +619,26 @@ impl CachePolicy for LfoCache {
         if !admit {
             return RequestOutcome::Miss { admitted: false };
         }
-        while self.used + request.size > self.capacity {
+        while self.over_budget(request.size) {
+            if self.queue.is_empty() {
+                // Pooled mode only: this member has nothing left to evict;
+                // the pool absorbs the transient overshoot and the next
+                // admission on a fuller member reclaims it. (Unpooled, an
+                // empty queue means used == 0 and the object fits.)
+                break;
+            }
+            if let Some(pool) = &self.shared {
+                // The globally weakest resident lives on another member:
+                // admit over budget and let that member reclaim the bytes
+                // on its next request (trim_pool), evicting the same
+                // victim the unsharded cache would have picked. The 2×
+                // valve bounds memory if the frontier owner is starved of
+                // traffic — past it, evict locally regardless.
+                let hard_cap = pool.capacity().saturating_mul(2);
+                if !self.near_global_frontier() && pool.used() < hard_cap {
+                    break;
+                }
+            }
             self.evict_min();
         }
         self.queue_insert(
@@ -374,6 +650,9 @@ impl CachePolicy for LfoCache {
             },
         );
         self.used += request.size;
+        if let Some(shared) = &self.shared {
+            shared.add(request.size);
+        }
         RequestOutcome::Miss { admitted: true }
     }
 }
@@ -602,6 +881,66 @@ mod tests {
         c.enable_feature_sampling(0);
         c.handle(&req(10, 10, 50));
         assert!(c.take_feature_samples().is_empty(), "sampling disabled");
+    }
+
+    #[test]
+    fn free_scale_inflates_the_free_bytes_feature_only() {
+        let sample_free = |scale: u64| {
+            let mut c = LfoCache::new(1_000, LfoConfig::default());
+            c.set_feature_free_scale(scale);
+            c.enable_feature_sampling(1);
+            c.handle(&req(0, 1, 100));
+            assert_eq!(c.used(), 100, "accounting must not be scaled");
+            c.take_feature_samples()[0][2]
+        };
+        assert_eq!(sample_free(1), 1_000.0);
+        assert_eq!(sample_free(4), 4_000.0);
+        assert_eq!(sample_free(0), 1_000.0, "0 clamps to the identity");
+    }
+
+    #[test]
+    fn pooled_members_defer_eviction_to_the_frontier_owner() {
+        // Two caches share a 600-byte pool. A holds the globally weakest
+        // resident (a mid-size object the model half-likes); B holds a
+        // strong one. When B admits over budget it must NOT evict its own
+        // strong resident — it defers, the pool overshoots transiently,
+        // and A reclaims the bytes by evicting its weak resident on its
+        // next request.
+        let pool = SharedOccupancy::new(600, 2);
+        let model = small_object_model();
+        let mut a = LfoCache::new(600, LfoConfig::default());
+        a.install_model(model.clone());
+        a.join_pool(pool.clone(), 0);
+        let mut b = LfoCache::new(600, LfoConfig::default());
+        b.install_model(model);
+        b.join_pool(pool.clone(), 1);
+
+        assert_eq!(
+            a.handle(&req(0, 1, 450)), // weak: likelihood ~0.6
+            RequestOutcome::Miss { admitted: true }
+        );
+        b.handle(&req(1, 2, 100)); // strong: likelihood ~1.0
+        assert_eq!(pool.used(), 550);
+
+        // B admits another strong object: 650 > 600, but the global
+        // frontier (A's weak resident) is more than FRONTIER_SLACK below
+        // B's own, so B defers instead of evicting.
+        assert_eq!(
+            b.handle(&req(2, 3, 100)),
+            RequestOutcome::Miss { admitted: true }
+        );
+        assert_eq!(b.evictions, 0, "B must not evict its stronger residents");
+        assert_eq!(pool.used(), 650, "pool overshoots until the owner trims");
+
+        // A's next request (a bypassed oversize probe) trims the pool: A
+        // owns the frontier, so it evicts its weak resident.
+        assert_eq!(
+            a.handle(&req(3, 4, 900)),
+            RequestOutcome::Miss { admitted: false }
+        );
+        assert_eq!(a.evictions, 1);
+        assert!(!a.contains(ObjectId(1)));
+        assert_eq!(pool.used(), 200);
     }
 
     #[test]

@@ -40,8 +40,20 @@ impl ThroughputResult {
     }
 }
 
+/// Batch size each worker scores per deadline check; also the unit of the
+/// per-tree-walk batching inside [`gbdt::FlatModel::predict_proba_batch`].
+const THROUGHPUT_BATCH: usize = 512;
+
 /// Measures raw prediction throughput: `threads` workers evaluate the model
 /// over `rows` round-robin for `duration`.
+///
+/// The harness measures the *serving* inference path: the model is
+/// flattened once into its SoA layout and the rows are packed once into a
+/// flat row-major buffer (short rows padded with `+inf`, which takes the
+/// same right branch as a missing feature), then workers score
+/// [`THROUGHPUT_BATCH`]-row batches through
+/// [`gbdt::FlatModel::predict_proba_batch`] — bit-equal to
+/// `Model::predict_proba` per row, but without per-row double indirection.
 ///
 /// # Panics
 ///
@@ -54,6 +66,16 @@ pub fn prediction_throughput(
 ) -> ThroughputResult {
     assert!(threads > 0, "need at least one thread");
     assert!(!rows.is_empty(), "need at least one feature row");
+    let flat = model.flatten();
+    let stride = flat.num_features().max(1);
+    // Pack row-major once; padding with +inf matches missing-feature
+    // semantics (`inf <= threshold` is false → right branch, like `None`).
+    let mut packed = vec![f32::INFINITY; rows.len() * stride];
+    for (row, out) in rows.iter().zip(packed.chunks_exact_mut(stride)) {
+        let n = row.len().min(stride);
+        out[..n].copy_from_slice(&row[..n]);
+    }
+
     let total = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let start = Instant::now();
@@ -62,19 +84,20 @@ pub fn prediction_throughput(
         for worker in 0..threads {
             let total = &total;
             let stop = &stop;
+            let flat = &flat;
+            let packed = &packed;
             scope.spawn(move || {
                 let mut local = 0u64;
+                let mut out = vec![0.0f64; THROUGHPUT_BATCH];
                 let mut at = worker % rows.len();
-                // Check the deadline in batches to keep the hot loop tight.
+                // Check the deadline per batch to keep the hot loop tight.
                 while !stop.load(Ordering::Relaxed) {
-                    for _ in 0..1024 {
-                        std::hint::black_box(model.predict_proba(&rows[at]));
-                        at += 1;
-                        if at == rows.len() {
-                            at = 0;
-                        }
-                    }
-                    local += 1024;
+                    let end = (at + THROUGHPUT_BATCH).min(rows.len());
+                    let batch = end - at;
+                    flat.predict_proba_batch(&packed[at * stride..end * stride], &mut out[..batch]);
+                    std::hint::black_box(&out);
+                    local += batch as u64;
+                    at = if end == rows.len() { 0 } else { end };
                 }
                 total.fetch_add(local, Ordering::Relaxed);
             });
@@ -165,9 +188,22 @@ impl PredictionServer {
     /// drill it); never use it as a real batch id.
     pub const PANIC_PILL: u64 = u64::MAX;
 
-    /// Starts `threads` workers sharing `model`.
+    /// Fault-injection hook: a batch submitted with this id makes the
+    /// worker that picks it up acknowledge the pill in the result sink and
+    /// then stall for [`Self::STALL`], simulating a wedged worker.
+    /// Backpressure drills use it to hold the queue provably full; never
+    /// use it as a real batch id.
+    pub const STALL_PILL: u64 = u64::MAX - 1;
+
+    /// How long a worker stalls after swallowing [`Self::STALL_PILL`].
+    pub const STALL: Duration = Duration::from_secs(1);
+
+    /// Starts `threads` workers sharing `model`. The model is flattened
+    /// into its SoA serving layout once here; workers score through it
+    /// (bit-equal to `Model::predict_proba`).
     pub fn start(model: Arc<Model>, threads: usize) -> Self {
         assert!(threads > 0);
+        let flat = Arc::new(model.flatten());
         let (sender, receiver) = sync_channel::<BatchItem>(threads * 4);
         // std mpsc receivers are single-consumer; a mutex turns the channel
         // into the multi-consumer work queue crossbeam used to provide.
@@ -176,7 +212,7 @@ impl PredictionServer {
         let workers = (0..threads)
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
-                let model = Arc::clone(&model);
+                let flat = Arc::clone(&flat);
                 let results = Arc::clone(&results);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
@@ -186,8 +222,16 @@ impl PredictionServer {
                         if id == PredictionServer::PANIC_PILL {
                             panic!("injected prediction-worker panic (panic pill)");
                         }
+                        if id == PredictionServer::STALL_PILL {
+                            // Ack first so the submitter can observe that the
+                            // pill is swallowed (and the stall underway)
+                            // before relying on the queue staying full.
+                            lock_unpoisoned(&results).push((id, Vec::new()));
+                            std::thread::sleep(PredictionServer::STALL);
+                            continue;
+                        }
                         let scores: Vec<f64> =
-                            batch.iter().map(|row| model.predict_proba(row)).collect();
+                            batch.iter().map(|row| flat.predict_proba(row)).collect();
                         served += scores.len() as u64;
                         lock_unpoisoned(&results).push((id, scores));
                     }
@@ -350,27 +394,42 @@ mod tests {
     #[test]
     fn try_submit_reports_queue_full_instead_of_blocking() {
         let model = Arc::new(toy_model());
-        // One worker, so the queue holds 4 batches. Keep the worker busy
-        // with a fat batch, then overfill the queue: try_submit must come
-        // back with QueueFull, not block.
+        // One worker, so the queue holds 4 batches. Wedge the worker with a
+        // stall pill and wait for its ack in the result sink: from that
+        // point the worker is asleep for a full STALL, so no queue slot can
+        // free while the assertions below run.
         let server = PredictionServer::start(model, 1);
-        let fat: FeatureBatch = (0..200_000).map(|i| vec![i as f32, 1.0]).collect();
-        server.submit(0, fat).unwrap();
-        let mut saw_full = false;
-        for id in 1..=8u64 {
-            if server.try_submit(id, vec![vec![1.0, 1.0]]) == Err(SubmitError::QueueFull) {
-                saw_full = true;
-                break;
-            }
+        server
+            .submit(PredictionServer::STALL_PILL, Vec::new())
+            .unwrap();
+        while !lock_unpoisoned(&server.results)
+            .iter()
+            .any(|(id, _)| *id == PredictionServer::STALL_PILL)
+        {
+            std::thread::sleep(Duration::from_millis(1));
         }
-        assert!(saw_full, "overfilling the queue never reported QueueFull");
+        // Fill every queue slot, then one more: try_submit must come back
+        // with QueueFull, not block.
+        for id in 1..=4u64 {
+            server.try_submit(id, vec![vec![1.0, 1.0]]).unwrap();
+        }
+        assert_eq!(
+            server.try_submit(5, vec![vec![1.0, 1.0]]),
+            Err(SubmitError::QueueFull)
+        );
+        // Still wedged: a 5 ms bounded wait must report Timeout, and must
+        // actually wait out its budget before giving up.
         let started = Instant::now();
         assert_eq!(
             server.submit_timeout(99, vec![vec![1.0, 1.0]], Duration::from_millis(5)),
             Err(SubmitError::Timeout)
         );
         assert!(started.elapsed() >= Duration::from_millis(5));
-        server.shutdown();
+        // The worker wakes after the stall and drains the four queued
+        // one-row batches before exiting.
+        let report = server.shutdown();
+        assert_eq!(report.panicked_workers, 0);
+        assert_eq!(report.served, 4);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Integration tests for the sharded serving layer (`lfo::shard`):
+//! deterministic routing, 1-shard bit-identity with a bare `LfoCache`,
+//! exact metric aggregation, and atomic model rollout across shards.
+
+use std::sync::Arc;
+
+use cdn_cache::cache::CachePolicy;
+use cdn_trace::{GeneratorConfig, Request, Trace, TraceGenerator, TraceStats};
+use gbdt::Model;
+use lfo::shard::{shard_of, CacheMetrics, ShardMode, ShardParams, ShardedLfoCache};
+use lfo::{LfoCache, LfoConfig, ModelSlot};
+
+fn test_trace(seed: u64, n: u64) -> Trace {
+    TraceGenerator::new(GeneratorConfig::small(seed, n)).generate()
+}
+
+/// A model over the default 53-feature layout that prefers small objects
+/// (same recipe as the policy unit tests).
+fn small_object_model() -> Arc<Model> {
+    let cfg = LfoConfig::default();
+    let rows: Vec<Vec<f32>> = (0..400)
+        .map(|i| {
+            let size = (i % 40) as f32 * 25.0 + 1.0;
+            let mut row = vec![size, size, 1000.0];
+            row.extend(std::iter::repeat_n(100.0, cfg.num_gaps));
+            row
+        })
+        .collect();
+    let labels: Vec<f32> = rows.iter().map(|r| (r[0] < 500.0) as u8 as f32).collect();
+    let data = gbdt::Dataset::from_rows(rows, labels).unwrap();
+    Arc::new(gbdt::train(&data, &cfg.gbdt))
+}
+
+/// Replays a trace through a bare `LfoCache`, producing the same counters
+/// a 1-shard `ShardedLfoCache` reports.
+fn replay_bare(requests: &[Request], capacity: u64, model: Option<Arc<Model>>) -> CacheMetrics {
+    let mut cache = LfoCache::new(capacity, LfoConfig::default());
+    if let Some(m) = model {
+        cache.install_model(m);
+    }
+    let mut metrics = CacheMetrics::default();
+    for request in requests {
+        let outcome = cache.handle(request);
+        metrics.record(request.size, outcome);
+    }
+    metrics.evictions = cache.evictions;
+    metrics.used_bytes = cache.used();
+    metrics.resident_objects = cache.len() as u64;
+    metrics
+}
+
+fn replay_sharded(
+    requests: &[Request],
+    capacity: u64,
+    shards: usize,
+    model: Option<Arc<Model>>,
+    mode: ShardMode,
+) -> lfo::ShardReport {
+    let slot = ModelSlot::new();
+    if let Some(m) = model {
+        slot.publish(m, 0.5);
+    }
+    let params = ShardParams {
+        mode,
+        ..ShardParams::with_shards(shards)
+    };
+    let mut sharded = ShardedLfoCache::with_params(capacity, LfoConfig::default(), params, slot);
+    for request in requests {
+        sharded.handle(request);
+    }
+    sharded.finish()
+}
+
+#[test]
+fn one_shard_is_bit_identical_to_a_bare_lfo_cache() {
+    let trace = test_trace(11, 6_000);
+    let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.1);
+    // Both with a model (LFO scoring) and without (LRU fallback), in both
+    // capacity modes (with one shard the pool IS the local accounting, and
+    // the partition gets all the bytes): every counter — hits, admissions,
+    // evictions, resident bytes — must match.
+    for model in [None, Some(small_object_model())] {
+        let bare = replay_bare(trace.requests(), capacity, model.clone());
+        for mode in [ShardMode::Pooled, ShardMode::Partitioned] {
+            let report = replay_sharded(trace.requests(), capacity, 1, model.clone(), mode);
+            assert_eq!(report.shards.len(), 1);
+            assert_eq!(
+                report.total(),
+                bare,
+                "model = {}, mode = {mode:?}",
+                model.is_some()
+            );
+            assert_eq!(report.total().bhr().to_bits(), bare.bhr().to_bits());
+        }
+    }
+}
+
+#[test]
+fn routing_is_deterministic_across_instances_and_runs() {
+    let sharded_a = ShardedLfoCache::new(10_000, LfoConfig::default(), 4);
+    let sharded_b = ShardedLfoCache::new(99_999, LfoConfig::default(), 4);
+    for id in 0..1_000u64 {
+        let object = cdn_trace::ObjectId(id);
+        assert_eq!(sharded_a.shard_of(object), sharded_b.shard_of(object));
+        assert_eq!(sharded_a.shard_of(object), shard_of(object, 4));
+    }
+    drop(sharded_a.finish());
+    drop(sharded_b.finish());
+}
+
+#[test]
+fn partitioned_replays_are_deterministic_across_runs() {
+    // In Partitioned mode thread scheduling must not leak into metrics:
+    // per-shard request order is trace order and every feature is derived
+    // from shard-local state, so two runs agree exactly.
+    let trace = test_trace(12, 4_000);
+    let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.1);
+    let model = small_object_model();
+    let mode = ShardMode::Partitioned;
+    let a = replay_sharded(trace.requests(), capacity, 4, Some(model.clone()), mode);
+    let b = replay_sharded(trace.requests(), capacity, 4, Some(model), mode);
+    assert_eq!(a.total(), b.total());
+    for (sa, sb) in a.shards.iter().zip(&b.shards) {
+        assert_eq!(sa.metrics, sb.metrics, "shard {}", sa.shard);
+    }
+}
+
+#[test]
+fn aggregate_metrics_are_exactly_the_per_shard_sum() {
+    let trace = test_trace(13, 5_000);
+    let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.1);
+    let report = replay_sharded(
+        trace.requests(),
+        capacity,
+        4,
+        Some(small_object_model()),
+        ShardMode::Pooled,
+    );
+    let mut manual = CacheMetrics::default();
+    for s in &report.shards {
+        manual.add(&s.metrics);
+    }
+    let total = report.total();
+    assert_eq!(total, manual);
+    assert_eq!(total.requests, trace.requests().len() as u64);
+    assert_eq!(
+        total.hits + total.admitted_misses + total.bypassed_misses,
+        total.requests
+    );
+    // Every request landed on the shard its object id hashes to.
+    for s in &report.shards {
+        assert!(s.metrics.requests > 0, "shard {} starved", s.shard);
+    }
+}
+
+#[test]
+fn rollout_through_the_shared_slot_reaches_every_shard() {
+    // The staged pipeline's deployer publishes through a clone of the
+    // ModelSlot; every shard must converge on the same version.
+    let slot = ModelSlot::new();
+    let mut sharded = ShardedLfoCache::with_params(
+        1 << 20,
+        LfoConfig::default(),
+        ShardParams {
+            batch_size: 8,
+            queue_depth: 2,
+            ..ShardParams::with_shards(4)
+        },
+        slot.clone(),
+    );
+    // Pre-rollout traffic: shards serve on LRU fallback at version 0.
+    for i in 0..200u64 {
+        sharded.handle(&Request::new(i, i, 100));
+    }
+    sharded.flush();
+    // The deployer publishes (model + cutoff as one rollout event)...
+    slot.publish(small_object_model(), 0.5);
+    let published = slot.version();
+    // ...and the next request on each shard picks it up.
+    for i in 200..400u64 {
+        sharded.handle(&Request::new(i, i, 100));
+    }
+    let report = sharded.finish();
+    assert_eq!(
+        report.uniform_model_version(),
+        Some(published),
+        "per-shard versions: {:?}",
+        report
+            .shards
+            .iter()
+            .map(|s| s.model_version)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sharded_bhr_tracks_the_unsharded_reference() {
+    // In pooled mode each shard still has its own eviction frontier, but
+    // the byte budget and the admission signal match the unsharded cache —
+    // the aggregate BHR must stay close.
+    let trace = test_trace(14, 12_000);
+    let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.1);
+    let model = small_object_model();
+    let bare = replay_bare(trace.requests(), capacity, Some(model.clone()));
+    for shards in [2usize, 4] {
+        let report = replay_sharded(
+            trace.requests(),
+            capacity,
+            shards,
+            Some(model.clone()),
+            ShardMode::Pooled,
+        );
+        let delta = (report.total().bhr() - bare.bhr()).abs();
+        assert!(
+            delta < 0.05,
+            "{shards} shards: BHR {:.4} vs unsharded {:.4}",
+            report.total().bhr(),
+            bare.bhr()
+        );
+    }
+}

@@ -32,4 +32,11 @@ fi
 echo "== cargo test --test pipeline_faults (fault injection) =="
 cargo test -q --test pipeline_faults
 
+# Smoke the end-to-end sharded serving benchmark (DESIGN.md §9): trains a
+# small model, replays the smoke-scale trace at 1 and 2 shards, and writes
+# results/BENCH_serve.json — so a routing, pooling, or frontier regression
+# fails verify, not just the full quick-scale run.
+echo "== repro --smoke serve (sharded serving smoke) =="
+cargo run -q --release -p bench --bin repro -- --smoke serve
+
 echo "verify: OK"
