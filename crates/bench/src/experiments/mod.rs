@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod hyper;
 pub mod prune;
+pub mod restart;
 pub mod serve;
 pub mod staged;
 pub mod thin;
@@ -22,9 +23,9 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper", "prune",
-    "design", "thin", "tiers", "staged", "faults", "serve", "summary",
+    "design", "thin", "tiers", "staged", "faults", "serve", "restart", "summary",
 ];
 
 /// Runs one experiment by name. Unknown names return `false`.
@@ -47,6 +48,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "staged" => staged::run(ctx)?,
         "faults" => faults::run(ctx)?,
         "serve" => serve::run(ctx)?,
+        "restart" => restart::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

@@ -1,0 +1,205 @@
+//! `repro restart`: durability of the staged pipeline across a crash.
+//!
+//! Three runs over the same trace answer "what does a restart cost, and
+//! what does the artifact store buy back?":
+//!
+//! 1. **uninterrupted** — the whole trace in one pipeline (reference);
+//! 2. **killed + cold restart** — the pipeline dies mid-window at the kill
+//!    point, then a fresh pipeline serves the rest of the trace from the
+//!    LRU fallback (no trained model until its own first boundary);
+//! 3. **killed + warm restart** — the fresh pipeline instead restores the
+//!    last persisted artifact through the gated warm-start path
+//!    ([`PipelineConfig::warm_start`]), so window 0 after the restart is
+//!    served by the pre-crash model.
+//!
+//! The warm restart should match or beat the cold restart on the first
+//! post-restart window, and the killed-prefix + warm-suffix BHR should
+//! land within ±0.01 of the uninterrupted run (the restart's only lasting
+//! cost is refilling the cache, not relearning the policy).
+
+use lfo::{run_pipeline, AccuracyGate, DriftGate, GateConfig, PersistConfig, PipelineConfig};
+
+use crate::harness::{Context, Scale};
+use crate::perf::BenchRestart;
+
+/// Runs the kill/restart comparison.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let trace = ctx.standard_trace(411);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let w = ctx.window();
+    let reqs = trace.requests();
+    let num_windows = reqs.len().div_ceil(w);
+    // Kill mid-window, far enough in that at least one model was accepted
+    // (and therefore persisted) before the crash.
+    let kill_window = (num_windows / 2).max(2);
+    let split = (kill_window * w + w / 2).min(reqs.len().saturating_sub(w));
+
+    let store_dir = ctx.out_dir.join("artifacts").join("restart");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Gates on for every run: the warm restart re-validates the artifact
+    // through this exact GateConfig before publishing it.
+    let config = PipelineConfig {
+        window: w,
+        cache_size,
+        opt_segment: w / 10,
+        gates: GateConfig {
+            accuracy: Some(AccuracyGate::default()),
+            drift: Some(DriftGate::default()),
+        },
+        ..Default::default()
+    };
+
+    println!("\n== restart: kill the pipeline mid-run, restore from disk ==");
+    println!(
+        "  trace: {} requests, {num_windows} windows of {w}, cache {} MB",
+        reqs.len(),
+        cache_size / (1024 * 1024)
+    );
+    println!("  kill point: request {split} (mid window {kill_window})");
+
+    // Reference: the whole trace in one uninterrupted pipeline.
+    let uninterrupted = run_pipeline(reqs, &config).expect("uninterrupted pipeline");
+
+    // The run that dies: persistence on, trace truncated at the kill point.
+    let mut killed_cfg = config.clone();
+    killed_cfg.persist = Some(PersistConfig::new(&store_dir).with_trace_id("restart-seed411"));
+    let killed = run_pipeline(&reqs[..split], &killed_cfg).expect("killed-run prefix");
+    let persisted = killed.persisted_windows();
+    println!("  killed run persisted {persisted} model(s) before dying");
+
+    // Cold restart: a fresh pipeline with no artifact store — LRU fallback
+    // until its own first window boundary.
+    let cold = run_pipeline(&reqs[split..], &config).expect("cold restart");
+
+    // Warm restart: same fresh pipeline, but warm-started from the store
+    // (persistence stays on, as it would in a real redeployment).
+    let mut warm_cfg = killed_cfg.clone();
+    warm_cfg.warm_start = Some(store_dir.clone());
+    let warm = run_pipeline(&reqs[split..], &warm_cfg).expect("warm restart");
+
+    print_windows("uninterrupted", &uninterrupted);
+    print_windows("killed", &killed);
+    print_windows("cold", &cold);
+    print_windows("warm", &warm);
+    let restore = warm.restore.as_ref().expect("warm_start was configured");
+    println!("  restore: {:?} — {}", restore.decision, restore.detail);
+    if let (Some(psi), Some(acc)) = (restore.drift_psi, restore.holdout_accuracy) {
+        println!("  restore gates: drift PSI {psi:.4}, holdout accuracy {acc:.4}");
+    }
+
+    let cold0 = &cold.windows[0];
+    let warm0 = &warm.windows[0];
+    println!(
+        "  first post-restart window: cold BHR {:.4} (model {}), warm BHR {:.4} (model {})",
+        cold0.live.bhr(),
+        cold0.had_model,
+        warm0.live.bhr(),
+        warm0.had_model
+    );
+
+    // Killed prefix + warm suffix = the trace as a restarted deployment
+    // actually served it.
+    let restarted_hit = killed.live_total.hit_bytes + warm.live_total.hit_bytes;
+    let restarted_total = killed.live_total.total_bytes + warm.live_total.total_bytes;
+    let restarted_bhr = restarted_hit as f64 / restarted_total.max(1) as f64;
+    let delta = restarted_bhr - uninterrupted.live_total.bhr();
+    println!(
+        "  full trace: uninterrupted BHR {:.4}, restarted BHR {restarted_bhr:.4} ({delta:+.4})",
+        uninterrupted.live_total.bhr()
+    );
+
+    ctx.write_csv(
+        "restart_bhr.csv",
+        "run,requests,first_window_bhr,first_window_had_model,total_bhr",
+        &[
+            format!(
+                "uninterrupted,{},{:.6},{},{:.6}",
+                reqs.len(),
+                uninterrupted.windows[0].live.bhr(),
+                uninterrupted.windows[0].had_model,
+                uninterrupted.live_total.bhr()
+            ),
+            format!(
+                "killed_prefix,{split},{:.6},{},{:.6}",
+                killed.windows[0].live.bhr(),
+                killed.windows[0].had_model,
+                killed.live_total.bhr()
+            ),
+            format!(
+                "cold_restart,{},{:.6},{},{:.6}",
+                reqs.len() - split,
+                cold0.live.bhr(),
+                cold0.had_model,
+                cold.live_total.bhr()
+            ),
+            format!(
+                "warm_restart,{},{:.6},{},{:.6}",
+                reqs.len() - split,
+                warm0.live.bhr(),
+                warm0.had_model,
+                warm.live_total.bhr()
+            ),
+        ],
+    )?;
+
+    let doc = BenchRestart {
+        requests: reqs.len(),
+        window: w,
+        kill_window,
+        persisted_before_kill: persisted,
+        warm_restored: restore.restored(),
+        restore_decision: format!("{:?}", restore.decision),
+        cold_first_window_bhr: cold0.live.bhr(),
+        warm_first_window_bhr: warm0.live.bhr(),
+        uninterrupted_bhr: uninterrupted.live_total.bhr(),
+        restarted_bhr,
+        bhr_delta: delta,
+    };
+    let path = doc.store(ctx)?;
+    println!("  json: {}", path.display());
+
+    if ctx.scale == Scale::Smoke {
+        // Smoke traces are a few windows long, so the post-restart cache
+        // refill dominates; report the shape without asserting on it.
+        println!("  (smoke scale: shape checks only)");
+        assert!(persisted > 0, "killed run persisted nothing");
+        assert!(
+            restore.restored(),
+            "warm restart did not restore: {restore:?}"
+        );
+        assert!(warm0.had_model, "restored model not live at window 0");
+    } else {
+        assert!(persisted > 0, "killed run persisted nothing");
+        assert!(
+            restore.restored(),
+            "warm restart did not restore: {restore:?}"
+        );
+        assert!(warm0.had_model, "restored model not live at window 0");
+        assert!(
+            warm0.live.bhr() >= cold0.live.bhr(),
+            "warm first-window BHR {:.4} below cold {:.4}",
+            warm0.live.bhr(),
+            cold0.live.bhr()
+        );
+        assert!(
+            delta.abs() <= 0.01,
+            "restarted BHR {restarted_bhr:.4} drifted {delta:+.4} from uninterrupted"
+        );
+    }
+    println!(
+        "  shape: warm restart serves its first window with the pre-crash \
+         model; the restart costs cache refill, not relearning"
+    );
+    Ok(())
+}
+
+/// Per-window BHR trajectory of one run, with a model-live marker.
+fn print_windows(tag: &str, report: &lfo::PipelineReport) {
+    let bhrs: Vec<String> = report
+        .windows
+        .iter()
+        .map(|w| format!("w{}:{:.4}(m={})", w.index, w.live.bhr(), w.had_model))
+        .collect();
+    println!("  [{tag}] {}", bhrs.join(" "));
+}

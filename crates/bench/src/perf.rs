@@ -17,6 +17,9 @@ use crate::harness::Context;
 /// File name inside the results directory.
 pub const BENCH_SERVE_FILE: &str = "BENCH_serve.json";
 
+/// File name of the restart/durability summary.
+pub const BENCH_RESTART_FILE: &str = "BENCH_restart.json";
+
 /// One row of the Figure 7 thread sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig7Row {
@@ -81,6 +84,47 @@ impl BenchServe {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(0)
+    }
+}
+
+/// The `BENCH_restart.json` document: `repro restart` kills the staged
+/// pipeline mid-trace and restarts it from the artifact store, comparing a
+/// warm (restored-model) restart against a cold (LRU) restart and against
+/// the uninterrupted run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchRestart {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests per pipeline window.
+    pub window: usize,
+    /// Window index at which the first run was killed.
+    pub kill_window: usize,
+    /// Models persisted by the killed run before it died.
+    pub persisted_before_kill: usize,
+    /// Whether the warm restart actually restored a model from disk.
+    pub warm_restored: bool,
+    /// Restore decision (`Deployed`, `RejectedDrift`, ... as debug text).
+    pub restore_decision: String,
+    /// First-window BHR of the restarted run without warm start.
+    pub cold_first_window_bhr: f64,
+    /// First-window BHR of the restarted run with warm start.
+    pub warm_first_window_bhr: f64,
+    /// Full-trace BHR of the uninterrupted run.
+    pub uninterrupted_bhr: f64,
+    /// Full-trace BHR of killed-run prefix + warm-restarted suffix.
+    pub restarted_bhr: f64,
+    /// `restarted_bhr - uninterrupted_bhr`.
+    pub bhr_delta: f64,
+}
+
+impl BenchRestart {
+    /// Writes the document, pretty-printed (single writer, no merge).
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_RESTART_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_restart encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
     }
 }
 

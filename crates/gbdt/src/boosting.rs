@@ -84,7 +84,11 @@ impl GbdtParams {
 }
 
 /// A trained boosted-tree binary classifier.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full structure (init score, every node of every
+/// tree, feature count) — two equal models produce bit-identical
+/// predictions, which is what the artifact round-trip tests assert.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Model {
     init_score: f64,
     trees: Vec<Tree>,

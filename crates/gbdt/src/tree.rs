@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::dataset::BinnedDataset;
 
 /// One node of a [`Tree`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Node {
     /// An internal split: rows with `value[feature] <= threshold` descend
     /// into `left`, others into `right`.
@@ -29,7 +29,7 @@ pub enum Node {
 }
 
 /// A regression tree over raw feature values. Node 0 is the root.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tree {
     nodes: Vec<Node>,
 }

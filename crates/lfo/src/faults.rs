@@ -36,6 +36,19 @@ pub enum FaultKind {
         /// Fraction of rows (from the front of the window) to corrupt.
         fraction: f64,
     },
+    /// The window's persisted artifact is torn mid-write: after the save
+    /// completes, the file is truncated to half its length (a lost tail /
+    /// torn sector). The *next* run's warm start must detect the damage
+    /// via the header byte count and fall back to the cold path.
+    TornArtifactWrite,
+    /// One bit of the window's persisted artifact is flipped (silent disk
+    /// corruption), at an offset determined by the plan seed. The next
+    /// run's warm start must detect it via the content checksum.
+    ArtifactBitFlip,
+    /// The process "crashes" between the artifact temp-file write and the
+    /// rename: the save fails, the temp file is left behind, and the store
+    /// keeps resolving the previous artifact — never a partial one.
+    ArtifactCrash,
 }
 
 /// The pipeline stage that consults a fault point.
@@ -45,6 +58,8 @@ pub(crate) enum FaultStage {
     Label,
     /// Model fitting + rollout gating.
     Train,
+    /// Durable artifact write after the accepting slot swap.
+    Persist,
 }
 
 impl FaultKind {
@@ -52,6 +67,9 @@ impl FaultKind {
         match self {
             FaultKind::LabelError | FaultKind::CorruptRows { .. } => FaultStage::Label,
             FaultKind::TrainerPanic | FaultKind::SlowTraining(_) => FaultStage::Train,
+            FaultKind::TornArtifactWrite
+            | FaultKind::ArtifactBitFlip
+            | FaultKind::ArtifactCrash => FaultStage::Persist,
         }
     }
 }

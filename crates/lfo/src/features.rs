@@ -21,6 +21,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use cdn_trace::{CostModel, ObjectId, Request};
+use serde::{Deserialize, Serialize};
 
 /// Default number of gaps tracked (the paper's 50).
 pub const FEATURE_GAPS: usize = 50;
@@ -28,6 +29,33 @@ pub const FEATURE_GAPS: usize = 50;
 /// Sentinel value for "no such past request" gap slots. Chosen large so
 /// that quantile binning puts all missing gaps into the top bin.
 pub const MISSING_GAP: f32 = 1.0e12;
+
+/// A bounded, serializable snapshot of tracker history.
+///
+/// The LFO model is only half of the learned state — its gap features come
+/// from per-object request history, and a model scoring a history-less
+/// tracker sees the missing-gap sentinel everywhere (every object looks
+/// first-seen, so the admission filter bypasses the entire working set).
+/// Persisting a snapshot of the hottest objects alongside the model lets a
+/// restarted pipeline serve meaningful predictions from its first request.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrackerSnapshot {
+    /// `(object id, reference times most recent first)`, ordered most
+    /// recently touched first, truncated to the snapshot bound.
+    pub entries: Vec<(u64, Vec<u64>)>,
+}
+
+impl TrackerSnapshot {
+    /// Number of objects captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot captured nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// Tracks per-object request history and produces feature vectors.
 #[derive(Clone, Debug)]
@@ -150,6 +178,42 @@ impl FeatureTracker {
         let f = self.features(request, free_bytes);
         self.record(request);
         f
+    }
+
+    /// Snapshots the histories of the `limit` most recently touched
+    /// objects (ties broken by object id, so snapshots are deterministic).
+    pub fn snapshot(&self, limit: usize) -> TrackerSnapshot {
+        let mut order: Vec<(u64, u64)> = self
+            .last_touch
+            .iter()
+            .map(|(object, &touch)| (object.0, touch))
+            .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let entries = order
+            .into_iter()
+            .take(limit)
+            .filter_map(|(id, _)| {
+                self.history
+                    .get(&ObjectId(id))
+                    .map(|times| (id, times.iter().copied().collect()))
+            })
+            .collect();
+        TrackerSnapshot { entries }
+    }
+
+    /// Loads snapshot history into this tracker. Snapshot entries replace
+    /// any same-object history; other state is kept. Histories deeper than
+    /// this tracker's schedule are truncated.
+    pub fn load_snapshot(&mut self, snapshot: &TrackerSnapshot) {
+        for (id, times) in &snapshot.entries {
+            let object = ObjectId(*id);
+            let mut deque: VecDeque<u64> = times.iter().copied().collect();
+            deque.truncate(self.depth + 1);
+            if let Some(&latest) = deque.front() {
+                self.last_touch.insert(object, latest);
+            }
+            self.history.insert(object, deque);
+        }
     }
 
     /// Drops history for objects not touched since `time`, bounding memory
@@ -332,5 +396,59 @@ mod tests {
             tr.record(&req(i, i, 10));
         }
         assert!(tr.approximate_bytes() > before);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_identical_features() {
+        let mut tr = tracker();
+        for t in 0..200u64 {
+            tr.record(&req(t * 7, t % 13, 10 + t));
+        }
+        let snapshot = tr.snapshot(usize::MAX);
+        let mut restored = tracker();
+        restored.load_snapshot(&snapshot);
+        for id in 0..13u64 {
+            let probe = req(5_000, id, 64);
+            assert_eq!(tr.features(&probe, 100), restored.features(&probe, 100));
+        }
+    }
+
+    #[test]
+    fn snapshot_bounds_to_most_recently_touched() {
+        let mut tr = tracker();
+        for t in 0..50u64 {
+            tr.record(&req(t, t, 10)); // object id == touch time
+        }
+        let snapshot = tr.snapshot(5);
+        assert_eq!(snapshot.len(), 5);
+        // Most recently touched first: objects 49 down to 45.
+        let ids: Vec<u64> = snapshot.entries.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![49, 48, 47, 46, 45]);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let mut tr = tracker();
+        for t in 0..30u64 {
+            tr.record(&req(t * 11, t % 4, 10));
+        }
+        let snapshot = tr.snapshot(usize::MAX);
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: TrackerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, back);
+    }
+
+    #[test]
+    fn deep_snapshot_truncates_to_schedule_depth() {
+        let mut deep = FeatureTracker::new(8, CostModel::ByteHitRatio);
+        for t in 0..20u64 {
+            deep.record(&req(t, 1, 10));
+        }
+        let mut shallow = tracker(); // depth 4
+        shallow.load_snapshot(&deep.snapshot(usize::MAX));
+        let probe = req(100, 1, 10);
+        let f = shallow.features(&probe, 0);
+        assert_eq!(f.len(), 3 + 4);
+        assert!(f[3..].iter().all(|&g| g != MISSING_GAP));
     }
 }

@@ -29,6 +29,10 @@
 //! - [`faults`] + [`drift`] — the robustness control plane (DESIGN.md §8):
 //!   deterministic fault injection, stage supervision with bounded retries
 //!   and graceful window-skip degradation, and PSI/holdout rollout gates.
+//! - [`persist`] — durable model artifacts (DESIGN.md §10): checksummed
+//!   envelope format, atomic [`ArtifactStore`] writes with bounded
+//!   retention, and the gated warm-start restore
+//!   ([`PipelineConfig::warm_start`]).
 //!
 //! ## Quickstart
 //!
@@ -65,12 +69,16 @@ pub mod train;
 pub use config::{CutoffMode, LfoConfig, PolicyDesign};
 pub use drift::{DriftError, DriftVerdict, FeatureSketch};
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
-pub use features::{FeatureTracker, FEATURE_GAPS};
+pub use features::{FeatureTracker, TrackerSnapshot, FEATURE_GAPS};
 pub use hierarchy::{Placement, TierSpec, TieredLfoCache};
-pub use persist::LfoArtifact;
+pub use persist::{
+    ArtifactStore, CrashPoint, LfoArtifact, PersistError, Provenance, StoredValidation,
+    ARTIFACT_VERSION,
+};
 pub use pipeline::{
     run_pipeline, run_pipeline_serial, AccuracyGate, DeployMode, DriftGate, GateConfig,
-    PipelineConfig, PipelineReport, RolloutDecision, StageTiming, SupervisionConfig, WindowReport,
+    PersistConfig, PipelineConfig, PipelineReport, RestoreReport, RolloutDecision, StageTiming,
+    SupervisionConfig, WindowReport,
 };
 pub use policy::{LfoCache, ModelSlot, SharedOccupancy};
 pub use shard::{

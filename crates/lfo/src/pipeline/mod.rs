@@ -22,10 +22,12 @@
 //! implementation for comparison and testing.
 
 mod report;
+mod restore;
 mod stages;
 
-pub use report::{PipelineReport, RolloutDecision, StageTiming, WindowReport};
+pub use report::{PipelineReport, RestoreReport, RolloutDecision, StageTiming, WindowReport};
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -158,6 +160,41 @@ impl GateConfig {
     }
 }
 
+/// Durable persistence of accepted models
+/// ([`PipelineConfig::persist`]).
+///
+/// When set, the Deployer writes every *accepted* model — after its
+/// [`crate::ModelSlot`] swap — into an [`crate::ArtifactStore`] at `dir`
+/// via the atomic write protocol, so a later run can warm-start from the
+/// last good model ([`PipelineConfig::warm_start`]). Persistence failures
+/// are recorded ([`WindowReport::persisted`] stays `false`), never fatal.
+#[derive(Clone, Debug)]
+pub struct PersistConfig {
+    /// Artifact store directory (created if needed).
+    pub dir: PathBuf,
+    /// Artifacts kept after each save (oldest pruned first).
+    pub retain: usize,
+    /// Trace/run identifier recorded in each artifact's provenance.
+    pub trace_id: String,
+}
+
+impl PersistConfig {
+    /// Persistence into `dir` with default retention and no trace id.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            retain: crate::persist::ArtifactStore::DEFAULT_RETAIN,
+            trace_id: String::new(),
+        }
+    }
+
+    /// Sets the provenance trace id.
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.trace_id = trace_id.into();
+        self
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
@@ -183,6 +220,17 @@ pub struct PipelineConfig {
     pub supervision: SupervisionConfig,
     /// Rollout validation gates (default: disabled).
     pub gates: GateConfig,
+    /// Durable persistence of accepted models (default: off).
+    pub persist: Option<PersistConfig>,
+    /// Warm-start from the newest artifact in this store directory: the
+    /// artifact is integrity-checked, re-validated through the same
+    /// [`GateConfig`] gates (accuracy self-check on its stored holdout,
+    /// PSI of its training sample against this run's probe features), and
+    /// only then published to the [`crate::ModelSlot`] before window 0. A
+    /// missing, damaged, or rejected artifact degrades to the cold LRU
+    /// start with the decision recorded in
+    /// [`PipelineReport::restore`] — never an abort.
+    pub warm_start: Option<PathBuf>,
 }
 
 impl Default for PipelineConfig {
@@ -198,6 +246,8 @@ impl Default for PipelineConfig {
             faults: FaultPlan::default(),
             supervision: SupervisionConfig::default(),
             gates: GateConfig::default(),
+            persist: None,
+            warm_start: None,
         }
     }
 }
@@ -254,9 +304,10 @@ pub fn run_pipeline(
 /// [`DeployMode::Boundary`] (with an empty [`FaultPlan`] and gates
 /// disabled) the staged [`run_pipeline`] produces bit-identical per-window
 /// metrics to this function. The reference ignores the fault-tolerance
-/// control plane ([`PipelineConfig::faults`], `supervision`, `gates`) —
-/// it *is* the "everything works" schedule the staged pipeline degrades
-/// from, and it still aborts on the first [`OptError`].
+/// control plane ([`PipelineConfig::faults`], `supervision`, `gates`) and
+/// the durability plane (`persist`, `warm_start`) — it *is* the
+/// "everything works" schedule the staged pipeline degrades from, and it
+/// still aborts on the first [`OptError`].
 pub fn run_pipeline_serial(
     requests: &[Request],
     config: &PipelineConfig,
@@ -277,6 +328,7 @@ pub fn run_pipeline_serial(
         live_total: IntervalMetrics::default(),
         live_trained: IntervalMetrics::default(),
         final_model: None,
+        restore: None,
     };
     let mut previous_model: Option<Arc<Model>> = None;
 
@@ -349,6 +401,7 @@ pub fn run_pipeline_serial(
             drift_psi: None,
             holdout_accuracy: None,
             incumbent_accuracy: None,
+            persisted: false,
             timing: StageTiming {
                 serve,
                 label,
@@ -572,6 +625,7 @@ mod tests {
             drift_psi: None,
             holdout_accuracy: None,
             incumbent_accuracy: None,
+            persisted: false,
             timing: StageTiming::default(),
         };
         let report = PipelineReport {
@@ -583,6 +637,7 @@ mod tests {
             live_total: IntervalMetrics::default(),
             live_trained: IntervalMetrics::default(),
             final_model: None,
+            restore: None,
         };
         // Weighted: 1 - (0.10·1000 + 0.90·100) / 1100 ≈ 0.8273, not the
         // unweighted 1 - 0.5 = 0.5.

@@ -7,6 +7,8 @@ use std::time::Duration;
 use cdn_cache::IntervalMetrics;
 use gbdt::Model;
 
+use crate::persist::{PersistError, Provenance};
+
 /// Wall-clock spent in each pipeline stage for one window.
 ///
 /// `serve` is measured on the collector (main) thread; `label` and `train`
@@ -113,8 +115,50 @@ pub struct WindowReport {
     pub holdout_accuracy: Option<f64>,
     /// Incumbent holdout accuracy, when the accuracy gate evaluated it.
     pub incumbent_accuracy: Option<f64>,
+    /// Whether this window's accepted model was durably persisted to the
+    /// configured [`crate::ArtifactStore`] (always `false` when
+    /// persistence is off or the window deployed nothing).
+    pub persisted: bool,
     /// Per-stage wall-clock for this window.
     pub timing: StageTiming,
+}
+
+/// Outcome of a warm-start restore attempt
+/// ([`crate::PipelineConfig::warm_start`]).
+///
+/// Reuses [`RolloutDecision`] so restore outcomes read like any other
+/// rollout: `Deployed` means the artifact passed integrity checks and the
+/// configured gates and was published to the [`crate::ModelSlot`] before
+/// window 0; `SkippedFault` means the artifact was missing, damaged, or
+/// incompatible; `RejectedDrift` / `RejectedAccuracy` mean a gate vetoed
+/// it. Anything but `Deployed` falls back to the cold LRU start — never an
+/// abort.
+#[derive(Debug)]
+pub struct RestoreReport {
+    /// What happened to the stored artifact.
+    pub decision: RolloutDecision,
+    /// The typed persistence error, when the artifact could not be used.
+    pub error: Option<PersistError>,
+    /// Human-readable explanation of the decision.
+    pub detail: String,
+    /// Max per-feature PSI of the artifact's training sample against the
+    /// new run's probe features, when the drift gate evaluated it.
+    pub drift_psi: Option<f64>,
+    /// The restored model's accuracy on the artifact's stored holdout,
+    /// when the accuracy self-check evaluated it.
+    pub holdout_accuracy: Option<f64>,
+    /// The holdout accuracy recorded in the artifact at save time.
+    pub recorded_accuracy: Option<f64>,
+    /// Provenance of the artifact considered (present whenever the
+    /// artifact parsed, even if a gate then rejected it).
+    pub provenance: Option<Provenance>,
+}
+
+impl RestoreReport {
+    /// Whether the restore published a model (warm start succeeded).
+    pub fn restored(&self) -> bool {
+        self.decision == RolloutDecision::Deployed
+    }
 }
 
 /// The pipeline's overall outcome.
@@ -129,6 +173,9 @@ pub struct PipelineReport {
     pub live_trained: IntervalMetrics,
     /// The final trained model.
     pub final_model: Option<Arc<Model>>,
+    /// Outcome of the warm-start restore, when one was configured
+    /// (`None` for cold starts and the serial reference).
+    pub restore: Option<RestoreReport>,
 }
 
 impl PipelineReport {
@@ -183,6 +230,11 @@ impl PipelineReport {
     /// Total supervision retries across all windows.
     pub fn total_retries(&self) -> u32 {
         self.windows.iter().map(|w| w.retries).sum()
+    }
+
+    /// Number of windows whose accepted model was durably persisted.
+    pub fn persisted_windows(&self) -> usize {
+        self.windows.iter().filter(|w| w.persisted).count()
     }
 }
 

@@ -1,0 +1,223 @@
+//! Warm-start restore: load the last persisted artifact and re-run the
+//! deployment gates before letting it near the [`ModelSlot`].
+//!
+//! A restore is a rollout with extra failure modes: besides the gates a
+//! live candidate faces, the artifact can be missing, torn, bit-flipped,
+//! version-skewed, or trained under an incompatible configuration. The
+//! ladder here is strictest-first:
+//!
+//! 1. **Integrity** — envelope magic, format version, payload byte count,
+//!    content checksum, model/config consistency ([`LfoArtifact`] refuses
+//!    to parse damaged bytes; see [`crate::persist`]).
+//! 2. **Compatibility** — the artifact's feature schema must match the
+//!    requesting run's (a model scoring the wrong feature vector would be
+//!    silently garbage).
+//! 3. **Accuracy self-check** — when [`GateConfig::accuracy`] is on, the
+//!    model must reproduce (within the gate margin) the holdout accuracy
+//!    recorded at save time on the holdout rows stored *in* the artifact.
+//! 4. **Drift gate** — when [`GateConfig::drift`] is on, the PSI between
+//!    the artifact's stored training sample and probe features derived
+//!    from the head of the *new* run's trace must stay under the gate
+//!    threshold (the free-bytes column is excluded on both sides, as in
+//!    the live gate).
+//!
+//! Every outcome — restored or not — lands in a
+//! [`RestoreReport`](super::RestoreReport); failure always degrades to the
+//! cold LRU start, never an abort.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use cdn_trace::Request;
+use gbdt::{Dataset, Model};
+
+use crate::drift::FeatureSketch;
+use crate::features::TrackerSnapshot;
+use crate::persist::{ArtifactStore, LfoArtifact, PersistError, Provenance};
+use crate::train::evaluate;
+
+use super::report::{RestoreReport, RolloutDecision};
+use super::stages::strip_free_bytes;
+use super::PipelineConfig;
+
+/// A restore attempt that never got a usable artifact.
+fn skipped(error: PersistError, detail: String) -> RestoreReport {
+    RestoreReport {
+        decision: RolloutDecision::SkippedFault,
+        error: Some(error),
+        detail,
+        drift_psi: None,
+        holdout_accuracy: None,
+        recorded_accuracy: None,
+        provenance: None,
+    }
+}
+
+/// Probe feature rows from the head of the new run's trace: a fresh
+/// tracker over at most one window of requests — the restore-time stand-in
+/// for the live sample the in-run gate uses.
+///
+/// Two deliberate differences from the in-run sample. First, the leading
+/// three quarters of the probe span only warm the tracker: a fresh tracker
+/// emits missing-gap sentinels for every object, and sampling those reads
+/// as massive PSI against the artifact's (warm-tracked) training sample
+/// even when the traffic is unchanged — the gate is after distribution
+/// shift, not the restart's warm-up transient. Second, the probe samples
+/// every request rather than the gate's serving stride: this runs once at
+/// startup, and a sparse sample's bin noise alone can push PSI past the
+/// threshold.
+fn probe_features(requests: &[Request], config: &PipelineConfig) -> Vec<Vec<f32>> {
+    let mut tracker = config.lfo.tracker();
+    let probe = requests.len().min(config.window.max(1));
+    let warmup = probe * 3 / 4;
+    let mut rows = Vec::with_capacity(probe - warmup);
+    for (i, request) in requests[..probe].iter().enumerate() {
+        if i >= warmup {
+            // The cache is empty at restore time, so free = capacity; the
+            // column is stripped before the PSI comparison anyway.
+            rows.push(tracker.features(request, config.cache_size));
+        }
+        tracker.record(request);
+    }
+    rows
+}
+
+/// Attempts to restore the newest artifact from `dir` under `config`'s
+/// gates. On success returns the model + cutoff to publish (the caller
+/// installs it into the slot before window 0) along with the artifact's
+/// tracker snapshot, so the restored model scores warm gap features
+/// instead of treating every object as first-seen; the report records the
+/// decision either way.
+pub(super) fn attempt_restore(
+    dir: &Path,
+    requests: &[Request],
+    config: &PipelineConfig,
+) -> (Option<(Arc<Model>, f64, TrackerSnapshot)>, RestoreReport) {
+    let store = match ArtifactStore::open(dir) {
+        Ok(store) => store,
+        Err(error) => {
+            let detail = format!("artifact store unavailable: {error}");
+            return (None, skipped(error, detail));
+        }
+    };
+    let artifact = match store.load_latest() {
+        Ok(artifact) => artifact,
+        Err(error) => {
+            let detail = format!("no usable artifact: {error}");
+            return (None, skipped(error, detail));
+        }
+    };
+
+    // Compatibility: the model must score this run's feature vector.
+    if artifact.config.num_features() != config.lfo.num_features() {
+        let why = format!(
+            "artifact has {} features, this run expects {}",
+            artifact.config.num_features(),
+            config.lfo.num_features()
+        );
+        let mut report = skipped(PersistError::Incompatible(why.clone()), why);
+        report.provenance = Some(artifact.provenance.clone());
+        return (None, report);
+    }
+
+    let LfoArtifact {
+        model,
+        deployed_cutoff,
+        provenance,
+        validation,
+        tracker,
+        ..
+    } = artifact;
+    let mut report = RestoreReport {
+        decision: RolloutDecision::Deployed,
+        error: None,
+        detail: describe(&provenance),
+        drift_psi: None,
+        holdout_accuracy: None,
+        recorded_accuracy: None,
+        provenance: Some(provenance),
+    };
+
+    // Accuracy self-check: the restored model must reproduce the holdout
+    // accuracy recorded at save time (a damaged-but-parseable model, or a
+    // cutoff that no longer fits, fails here).
+    if let Some(gate) = config.gates.accuracy {
+        if !validation.holdout_rows.is_empty() {
+            match Dataset::from_rows(
+                validation.holdout_rows.clone(),
+                validation.holdout_labels.clone(),
+            ) {
+                Ok(holdout) => {
+                    let accuracy =
+                        1.0 - evaluate(&model, &holdout, deployed_cutoff).error_fraction();
+                    report.holdout_accuracy = Some(accuracy);
+                    report.recorded_accuracy = Some(validation.holdout_accuracy);
+                    if accuracy + gate.margin < validation.holdout_accuracy {
+                        report.decision = RolloutDecision::RejectedAccuracy;
+                        report.detail = format!(
+                            "holdout accuracy {accuracy:.4} below recorded {:.4} - margin",
+                            validation.holdout_accuracy
+                        );
+                        return (None, report);
+                    }
+                }
+                Err(e) => {
+                    report.decision = RolloutDecision::SkippedFault;
+                    report.error = Some(PersistError::Incompatible(format!(
+                        "stored holdout unusable: {e}"
+                    )));
+                    report.detail = "stored holdout unusable".into();
+                    return (None, report);
+                }
+            }
+        }
+    }
+
+    // Drift gate: the artifact's training distribution vs. this run's
+    // traffic, exactly as the in-run gate compares train vs. live.
+    if let Some(gate) = config.gates.drift {
+        if !validation.train_sample.is_empty() && !requests.is_empty() {
+            let reference: Vec<Vec<f32>> = validation
+                .train_sample
+                .iter()
+                .map(|row| strip_free_bytes(row.clone()))
+                .collect();
+            let probe: Vec<Vec<f32>> = probe_features(requests, config)
+                .into_iter()
+                .map(strip_free_bytes)
+                .collect();
+            if let Ok(per_feature) = FeatureSketch::fit(&reference).and_then(|s| s.psi(&probe)) {
+                let (worst, score) = per_feature
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .fold((0, 0.0), |acc, (i, v)| if v > acc.1 { (i, v) } else { acc });
+                report.drift_psi = Some(score);
+                if score > gate.max_psi {
+                    // The free-bytes column was stripped, so names shift
+                    // down by one past it.
+                    let names = config.lfo.feature_names();
+                    let name = names
+                        .get(if worst < 2 { worst } else { worst + 1 })
+                        .cloned()
+                        .unwrap_or_else(|| format!("feature {worst}"));
+                    report.decision = RolloutDecision::RejectedDrift;
+                    report.detail = format!(
+                        "probe PSI {score:.3} on '{name}' above gate {:.3}",
+                        gate.max_psi
+                    );
+                    return (None, report);
+                }
+            }
+        }
+    }
+
+    (Some((Arc::new(model), deployed_cutoff, tracker)), report)
+}
+
+fn describe(provenance: &Provenance) -> String {
+    format!(
+        "restored model from window {} (trace '{}', slot v{})",
+        provenance.window, provenance.trace_id, provenance.slot_version
+    )
+}

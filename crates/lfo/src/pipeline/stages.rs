@@ -35,14 +35,22 @@ use cdn_trace::Request;
 use gbdt::{Dataset, Model};
 use opt::{OptConfig, OptError};
 
+use crate::config::LfoConfig;
 use crate::drift::FeatureSketch;
-use crate::faults::{corrupt_rows, FaultKind, FaultStage};
+use crate::faults::{corrupt_rows, FaultKind, FaultPlan, FaultStage};
+use crate::features::TrackerSnapshot;
 use crate::labels::build_training_set;
+use crate::persist::{
+    flip_artifact_bit, tear_artifact, ArtifactStore, CrashPoint, LfoArtifact, Provenance,
+    StoredValidation,
+};
 use crate::policy::{LfoCache, ModelSlot};
 use crate::train::{equalize_cutoff, evaluate, train_window};
 
-use super::report::{merge, PipelineReport, RolloutDecision, StageTiming, WindowReport};
-use super::{solve_opt, DeployMode, PipelineConfig};
+use super::report::{
+    merge, PipelineReport, RestoreReport, RolloutDecision, StageTiming, WindowReport,
+};
+use super::{restore, solve_opt, DeployMode, PersistConfig, PipelineConfig};
 
 /// Feature index of the free-cache-bytes feature (see
 /// [`LfoConfig::feature_names`](crate::LfoConfig::feature_names)). Training
@@ -53,11 +61,47 @@ const FREE_BYTES_FEATURE: usize = 2;
 /// Cap on training rows sampled into the drift sketch per window.
 const DRIFT_SKETCH_ROWS: usize = 4096;
 
+/// Cap on feature rows stored in a persisted artifact (per sample kind).
+const PERSIST_SAMPLE_ROWS: usize = 256;
+
+/// Cap on objects whose gap history is snapshotted into a persisted
+/// artifact — enough to cover the hot set a restored model will score
+/// first, small enough to keep artifacts a few MB at most.
+const TRACKER_SNAPSHOT_OBJECTS: usize = 4096;
+
 /// Labeler → trainer: one window's training set and OPT reference ratios.
 struct LabeledWindow {
     data: Dataset,
     opt_bhr: f64,
     opt_ohr: f64,
+    /// Horizon-matched drift reference for a future restore (empty when
+    /// persistence is off); see [`restore_reference`].
+    restore_sample: Vec<Vec<f32>>,
+    /// Tracker state at the window's end (empty when persistence is off),
+    /// persisted so a restore can warm-start the serving features too.
+    tracker: TrackerSnapshot,
+}
+
+/// Builds the drift reference stored in a persisted artifact: the window
+/// re-tracked with a *fresh* tracker, sampling features over the trailing
+/// quarter only. The restore-time probe is computed the same way over the
+/// head of the new run's trace, so both sides see identical gap-history
+/// horizons — a reference drawn from the training set itself (whose
+/// tracker carries history from every earlier window) would read as drift
+/// against any freshly restarted tracker even on unchanged traffic.
+fn restore_reference(window: &[Request], lfo: &LfoConfig, cache_size: u64) -> Vec<Vec<f32>> {
+    let mut tracker = lfo.tracker();
+    let start = window.len() * 3 / 4;
+    let tail = window.len() - start;
+    let stride = tail.div_ceil(PERSIST_SAMPLE_ROWS).max(1);
+    let mut rows = Vec::with_capacity(tail.div_ceil(stride));
+    for (i, request) in window.iter().enumerate() {
+        if i >= start && (i - start).is_multiple_of(stride) {
+            rows.push(tracker.features(request, cache_size));
+        }
+        tracker.record(request);
+    }
+    rows
 }
 
 /// Labeler → trainer: the window's labeling outcome (every window produces
@@ -87,6 +131,11 @@ struct TrainOutcome {
     drift_psi: Option<f64>,
     holdout_accuracy: Option<f64>,
     incumbent_accuracy: Option<f64>,
+    /// Validation data for the artifact (built when persistence is on and
+    /// the model deployed; consumed by whichever thread persists).
+    validation: Option<StoredValidation>,
+    tracker: TrackerSnapshot,
+    persisted: bool,
     label_time: Duration,
     train_time: Duration,
 }
@@ -115,6 +164,9 @@ impl TrainOutcome {
             drift_psi: None,
             holdout_accuracy: None,
             incumbent_accuracy: None,
+            validation: None,
+            tracker: TrackerSnapshot::default(),
+            persisted: false,
             label_time,
             train_time,
         }
@@ -158,8 +210,9 @@ fn split_holdout(data: &Dataset, holdout_fraction: f64) -> Option<(Dataset, Data
 }
 
 /// Drops the free-bytes column so the drift comparison only covers features
-/// that are computed identically on both sides.
-fn strip_free_bytes(mut row: Vec<f32>) -> Vec<f32> {
+/// that are computed identically on both sides (also used by the restore
+/// path's probe-PSI gate).
+pub(super) fn strip_free_bytes(mut row: Vec<f32>) -> Vec<f32> {
     if row.len() > FREE_BYTES_FEATURE {
         row.remove(FREE_BYTES_FEATURE);
     }
@@ -181,6 +234,108 @@ fn drift_score(train_data: &Dataset, live: &[Vec<f32>]) -> Option<f64> {
     let live_rows: Vec<Vec<f32>> = live.iter().map(|r| strip_free_bytes(r.clone())).collect();
     let sketch = FeatureSketch::fit(&reference).ok()?;
     sketch.max_psi(&live_rows).ok()
+}
+
+/// Strided (rows, labels) sample of a dataset, capped at
+/// [`PERSIST_SAMPLE_ROWS`].
+fn sample_rows(data: &Dataset) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let n = data.num_rows();
+    let stride = n.div_ceil(PERSIST_SAMPLE_ROWS).max(1);
+    let mut rows = Vec::with_capacity(n.div_ceil(stride));
+    let mut labels = Vec::with_capacity(n.div_ceil(stride));
+    for r in (0..n).step_by(stride) {
+        rows.push(data.row(r));
+        labels.push(data.label(r));
+    }
+    (rows, labels)
+}
+
+/// Builds the validation block stored inside an artifact: the labeler's
+/// horizon-matched [`restore_reference`] (the restore drift reference) and
+/// a labeled holdout with the model's accuracy on it at the deployed
+/// cutoff (the restore accuracy self-check). Uses the gate's holdout split
+/// when one exists, the window tail otherwise.
+fn build_validation(
+    full: &Dataset,
+    holdout: Option<&Dataset>,
+    model: &Model,
+    cutoff: f64,
+    train_sample: Vec<Vec<f32>>,
+) -> StoredValidation {
+    let (holdout_rows, holdout_labels) = match holdout {
+        Some(hold) => sample_rows(hold),
+        None => {
+            let n = full.num_rows();
+            let start = n.saturating_sub(PERSIST_SAMPLE_ROWS);
+            let mut rows = Vec::with_capacity(n - start);
+            let mut labels = Vec::with_capacity(n - start);
+            for r in start..n {
+                rows.push(full.row(r));
+                labels.push(full.label(r));
+            }
+            (rows, labels)
+        }
+    };
+    let holdout_accuracy = Dataset::from_rows(holdout_rows.clone(), holdout_labels.clone())
+        .map(|data| 1.0 - evaluate(model, &data, cutoff).error_fraction())
+        .unwrap_or(0.0);
+    StoredValidation {
+        train_sample,
+        holdout_rows,
+        holdout_labels,
+        holdout_accuracy,
+    }
+}
+
+/// Persists an accepted model after its slot swap; returns whether the
+/// artifact is durably on disk. A save failure (including the injected
+/// crash-before-rename) is recorded, never fatal — durability degrades,
+/// serving does not. Injected torn-write / bit-flip faults damage the file
+/// *after* a successful save, modelling disk corruption the next run's
+/// restore must catch.
+#[allow(clippy::too_many_arguments)]
+fn persist_model(
+    store: &mut ArtifactStore,
+    persist: &PersistConfig,
+    lfo: &LfoConfig,
+    model: &Model,
+    cutoff: f64,
+    window: usize,
+    slot_version: u64,
+    validation: StoredValidation,
+    tracker: TrackerSnapshot,
+    faults: &mut FaultPlan,
+) -> bool {
+    let provenance = Provenance {
+        trace_id: persist.trace_id.clone(),
+        window,
+        slot_version,
+        note: format!("staged pipeline, window {window}"),
+    };
+    let artifact = LfoArtifact::new(lfo.clone(), model.clone(), cutoff, provenance)
+        .with_validation(validation)
+        .with_tracker(tracker);
+    let injected = faults.take(window, FaultStage::Persist);
+    if matches!(injected, Some(FaultKind::ArtifactCrash)) {
+        store.set_crash_point(CrashPoint::BeforeRename);
+    }
+    let saved = store.save(&artifact);
+    store.set_crash_point(CrashPoint::None);
+    match saved {
+        Err(_) => false,
+        Ok(path) => {
+            match injected {
+                Some(FaultKind::TornArtifactWrite) => {
+                    let _ = tear_artifact(&path);
+                }
+                Some(FaultKind::ArtifactBitFlip) => {
+                    let _ = flip_artifact_bit(&path, faults.seed());
+                }
+                _ => {}
+            }
+            true
+        }
+    }
 }
 
 /// Blocks until the live-feature sample for `index` arrives (boundary
@@ -234,7 +389,32 @@ pub(super) fn run_staged(
     lfo.gbdt.num_threads = threads;
 
     let slot = ModelSlot::new();
+
+    // Warm start: restore the last persisted artifact (if configured)
+    // through the integrity checks and deployment gates, publishing into
+    // the slot *before* the cache is built so window 0 serves warm. Any
+    // failure degrades to the cold LRU start with the decision recorded.
+    let mut restore_report: Option<RestoreReport> = None;
+    let mut restored: Option<(Arc<Model>, f64)> = None;
+    let mut restored_tracker: Option<TrackerSnapshot> = None;
+    if let Some(dir) = &config.warm_start {
+        let (outcome, report) = restore::attempt_restore(dir, requests, config);
+        if let Some((model, cutoff, snapshot)) = outcome {
+            slot.publish(Arc::clone(&model), cutoff);
+            restored = Some((model, cutoff));
+            restored_tracker = Some(snapshot);
+        }
+        restore_report = Some(report);
+    }
+
     let mut cache = LfoCache::with_slot(config.cache_size, lfo.clone(), slot.clone());
+    // The model is only half the restored state: without its gap history
+    // every object looks first-seen, and the admission policy shuts the
+    // door on the working set while the cache refills. Load the artifact's
+    // tracker snapshot into the serving cache so warm features match.
+    if let Some(snapshot) = &restored_tracker {
+        cache.tracker_mut().load_snapshot(snapshot);
+    }
     if let Some(gate) = config.gates.drift {
         cache.enable_feature_sampling(gate.sample_every);
     }
@@ -258,8 +438,15 @@ pub(super) fn run_staged(
         // continuous for later windows.
         let labeler_lfo = lfo.clone();
         let mut label_faults = config.faults.clone();
+        let labeler_snapshot = restored_tracker.clone();
         scope.spawn(move || {
             let mut tracker = labeler_lfo.tracker();
+            // Warm start: seed the training-side tracker from the restored
+            // artifact too, so window 0's labels see the same gap history
+            // the serving cache does.
+            if let Some(snapshot) = &labeler_snapshot {
+                tracker.load_snapshot(snapshot);
+            }
             while let Ok((index, window)) = window_rx.recv() {
                 let started = Instant::now();
                 let mut retries = 0u32;
@@ -277,10 +464,20 @@ pub(super) fn run_staged(
                             if let Some(FaultKind::CorruptRows { fraction }) = injected {
                                 data = corrupt_rows(&data, fraction, label_faults.seed());
                             }
+                            let (restore_sample, snapshot) = if config.persist.is_some() {
+                                (
+                                    restore_reference(window, &labeler_lfo, config.cache_size),
+                                    tracker.snapshot(TRACKER_SNAPSHOT_OBJECTS),
+                                )
+                            } else {
+                                (Vec::new(), TrackerSnapshot::default())
+                            };
                             break Ok(LabeledWindow {
                                 data,
                                 opt_bhr: opt.bhr(),
                                 opt_ohr: opt.ohr(),
+                                restore_sample,
+                                tracker: snapshot,
                             });
                         }
                         Err(reason) => {
@@ -315,8 +512,20 @@ pub(super) fn run_staged(
         let trainer_lfo = lfo.clone();
         let deploy = config.deploy;
         let mut train_faults = config.faults.clone();
+        // Persistence runs on whichever thread performs the slot swap: the
+        // trainer under async deploy, the collector under boundary deploy.
+        let persist_enabled = config.persist.is_some();
+        let trainer_persist = match config.deploy {
+            DeployMode::Async => config.persist.clone(),
+            DeployMode::Boundary => None,
+        };
+        let mut trainer_store = trainer_persist
+            .as_ref()
+            .and_then(|p| ArtifactStore::with_retention(&p.dir, p.retain).ok());
+        let mut trainer_persist_faults = config.faults.clone();
+        let restored_incumbent = restored.take();
         scope.spawn(move || {
-            let mut incumbent: Option<(Arc<Model>, f64)> = None;
+            let mut incumbent: Option<(Arc<Model>, f64)> = restored_incumbent;
             let mut latest_live: Option<(usize, Vec<Vec<f32>>)> = None;
             while let Ok(message) = labeled_rx.recv() {
                 let LabelMessage {
@@ -471,12 +680,39 @@ pub(super) fn run_staged(
 
                         let model = Arc::new(trained.model);
                         let deployed = rollout == RolloutDecision::Deployed;
+                        let mut validation: Option<StoredValidation> = None;
+                        let mut persisted = false;
                         if deployed {
+                            if persist_enabled {
+                                validation = Some(build_validation(
+                                    &labeled.data,
+                                    holdout,
+                                    &model,
+                                    deployed_cutoff,
+                                    labeled.restore_sample.clone(),
+                                ));
+                            }
                             if deploy == DeployMode::Async {
                                 // Mid-window rollout: the serving cache picks
                                 // this up on its next request via the slot's
                                 // version bump.
                                 trainer_slot.publish(Arc::clone(&model), deployed_cutoff);
+                                if let (Some(persist), Some(store)) =
+                                    (&trainer_persist, trainer_store.as_mut())
+                                {
+                                    persisted = persist_model(
+                                        store,
+                                        persist,
+                                        &trainer_lfo,
+                                        &model,
+                                        deployed_cutoff,
+                                        index,
+                                        trainer_slot.version(),
+                                        validation.take().unwrap_or_default(),
+                                        labeled.tracker.clone(),
+                                        &mut trainer_persist_faults,
+                                    );
+                                }
                             }
                             incumbent = Some((Arc::clone(&model), deployed_cutoff));
                         }
@@ -495,6 +731,9 @@ pub(super) fn run_staged(
                             drift_psi,
                             holdout_accuracy,
                             incumbent_accuracy,
+                            validation,
+                            tracker: labeled.tracker,
+                            persisted,
                             label_time,
                             train_time: started.elapsed(),
                         }
@@ -513,6 +752,16 @@ pub(super) fn run_staged(
             let _ = window_tx.send((index, window));
         }
         drop(window_tx);
+
+        // Boundary deploy persists on this thread, right after the swap.
+        let collector_persist = match config.deploy {
+            DeployMode::Boundary => config.persist.clone(),
+            DeployMode::Async => None,
+        };
+        let mut collector_store = collector_persist
+            .as_ref()
+            .and_then(|p| ArtifactStore::with_retention(&p.dir, p.retain).ok());
+        let mut collector_persist_faults = config.faults.clone();
 
         let sim = SimConfig::default();
         for (index, window) in windows.iter().enumerate() {
@@ -534,13 +783,29 @@ pub(super) fn run_staged(
                     // rejected window installs nothing — the incumbent
                     // keeps serving.
                     let waited = Instant::now();
-                    if let Ok(outcome) = outcome_rx.recv() {
+                    if let Ok(mut outcome) = outcome_rx.recv() {
                         debug_assert_eq!(outcome.index, index);
                         if let (Some(model), Some(cutoff)) =
-                            (&outcome.model, outcome.deployed_cutoff)
+                            (outcome.model.clone(), outcome.deployed_cutoff)
                         {
                             cache.set_cutoff(cutoff);
-                            cache.install_model(Arc::clone(model));
+                            cache.install_model(Arc::clone(&model));
+                            if let (Some(persist), Some(store)) =
+                                (&collector_persist, collector_store.as_mut())
+                            {
+                                outcome.persisted = persist_model(
+                                    store,
+                                    persist,
+                                    &lfo,
+                                    &model,
+                                    cutoff,
+                                    outcome.index,
+                                    cache.slot().version(),
+                                    outcome.validation.take().unwrap_or_default(),
+                                    std::mem::take(&mut outcome.tracker),
+                                    &mut collector_persist_faults,
+                                );
+                            }
                         }
                         outcomes.push(outcome);
                     }
@@ -580,6 +845,7 @@ pub(super) fn run_staged(
         live_total: IntervalMetrics::default(),
         live_trained: IntervalMetrics::default(),
         final_model: outcomes.iter().rev().find_map(|o| o.model.clone()),
+        restore: restore_report,
     };
     for (part, outcome) in serve_parts.into_iter().zip(outcomes) {
         debug_assert_eq!(part.index, outcome.index);
@@ -605,6 +871,7 @@ pub(super) fn run_staged(
             drift_psi: outcome.drift_psi,
             holdout_accuracy: outcome.holdout_accuracy,
             incumbent_accuracy: outcome.incumbent_accuracy,
+            persisted: outcome.persisted,
             timing: StageTiming {
                 serve: part.serve_time,
                 label: outcome.label_time,

@@ -246,6 +246,13 @@ impl PredictionServer {
         }
     }
 
+    /// Starts a server cold-started from a persisted artifact — the
+    /// serving-host path of a model rollout: load from the artifact store,
+    /// verify (the artifact only parses if its checksum holds), serve.
+    pub fn start_from_artifact(artifact: &crate::persist::LfoArtifact, threads: usize) -> Self {
+        Self::start(Arc::new(artifact.model.clone()), threads)
+    }
+
     fn sender(&self) -> &SyncSender<BatchItem> {
         self.sender.as_ref().expect("sender present until shutdown")
     }

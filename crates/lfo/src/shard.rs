@@ -284,6 +284,20 @@ impl ShardedLfoCache {
         Self::with_params(capacity, config, ShardParams::with_shards(num_shards), slot)
     }
 
+    /// Creates a sharded cache cold-started from a persisted artifact: the
+    /// artifact's model and cutoff are published into a fresh slot before
+    /// any shard is built, so every shard serves with the restored model
+    /// from its first request — no LRU warm-up window.
+    pub fn from_artifact(
+        capacity: u64,
+        params: ShardParams,
+        artifact: &crate::persist::LfoArtifact,
+    ) -> Self {
+        let slot = ModelSlot::new();
+        artifact.publish_to(&slot);
+        Self::with_params(capacity, artifact.config.clone(), params, slot)
+    }
+
     /// Fully parameterized constructor.
     ///
     /// In [`ShardMode::Pooled`] every shard is created with the full

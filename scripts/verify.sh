@@ -39,4 +39,11 @@ cargo test -q --test pipeline_faults
 echo "== repro --smoke serve (sharded serving smoke) =="
 cargo run -q --release -p bench --bin repro -- --smoke serve
 
+# Smoke the kill/restart durability experiment (DESIGN.md §10): persists
+# artifacts mid-run, restarts from the store through the gated warm-start
+# path, and writes results/BENCH_restart.json — so a persistence or
+# restore regression fails verify before the full quick-scale run.
+echo "== repro --smoke restart (artifact durability smoke) =="
+cargo run -q --release -p bench --bin repro -- --smoke restart
+
 echo "verify: OK"

@@ -1,0 +1,149 @@
+//! Backward-compatibility contract for the artifact format: a fixture
+//! saved by *this* version of the code is committed to the repo, and every
+//! future build must keep loading it and reproducing its pinned
+//! predictions. Breaking either is an [`ARTIFACT_VERSION`] event — bump
+//! the version and regenerate, don't silently re-interpret old bytes.
+//!
+//! Regenerate (after a deliberate format change) with:
+//!
+//! ```sh
+//! LFO_REGEN_GOLDEN=1 cargo test -p lfo --test artifact_compat
+//! ```
+
+use gbdt::{train, Dataset, FlatModel};
+use lfo::{LfoArtifact, LfoConfig, Provenance, StoredValidation, ARTIFACT_VERSION};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn artifact_path() -> PathBuf {
+    fixture_dir().join(format!("golden-artifact-v{ARTIFACT_VERSION}.json"))
+}
+
+fn predictions_path() -> PathBuf {
+    fixture_dir().join(format!("golden-predictions-v{ARTIFACT_VERSION}.json"))
+}
+
+/// Deterministic probe rows (fixed recurrence, no RNG dependency): the
+/// rows the golden predictions are pinned on.
+fn probe_rows(num_features: usize) -> Vec<Vec<f32>> {
+    (0..32)
+        .map(|r| {
+            (0..num_features)
+                .map(|c| ((r * 31 + c * 17 + 7) % 997) as f32 * 4.25)
+                .collect()
+        })
+        .collect()
+}
+
+/// The golden artifact recipe. Everything is pinned — data, seed, single
+/// thread — so regeneration on any machine produces the same model.
+fn golden_artifact() -> LfoArtifact {
+    let mut config = LfoConfig {
+        num_gaps: 5,
+        cutoff: 0.5,
+        ..LfoConfig::default()
+    };
+    config.gbdt.num_iterations = 6;
+    config.gbdt.num_leaves = 8;
+    config.gbdt.seed = 42;
+    config.gbdt.num_threads = 1;
+
+    let width = config.num_features();
+    let rows: Vec<Vec<f32>> = (0..240)
+        .map(|r| {
+            (0..width)
+                .map(|c| ((r * 13 + c * 29 + 3) % 503) as f32 * 8.5)
+                .collect()
+        })
+        .collect();
+    let labels: Vec<f32> = rows
+        .iter()
+        .map(|row| (row[0] < row[1]) as u8 as f32)
+        .collect();
+    let data = Dataset::from_rows(rows, labels).unwrap();
+    let model = train(&data, &config.gbdt);
+
+    let sample: Vec<Vec<f32>> = (0..4).map(|r| data.row(r)).collect();
+    LfoArtifact::new(
+        config,
+        model,
+        0.5,
+        Provenance {
+            trace_id: "golden-fixture".into(),
+            window: 3,
+            slot_version: 4,
+            note: "committed compatibility fixture; see artifact_compat.rs".into(),
+        },
+    )
+    .with_validation(StoredValidation {
+        train_sample: sample.clone(),
+        holdout_rows: sample,
+        holdout_labels: vec![0.0, 1.0, 0.0, 1.0],
+        holdout_accuracy: 0.75,
+    })
+}
+
+#[test]
+fn golden_artifact_still_loads_with_pinned_predictions() {
+    if std::env::var("LFO_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+        let artifact = golden_artifact();
+        let mut bytes = Vec::new();
+        artifact.save(&mut bytes).unwrap();
+        std::fs::write(artifact_path(), bytes).unwrap();
+        let preds: Vec<f64> = probe_rows(artifact.config.num_features())
+            .iter()
+            .map(|row| artifact.model.predict_proba(row))
+            .collect();
+        std::fs::write(
+            predictions_path(),
+            serde_json::to_string_pretty(&preds).unwrap(),
+        )
+        .unwrap();
+        eprintln!("regenerated {}", artifact_path().display());
+        return;
+    }
+
+    let artifact = LfoArtifact::load_file(&artifact_path()).unwrap_or_else(|e| {
+        panic!(
+            "golden v{ARTIFACT_VERSION} artifact no longer parses ({e}). If the \
+             format changed on purpose, bump ARTIFACT_VERSION and regenerate \
+             with LFO_REGEN_GOLDEN=1."
+        )
+    });
+    assert_eq!(artifact.provenance.trace_id, "golden-fixture");
+    assert_eq!(artifact.provenance.window, 3);
+    assert_eq!(artifact.deployed_cutoff, 0.5);
+    assert_eq!(artifact.validation.holdout_accuracy, 0.75);
+
+    let expected: Vec<f64> =
+        serde_json::from_str(&std::fs::read_to_string(predictions_path()).unwrap()).unwrap();
+    let rows = probe_rows(artifact.config.num_features());
+    assert_eq!(expected.len(), rows.len());
+    let flat = FlatModel::from(&artifact.model);
+    for (row, want) in rows.iter().zip(&expected) {
+        let got = artifact.model.predict_proba(row);
+        assert!(
+            (got - want).abs() <= 1e-9,
+            "pinned prediction drifted: got {got}, fixture says {want}"
+        );
+        let got_flat = flat.predict_proba(row);
+        assert!(
+            (got_flat - want).abs() <= 1e-9,
+            "flat scorer drifted from pinned prediction: {got_flat} vs {want}"
+        );
+    }
+}
+
+/// The committed fixture must match what today's recipe produces — i.e.
+/// the recipe itself is stable, so a prediction drift in the test above
+/// points at the *format*, not at the generator.
+#[test]
+fn golden_recipe_is_deterministic() {
+    let a = golden_artifact();
+    let b = golden_artifact();
+    assert_eq!(a.model, b.model);
+}

@@ -1,0 +1,217 @@
+//! Property tests for the artifact format: any model the trainer can
+//! produce must survive save → load with *bit-equal* predictions — through
+//! an in-memory buffer and through the on-disk [`ArtifactStore`], for both
+//! the recursive [`Model`] walker and the flattened [`FlatModel`] scorer.
+//!
+//! Bit-equality (not approximate equality) is the contract: a restored
+//! model replayed over the same trace must reproduce the original run's
+//! admission decisions exactly, or the restart experiment's ±0 window
+//! comparisons turn to sand.
+
+use cdn_trace::Request;
+use gbdt::{train, Dataset, FlatModel};
+use proptest::prelude::*;
+
+use lfo::{ArtifactStore, LfoArtifact, LfoConfig, Provenance, StoredValidation};
+
+/// Shape of one randomized round-trip case.
+#[derive(Debug, Clone)]
+struct Case {
+    seed: u64,
+    num_gaps: usize,
+    num_iterations: usize,
+    num_leaves: usize,
+    learning_rate: f64,
+    rows: usize,
+    cutoff: f64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        (0u64..u64::MAX, 2usize..=10, 1usize..=8),
+        (2usize..=16, 0.05f64..0.5, 60usize..=220, 0.1f64..0.9),
+    )
+        .prop_map(
+            |((seed, num_gaps, num_iterations), (num_leaves, learning_rate, rows, cutoff))| Case {
+                seed,
+                num_gaps,
+                num_iterations,
+                num_leaves,
+                learning_rate,
+                rows,
+                cutoff,
+            },
+        )
+}
+
+/// Tiny deterministic generator (splitmix64) so each case's data is a pure
+/// function of its seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f32(&mut self) -> f32 {
+        (self.next() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Random feature rows + labels over the case's feature layout, with the
+/// odd missing-gap sentinel mixed in (the feature space real trackers emit).
+fn random_data(case: &Case, rng: &mut Rng) -> Dataset {
+    let width = 3 + case.num_gaps;
+    let rows: Vec<Vec<f32>> = (0..case.rows)
+        .map(|_| {
+            (0..width)
+                .map(|_| {
+                    if rng.next().is_multiple_of(13) {
+                        1.0e12
+                    } else {
+                        rng.f32() * 4096.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<f32> = rows
+        .iter()
+        .map(|r| (r[0] + r[1] < 4096.0) as u8 as f32)
+        .collect();
+    Dataset::from_rows(rows, labels).unwrap()
+}
+
+/// A trained artifact for the case, with non-trivial provenance,
+/// validation, and tracker-snapshot blocks so every field round-trips.
+fn build_artifact(case: &Case) -> (LfoArtifact, LfoConfig) {
+    let mut config = LfoConfig {
+        num_gaps: case.num_gaps,
+        cutoff: case.cutoff,
+        ..LfoConfig::default()
+    };
+    config.gbdt.num_iterations = case.num_iterations;
+    config.gbdt.num_leaves = case.num_leaves;
+    config.gbdt.learning_rate = case.learning_rate;
+    config.gbdt.seed = case.seed;
+
+    let mut rng = Rng(case.seed);
+    let data = random_data(case, &mut rng);
+    let model = train(&data, &config.gbdt);
+
+    let mut tracker = config.tracker();
+    for t in 0..200u64 {
+        tracker.record(&Request::new(t, rng.next() % 64, 1 + rng.next() % 4096));
+    }
+    let sample: Vec<Vec<f32>> = (0..8).map(|r| data.row(r)).collect();
+    let validation = StoredValidation {
+        train_sample: sample.clone(),
+        holdout_rows: sample,
+        holdout_labels: vec![1.0; 8],
+        holdout_accuracy: 0.875,
+    };
+    let artifact = LfoArtifact::new(
+        config.clone(),
+        model,
+        case.cutoff,
+        Provenance {
+            trace_id: format!("roundtrip-{:016x}", case.seed),
+            window: (case.seed % 97) as usize,
+            slot_version: case.seed % 31,
+            note: "artifact_roundtrip property test".into(),
+        },
+    )
+    .with_validation(validation)
+    .with_tracker(tracker.snapshot(32));
+    (artifact, config)
+}
+
+/// Probe rows the saved and loaded models are compared on.
+fn probe_rows(case: &Case) -> Vec<Vec<f32>> {
+    let mut rng = Rng(case.seed ^ 0xdead_beef);
+    let width = 3 + case.num_gaps;
+    (0..64)
+        .map(|_| (0..width).map(|_| rng.f32() * 8192.0).collect())
+        .collect()
+}
+
+/// Asserts both scorers of `loaded` are bit-equal to `original` on `rows`.
+fn assert_bit_equal(original: &LfoArtifact, loaded: &LfoArtifact, rows: &[Vec<f32>]) {
+    let flat_original = FlatModel::from(&original.model);
+    let flat_loaded = FlatModel::from(&loaded.model);
+    for row in rows {
+        let want = original.model.predict_proba(row);
+        let got = loaded.model.predict_proba(row);
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "recursive prediction drifted across save/load: {want} vs {got}"
+        );
+        let want_flat = flat_original.predict_proba(row);
+        let got_flat = flat_loaded.predict_proba(row);
+        assert_eq!(
+            want_flat.to_bits(),
+            got_flat.to_bits(),
+            "flat prediction drifted across save/load: {want_flat} vs {got_flat}"
+        );
+        assert_eq!(
+            want.to_bits(),
+            want_flat.to_bits(),
+            "flat scorer disagrees with recursive walker pre-save"
+        );
+    }
+}
+
+proptest! {
+    // 24 cases ≥ the issue's 16-seed floor; each trains a real (small)
+    // GBDT, so the budget is deliberately modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn save_load_is_bit_exact_through_a_buffer(case in case_strategy()) {
+        let (artifact, config) = build_artifact(&case);
+
+        let mut buffer = Vec::new();
+        artifact.save(&mut buffer).expect("serialize artifact");
+        let loaded = LfoArtifact::load(buffer.as_slice()).expect("parse artifact");
+
+        prop_assert_eq!(&loaded.model, &artifact.model, "model tree structure changed");
+        prop_assert_eq!(loaded.deployed_cutoff.to_bits(), artifact.deployed_cutoff.to_bits());
+        prop_assert_eq!(&loaded.provenance, &artifact.provenance);
+        prop_assert_eq!(&loaded.tracker, &artifact.tracker);
+        prop_assert_eq!(loaded.config.num_features(), config.num_features());
+        prop_assert_eq!(
+            loaded.validation.holdout_accuracy.to_bits(),
+            artifact.validation.holdout_accuracy.to_bits()
+        );
+        prop_assert_eq!(
+            loaded.validation.train_sample.len(),
+            artifact.validation.train_sample.len()
+        );
+        assert_bit_equal(&artifact, &loaded, &probe_rows(&case));
+    }
+
+    #[test]
+    fn save_load_is_bit_exact_through_the_store(case in case_strategy()) {
+        let (artifact, _) = build_artifact(&case);
+        let dir = std::env::temp_dir().join(format!(
+            "lfo-roundtrip-{}-{:016x}",
+            std::process::id(),
+            case.seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let store = ArtifactStore::open(&dir).expect("open store");
+        store.save(&artifact).expect("store save");
+        let loaded = store.load_latest().expect("store load_latest");
+        std::fs::remove_dir_all(&dir).ok();
+
+        prop_assert_eq!(&loaded.model, &artifact.model);
+        prop_assert_eq!(&loaded.tracker, &artifact.tracker);
+        assert_bit_equal(&artifact, &loaded, &probe_rows(&case));
+    }
+}

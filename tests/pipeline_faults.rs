@@ -6,12 +6,21 @@
 //! cache's [`ModelSlot`] bumps its version on every install, so a frozen
 //! version across a window boundary *proves* a skipped or gated-out model
 //! was never published to the serving path.
+//!
+//! The second half of the file turns the same fault plan on the *artifact*
+//! path: every corruption a restart can meet — torn writes, silent bit
+//! flips, a crash between temp-file write and rename, format version
+//! skew, an empty store — must degrade the warm start to the cold LRU
+//! path with a typed [`PersistError`] and a recorded decision, and the
+//! pipeline must keep serving without a panic in every case.
 
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use cdn_trace::{GeneratorConfig, TraceGenerator, TraceStats};
+use cdn_trace::{GeneratorConfig, Trace, TraceGenerator, TraceStats};
 use lfo::{
-    run_pipeline, AccuracyGate, DriftGate, FaultKind, FaultPlan, PipelineConfig, RolloutDecision,
+    run_pipeline, AccuracyGate, DriftGate, FaultKind, FaultPlan, GateConfig, PersistConfig,
+    PersistError, PipelineConfig, PipelineReport, RolloutDecision,
 };
 
 fn production_config(
@@ -215,4 +224,234 @@ fn accuracy_gate_rejection_keeps_the_incumbent_installed() {
         report.final_model.is_some(),
         "the incumbent is the final model"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Artifact corruption: the warm-start integrity ladder.
+// ---------------------------------------------------------------------------
+
+const WINDOW: usize = 2_000;
+const REQUESTS: u64 = 8_000;
+
+fn artifact_trace(seed: u64) -> Trace {
+    TraceGenerator::new(GeneratorConfig::small(seed, REQUESTS)).generate()
+}
+
+fn artifact_config(trace: &Trace) -> PipelineConfig {
+    PipelineConfig {
+        window: WINDOW,
+        cache_size: TraceStats::from_trace(trace).cache_size_for_fraction(0.1),
+        opt_segment: WINDOW / 10,
+        // Gates off: these tests isolate the *integrity* ladder; the gated
+        // restore path is covered by `warm_restart_serves_window_zero...`
+        // and the `repro restart` experiment.
+        gates: GateConfig::default(),
+        ..PipelineConfig::default()
+    }
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lfo-faults-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the persisting "first deployment" over the trace, with `faults`
+/// scripted into the persistence stage.
+fn seeding_run(trace: &Trace, dir: &Path, faults: FaultPlan) -> PipelineReport {
+    let mut config = artifact_config(trace);
+    config.persist = Some(PersistConfig::new(dir).with_trace_id("faults-test"));
+    config.faults = faults;
+    run_pipeline(trace.requests(), &config).expect("seeding run")
+}
+
+/// Runs the "restarted process": same trace shape, warm start from `dir`.
+fn warm_run(trace: &Trace, dir: &Path) -> PipelineReport {
+    let mut config = artifact_config(trace);
+    config.warm_start = Some(dir.to_path_buf());
+    run_pipeline(trace.requests(), &config).expect("warm run")
+}
+
+/// Every window of the seeding run persists, so whatever survives last in
+/// the store is the artifact the fault targeted.
+fn fault_every_window(kind: FaultKind) -> FaultPlan {
+    let windows = (REQUESTS as usize).div_ceil(WINDOW);
+    let mut plan = FaultPlan::with_seed(7);
+    for w in 0..windows {
+        plan = plan.inject(w, kind.clone());
+    }
+    plan
+}
+
+/// Asserts the warm start fell back to the cold path: decision recorded,
+/// no model at window 0, and the run still served the whole trace.
+fn assert_cold_fallback(report: &PipelineReport) -> &PersistError {
+    let restore = report.restore.as_ref().expect("restore attempt recorded");
+    assert_eq!(
+        restore.decision,
+        RolloutDecision::SkippedFault,
+        "{restore:?}"
+    );
+    assert!(!restore.restored());
+    assert!(
+        !report.windows[0].had_model,
+        "cold fallback must serve window 0 from the LRU path"
+    );
+    // The learner still recovers on its own: later windows train fresh
+    // models exactly as a cold start would.
+    assert!(report.windows.last().unwrap().had_model);
+    assert!(report.live_total.bhr() > 0.0, "pipeline stopped serving");
+    restore.error.as_ref().expect("typed PersistError recorded")
+}
+
+#[test]
+fn torn_artifact_write_degrades_to_cold_start() {
+    let trace = artifact_trace(21);
+    let dir = store_dir("torn");
+    let seeded = seeding_run(
+        &trace,
+        &dir,
+        fault_every_window(FaultKind::TornArtifactWrite),
+    );
+    assert!(seeded.persisted_windows() > 0, "nothing persisted");
+
+    let warm = warm_run(&trace, &dir);
+    let error = assert_cold_fallback(&warm);
+    assert!(
+        matches!(error, PersistError::Truncated { expected, found } if found < expected),
+        "torn write must surface as Truncated, got {error:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_artifact_degrades_to_cold_start() {
+    let trace = artifact_trace(22);
+    let dir = store_dir("bitflip");
+    let seeded = seeding_run(&trace, &dir, fault_every_window(FaultKind::ArtifactBitFlip));
+    assert!(seeded.persisted_windows() > 0, "nothing persisted");
+
+    let warm = warm_run(&trace, &dir);
+    let error = assert_cold_fallback(&warm);
+    assert!(
+        matches!(
+            error,
+            PersistError::ChecksumMismatch { .. } | PersistError::Format(_)
+        ),
+        "bit flip must surface as checksum (or, if it lands in the header, \
+         format) damage, got {error:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_before_rename_restores_the_previous_artifact() {
+    let trace = artifact_trace(23);
+    let dir = store_dir("crash");
+    let windows = (REQUESTS as usize).div_ceil(WINDOW);
+    // Only the *last* persisting window crashes mid-save: the store must
+    // keep resolving the previous window's artifact, never a partial file.
+    let last = windows - 1;
+    let seeded = seeding_run(
+        &trace,
+        &dir,
+        FaultPlan::with_seed(7).inject(last, FaultKind::ArtifactCrash),
+    );
+    assert_eq!(
+        seeded.persisted_windows(),
+        windows - 1,
+        "every window but the crashed one persists"
+    );
+
+    let warm = warm_run(&trace, &dir);
+    let restore = warm.restore.as_ref().expect("restore attempt recorded");
+    assert!(restore.restored(), "{restore:?}");
+    let provenance = restore.provenance.as_ref().expect("provenance recorded");
+    assert_eq!(
+        provenance.window,
+        last - 1,
+        "latest usable artifact is the window before the crash"
+    );
+    assert!(warm.windows[0].had_model, "restored model serves window 0");
+    // No temp file leaks into `latest` resolution.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        assert!(
+            name.starts_with("artifact-") || name.starts_with(".tmp-"),
+            "unexpected store entry {name}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_skewed_artifact_degrades_to_cold_start() {
+    let trace = artifact_trace(24);
+    let dir = store_dir("version");
+    seeding_run(&trace, &dir, FaultPlan::default());
+
+    // Rewrite the newest artifact's header as a future format version —
+    // the restore must refuse it before touching the payload.
+    let store = lfo::ArtifactStore::open(&dir).unwrap();
+    let latest = store.latest_path().unwrap().expect("an artifact on disk");
+    let bytes = std::fs::read(&latest).unwrap();
+    let skewed = String::from_utf8(bytes).unwrap().replacen(
+        &format!("\"version\":{}", lfo::ARTIFACT_VERSION),
+        &format!("\"version\":{}", lfo::ARTIFACT_VERSION + 9),
+        1,
+    );
+    std::fs::write(&latest, skewed).unwrap();
+
+    let warm = warm_run(&trace, &dir);
+    let error = assert_cold_fallback(&warm);
+    assert!(
+        matches!(
+            error,
+            PersistError::VersionMismatch { found, expected }
+                if *found == lfo::ARTIFACT_VERSION + 9 && *expected == lfo::ARTIFACT_VERSION
+        ),
+        "version skew must surface as VersionMismatch, got {error:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_store_degrades_to_cold_start() {
+    let trace = artifact_trace(25);
+    let dir = store_dir("empty");
+
+    let warm = warm_run(&trace, &dir);
+    let error = assert_cold_fallback(&warm);
+    assert!(
+        matches!(error, PersistError::Missing(_)),
+        "empty store must surface as Missing, got {error:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_restart_serves_window_zero_with_the_restored_model() {
+    let trace = artifact_trace(26);
+    let dir = store_dir("happy");
+    let seeded = seeding_run(&trace, &dir, FaultPlan::default());
+    let windows = (REQUESTS as usize).div_ceil(WINDOW);
+    assert_eq!(seeded.persisted_windows(), windows);
+    // Cold reference: window 0 has no model by construction.
+    assert!(!seeded.windows[0].had_model);
+
+    let warm = warm_run(&trace, &dir);
+    let restore = warm.restore.as_ref().expect("restore attempt recorded");
+    assert!(restore.restored(), "{restore:?}");
+    assert!(restore.error.is_none());
+    assert_eq!(
+        restore.provenance.as_ref().unwrap().window,
+        windows - 1,
+        "newest artifact wins"
+    );
+    assert!(
+        warm.windows[0].had_model,
+        "warm start must publish before the first request"
+    );
+    assert!(warm.windows[0].slot_version > 0);
+    std::fs::remove_dir_all(&dir).ok();
 }
