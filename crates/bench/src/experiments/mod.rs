@@ -15,6 +15,7 @@ pub mod fig8;
 pub mod hyper;
 pub mod prune;
 pub mod restart;
+pub mod retrain;
 pub mod serve;
 pub mod staged;
 pub mod thin;
@@ -23,9 +24,9 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper", "prune",
-    "design", "thin", "tiers", "staged", "faults", "serve", "restart", "summary",
+    "design", "thin", "tiers", "staged", "faults", "serve", "restart", "retrain", "summary",
 ];
 
 /// Runs one experiment by name. Unknown names return `false`.
@@ -49,6 +50,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "faults" => faults::run(ctx)?,
         "serve" => serve::run(ctx)?,
         "restart" => restart::run(ctx)?,
+        "retrain" => retrain::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

@@ -86,6 +86,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                     window: 0,
                     slot_version: 0,
                     note: format!("repro serve, first-window model, n={}", reqs.len()),
+                    lineage: None,
                 },
             );
             match store.as_ref().map(|s| s.save(&artifact)) {

@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use lfo::{run_pipeline, run_pipeline_serial, DeployMode, PipelineConfig};
+use lfo::{run_pipeline, run_pipeline_serial, DeployMode, PipelineConfig, RetrainConfig};
 
 use crate::harness::Context;
 
@@ -51,48 +51,71 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     let asynced = run_pipeline(trace.requests(), &async_cfg).expect("async pipeline");
     let async_time = start.elapsed();
 
+    // Incremental mode: same boundary-deploy schedule, but windows after
+    // the first append delta trees to the incumbent instead of rebuilding —
+    // the train(ms) column is where the drop shows (`repro retrain` runs
+    // the full comparison).
+    let mut incremental_cfg = staged_cfg.clone();
+    incremental_cfg.retrain = RetrainConfig {
+        delta_trees: 6,
+        full_refresh: 8,
+        max_trees: 60,
+    };
+    let start = Instant::now();
+    let incremental =
+        run_pipeline(trace.requests(), &incremental_cfg).expect("incremental pipeline");
+    let incremental_time = start.elapsed();
+
     println!("  per-window stage wall-clock (staged, boundary deploy):");
-    println!("  window  requests  serve(ms)  label(ms)  train(ms)  deploy-wait(ms)");
+    println!("  mode         window  requests  serve(ms)  label(ms)  train(ms)  deploy-wait(ms)");
     let mut timing_csv = Vec::new();
-    for w in &staged.windows {
-        let (serve, label, train, wait) = (
-            w.timing.serve.as_secs_f64() * 1e3,
-            w.timing.label.as_secs_f64() * 1e3,
-            w.timing.train.as_secs_f64() * 1e3,
-            w.timing.deploy_wait.as_secs_f64() * 1e3,
-        );
-        println!(
-            "  {:>6}  {:>8}  {serve:>9.1}  {label:>9.1}  {train:>9.1}  {wait:>15.1}",
-            w.index, w.requests
-        );
-        timing_csv.push(format!(
-            "{},{},{serve:.2},{label:.2},{train:.2},{wait:.2}",
-            w.index, w.requests
-        ));
+    for (mode, report) in [("scratch", &staged), ("incremental", &incremental)] {
+        for w in &report.windows {
+            let (serve, label, train, wait) = (
+                w.timing.serve.as_secs_f64() * 1e3,
+                w.timing.label.as_secs_f64() * 1e3,
+                w.timing.train.as_secs_f64() * 1e3,
+                w.timing.deploy_wait.as_secs_f64() * 1e3,
+            );
+            println!(
+                "  {mode:<11}  {:>6}  {:>8}  {serve:>9.1}  {label:>9.1}  {train:>9.1}  {wait:>15.1}",
+                w.index, w.requests
+            );
+            timing_csv.push(format!(
+                "{mode},{},{},{serve:.2},{label:.2},{train:.2},{wait:.2}",
+                w.index, w.requests
+            ));
+        }
     }
     ctx.write_csv(
         "staged_stage_timing.csv",
-        "window,requests,serve_ms,label_ms,train_ms,deploy_wait_ms",
+        "mode,window,requests,serve_ms,label_ms,train_ms,deploy_wait_ms",
         &timing_csv,
     )?;
 
     let staged_speedup = serial_time.as_secs_f64() / staged_time.as_secs_f64().max(1e-9);
     let async_speedup = serial_time.as_secs_f64() / async_time.as_secs_f64().max(1e-9);
+    let incremental_speedup = serial_time.as_secs_f64() / incremental_time.as_secs_f64().max(1e-9);
     let serial_ms = serial_time.as_secs_f64() * 1e3;
     let staged_ms = staged_time.as_secs_f64() * 1e3;
     let async_ms = async_time.as_secs_f64() * 1e3;
-    println!("  mode     time(ms)  speedup  overall BHR");
+    let incremental_ms = incremental_time.as_secs_f64() * 1e3;
+    println!("  mode         time(ms)  speedup  overall BHR");
     println!(
-        "  serial   {serial_ms:>8.0}    1.00x    {:.4}",
+        "  serial       {serial_ms:>8.0}    1.00x    {:.4}",
         serial.live_total.bhr()
     );
     println!(
-        "  staged   {staged_ms:>8.0}  {staged_speedup:>6.2}x    {:.4}  (boundary deploy: bit-identical)",
+        "  staged       {staged_ms:>8.0}  {staged_speedup:>6.2}x    {:.4}  (boundary deploy: bit-identical)",
         staged.live_total.bhr()
     );
     println!(
-        "  async    {async_ms:>8.0}  {async_speedup:>6.2}x    {:.4}  (mid-window rollout)",
+        "  async        {async_ms:>8.0}  {async_speedup:>6.2}x    {:.4}  (mid-window rollout)",
         asynced.live_total.bhr()
+    );
+    println!(
+        "  incremental  {incremental_ms:>8.0}  {incremental_speedup:>6.2}x    {:.4}  (delta trees, boundary deploy)",
+        incremental.live_total.bhr()
     );
     ctx.write_csv(
         "staged_speedup.csv",
@@ -106,6 +129,10 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             format!(
                 "async,{async_ms:.1},{async_speedup:.3},{:.6}",
                 asynced.live_total.bhr()
+            ),
+            format!(
+                "incremental,{incremental_ms:.1},{incremental_speedup:.3},{:.6}",
+                incremental.live_total.bhr()
             ),
         ],
     )?;

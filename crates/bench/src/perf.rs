@@ -9,7 +9,9 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
+use gbdt::{train, train_continued, BinMap, BinnedDataset, Dataset, GbdtParams};
 use serde::{Deserialize, Serialize};
 
 use crate::harness::Context;
@@ -19,6 +21,9 @@ pub const BENCH_SERVE_FILE: &str = "BENCH_serve.json";
 
 /// File name of the restart/durability summary.
 pub const BENCH_RESTART_FILE: &str = "BENCH_restart.json";
+
+/// File name of the incremental-retraining summary.
+pub const BENCH_RETRAIN_FILE: &str = "BENCH_retrain.json";
 
 /// One row of the Figure 7 thread sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -128,6 +133,122 @@ impl BenchRestart {
     }
 }
 
+/// One window of the scratch-vs-incremental pipeline comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RetrainWindowRow {
+    /// Window index.
+    pub window: usize,
+    /// Trainer-stage wall-clock of the scratch-per-window run.
+    pub scratch_train_ms: f64,
+    /// Trainer-stage wall-clock of the incremental run.
+    pub incremental_train_ms: f64,
+    /// How the incremental run trained this window
+    /// (`Scratch` / `Incremental` / `ScratchFallback`, as debug text).
+    pub incremental_kind: String,
+    /// Trees in the incremental run's candidate ensemble.
+    pub incremental_trees: usize,
+}
+
+/// Micro-benchmark section: the two mechanisms the incremental path is
+/// built on, timed in isolation on one window's training set.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RetrainMicro {
+    /// Rows in the dataset the micro-benchmarks ran on.
+    pub rows: usize,
+    /// [`BinnedDataset::build`]: quantile fit + apply from scratch.
+    pub bin_build_ms: f64,
+    /// [`BinnedDataset::from_map`]: apply against a pre-fitted frozen grid.
+    pub bin_frozen_ms: f64,
+    /// Full scratch fit at the configured iteration count.
+    pub scratch_train_ms: f64,
+    /// Warm-start continuation appending `delta_trees` to that model.
+    pub warm_train_ms: f64,
+    /// Delta trees appended by the warm-start measurement.
+    pub delta_trees: usize,
+}
+
+/// Times binned-dataset construction with and without a frozen [`BinMap`]
+/// and a scratch fit vs. a warm-start continuation, on `data`.
+pub fn retrain_micro(data: &Dataset, params: &GbdtParams, delta_trees: usize) -> RetrainMicro {
+    let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let built = BinnedDataset::build(data, params.max_bins);
+    let bin_build_ms = ms(t);
+    std::hint::black_box(&built);
+
+    let map = BinMap::fit(data, params.max_bins);
+    let t = Instant::now();
+    let frozen = BinnedDataset::from_map(data, &map);
+    let bin_frozen_ms = ms(t);
+    std::hint::black_box(&frozen);
+
+    let t = Instant::now();
+    let base = train(data, params);
+    let scratch_train_ms = ms(t);
+
+    let mut delta = params.clone();
+    delta.num_iterations = delta_trees;
+    let t = Instant::now();
+    let warm = train_continued(&base, data, &delta, Some(&map));
+    let warm_train_ms = ms(t);
+    std::hint::black_box(&warm);
+
+    RetrainMicro {
+        rows: data.num_rows(),
+        bin_build_ms,
+        bin_frozen_ms,
+        scratch_train_ms,
+        warm_train_ms,
+        delta_trees,
+    }
+}
+
+/// The `BENCH_retrain.json` document: `repro retrain` runs the staged
+/// pipeline twice over the same trace — scratch-per-window vs. incremental
+/// warm-start retraining — and records the per-window trainer cost, the
+/// cumulative speedup, and the BHR parity check.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchRetrain {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests per pipeline window.
+    pub window: usize,
+    /// Delta trees appended per incremental window.
+    pub delta_trees: usize,
+    /// Full rebuild every Nth deployed window.
+    pub full_refresh: usize,
+    /// Ensemble cap (0 = unbounded).
+    pub max_trees: usize,
+    /// Per-window comparison.
+    pub windows: Vec<RetrainWindowRow>,
+    /// Mean trainer-stage ms after window 0, scratch run.
+    pub scratch_mean_train_ms: f64,
+    /// Mean trainer-stage ms after window 0, incremental run.
+    pub incremental_mean_train_ms: f64,
+    /// `scratch_mean_train_ms / incremental_mean_train_ms`.
+    pub train_speedup: f64,
+    /// Full-trace live BHR of the scratch run.
+    pub scratch_bhr: f64,
+    /// Full-trace live BHR of the incremental run.
+    pub incremental_bhr: f64,
+    /// `incremental_bhr - scratch_bhr` (parity check: within ±0.01).
+    pub bhr_delta: f64,
+    /// Isolated micro-benchmarks on one window's training set.
+    pub micro: RetrainMicro,
+}
+
+impl BenchRetrain {
+    /// Writes the document, pretty-printed (single writer, no merge).
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_RETRAIN_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_retrain encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +289,25 @@ mod tests {
         assert_eq!(doc.serve.len(), 1);
         assert_eq!(doc.fig7[0].threads, 1);
         assert_eq!(doc.serve[0].shards, 4);
+    }
+
+    #[test]
+    fn retrain_micro_measures_both_mechanisms() {
+        let rows: Vec<Vec<f32>> = (0..240)
+            .map(|i| vec![(i % 17) as f32, (i % 5) as f32, (i % 29) as f32])
+            .collect();
+        let labels: Vec<f32> = (0..240).map(|i| ((i % 3) == 0) as u8 as f32).collect();
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let mut params = GbdtParams::lfo_paper();
+        params.num_iterations = 4;
+        params.num_threads = 1;
+        let micro = retrain_micro(&data, &params, 2);
+        assert_eq!(micro.rows, 240);
+        assert_eq!(micro.delta_trees, 2);
+        assert!(micro.bin_build_ms >= 0.0);
+        assert!(micro.bin_frozen_ms >= 0.0);
+        assert!(micro.scratch_train_ms > 0.0);
+        assert!(micro.warm_train_ms > 0.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::dataset::{BinnedDataset, Dataset};
+use crate::dataset::{BinMap, BinnedDataset, Dataset};
 use crate::metrics::log_loss;
 use crate::tree::{grow_tree, GrowParams, Tree};
 
@@ -131,6 +131,31 @@ impl Model {
     pub fn truncate(&mut self, n: usize) {
         self.trees.truncate(n);
     }
+
+    /// A copy keeping only the *newest* `n` trees (truncate-oldest) — the
+    /// ensemble-size cap for long incremental runs. The oldest trees carry
+    /// the stalest picture of the workload, so they are the ones dropped.
+    /// Keeps at least the full model when `n >= len`.
+    pub fn retained_newest(&self, n: usize) -> Model {
+        let keep = n.min(self.trees.len());
+        Model {
+            init_score: self.init_score,
+            trees: self.trees[self.trees.len() - keep..].to_vec(),
+            num_features: self.num_features,
+        }
+    }
+
+    /// Continues boosting from this model: appends `params.num_iterations`
+    /// new trees with the score vector seeded from this ensemble's raw
+    /// margins. See [`train_continued`].
+    pub fn continue_training(
+        &self,
+        data: &Dataset,
+        params: &GbdtParams,
+        bin_map: Option<&BinMap>,
+    ) -> Model {
+        train_continued(self, data, params, bin_map)
+    }
 }
 
 /// The logistic function.
@@ -145,15 +170,21 @@ pub struct TrainReport {
     pub train_loss: Vec<f64>,
     /// Validation log-loss after each iteration (empty without validation).
     pub valid_loss: Vec<f64>,
-    /// Iteration (1-based tree count) with the best validation loss.
+    /// Iteration (1-based count of trees *added by this call*) with the
+    /// best validation loss.
     pub best_iteration: usize,
     /// Whether early stopping fired.
     pub stopped_early: bool,
+    /// Total per-row validation score updates performed: the validation
+    /// margins are kept incrementally (only the newest tree's contribution
+    /// is added per iteration), so this is exactly
+    /// `valid_loss.len() * valid.num_rows()` — O(T·rows), never O(T²·rows).
+    pub valid_score_updates: usize,
 }
 
 /// Trains a model on `data`.
 pub fn train(data: &Dataset, params: &GbdtParams) -> Model {
-    train_impl(data, None, params).0
+    train_impl(data, None, params, None, None).0
 }
 
 /// Trains with a validation set, reporting per-iteration losses and
@@ -163,13 +194,49 @@ pub fn train_with_validation(
     valid: &Dataset,
     params: &GbdtParams,
 ) -> (Model, TrainReport) {
-    train_impl(data, Some(valid), params)
+    train_impl(data, Some(valid), params, None, None)
+}
+
+/// Continues boosting from `base`: the score vector is seeded from the
+/// base ensemble's raw margins (scored once via [`crate::FlatModel`] batch
+/// inference) and `params.num_iterations` *new* trees are appended. With
+/// no subsampling, `train_continued(&train(data, k), data, m, ..)` is
+/// bit-identical to `train(data, k + m)` — the boosting loop literally
+/// resumes where it stopped.
+///
+/// `bin_map` optionally supplies frozen bin boundaries so the new window
+/// is quantized against a fixed grid instead of re-deriving quantiles.
+///
+/// # Panics
+///
+/// Panics if `base` was trained on a different feature count.
+pub fn train_continued(
+    base: &Model,
+    data: &Dataset,
+    params: &GbdtParams,
+    bin_map: Option<&BinMap>,
+) -> Model {
+    train_impl(data, None, params, Some(base), bin_map).0
+}
+
+/// [`train_continued`] with a validation set; early stopping truncates
+/// only the trees added by this call, never the base ensemble.
+pub fn train_continued_with_validation(
+    base: &Model,
+    data: &Dataset,
+    valid: &Dataset,
+    params: &GbdtParams,
+    bin_map: Option<&BinMap>,
+) -> (Model, TrainReport) {
+    train_impl(data, Some(valid), params, Some(base), bin_map)
 }
 
 fn train_impl(
     data: &Dataset,
     valid: Option<&Dataset>,
     params: &GbdtParams,
+    base: Option<&Model>,
+    bin_map: Option<&BinMap>,
 ) -> (Model, TrainReport) {
     assert!(params.num_leaves >= 2, "num_leaves must be at least 2");
     assert!(
@@ -182,31 +249,72 @@ fn train_impl(
     );
 
     let n = data.num_rows();
-    let binned = BinnedDataset::build(data, params.max_bins);
+    let binned = match bin_map {
+        Some(map) => BinnedDataset::from_map(data, map),
+        None => BinnedDataset::build(data, params.max_bins),
+    };
     let labels = data.labels();
 
-    // Prior log-odds as the initial score.
-    let positives: f64 = labels.iter().map(|&y| y as f64).sum();
-    let p = (positives / n as f64).clamp(1e-6, 1.0 - 1e-6);
-    let init_score = (p / (1.0 - p)).ln();
+    // Initial score: the prior log-odds for a fresh model, the base
+    // ensemble's own init score when continuing (the appended trees keep
+    // correcting the same additive expansion).
+    let init_score = match base {
+        Some(b) => {
+            assert_eq!(
+                b.num_features(),
+                data.num_features(),
+                "base model was trained on a different feature count"
+            );
+            b.init_score()
+        }
+        None => {
+            // Prior log-odds as the initial score.
+            let positives: f64 = labels.iter().map(|&y| y as f64).sum();
+            let p = (positives / n as f64).clamp(1e-6, 1.0 - 1e-6);
+            (p / (1.0 - p)).ln()
+        }
+    };
 
+    // Per-row margins. Fresh training starts at the init score; continued
+    // training seeds from the base ensemble's margins, batch-scored once
+    // through the flat layout in training order — bit-identical to the
+    // scores an uninterrupted run would hold at this point.
     let mut scores = vec![init_score; n];
+    let flat_base = base.map(|b| b.flatten());
+    if let Some(flat) = &flat_base {
+        let packed: Vec<f32> = (0..n).flat_map(|r| data.row(r)).collect();
+        flat.training_margins(&packed, &mut scores);
+    }
     let mut grad = vec![0.0f64; n];
     let mut hess = vec![0.0f64; n];
     let mut rng = StdRng::seed_from_u64(params.seed);
 
+    let base_len = base.map_or(0, |b| b.trees().len());
     let mut model = Model {
         init_score,
-        trees: Vec::with_capacity(params.num_iterations),
+        trees: match base {
+            Some(b) => {
+                let mut trees = Vec::with_capacity(base_len + params.num_iterations);
+                trees.extend_from_slice(b.trees());
+                trees
+            }
+            None => Vec::with_capacity(params.num_iterations),
+        },
         num_features: data.num_features(),
     };
     let mut report = TrainReport::default();
 
-    // Validation bookkeeping.
+    // Validation bookkeeping: rows are materialized once, and the
+    // validation margins are updated incrementally (newest tree only) per
+    // iteration — the same O(T·rows) scheme as the training scores.
     let valid_rows: Vec<Vec<f32>> = valid
         .map(|v| (0..v.num_rows()).map(|r| v.row(r)).collect())
         .unwrap_or_default();
     let mut valid_scores = vec![init_score; valid_rows.len()];
+    if let Some(flat) = &flat_base {
+        let packed: Vec<f32> = valid_rows.iter().flat_map(|r| r.iter().copied()).collect();
+        flat.training_margins(&packed, &mut valid_scores);
+    }
     let mut best_valid = f64::INFINITY;
     let mut best_iteration = 0usize;
 
@@ -272,6 +380,7 @@ fn train_impl(
             for (i, row) in valid_rows.iter().enumerate() {
                 valid_scores[i] += tree.predict(row);
             }
+            report.valid_score_updates += valid_rows.len();
             let vl = log_loss(
                 &valid_scores.iter().map(|&s| sigmoid(s)).collect::<Vec<_>>(),
                 v.labels(),
@@ -296,10 +405,12 @@ fn train_impl(
     if valid.is_some() {
         report.best_iteration = best_iteration.max(1);
         if params.early_stopping_rounds > 0 {
-            model.truncate(report.best_iteration);
+            // Early stopping only discards trees added by this call; the
+            // base ensemble is never truncated.
+            model.truncate(base_len + report.best_iteration);
         }
     } else {
-        report.best_iteration = model.trees.len();
+        report.best_iteration = model.trees.len() - base_len;
     }
 
     (model, report)
@@ -453,6 +564,104 @@ mod tests {
         for (i, &p) in batch.iter().enumerate() {
             assert_eq!(p, model.predict_proba(&rows[i]));
         }
+    }
+
+    #[test]
+    fn continued_training_is_bit_identical_to_uninterrupted() {
+        // Without subsampling the RNG never fires, so stopping after k
+        // trees and continuing for m more must reproduce train(k + m)
+        // exactly — same trees, same structure, bit for bit.
+        let (rows, labels) = disc_dataset(800, 21);
+        let data = Dataset::from_rows(rows.clone(), labels).unwrap();
+        for (k, m) in [(10, 20), (1, 29), (15, 15)] {
+            let mut head = GbdtParams::lfo_paper();
+            head.num_iterations = k;
+            let mut tail = GbdtParams::lfo_paper();
+            tail.num_iterations = m;
+            let mut full = GbdtParams::lfo_paper();
+            full.num_iterations = k + m;
+
+            let base = train(&data, &head);
+            let continued = train_continued(&base, &data, &tail, None);
+            let uninterrupted = train(&data, &full);
+            assert_eq!(continued, uninterrupted, "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn continued_training_with_frozen_map_matches_refit_on_same_data() {
+        // Fitting the map on the same window it bins is exactly build():
+        // the frozen path changes nothing when the data hasn't moved.
+        let (rows, labels) = disc_dataset(600, 22);
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let mut head = GbdtParams::lfo_paper();
+        head.num_iterations = 10;
+        let base = train(&data, &head);
+        let mut tail = GbdtParams::lfo_paper();
+        tail.num_iterations = 5;
+        let map = crate::BinMap::fit(&data, tail.max_bins);
+        let frozen = train_continued(&base, &data, &tail, Some(&map));
+        let refit = train_continued(&base, &data, &tail, None);
+        assert_eq!(frozen, refit);
+    }
+
+    #[test]
+    fn continue_training_appends_and_retained_newest_truncates_oldest() {
+        let (rows, labels) = disc_dataset(500, 23);
+        let data = Dataset::from_rows(rows.clone(), labels).unwrap();
+        let mut params = GbdtParams::lfo_paper();
+        params.num_iterations = 8;
+        let base = train(&data, &params);
+        let grown = base.continue_training(&data, &params, None);
+        assert_eq!(grown.trees().len(), 16);
+        assert_eq!(&grown.trees()[..8], base.trees());
+
+        let capped = grown.retained_newest(10);
+        assert_eq!(capped.trees().len(), 10);
+        assert_eq!(capped.trees(), &grown.trees()[6..]);
+        assert_eq!(capped.init_score(), grown.init_score());
+        // n >= len keeps everything.
+        assert_eq!(grown.retained_newest(100), grown);
+    }
+
+    #[test]
+    fn continued_early_stopping_never_truncates_the_base() {
+        let (rows, labels) = disc_dataset(400, 24);
+        let (vrows, vlabels) = disc_dataset(200, 25);
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let valid = Dataset::from_rows(vrows, vlabels).unwrap();
+        let mut head = GbdtParams::lfo_paper();
+        head.num_iterations = 12;
+        let base = train(&data, &head);
+        let tail = GbdtParams {
+            num_iterations: 100,
+            early_stopping_rounds: 3,
+            ..Default::default()
+        };
+        let (model, report) = train_continued_with_validation(&base, &data, &valid, &tail, None);
+        assert!(model.trees().len() >= base.trees().len());
+        assert_eq!(
+            model.trees().len(),
+            base.trees().len() + report.best_iteration
+        );
+        assert_eq!(&model.trees()[..12], base.trees());
+    }
+
+    #[test]
+    fn validation_margins_are_updated_incrementally() {
+        // One update per (iteration, validation row): the margins carry
+        // over between iterations instead of being re-scored from scratch.
+        let (rows, labels) = disc_dataset(400, 26);
+        let (vrows, vlabels) = disc_dataset(150, 27);
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let valid = Dataset::from_rows(vrows, vlabels).unwrap();
+        let params = GbdtParams::lfo_paper();
+        let (_, report) = train_with_validation(&data, &valid, &params);
+        assert_eq!(report.valid_loss.len(), params.num_iterations);
+        assert_eq!(
+            report.valid_score_updates,
+            report.valid_loss.len() * valid.num_rows()
+        );
     }
 
     #[test]

@@ -4,7 +4,14 @@
 //! works on small integer *bin indices*. Binning is the standard quantile
 //! scheme: up to `max_bins` bins per feature, with bin boundaries placed at
 //! value quantiles so every bin holds roughly the same number of rows.
+//!
+//! The boundary computation and its application are split: a [`BinMap`]
+//! holds the per-feature boundaries (fit once, serializable), and
+//! [`BinnedDataset::from_map`] quantizes any dataset against those frozen
+//! edges — the basis of incremental window-over-window retraining, where
+//! re-deriving quantiles every window is wasted work.
 
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Errors from dataset construction.
@@ -178,27 +185,152 @@ pub struct BinnedDataset {
 /// Hard cap on bins per feature (bin indices are stored in a `u8`).
 pub const MAX_BINS: usize = 255;
 
+/// Frozen per-feature bin boundaries: the quantile edges of one dataset,
+/// reusable to quantize later datasets against the *same* grid.
+///
+/// Fitting quantiles is the expensive half of binning (sort + dedup per
+/// column); applying a map is a binary search per value. Incremental
+/// retraining fits the map once per full rebuild and reuses it for every
+/// delta window, and the map travels inside persisted artifacts so a warm
+/// restart resumes on the same grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinMap {
+    /// `upper_bounds[f][b]` = largest raw value mapped to bin `b` of
+    /// feature `f`; the last bound is always `f32::INFINITY`.
+    upper_bounds: Vec<Vec<f32>>,
+}
+
+impl BinMap {
+    /// Fits quantile bin boundaries to a dataset, at most `max_bins` bins
+    /// per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins` is 0 or exceeds [`MAX_BINS`].
+    pub fn fit(dataset: &Dataset, max_bins: usize) -> Self {
+        assert!(
+            (1..=MAX_BINS).contains(&max_bins),
+            "max_bins must be within 1..=255"
+        );
+        let upper_bounds = (0..dataset.num_features())
+            .map(|f| fit_column(dataset.column(f), max_bins))
+            .collect();
+        BinMap { upper_bounds }
+    }
+
+    /// Number of features the map was fit on.
+    pub fn num_features(&self) -> usize {
+        self.upper_bounds.len()
+    }
+
+    /// Number of bins for feature `f`.
+    pub fn num_bins(&self, f: usize) -> usize {
+        self.upper_bounds[f].len()
+    }
+
+    /// Raw-value upper bound of bin `b` of feature `f`.
+    pub fn upper_bound(&self, f: usize, b: usize) -> f32 {
+        self.upper_bounds[f][b]
+    }
+
+    /// Bin index of value `v` under feature `f`'s boundaries: the first
+    /// bin whose upper bound is `>= v` (values beyond the fitted range
+    /// land in the top bin, whose bound is infinite).
+    #[inline]
+    pub fn bin(&self, f: usize, v: f32) -> u8 {
+        let ub = &self.upper_bounds[f];
+        ub.partition_point(|&u| u < v).min(ub.len() - 1) as u8
+    }
+
+    /// FNV-1a fingerprint over the exact boundary bit patterns — recorded
+    /// in artifact lineage so two models claiming the same frozen grid can
+    /// be checked against each other.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(&(self.upper_bounds.len() as u64).to_le_bytes());
+        for ub in &self.upper_bounds {
+            eat(&(ub.len() as u64).to_le_bytes());
+            for &v in ub {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+// Manual serde impls: the vendored serde_json writes non-finite floats as
+// `null`, so the trailing `f32::INFINITY` sentinel is stripped on write
+// (only the finite bounds are stored) and re-appended on read.
+impl Serialize for BinMap {
+    fn to_value(&self) -> Value {
+        let finite: Vec<Vec<f32>> = self
+            .upper_bounds
+            .iter()
+            .map(|ub| ub[..ub.len() - 1].to_vec())
+            .collect();
+        Value::Map(vec![("finite_bounds".to_string(), finite.to_value())])
+    }
+}
+
+impl Deserialize for BinMap {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let finite: Vec<Vec<f32>> = Deserialize::from_value(
+            v.get("finite_bounds")
+                .ok_or_else(|| DeError::msg("missing field `finite_bounds` in BinMap"))?,
+        )?;
+        let upper_bounds = finite
+            .into_iter()
+            .map(|mut ub| {
+                ub.push(f32::INFINITY);
+                ub
+            })
+            .collect();
+        Ok(BinMap { upper_bounds })
+    }
+}
+
 impl BinnedDataset {
-    /// Bins a dataset into at most `max_bins` quantile bins per feature.
+    /// Bins a dataset into at most `max_bins` quantile bins per feature,
+    /// fitting fresh boundaries. Equivalent to
+    /// `BinnedDataset::from_map(dataset, &BinMap::fit(dataset, max_bins))`.
     ///
     /// # Panics
     ///
     /// Panics if `max_bins` is 0 or exceeds [`MAX_BINS`].
     pub fn build(dataset: &Dataset, max_bins: usize) -> Self {
-        assert!(
-            (1..=MAX_BINS).contains(&max_bins),
-            "max_bins must be within 1..=255"
+        Self::from_map(dataset, &BinMap::fit(dataset, max_bins))
+    }
+
+    /// Quantizes a dataset against a frozen [`BinMap`] — no quantile
+    /// computation, just a binary search per value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's feature count differs from the dataset's.
+    pub fn from_map(dataset: &Dataset, map: &BinMap) -> Self {
+        assert_eq!(
+            map.num_features(),
+            dataset.num_features(),
+            "bin map fit on a different feature count"
         );
-        let mut bins = Vec::with_capacity(dataset.num_features());
-        let mut upper_bounds = Vec::with_capacity(dataset.num_features());
-        for f in 0..dataset.num_features() {
-            let (b, ub) = bin_column(dataset.column(f), max_bins);
-            bins.push(b);
-            upper_bounds.push(ub);
-        }
+        let bins = (0..dataset.num_features())
+            .map(|f| {
+                dataset
+                    .column(f)
+                    .iter()
+                    .map(|&v| map.bin(f, v))
+                    .collect::<Vec<u8>>()
+            })
+            .collect();
         BinnedDataset {
             bins,
-            upper_bounds,
+            upper_bounds: map.upper_bounds.clone(),
             num_rows: dataset.num_rows(),
         }
     }
@@ -237,8 +369,8 @@ impl BinnedDataset {
     }
 }
 
-/// Quantile-bins one column; returns (bin indices, per-bin upper bounds).
-fn bin_column(column: &[f32], max_bins: usize) -> (Vec<u8>, Vec<f32>) {
+/// Fits quantile boundaries for one column (the expensive half of binning).
+fn fit_column(column: &[f32], max_bins: usize) -> Vec<f32> {
     let mut sorted: Vec<f32> = column.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     sorted.dedup();
@@ -263,18 +395,7 @@ fn bin_column(column: &[f32], max_bins: usize) -> (Vec<u8>, Vec<f32>) {
     if let Some(last) = upper_bounds.last_mut() {
         *last = f32::INFINITY;
     }
-
-    let bins = column
-        .iter()
-        .map(|&v| {
-            // First bin whose upper bound is >= v.
-            let idx = upper_bounds
-                .partition_point(|&ub| ub < v)
-                .min(upper_bounds.len() - 1);
-            idx as u8
-        })
-        .collect();
-    (bins, upper_bounds)
+    upper_bounds
 }
 
 #[cfg(test)]
@@ -366,6 +487,87 @@ mod tests {
         let b = BinnedDataset::build(&d, 255);
         assert_eq!(b.num_bins(0), 1);
         assert!(b.bin_column(0).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn build_equals_from_map_of_fit() {
+        let cols: Vec<Vec<f32>> = (0..4)
+            .map(|f| {
+                (0..600)
+                    .map(|r| ((r * 37 + f * 101) % 251) as f32 * 1.5)
+                    .collect()
+            })
+            .collect();
+        let d = Dataset::from_columns(cols, vec![0.0; 600]).unwrap();
+        let built = BinnedDataset::build(&d, 32);
+        let map = BinMap::fit(&d, 32);
+        let mapped = BinnedDataset::from_map(&d, &map);
+        for f in 0..d.num_features() {
+            assert_eq!(built.bin_column(f), mapped.bin_column(f));
+            assert_eq!(built.num_bins(f), map.num_bins(f));
+            for b in 0..built.num_bins(f) {
+                assert_eq!(
+                    built.upper_bound(f, b).to_bits(),
+                    map.upper_bound(f, b).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_map_quantizes_unseen_values_into_the_grid() {
+        let d = Dataset::from_columns(vec![vec![10.0, 20.0, 30.0]], vec![0.0; 3]).unwrap();
+        let map = BinMap::fit(&d, 255);
+        // Values between / beyond the fitted edges still land in a bin.
+        assert_eq!(map.bin(0, -5.0), 0);
+        assert_eq!(map.bin(0, 15.0), 1);
+        assert_eq!(map.bin(0, 1e9), 2);
+        let later = Dataset::from_columns(vec![vec![0.0, 12.0, 25.0, 99.0]], vec![0.0; 4]).unwrap();
+        let binned = BinnedDataset::from_map(&later, &map);
+        assert_eq!(binned.bin_column(0), &[0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn bin_map_serde_roundtrip_preserves_infinite_sentinel() {
+        let cols: Vec<Vec<f32>> = vec![
+            (0..400).map(|r| (r % 97) as f32 * 0.25).collect(),
+            vec![7.0; 400], // constant column: single bin, bound = +inf
+        ];
+        let d = Dataset::from_columns(cols, vec![0.0; 400]).unwrap();
+        let map = BinMap::fit(&d, 16);
+        let json = serde_json::to_string(&map).unwrap();
+        assert!(!json.contains("null"), "non-finite bound leaked: {json}");
+        let back: BinMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, map);
+        assert_eq!(back.fingerprint(), map.fingerprint());
+        for f in 0..map.num_features() {
+            assert!(back.upper_bound(f, back.num_bins(f) - 1).is_infinite());
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_different_grids() {
+        let a = BinMap::fit(
+            &Dataset::from_columns(vec![vec![1.0, 2.0, 3.0]], vec![0.0; 3]).unwrap(),
+            255,
+        );
+        // The top bound always becomes +inf, so the grids must differ in
+        // an interior boundary to be distinguishable.
+        let b = BinMap::fit(
+            &Dataset::from_columns(vec![vec![1.0, 2.5, 3.0]], vec![0.0; 3]).unwrap(),
+            255,
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn from_map_rejects_feature_count_mismatch() {
+        let d1 = Dataset::from_columns(vec![vec![1.0, 2.0]], vec![0.0; 2]).unwrap();
+        let d2 = Dataset::from_columns(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0.0; 2]).unwrap();
+        let map = BinMap::fit(&d1, 255);
+        let err = std::panic::catch_unwind(|| BinnedDataset::from_map(&d2, &map));
+        assert!(err.is_err());
     }
 
     #[test]

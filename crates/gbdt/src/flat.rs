@@ -178,6 +178,33 @@ impl FlatModel {
             *acc = sigmoid(self.init_score + *acc);
         }
     }
+
+    /// Raw margins for a batch, accumulated in *training order*: `out` is
+    /// seeded with `init_score` and each tree's contribution is added in
+    /// sequence, i.e. `((init + t₀) + t₁) + …`. This is the association the
+    /// boosting loop itself uses for its score vector — **not** the same as
+    /// [`FlatModel::predict_raw`], which computes `init + ((t₀ + t₁) + …)`
+    /// — so continued training seeded from these margins is bit-identical
+    /// to never having stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != out.len() * self.num_features()`.
+    pub fn training_margins(&self, rows: &[f32], out: &mut [f64]) {
+        let stride = self.num_features;
+        assert_eq!(
+            rows.len(),
+            out.len() * stride,
+            "rows must be row-major with stride num_features"
+        );
+        out.fill(self.init_score);
+        for w in self.tree_starts.windows(2) {
+            let root = w[0] as usize;
+            for (acc, r) in out.iter_mut().zip(0..) {
+                *acc += self.walk(root, &rows[r * stride..(r + 1) * stride]);
+            }
+        }
+    }
 }
 
 impl Model {
@@ -266,6 +293,25 @@ mod tests {
             assert_eq!(p.to_bits(), model.predict_proba(row).to_bits());
         }
         assert_eq!(packed.len(), out.len() * stride);
+    }
+
+    #[test]
+    fn training_margins_match_the_boosting_loop_association() {
+        let (rows, labels) = random_dataset(11, 300, 4);
+        let data = Dataset::from_rows(rows.clone(), labels).unwrap();
+        let model = train(&data, &GbdtParams::lfo_paper());
+        let flat = model.flatten();
+        let packed: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let mut got = vec![0.0f64; rows.len()];
+        flat.training_margins(&packed, &mut got);
+        for (row, &margin) in rows.iter().zip(&got) {
+            // The boosting loop accumulates ((init + t0) + t1) + ...
+            let mut want = model.init_score();
+            for tree in model.trees() {
+                want += tree.predict(row);
+            }
+            assert_eq!(margin.to_bits(), want.to_bits());
+        }
     }
 
     #[test]

@@ -49,8 +49,11 @@ pub mod importance;
 pub mod metrics;
 pub mod tree;
 
-pub use boosting::{sigmoid, train, train_with_validation, GbdtParams, Model, TrainReport};
-pub use dataset::{BinnedDataset, Dataset, DatasetError};
+pub use boosting::{
+    sigmoid, train, train_continued, train_continued_with_validation, train_with_validation,
+    GbdtParams, Model, TrainReport,
+};
+pub use dataset::{BinMap, BinnedDataset, Dataset, DatasetError};
 pub use dump::{dump_model, dump_tree};
 pub use flat::FlatModel;
 pub use importance::{FeatureImportance, ImportanceKind};

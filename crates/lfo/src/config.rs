@@ -84,6 +84,44 @@ impl Default for LfoConfig {
     }
 }
 
+/// Incremental (warm-start) retraining policy for the sliding-window
+/// pipeline: instead of growing all `num_iterations` trees from scratch
+/// every window, continue boosting from the incumbent with `delta_trees`
+/// new trees, rebuilding in full every `full_refresh` windows (and
+/// whenever the rollout gates reject an incremental candidate).
+///
+/// The default is *disabled* (`full_refresh: 1` — every window is a full
+/// rebuild), which reproduces the scratch path bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetrainConfig {
+    /// Trees appended per incremental window.
+    pub delta_trees: usize,
+    /// A full from-scratch rebuild every this many windows; 1 disables
+    /// incremental retraining entirely.
+    pub full_refresh: usize,
+    /// Ensemble-size cap: before appending, the incumbent is truncated
+    /// (oldest trees first) so the result stays within this many trees.
+    /// 0 means uncapped.
+    pub max_trees: usize,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            delta_trees: 30,
+            full_refresh: 1,
+            max_trees: 0,
+        }
+    }
+}
+
+impl RetrainConfig {
+    /// Whether this configuration ever trains incrementally.
+    pub fn incremental(&self) -> bool {
+        self.full_refresh > 1 && self.delta_trees >= 1
+    }
+}
+
 impl LfoConfig {
     /// The paper's suggested exponential thinning: gaps 1, 2, 4, ..., up to
     /// `num_gaps` (Figure 8 discussion).

@@ -66,22 +66,22 @@ pub mod serve;
 pub mod shard;
 pub mod train;
 
-pub use config::{CutoffMode, LfoConfig, PolicyDesign};
+pub use config::{CutoffMode, LfoConfig, PolicyDesign, RetrainConfig};
 pub use drift::{DriftError, DriftVerdict, FeatureSketch};
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
 pub use features::{FeatureTracker, TrackerSnapshot, FEATURE_GAPS};
 pub use hierarchy::{Placement, TierSpec, TieredLfoCache};
 pub use persist::{
-    ArtifactStore, CrashPoint, LfoArtifact, PersistError, Provenance, StoredValidation,
-    ARTIFACT_VERSION,
+    ArtifactStore, CrashPoint, LfoArtifact, Lineage, LineageKind, PersistError, Provenance,
+    StoredValidation, ARTIFACT_VERSION,
 };
 pub use pipeline::{
     run_pipeline, run_pipeline_serial, AccuracyGate, DeployMode, DriftGate, GateConfig,
     PersistConfig, PipelineConfig, PipelineReport, RestoreReport, RolloutDecision, StageTiming,
-    SupervisionConfig, WindowReport,
+    SupervisionConfig, TrainKind, WindowReport,
 };
 pub use policy::{LfoCache, ModelSlot, SharedOccupancy};
 pub use shard::{
     shard_of, CacheMetrics, ShardMode, ShardParams, ShardReport, ShardStatus, ShardedLfoCache,
 };
-pub use train::{train_window, TrainedWindow};
+pub use train::{train_window, train_window_continued, TrainedWindow};

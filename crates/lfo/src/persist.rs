@@ -40,7 +40,7 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use gbdt::Model;
+use gbdt::{BinMap, Model};
 use serde::{Deserialize, Serialize};
 
 use crate::config::LfoConfig;
@@ -69,6 +69,36 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// How the artifact's ensemble was produced: a full from-scratch rebuild,
+/// or a delta append on top of an incumbent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineageKind {
+    /// All trees grown from scratch on this window.
+    #[default]
+    Full,
+    /// New trees appended to an incumbent ensemble (warm start).
+    Delta,
+}
+
+/// Training lineage of an artifact's model — records whether (and from
+/// what) the ensemble was warm-started, so an operator can trace a serving
+/// model back through its chain of delta windows to the last full rebuild.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Lineage {
+    /// Full rebuild or delta append.
+    pub kind: LineageKind,
+    /// Window index of the base model the delta was appended to
+    /// (`None` for full rebuilds).
+    pub base_window: Option<usize>,
+    /// Trees added by this window's training call.
+    pub delta_trees: usize,
+    /// Total trees in the deployed ensemble.
+    pub total_trees: usize,
+    /// FNV-1a fingerprint (hex) of the frozen [`BinMap`] the window was
+    /// quantized against; `None` when quantiles were fit fresh.
+    pub bin_map_fingerprint: Option<String>,
+}
+
 /// Structured provenance recorded with every artifact: enough to answer
 /// "which run, which window, which rollout produced the model now serving".
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -81,6 +111,8 @@ pub struct Provenance {
     pub slot_version: u64,
     /// Free-form note (trainer host, experiment name, ...).
     pub note: String,
+    /// Training lineage (absent in pre-incremental artifacts).
+    pub lineage: Option<Lineage>,
 }
 
 /// Validation data stored alongside the model so a *restore* can re-run
@@ -121,6 +153,11 @@ pub struct LfoArtifact {
     /// so a restored model scores meaningful gap features immediately
     /// instead of seeing every object as first-seen.
     pub tracker: TrackerSnapshot,
+    /// The frozen quantile grid the model's incremental chain is binned
+    /// against, carried so a warm restart resumes delta training on the
+    /// same grid. Absent in pre-incremental artifacts and whenever
+    /// incremental retraining is off.
+    pub bin_map: Option<BinMap>,
 }
 
 /// The artifact envelope header: parsed and verified before any payload
@@ -229,6 +266,7 @@ impl LfoArtifact {
             provenance,
             validation: StoredValidation::default(),
             tracker: TrackerSnapshot::default(),
+            bin_map: None,
         }
     }
 
@@ -241,6 +279,12 @@ impl LfoArtifact {
     /// Attaches a feature-tracker snapshot (for warm-start serving).
     pub fn with_tracker(mut self, tracker: TrackerSnapshot) -> Self {
         self.tracker = tracker;
+        self
+    }
+
+    /// Attaches the frozen bin map (for incremental warm restarts).
+    pub fn with_bin_map(mut self, bin_map: Option<BinMap>) -> Self {
+        self.bin_map = bin_map;
         self
     }
 
@@ -546,6 +590,7 @@ mod tests {
                 window: 3,
                 slot_version: 7,
                 note: "toy".into(),
+                lineage: None,
             },
         )
     }
@@ -574,6 +619,65 @@ mod tests {
         // Bit-equal, not approximately equal: the JSON float formatting is
         // shortest-roundtrip, so serialization is lossless.
         assert_eq!(back.model.predict_proba(&row).to_bits(), before.to_bits());
+        assert_eq!(back.model, artifact.model);
+    }
+
+    #[test]
+    fn lineage_and_bin_map_roundtrip() {
+        let mut artifact = toy_artifact();
+        let data = Dataset::from_rows(
+            (0..60)
+                .map(|r| {
+                    (0..artifact.config.num_features())
+                        .map(|c| ((r * 7 + c * 13) % 101) as f32)
+                        .collect()
+                })
+                .collect(),
+            vec![0.0; 60],
+        )
+        .unwrap();
+        let map = BinMap::fit(&data, artifact.config.gbdt.max_bins);
+        let fingerprint = map.fingerprint();
+        artifact.bin_map = Some(map);
+        artifact.provenance.lineage = Some(Lineage {
+            kind: LineageKind::Delta,
+            base_window: Some(2),
+            delta_trees: 6,
+            total_trees: 36,
+            bin_map_fingerprint: Some(format!("{fingerprint:016x}")),
+        });
+
+        let mut buf = Vec::new();
+        artifact.save(&mut buf).unwrap();
+        let back = LfoArtifact::load(buf.as_slice()).unwrap();
+        assert_eq!(back.provenance.lineage, artifact.provenance.lineage);
+        let back_map = back.bin_map.expect("bin map survived the roundtrip");
+        assert_eq!(back_map.fingerprint(), fingerprint);
+    }
+
+    #[test]
+    fn artifacts_without_optional_fields_still_load() {
+        // A payload with the `bin_map` and `lineage` keys removed outright
+        // (not just null) is what a pre-incremental build wrote; both
+        // fields must deserialize as None.
+        let artifact = toy_artifact();
+        let bytes = artifact.to_bytes().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let (_, payload) = text.split_once('\n').unwrap();
+        let stripped = payload
+            .replace(",\"lineage\":null", "")
+            .replace(",\"bin_map\":null", "");
+        assert_ne!(stripped, payload, "optional keys not found to strip");
+        let header = format!(
+            "{{\"format\":\"{MAGIC}\",\"version\":{ARTIFACT_VERSION},\
+             \"payload_bytes\":{},\"checksum\":\"{:016x}\"}}",
+            stripped.len(),
+            checksum(stripped.as_bytes())
+        );
+        let rebuilt = format!("{header}\n{stripped}").into_bytes();
+        let back = LfoArtifact::from_bytes(&rebuilt).expect("stripped payload loads");
+        assert!(back.provenance.lineage.is_none());
+        assert!(back.bin_map.is_none());
         assert_eq!(back.model, artifact.model);
     }
 

@@ -25,7 +25,9 @@ mod report;
 mod restore;
 mod stages;
 
-pub use report::{PipelineReport, RestoreReport, RolloutDecision, StageTiming, WindowReport};
+pub use report::{
+    PipelineReport, RestoreReport, RolloutDecision, StageTiming, TrainKind, WindowReport,
+};
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -38,7 +40,7 @@ use opt::{
     compute_opt, compute_opt_pruned, compute_opt_segmented_parallel, OptConfig, OptError, OptResult,
 };
 
-use crate::config::LfoConfig;
+use crate::config::{LfoConfig, RetrainConfig};
 use crate::faults::FaultPlan;
 use crate::labels::build_training_set;
 use crate::policy::LfoCache;
@@ -231,6 +233,10 @@ pub struct PipelineConfig {
     /// start with the decision recorded in
     /// [`PipelineReport::restore`] — never an abort.
     pub warm_start: Option<PathBuf>,
+    /// Incremental warm-start retraining policy (default: disabled —
+    /// every window is a full from-scratch rebuild, which reproduces the
+    /// original scratch pipeline bit for bit).
+    pub retrain: RetrainConfig,
 }
 
 impl Default for PipelineConfig {
@@ -248,6 +254,7 @@ impl Default for PipelineConfig {
             gates: GateConfig::default(),
             persist: None,
             warm_start: None,
+            retrain: RetrainConfig::default(),
         }
     }
 }
@@ -374,6 +381,7 @@ pub fn run_pipeline_serial(
         };
         let train = train_started.elapsed();
         cache.set_cutoff(deployed_cutoff);
+        let num_trees = trained.model.trees().len();
         let model = Arc::new(trained.model);
         cache.install_model(Arc::clone(&model));
         previous_model = Some(Arc::clone(&model));
@@ -402,6 +410,8 @@ pub fn run_pipeline_serial(
             holdout_accuracy: None,
             incumbent_accuracy: None,
             persisted: false,
+            train_kind: report::TrainKind::Scratch,
+            model_trees: Some(num_trees),
             timing: StageTiming {
                 serve,
                 label,
@@ -626,6 +636,8 @@ mod tests {
             holdout_accuracy: None,
             incumbent_accuracy: None,
             persisted: false,
+            train_kind: TrainKind::default(),
+            model_trees: None,
             timing: StageTiming::default(),
         };
         let report = PipelineReport {

@@ -68,6 +68,23 @@ impl RolloutDecision {
     }
 }
 
+/// How this window's candidate model was trained (see
+/// [`crate::RetrainConfig`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TrainKind {
+    /// Full from-scratch training (the only kind when incremental
+    /// retraining is disabled).
+    #[default]
+    Scratch,
+    /// Warm start: delta trees appended to the incumbent against the
+    /// frozen bin map.
+    Incremental,
+    /// An incremental candidate was rejected by a rollout gate and the
+    /// window fell back to a full from-scratch retrain — the safety net
+    /// that guarantees rejection never leaves a stale slot by policy.
+    ScratchFallback,
+}
+
 /// Per-window pipeline diagnostics.
 #[derive(Clone, Debug)]
 pub struct WindowReport {
@@ -119,6 +136,12 @@ pub struct WindowReport {
     /// configured [`crate::ArtifactStore`] (always `false` when
     /// persistence is off or the window deployed nothing).
     pub persisted: bool,
+    /// How this window's candidate was trained (scratch, incremental, or
+    /// the gate-rejection fallback).
+    pub train_kind: TrainKind,
+    /// Trees in this window's final candidate ensemble; `None` when the
+    /// window produced no candidate.
+    pub model_trees: Option<usize>,
     /// Per-stage wall-clock for this window.
     pub timing: StageTiming,
 }

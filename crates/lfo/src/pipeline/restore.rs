@@ -29,7 +29,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use cdn_trace::Request;
-use gbdt::{Dataset, Model};
+use gbdt::{BinMap, Dataset, Model};
 
 use crate::drift::FeatureSketch;
 use crate::features::TrackerSnapshot;
@@ -82,17 +82,27 @@ fn probe_features(requests: &[Request], config: &PipelineConfig) -> Vec<Vec<f32>
     rows
 }
 
+/// Everything a warm start recovers from an artifact: the model + cutoff
+/// to publish, the tracker snapshot (so restored features are warm), and —
+/// when the artifact was written by an incremental pipeline — the frozen
+/// bin map and base window, so retraining resumes incrementally instead of
+/// paying a full rebuild on the first post-restart window.
+pub(super) struct RestoredModel {
+    pub model: Arc<Model>,
+    pub cutoff: f64,
+    pub tracker: TrackerSnapshot,
+    pub bin_map: Option<BinMap>,
+}
+
 /// Attempts to restore the newest artifact from `dir` under `config`'s
-/// gates. On success returns the model + cutoff to publish (the caller
-/// installs it into the slot before window 0) along with the artifact's
-/// tracker snapshot, so the restored model scores warm gap features
-/// instead of treating every object as first-seen; the report records the
+/// gates. On success returns the [`RestoredModel`] to publish (the caller
+/// installs it into the slot before window 0); the report records the
 /// decision either way.
 pub(super) fn attempt_restore(
     dir: &Path,
     requests: &[Request],
     config: &PipelineConfig,
-) -> (Option<(Arc<Model>, f64, TrackerSnapshot)>, RestoreReport) {
+) -> (Option<RestoredModel>, RestoreReport) {
     let store = match ArtifactStore::open(dir) {
         Ok(store) => store,
         Err(error) => {
@@ -126,6 +136,7 @@ pub(super) fn attempt_restore(
         provenance,
         validation,
         tracker,
+        bin_map,
         ..
     } = artifact;
     let mut report = RestoreReport {
@@ -212,7 +223,15 @@ pub(super) fn attempt_restore(
         }
     }
 
-    (Some((Arc::new(model), deployed_cutoff, tracker)), report)
+    (
+        Some(RestoredModel {
+            model: Arc::new(model),
+            cutoff: deployed_cutoff,
+            tracker,
+            bin_map,
+        }),
+        report,
+    )
 }
 
 fn describe(provenance: &Provenance) -> String {

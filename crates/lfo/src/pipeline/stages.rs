@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use cdn_cache::{simulate, IntervalMetrics, SimConfig};
 use cdn_trace::Request;
-use gbdt::{Dataset, Model};
+use gbdt::{BinMap, Dataset, Model};
 use opt::{OptConfig, OptError};
 
 use crate::config::LfoConfig;
@@ -41,14 +41,16 @@ use crate::faults::{corrupt_rows, FaultKind, FaultPlan, FaultStage};
 use crate::features::TrackerSnapshot;
 use crate::labels::build_training_set;
 use crate::persist::{
-    flip_artifact_bit, tear_artifact, ArtifactStore, CrashPoint, LfoArtifact, Provenance,
-    StoredValidation,
+    flip_artifact_bit, tear_artifact, ArtifactStore, CrashPoint, LfoArtifact, Lineage, LineageKind,
+    Provenance, StoredValidation,
 };
 use crate::policy::{LfoCache, ModelSlot};
-use crate::train::{equalize_cutoff, evaluate, train_window};
+use crate::train::{
+    equalize_cutoff, evaluate, train_window, train_window_continued, TrainedWindow,
+};
 
 use super::report::{
-    merge, PipelineReport, RestoreReport, RolloutDecision, StageTiming, WindowReport,
+    merge, PipelineReport, RestoreReport, RolloutDecision, StageTiming, TrainKind, WindowReport,
 };
 use super::{restore, solve_opt, DeployMode, PersistConfig, PipelineConfig};
 
@@ -136,6 +138,18 @@ struct TrainOutcome {
     validation: Option<StoredValidation>,
     tracker: TrackerSnapshot,
     persisted: bool,
+    /// How the candidate was trained (scratch, incremental, or the
+    /// gate-rejection fallback).
+    train_kind: TrainKind,
+    /// Trees in the final candidate ensemble; `None` when the window
+    /// produced no candidate.
+    model_trees: Option<usize>,
+    /// Lineage for the artifact, present exactly when `model` is (consumed
+    /// by whichever thread persists).
+    lineage: Option<Lineage>,
+    /// Frozen bin map to persist alongside the artifact, when incremental
+    /// retraining is active.
+    bin_map: Option<Arc<BinMap>>,
     label_time: Duration,
     train_time: Duration,
 }
@@ -167,6 +181,10 @@ impl TrainOutcome {
             validation: None,
             tracker: TrackerSnapshot::default(),
             persisted: false,
+            train_kind: TrainKind::Scratch,
+            model_trees: None,
+            lineage: None,
+            bin_map: None,
             label_time,
             train_time,
         }
@@ -304,6 +322,8 @@ fn persist_model(
     slot_version: u64,
     validation: StoredValidation,
     tracker: TrackerSnapshot,
+    lineage: Option<Lineage>,
+    bin_map: Option<&BinMap>,
     faults: &mut FaultPlan,
 ) -> bool {
     let provenance = Provenance {
@@ -311,10 +331,12 @@ fn persist_model(
         window,
         slot_version,
         note: format!("staged pipeline, window {window}"),
+        lineage,
     };
     let artifact = LfoArtifact::new(lfo.clone(), model.clone(), cutoff, provenance)
         .with_validation(validation)
-        .with_tracker(tracker);
+        .with_tracker(tracker)
+        .with_bin_map(bin_map.cloned());
     let injected = faults.take(window, FaultStage::Persist);
     if matches!(injected, Some(FaultKind::ArtifactCrash)) {
         store.set_crash_point(CrashPoint::BeforeRename);
@@ -397,12 +419,18 @@ pub(super) fn run_staged(
     let mut restore_report: Option<RestoreReport> = None;
     let mut restored: Option<(Arc<Model>, f64)> = None;
     let mut restored_tracker: Option<TrackerSnapshot> = None;
+    let mut restored_bin_map: Option<Arc<BinMap>> = None;
     if let Some(dir) = &config.warm_start {
         let (outcome, report) = restore::attempt_restore(dir, requests, config);
-        if let Some((model, cutoff, snapshot)) = outcome {
-            slot.publish(Arc::clone(&model), cutoff);
-            restored = Some((model, cutoff));
-            restored_tracker = Some(snapshot);
+        if let Some(r) = outcome {
+            slot.publish(Arc::clone(&r.model), r.cutoff);
+            restored = Some((r.model, r.cutoff));
+            restored_tracker = Some(r.tracker);
+            // The artifact's frozen grid only matters when this run retrains
+            // incrementally; otherwise every window refits its own bins.
+            if config.retrain.incremental() {
+                restored_bin_map = r.bin_map.map(Arc::new);
+            }
         }
         restore_report = Some(report);
     }
@@ -524,8 +552,18 @@ pub(super) fn run_staged(
             .and_then(|p| ArtifactStore::with_retention(&p.dir, p.retain).ok());
         let mut trainer_persist_faults = config.faults.clone();
         let restored_incumbent = restored.take();
+        let restored_frozen = restored_bin_map.take();
+        let retrain = config.retrain;
         scope.spawn(move || {
             let mut incumbent: Option<(Arc<Model>, f64)> = restored_incumbent;
+            // Incremental-retraining state (DESIGN.md §11): the frozen
+            // quantile grid fitted at the last full rebuild, which window
+            // that rebuild happened on (`None` when the incumbent came from
+            // a previous run's artifact), and how many incremental deploys
+            // have happened since.
+            let mut frozen: Option<Arc<BinMap>> = restored_frozen;
+            let mut incumbent_window: Option<usize> = None;
+            let mut windows_since_full: usize = 0;
             let mut latest_live: Option<(usize, Vec<Vec<f32>>)> = None;
             while let Ok(message) = labeled_rx.recv() {
                 let LabelMessage {
@@ -573,6 +611,21 @@ pub(super) fn run_staged(
                     None => (&labeled.data, None),
                 };
 
+                // Delta vs. full rebuild: warm-start from the incumbent
+                // against the frozen grid unless the refresh cadence (or a
+                // missing incumbent/grid) demands a full rebuild. When
+                // incremental retraining is disabled (`full_refresh == 1`)
+                // this is always false and the path below is byte-for-byte
+                // the original scratch pipeline.
+                let do_incremental = retrain.incremental()
+                    && windows_since_full + 1 < retrain.full_refresh
+                    && incumbent.is_some()
+                    && frozen.is_some();
+                let base = do_incremental
+                    .then(|| incumbent.as_ref().map(|(m, _)| Arc::clone(m)))
+                    .flatten();
+                let window_frozen = do_incremental.then(|| frozen.clone()).flatten();
+
                 // Supervised training: catch panics (real or injected),
                 // retry with bounded backoff, give up after the budget.
                 let mut retries = label_retries;
@@ -585,7 +638,16 @@ pub(super) fn run_staged(
                         if matches!(injected, Some(FaultKind::TrainerPanic)) {
                             panic!("injected trainer panic (fault plan)");
                         }
-                        train_window(train_data, &trainer_lfo)
+                        match &base {
+                            Some(inc) => train_window_continued(
+                                inc,
+                                train_data,
+                                &trainer_lfo,
+                                &retrain,
+                                window_frozen.as_deref(),
+                            ),
+                            None => train_window(train_data, &trainer_lfo),
+                        }
                     }));
                     match attempt {
                         Ok(trained) => break Some(trained),
@@ -616,73 +678,150 @@ pub(super) fn run_staged(
                         skipped
                     }
                     Some(trained) => {
-                        let deployed_cutoff = match trainer_lfo.cutoff_mode {
+                        let cutoff_for = |t: &TrainedWindow| match trainer_lfo.cutoff_mode {
                             crate::CutoffMode::Fixed(c) => c,
                             crate::CutoffMode::EqualizeErrorRates => {
-                                equalize_cutoff(&trained.train_probs, &trained.train_labels)
+                                equalize_cutoff(&t.train_probs, &t.train_labels)
                             }
                         };
 
-                        let mut rollout = RolloutDecision::Deployed;
-                        let mut drift_psi = None;
-                        let mut holdout_accuracy = None;
-                        let mut incumbent_accuracy = None;
+                        // One live-feature sample serves every gate pass on
+                        // this window (the drift reference is
+                        // model-independent, so the scratch fallback below
+                        // reuses it).
+                        let live_rows = if gates.drift.is_some() {
+                            match deploy {
+                                DeployMode::Boundary => {
+                                    live_sample_for(&live_rx, index, &mut latest_live)
+                                }
+                                DeployMode::Async => latest_live_sample(&live_rx, &mut latest_live),
+                            }
+                        } else {
+                            None
+                        };
 
                         // Degradation ladder, strictest first: a stalled
                         // solve deploys nothing (the model is stale by
                         // definition), then distribution shift, then the
-                        // head-to-head accuracy check.
-                        if supervision
-                            .train_deadline
-                            .is_some_and(|deadline| started.elapsed() > deadline)
-                        {
-                            rollout = RolloutDecision::SkippedDeadline;
-                        }
-
-                        if rollout == RolloutDecision::Deployed {
-                            if let Some(gate) = gates.drift {
-                                let live = match deploy {
-                                    DeployMode::Boundary => {
-                                        live_sample_for(&live_rx, index, &mut latest_live)
-                                    }
-                                    DeployMode::Async => {
-                                        latest_live_sample(&live_rx, &mut latest_live)
-                                    }
-                                };
-                                if let Some(score) = live
-                                    .as_deref()
-                                    .and_then(|rows| drift_score(&labeled.data, rows))
-                                {
-                                    drift_psi = Some(score);
-                                    if score > gate.max_psi {
-                                        rollout = RolloutDecision::RejectedDrift;
+                        // head-to-head accuracy check. Factored so the
+                        // scratch fallback faces exactly the same gates.
+                        let gate_candidate = |model: &Model, cutoff: f64| {
+                            let mut rollout = RolloutDecision::Deployed;
+                            let mut drift_psi = None;
+                            let mut holdout_accuracy = None;
+                            let mut incumbent_accuracy = None;
+                            if supervision
+                                .train_deadline
+                                .is_some_and(|deadline| started.elapsed() > deadline)
+                            {
+                                rollout = RolloutDecision::SkippedDeadline;
+                            }
+                            if rollout == RolloutDecision::Deployed {
+                                if let Some(gate) = gates.drift {
+                                    if let Some(score) = live_rows
+                                        .as_deref()
+                                        .and_then(|rows| drift_score(&labeled.data, rows))
+                                    {
+                                        drift_psi = Some(score);
+                                        if score > gate.max_psi {
+                                            rollout = RolloutDecision::RejectedDrift;
+                                        }
                                     }
                                 }
                             }
-                        }
-
-                        if rollout == RolloutDecision::Deployed {
-                            if let (Some(gate), Some(hold), Some((inc_model, inc_cutoff))) =
-                                (gates.accuracy, holdout, &incumbent)
-                            {
-                                let candidate = 1.0
-                                    - evaluate(&trained.model, hold, deployed_cutoff)
-                                        .error_fraction();
-                                let reference =
-                                    1.0 - evaluate(inc_model, hold, *inc_cutoff).error_fraction();
-                                holdout_accuracy = Some(candidate);
-                                incumbent_accuracy = Some(reference);
-                                if candidate + gate.margin < reference {
-                                    rollout = RolloutDecision::RejectedAccuracy;
+                            if rollout == RolloutDecision::Deployed {
+                                if let (Some(gate), Some(hold), Some((inc_model, inc_cutoff))) =
+                                    (gates.accuracy, holdout, &incumbent)
+                                {
+                                    let candidate =
+                                        1.0 - evaluate(model, hold, cutoff).error_fraction();
+                                    let reference = 1.0
+                                        - evaluate(inc_model, hold, *inc_cutoff).error_fraction();
+                                    holdout_accuracy = Some(candidate);
+                                    incumbent_accuracy = Some(reference);
+                                    if candidate + gate.margin < reference {
+                                        rollout = RolloutDecision::RejectedAccuracy;
+                                    }
                                 }
+                            }
+                            (rollout, drift_psi, holdout_accuracy, incumbent_accuracy)
+                        };
+
+                        let mut trained = trained;
+                        let mut train_kind = if do_incremental {
+                            TrainKind::Incremental
+                        } else {
+                            TrainKind::Scratch
+                        };
+                        let mut deployed_cutoff = cutoff_for(&trained);
+                        let (
+                            mut rollout,
+                            mut drift_psi,
+                            mut holdout_accuracy,
+                            mut incumbent_accuracy,
+                        ) = gate_candidate(&trained.model, deployed_cutoff);
+
+                        // A gate rejecting the *incremental* candidate falls
+                        // back to a full scratch retrain on the same window,
+                        // re-gated head to head — incrementality must never
+                        // be the reason a slot goes stale.
+                        if train_kind == TrainKind::Incremental
+                            && matches!(
+                                rollout,
+                                RolloutDecision::RejectedDrift | RolloutDecision::RejectedAccuracy
+                            )
+                        {
+                            let full = catch_unwind(AssertUnwindSafe(|| {
+                                train_window(train_data, &trainer_lfo)
+                            }));
+                            if let Ok(full) = full {
+                                deployed_cutoff = cutoff_for(&full);
+                                let (r, d, h, i) = gate_candidate(&full.model, deployed_cutoff);
+                                trained = full;
+                                train_kind = TrainKind::ScratchFallback;
+                                rollout = r;
+                                drift_psi = d.or(drift_psi);
+                                holdout_accuracy = h;
+                                incumbent_accuracy = i;
                             }
                         }
 
                         let model = Arc::new(trained.model);
+                        let model_trees = model.trees().len();
                         let deployed = rollout == RolloutDecision::Deployed;
+                        let incremental = train_kind == TrainKind::Incremental;
+                        let base_window = incumbent_window;
+                        let mut lineage: Option<Lineage> = None;
+                        let mut artifact_map: Option<Arc<BinMap>> = None;
                         let mut validation: Option<StoredValidation> = None;
                         let mut persisted = false;
                         if deployed {
+                            if incremental {
+                                windows_since_full += 1;
+                            } else if retrain.incremental() {
+                                // Full rebuild with incremental mode on:
+                                // refit and freeze the quantile grid the
+                                // following deltas will bin against.
+                                frozen = Some(Arc::new(BinMap::fit(
+                                    train_data,
+                                    trainer_lfo.gbdt.max_bins,
+                                )));
+                                windows_since_full = 0;
+                            }
+                            lineage = Some(Lineage {
+                                kind: if incremental {
+                                    LineageKind::Delta
+                                } else {
+                                    LineageKind::Full
+                                },
+                                base_window: if incremental { base_window } else { None },
+                                delta_trees: if incremental { retrain.delta_trees } else { 0 },
+                                total_trees: model_trees,
+                                bin_map_fingerprint: frozen
+                                    .as_ref()
+                                    .map(|m| format!("{:016x}", m.fingerprint())),
+                            });
+                            artifact_map = frozen.clone();
                             if persist_enabled {
                                 validation = Some(build_validation(
                                     &labeled.data,
@@ -710,11 +849,14 @@ pub(super) fn run_staged(
                                         trainer_slot.version(),
                                         validation.take().unwrap_or_default(),
                                         labeled.tracker.clone(),
+                                        lineage.clone(),
+                                        artifact_map.as_deref(),
                                         &mut trainer_persist_faults,
                                     );
                                 }
                             }
                             incumbent = Some((Arc::clone(&model), deployed_cutoff));
+                            incumbent_window = Some(index);
                         }
                         TrainOutcome {
                             index,
@@ -734,6 +876,10 @@ pub(super) fn run_staged(
                             validation,
                             tracker: labeled.tracker,
                             persisted,
+                            train_kind,
+                            model_trees: Some(model_trees),
+                            lineage,
+                            bin_map: artifact_map,
                             label_time,
                             train_time: started.elapsed(),
                         }
@@ -803,6 +949,8 @@ pub(super) fn run_staged(
                                     cache.slot().version(),
                                     outcome.validation.take().unwrap_or_default(),
                                     std::mem::take(&mut outcome.tracker),
+                                    outcome.lineage.clone(),
+                                    outcome.bin_map.as_deref(),
                                     &mut collector_persist_faults,
                                 );
                             }
@@ -872,6 +1020,8 @@ pub(super) fn run_staged(
             holdout_accuracy: outcome.holdout_accuracy,
             incumbent_accuracy: outcome.incumbent_accuracy,
             persisted: outcome.persisted,
+            train_kind: outcome.train_kind,
+            model_trees: outcome.model_trees,
             timing: StageTiming {
                 serve: part.serve_time,
                 label: outcome.label_time,

@@ -1,8 +1,8 @@
 //! Training LFO's classifier (paper §2.3).
 
-use gbdt::{train, Confusion, Dataset, Model};
+use gbdt::{train, train_continued, BinMap, Confusion, Dataset, Model};
 
-use crate::config::LfoConfig;
+use crate::config::{LfoConfig, RetrainConfig};
 
 /// A model trained on one window, with its self-reported quality.
 #[derive(Clone, Debug)]
@@ -24,9 +24,40 @@ pub struct TrainedWindow {
 /// Trains the LFO classifier for one window's training set.
 pub fn train_window(data: &Dataset, config: &LfoConfig) -> TrainedWindow {
     let model = train(data, &config.gbdt);
-    let probs: Vec<f64> = (0..data.num_rows())
-        .map(|r| model.predict_proba(&data.row(r)))
-        .collect();
+    finish_window(model, data, config)
+}
+
+/// Continues boosting from `base` for one window: the incumbent is capped
+/// to `retrain.max_trees - retrain.delta_trees` newest trees (when a cap
+/// is set), then `retrain.delta_trees` new trees are appended with the
+/// score vector seeded from the incumbent's margins. `bin_map` supplies
+/// the frozen quantile grid fitted at the last full rebuild.
+pub fn train_window_continued(
+    base: &Model,
+    data: &Dataset,
+    config: &LfoConfig,
+    retrain: &RetrainConfig,
+    bin_map: Option<&BinMap>,
+) -> TrainedWindow {
+    let mut params = config.gbdt.clone();
+    params.num_iterations = retrain.delta_trees;
+    let capped;
+    let base = if retrain.max_trees > 0
+        && base.trees().len() + retrain.delta_trees > retrain.max_trees
+    {
+        capped = base.retained_newest(retrain.max_trees.saturating_sub(retrain.delta_trees).max(1));
+        &capped
+    } else {
+        base
+    };
+    let model = train_continued(base, data, &params, bin_map);
+    finish_window(model, data, config)
+}
+
+/// Scores the training window (flat batch inference — bit-equal to the
+/// recursive walk) and assembles the self-reported quality numbers.
+fn finish_window(model: Model, data: &Dataset, config: &LfoConfig) -> TrainedWindow {
+    let probs = batch_probs(&model, data);
     let confusion = Confusion::at_cutoff(&probs, data.labels(), config.cutoff);
     let positives = data.labels().iter().filter(|&&y| y >= 0.5).count();
     TrainedWindow {
@@ -37,6 +68,18 @@ pub fn train_window(data: &Dataset, config: &LfoConfig) -> TrainedWindow {
         train_probs: probs,
         train_labels: data.labels().to_vec(),
     }
+}
+
+/// Batch probabilities over a whole dataset through the flat layout —
+/// bit-equal to per-row [`Model::predict_proba`], one ensemble flatten and
+/// one row-major pack instead of a recursive walk per row.
+fn batch_probs(model: &Model, data: &Dataset) -> Vec<f64> {
+    let flat = model.flatten();
+    let n = data.num_rows();
+    let packed: Vec<f32> = (0..n).flat_map(|r| data.row(r)).collect();
+    let mut out = vec![0.0f64; n];
+    flat.predict_proba_batch(&packed, &mut out);
+    out
 }
 
 /// The cutoff that (approximately) equalizes false-positive and
@@ -62,9 +105,7 @@ pub fn equalize_cutoff(probs: &[f64], labels: &[f32]) -> f64 {
 /// returning the confusion at `cutoff` (the Figure 5 "prediction error" is
 /// `error_fraction()` of this).
 pub fn evaluate(model: &Model, data: &Dataset, cutoff: f64) -> Confusion {
-    let probs: Vec<f64> = (0..data.num_rows())
-        .map(|r| model.predict_proba(&data.row(r)))
-        .collect();
+    let probs = batch_probs(model, data);
     Confusion::at_cutoff(&probs, data.labels(), cutoff)
 }
 
@@ -129,6 +170,48 @@ mod tests {
             (conf.false_positive_fraction() - conf.false_negative_fraction()).abs() < 0.05,
             "rates not equalized at {c}"
         );
+    }
+
+    #[test]
+    fn continued_window_appends_and_respects_cap() {
+        let data = window_dataset(4, 3_000, 2 * 1024 * 1024);
+        let cfg = LfoConfig::default(); // 30 trees per full rebuild
+        let base = train_window(&data, &cfg);
+        assert_eq!(base.model.trees().len(), 30);
+
+        let uncapped = RetrainConfig {
+            delta_trees: 5,
+            full_refresh: 4,
+            max_trees: 0,
+        };
+        let grown = train_window_continued(&base.model, &data, &cfg, &uncapped, None);
+        assert_eq!(grown.model.trees().len(), 35);
+        assert_eq!(&grown.model.trees()[..30], base.model.trees());
+
+        let capped = RetrainConfig {
+            max_trees: 32,
+            ..uncapped
+        };
+        let capped_model = train_window_continued(&base.model, &data, &cfg, &capped, None);
+        // 27 newest incumbent trees retained + 5 appended = the cap.
+        assert_eq!(capped_model.model.trees().len(), 32);
+        assert_eq!(&capped_model.model.trees()[..27], &base.model.trees()[3..]);
+    }
+
+    #[test]
+    fn frozen_bin_map_from_same_window_changes_nothing() {
+        let data = window_dataset(5, 2_000, 2 * 1024 * 1024);
+        let cfg = LfoConfig::default();
+        let base = train_window(&data, &cfg);
+        let retrain = RetrainConfig {
+            delta_trees: 4,
+            full_refresh: 4,
+            max_trees: 0,
+        };
+        let map = gbdt::BinMap::fit(&data, cfg.gbdt.max_bins);
+        let with_map = train_window_continued(&base.model, &data, &cfg, &retrain, Some(&map));
+        let without = train_window_continued(&base.model, &data, &cfg, &retrain, None);
+        assert_eq!(with_map.model, without.model);
     }
 
     #[test]

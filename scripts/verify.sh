@@ -46,4 +46,11 @@ cargo run -q --release -p bench --bin repro -- --smoke serve
 echo "== repro --smoke restart (artifact durability smoke) =="
 cargo run -q --release -p bench --bin repro -- --smoke restart
 
+# Smoke the scratch-vs-incremental retraining comparison (DESIGN.md §11):
+# runs both pipelines plus the binning/warm-start micro-benches and writes
+# results/BENCH_retrain.json — so a warm-start, frozen-bin-map, or
+# fallback regression fails verify before the full quick-scale run.
+echo "== repro --smoke retrain (incremental retraining smoke) =="
+cargo run -q --release -p bench --bin repro -- --smoke retrain
+
 echo "verify: OK"

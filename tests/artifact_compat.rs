@@ -76,6 +76,7 @@ fn golden_artifact() -> LfoArtifact {
             window: 3,
             slot_version: 4,
             note: "committed compatibility fixture; see artifact_compat.rs".into(),
+            lineage: None,
         },
     )
     .with_validation(StoredValidation {

@@ -123,6 +123,7 @@ fn build_artifact(case: &Case) -> (LfoArtifact, LfoConfig) {
             window: (case.seed % 97) as usize,
             slot_version: case.seed % 31,
             note: "artifact_roundtrip property test".into(),
+            lineage: None,
         },
     )
     .with_validation(validation)

@@ -1,0 +1,201 @@
+//! Integration tests for incremental warm-start retraining (DESIGN.md §11):
+//! the refresh cadence, the ensemble cap, the gate-rejection scratch
+//! fallback, bit-identity of the disabled path, and incremental resume
+//! across a warm restart.
+//!
+//! As in `pipeline_faults.rs`, the `slot_version` assertions are the
+//! load-bearing ones: a frozen version across a window boundary proves a
+//! rejected candidate was never published to the serving path.
+
+use std::path::PathBuf;
+
+use cdn_trace::{GeneratorConfig, TraceGenerator, TraceStats};
+use lfo::{
+    run_pipeline, run_pipeline_serial, AccuracyGate, GateConfig, PersistConfig, PipelineConfig,
+    RetrainConfig, RolloutDecision, TrainKind,
+};
+
+fn production_config(
+    window: usize,
+    trace_seed: u64,
+    n: u64,
+) -> (Vec<cdn_trace::Request>, PipelineConfig) {
+    let trace = TraceGenerator::new(GeneratorConfig::production(trace_seed, n)).generate();
+    let cache_size = TraceStats::from_trace(&trace).cache_size_for_fraction(0.10);
+    let config = PipelineConfig {
+        window,
+        cache_size,
+        ..Default::default()
+    };
+    (trace.requests().to_vec(), config)
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lfo-retrain-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disabled_retrain_is_bit_identical_to_the_serial_reference() {
+    // `full_refresh == 1` means every window is a full rebuild, regardless
+    // of the other knobs — the staged pipeline must reproduce the serial
+    // scratch reference bit for bit at any thread count.
+    let (requests, mut config) = production_config(3_000, 101, 12_000);
+    config.threads = 3;
+    config.opt_segment = 700;
+    config.retrain = RetrainConfig {
+        delta_trees: 7, // ignored: full_refresh == 1 forces scratch
+        full_refresh: 1,
+        max_trees: 40,
+    };
+    let serial = run_pipeline_serial(&requests, &config).unwrap();
+    let staged = run_pipeline(&requests, &config).unwrap();
+
+    assert_eq!(serial.windows.len(), staged.windows.len());
+    for (s, p) in serial.windows.iter().zip(&staged.windows) {
+        assert_eq!(s.live.hits, p.live.hits, "window {}", s.index);
+        assert_eq!(s.live.hit_bytes, p.live.hit_bytes, "window {}", s.index);
+        assert_eq!(
+            s.prediction_error.map(f64::to_bits),
+            p.prediction_error.map(f64::to_bits),
+            "window {}",
+            s.index
+        );
+        assert_eq!(
+            s.train_accuracy.map(f64::to_bits),
+            p.train_accuracy.map(f64::to_bits)
+        );
+        assert_eq!(p.train_kind, TrainKind::Scratch, "window {}", p.index);
+        assert_eq!(s.model_trees, p.model_trees);
+    }
+    assert_eq!(serial.live_total.hit_bytes, staged.live_total.hit_bytes);
+}
+
+#[test]
+fn incremental_schedule_follows_the_refresh_cadence_and_cap() {
+    // delta 5 on a 30-tree full rebuild, refresh every 4th deploy, capped
+    // at 40 trees: 30 → 35 → 40 → 40 → full refresh (30) → 35.
+    let (requests, mut config) = production_config(2_000, 102, 12_000);
+    config.retrain = RetrainConfig {
+        delta_trees: 5,
+        full_refresh: 4,
+        max_trees: 40,
+    };
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    assert_eq!(report.windows.len(), 6);
+    let kinds: Vec<TrainKind> = report.windows.iter().map(|w| w.train_kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TrainKind::Scratch,
+            TrainKind::Incremental,
+            TrainKind::Incremental,
+            TrainKind::Incremental,
+            TrainKind::Scratch,
+            TrainKind::Incremental,
+        ]
+    );
+    let trees: Vec<Option<usize>> = report.windows.iter().map(|w| w.model_trees).collect();
+    assert_eq!(
+        trees,
+        vec![Some(30), Some(35), Some(40), Some(40), Some(30), Some(35)]
+    );
+    // Gates are off and no faults are injected: every window deploys, so
+    // incremental windows are real rollouts, not silent skips.
+    for w in &report.windows {
+        assert_eq!(w.rollout, RolloutDecision::Deployed, "window {}", w.index);
+        assert!(w.train_accuracy.unwrap() > 0.5, "window {}", w.index);
+    }
+    assert!(report.final_model.is_some());
+}
+
+#[test]
+fn gate_rejected_incremental_falls_back_to_scratch_not_a_stale_slot() {
+    // An accuracy gate with margin -2.0 rejects every gated candidate
+    // (accuracy - 2 < reference always holds). Window 0 deploys (no
+    // incumbent to gate against); from window 1 on, the incremental
+    // candidate is rejected, the pipeline retrains from scratch on the
+    // same window (the fallback), the fallback is gated head-to-head and
+    // rejected too — and the slot provably never moves.
+    let (requests, mut config) = production_config(2_000, 103, 8_000);
+    config.gates = GateConfig {
+        accuracy: Some(AccuracyGate {
+            margin: -2.0,
+            ..AccuracyGate::default()
+        }),
+        drift: None,
+    };
+    config.retrain = RetrainConfig {
+        delta_trees: 5,
+        full_refresh: 8,
+        max_trees: 0,
+    };
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    assert_eq!(report.windows.len(), 4);
+    assert_eq!(report.windows[0].train_kind, TrainKind::Scratch);
+    assert_eq!(report.windows[0].rollout, RolloutDecision::Deployed);
+    let deployed_version = report.windows[1].slot_version;
+    for w in &report.windows[1..] {
+        assert_eq!(
+            w.train_kind,
+            TrainKind::ScratchFallback,
+            "window {}: the rejected incremental candidate must be retried \
+             from scratch, not dropped",
+            w.index
+        );
+        assert_eq!(w.rollout, RolloutDecision::RejectedAccuracy);
+        // The fallback is a full rebuild: full iteration count, gated with
+        // both sides of the comparison recorded.
+        assert_eq!(w.model_trees, Some(30));
+        assert!(w.holdout_accuracy.is_some());
+        assert!(w.incumbent_accuracy.is_some());
+        assert_eq!(
+            w.slot_version, deployed_version,
+            "window {}: a rejected fallback must leave the slot untouched",
+            w.index
+        );
+    }
+    assert_eq!(report.degraded_windows(), 3);
+}
+
+#[test]
+fn warm_restart_resumes_incrementally_from_the_artifact() {
+    // The seeding run persists its frozen bin map and lineage; the
+    // restarted run restores the incumbent *and* the grid, so its very
+    // first window trains a delta instead of paying a full rebuild.
+    let (requests, mut config) = production_config(2_000, 104, 12_000);
+    let dir = store_dir("resume");
+    let retrain = RetrainConfig {
+        delta_trees: 5,
+        full_refresh: 4,
+        max_trees: 40,
+    };
+    config.retrain = retrain;
+    config.persist = Some(PersistConfig::new(&dir).with_trace_id("retrain-resume"));
+    let seeded = run_pipeline(&requests, &config).unwrap();
+    // Final seeded window: the post-refresh delta (30 + 5 trees).
+    assert_eq!(seeded.windows[5].train_kind, TrainKind::Incremental);
+    assert_eq!(seeded.windows[5].model_trees, Some(35));
+
+    let mut warm = production_config(2_000, 104, 12_000).1;
+    warm.retrain = retrain;
+    warm.warm_start = Some(dir.clone());
+    let restarted = run_pipeline(&requests, &warm).unwrap();
+
+    assert!(restarted.restore.as_ref().unwrap().restored());
+    assert!(restarted.windows[0].had_model);
+    let first = &restarted.windows[0];
+    assert_eq!(
+        first.train_kind,
+        TrainKind::Incremental,
+        "a warm restart with a stored bin map must resume incrementally"
+    );
+    // 35 restored trees + 5 delta trees, within the 40-tree cap.
+    assert_eq!(first.model_trees, Some(40));
+    assert_eq!(first.rollout, RolloutDecision::Deployed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

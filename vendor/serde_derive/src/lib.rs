@@ -6,6 +6,9 @@
 //! the raw `TokenStream` directly, since `syn`/`quote` are unavailable in
 //! the offline build environment. Serde field/container attributes are not
 //! supported and will simply be ignored (none are used in this workspace).
+//! One piece of real-serde behavior IS reproduced: named fields whose type
+//! is `Option<...>` deserialize a *missing* key as `None`, so adding an
+//! optional field to a struct stays backward compatible with old payloads.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -29,8 +32,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---- item model ----
 
+/// A named field: its identifier plus whether its declared type is
+/// `Option<...>` (such fields treat a missing key as `None`).
+struct NamedField {
+    name: String,
+    is_option: bool,
+}
+
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
 }
@@ -119,26 +129,29 @@ fn parse_struct_fields(body: Option<&TokenTree>) -> Fields {
     }
 }
 
-/// Parses `attr* vis? name: Type,`* bodies into field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses `attr* vis? name: Type,`* bodies into field names, noting which
+/// fields have an `Option<...>` type.
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
-    let mut fields = Vec::new();
+    let mut fields: Vec<NamedField> = Vec::new();
     let mut at = 0usize;
     while at < tokens.len() {
         skip_attrs_and_vis(&tokens, &mut at);
         let Some(TokenTree::Ident(name)) = tokens.get(at) else {
             break;
         };
-        fields.push(name.to_string());
+        let name = name.to_string();
         at += 1;
         // Expect ':', then skip the type up to the next top-level comma.
         match tokens.get(at) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => at += 1,
-            other => panic!(
-                "expected `:` after field `{}`, found {other:?}",
-                fields.last().unwrap()
-            ),
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
         }
+        let is_option = matches!(
+            tokens.get(at),
+            Some(TokenTree::Ident(i)) if i.to_string() == "Option"
+        );
+        fields.push(NamedField { name, is_option });
         skip_type(&tokens, &mut at);
         if let Some(TokenTree::Punct(p)) = tokens.get(at) {
             if p.as_char() == ',' {
@@ -243,7 +256,10 @@ fn generate_serialize(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             format!("::serde::Value::Map(vec![{}])", entries.join(", "))
         }
@@ -295,10 +311,14 @@ fn serialize_variant_arm(name: &str, v: &Variant) -> String {
             )
         }
         Fields::Named(fields) => {
-            let binds = fields.join(", ");
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let binds = binds.join(", ");
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                })
                 .collect();
             format!(
                 "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
@@ -315,13 +335,7 @@ fn generate_deserialize(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
-                         .ok_or_else(|| ::serde::DeError::msg(\
-                         \"missing field `{f}` in {name}\"))?)?"
-                    )
-                })
+                .map(|f| named_field_init(f, "v", &format!("missing field `{}` in {name}", f.name)))
                 .collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
@@ -406,10 +420,10 @@ fn deserialize_variant_check(name: &str, v: &Variant) -> String {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\")\
-                         .ok_or_else(|| ::serde::DeError::msg(\
-                         \"missing field `{f}` in {name}::{vn}\"))?)?"
+                    named_field_init(
+                        f,
+                        "inner",
+                        &format!("missing field `{}` in {name}::{vn}", f.name),
                     )
                 })
                 .collect();
@@ -420,5 +434,24 @@ fn deserialize_variant_check(name: &str, v: &Variant) -> String {
                 inits.join(", ")
             )
         }
+    }
+}
+
+/// One `field: <expr>` initializer reading the key `field.name` from the
+/// map expression `src`. `Option` fields fall back to `None` when the key
+/// is absent (real serde's implicit behavior); all other fields error.
+fn named_field_init(field: &NamedField, src: &str, missing_msg: &str) -> String {
+    let f = &field.name;
+    if field.is_option {
+        format!(
+            "{f}: match {src}.get(\"{f}\") {{\
+             Some(x) => ::serde::Deserialize::from_value(x)?, \
+             None => ::core::option::Option::None }}"
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\")\
+             .ok_or_else(|| ::serde::DeError::msg(\"{missing_msg}\"))?)?"
+        )
     }
 }
