@@ -1,32 +1,37 @@
-//! Figure 7: prediction throughput vs number of predictor threads.
+//! Figure 7: prediction throughput vs number of predictor threads, plus
+//! the serving-engine comparison.
 //!
 //! Paper shape: "A single thread can serve predictions for just below 300K
 //! requests per second. For 12 threads (44 threads), prediction speed
 //! scales almost linearly reaching more than 3 million (11 million)
 //! requests per second. To utilize a 40 GBit/s network, LFO needs only two
 //! threads, assuming an average object size of 32KB."
+//!
+//! On top of the paper's thread sweep (flat engine, `BENCH_serve.json`),
+//! the experiment races the four serving engines — recursive, flat,
+//! quantized, quantized+pruned — over the same packed row set at the same
+//! thread counts and writes the matrix to `BENCH_fig7.json`. The
+//! acceptance gate lives here: the quantized kernel must reach at least
+//! 3x the flat walk's preds/s at some equal thread count.
 
 use std::time::Duration;
 
-use gbdt::GbdtParams;
+use gbdt::{BinMap, EngineKind, GbdtParams, Predicate};
+use lfo::serve::{prediction_throughput, prediction_throughput_engine};
+use lfo::FREE_FEATURE;
 
 use crate::experiments::common::{train_and_eval, window_dataset};
 use crate::harness::Context;
-use crate::perf::{BenchServe, Fig7Row};
-use lfo::serve::prediction_throughput;
+use crate::perf::{BenchFig7, BenchServe, Fig7EngineRow, Fig7Row};
 
-/// Runs the thread-scaling sweep.
+/// Runs the thread-scaling sweep and the engine comparison.
 pub fn run(ctx: &Context) -> std::io::Result<()> {
     let trace = ctx.standard_trace(104);
     let cache_size = ctx.standard_cache_size(&trace);
     let w = ctx.window();
     let reqs = trace.requests();
-    let te = train_and_eval(
-        &reqs[..w],
-        &reqs[w..2 * w],
-        cache_size,
-        &GbdtParams::lfo_paper(),
-    );
+    let params = GbdtParams::lfo_paper();
+    let te = train_and_eval(&reqs[..w], &reqs[w..2 * w], cache_size, &params);
 
     // Rows to score: realistic feature vectors from the trace.
     let data = window_dataset(&reqs[..w.min(4_096)], cache_size);
@@ -86,5 +91,106 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             );
         }
     }
+
+    engine_comparison(ctx, &te.model, &te.train_data, &rows, cache_size, duration)
+}
+
+/// Races the four serving engines over the same packed rows at the same
+/// thread counts; writes `BENCH_fig7.json` and enforces the quantized
+/// speedup gate.
+fn engine_comparison(
+    ctx: &Context,
+    model: &gbdt::Model,
+    train_data: &gbdt::Dataset,
+    rows: &[Vec<f32>],
+    cache_size: u64,
+    duration: Duration,
+) -> std::io::Result<()> {
+    let params = GbdtParams::lfo_paper();
+    // The frozen training grid: fit on exactly the distribution the model
+    // trained on, so the quantized compile is exact (bit-equal scores).
+    let map = BinMap::fit(train_data, params.max_bins);
+    // The shard invariant the pruned engine specializes against: the
+    // free-bytes feature never exceeds the cache capacity. u64 -> f32
+    // rounding is monotone, so every row's `free as f32` stays <= the
+    // bound's f32 image and the predicate genuinely holds.
+    let predicates = [Predicate::range(FREE_FEATURE, 0.0, cache_size as f32)];
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= (cores * 2).max(2))
+        .collect();
+
+    println!("\n== Figure 7b: serving-engine comparison ==");
+    println!("  engine            threads  preds/s     vs flat");
+    let mut csv = Vec::new();
+    let mut out_rows: Vec<Fig7EngineRow> = Vec::new();
+    let mut quantized_speedup_max = 0.0f64;
+    for &threads in &thread_counts {
+        let rates: Vec<(EngineKind, f64)> = EngineKind::ALL
+            .into_iter()
+            .map(|engine| {
+                let r = prediction_throughput_engine(
+                    model,
+                    rows,
+                    threads,
+                    duration,
+                    engine,
+                    Some(&map),
+                    &predicates,
+                )
+                .expect("the training grid matches the model's feature count");
+                (engine, r.per_second())
+            })
+            .collect();
+        let flat_rate = rates
+            .iter()
+            .find(|(e, _)| *e == EngineKind::Flat)
+            .map(|&(_, r)| r)
+            .unwrap_or(f64::INFINITY);
+        for (engine, rate) in rates {
+            let speedup = rate / flat_rate.max(1e-9);
+            if engine == EngineKind::Quantized {
+                quantized_speedup_max = quantized_speedup_max.max(speedup);
+            }
+            println!(
+                "  {:<16}  {threads:>7}  {rate:>10.0}  {speedup:>6.2}x",
+                engine.label()
+            );
+            csv.push(format!(
+                "{},{threads},{rate:.0},{speedup:.3}",
+                engine.label()
+            ));
+            out_rows.push(Fig7EngineRow {
+                engine: engine.label().to_string(),
+                threads,
+                preds_per_sec: rate,
+                speedup_vs_flat: speedup,
+            });
+        }
+    }
+    ctx.write_csv(
+        "fig7_engines.csv",
+        "engine,threads,preds_per_sec,speedup_vs_flat",
+        &csv,
+    )?;
+    let doc = BenchFig7 {
+        host_cores: BenchServe::detect_cores(),
+        rows: out_rows,
+        quantized_speedup_max,
+    };
+    let path = doc.store(ctx)?;
+    println!(
+        "  json: {}  (best quantized speedup {quantized_speedup_max:.2}x)",
+        path.display()
+    );
+    assert!(
+        quantized_speedup_max >= 3.0,
+        "quantized engine reached only {quantized_speedup_max:.2}x over the flat walk \
+         (acceptance floor: 3x at some equal thread count)"
+    );
     Ok(())
 }

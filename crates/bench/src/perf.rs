@@ -19,6 +19,9 @@ use crate::harness::Context;
 /// File name inside the results directory.
 pub const BENCH_SERVE_FILE: &str = "BENCH_serve.json";
 
+/// File name of the engine-comparison summary (`repro fig7`).
+pub const BENCH_FIG7_FILE: &str = "BENCH_fig7.json";
+
 /// File name of the restart/durability summary.
 pub const BENCH_RESTART_FILE: &str = "BENCH_restart.json";
 
@@ -39,6 +42,9 @@ pub struct Fig7Row {
 /// One row of the sharded serving sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServeRow {
+    /// Serving engine the shard fleet scored through
+    /// (`flat` / `quantized+pruned`).
+    pub engine: String,
     /// Cache shards (one worker thread each).
     pub shards: usize,
     /// Requests replayed per second, admission + eviction included.
@@ -49,6 +55,16 @@ pub struct ServeRow {
     pub bhr: f64,
     /// `bhr` minus the unsharded single-cache reference BHR.
     pub bhr_delta_vs_unsharded: f64,
+    /// Feature-tracker bytes summed across shards at shutdown.
+    pub tracker_bytes: u64,
+    /// Admission-index bytes (resident map + eviction queue) summed
+    /// across shards at shutdown.
+    pub index_bytes: u64,
+    /// Compiled-model bytes, counted once (the fleet shares one slot).
+    pub model_bytes: u64,
+    /// `(tracker + index + model) / resident objects` at shutdown — the
+    /// metadata cost of serving one cached object.
+    pub metadata_bytes_per_object: f64,
 }
 
 /// The whole `BENCH_serve.json` document. Both sections are always
@@ -89,6 +105,46 @@ impl BenchServe {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(0)
+    }
+}
+
+/// One cell of the engine-comparison matrix: one serving engine at one
+/// thread count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig7EngineRow {
+    /// Engine label ([`gbdt::EngineKind::label`]).
+    pub engine: String,
+    /// Predictor threads.
+    pub threads: usize,
+    /// Single predictions scored per second across all threads.
+    pub preds_per_sec: f64,
+    /// This engine's rate divided by the flat engine's rate at the same
+    /// thread count.
+    pub speedup_vs_flat: f64,
+}
+
+/// The `BENCH_fig7.json` document: `repro fig7`'s engine comparison —
+/// recursive vs flat vs quantized vs quantized+pruned, each at the same
+/// thread counts over the same packed row set.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchFig7 {
+    /// Host cores observed by the writing run (0 if unknown).
+    pub host_cores: usize,
+    /// The engine × threads matrix.
+    pub rows: Vec<Fig7EngineRow>,
+    /// Best quantized-over-flat speedup across the swept thread counts
+    /// (the headline the acceptance gate checks: >= 3x).
+    pub quantized_speedup_max: f64,
+}
+
+impl BenchFig7 {
+    /// Writes the document, pretty-printed (single writer, no merge).
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_FIG7_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_fig7 encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
     }
 }
 
@@ -276,11 +332,16 @@ mod tests {
         let mut doc = BenchServe::load(&ctx);
         assert_eq!(doc.fig7.len(), 1);
         doc.serve = vec![ServeRow {
+            engine: "quantized+pruned".into(),
             shards: 4,
             reqs_per_sec: 1_000_000.0,
             gbps_at_32kb: 262.1,
             bhr: 0.71,
             bhr_delta_vs_unsharded: -0.003,
+            tracker_bytes: 1 << 20,
+            index_bytes: 1 << 18,
+            model_bytes: 1 << 16,
+            metadata_bytes_per_object: 96.0,
         }];
         doc.store(&ctx).unwrap();
 
@@ -308,6 +369,29 @@ mod tests {
         assert!(micro.bin_frozen_ms >= 0.0);
         assert!(micro.scratch_train_ms > 0.0);
         assert!(micro.warm_train_ms > 0.0);
+    }
+
+    #[test]
+    fn fig7_engine_document_round_trips() {
+        let dir = std::env::temp_dir().join("lfo-bench-fig7-json");
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = Context::new(&dir, Scale::Smoke).unwrap();
+        let doc = BenchFig7 {
+            host_cores: 8,
+            rows: vec![Fig7EngineRow {
+                engine: "quantized".into(),
+                threads: 4,
+                preds_per_sec: 9_000_000.0,
+                speedup_vs_flat: 3.4,
+            }],
+            quantized_speedup_max: 3.4,
+        };
+        let path = doc.store(&ctx).unwrap();
+        let back: BenchFig7 = serde_json::from_str(&fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back.host_cores, 8);
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].engine, "quantized");
+        assert!((back.quantized_speedup_max - 3.4).abs() < 1e-12);
     }
 
     #[test]

@@ -24,25 +24,29 @@ use crate::boosting::{sigmoid, Model};
 use crate::tree::Node;
 
 /// Sentinel in [`FlatModel`]'s `feature` array marking a leaf node.
-const LEAF: u32 = u32::MAX;
+/// Crate-visible so the quantized compiler can walk the flat arrays.
+pub(crate) const LEAF: u32 = u32::MAX;
 
 /// A trained ensemble flattened for serving (see the module docs).
+///
+/// Fields are crate-visible: the quantized engine
+/// ([`crate::QuantizedModel`]) compiles itself from this layout.
 #[derive(Clone, Debug)]
 pub struct FlatModel {
-    init_score: f64,
-    num_features: usize,
+    pub(crate) init_score: f64,
+    pub(crate) num_features: usize,
     /// Node-index ranges per tree: tree `t` owns `tree_starts[t]..tree_starts[t+1]`.
-    tree_starts: Vec<u32>,
+    pub(crate) tree_starts: Vec<u32>,
     /// Split feature per node; [`LEAF`] marks leaves.
-    feature: Vec<u32>,
+    pub(crate) feature: Vec<u32>,
     /// Split threshold per node (unused for leaves).
-    threshold: Vec<f32>,
+    pub(crate) threshold: Vec<f32>,
     /// Absolute left-child node index (unused for leaves).
-    left: Vec<u32>,
+    pub(crate) left: Vec<u32>,
     /// Absolute right-child node index (unused for leaves).
-    right: Vec<u32>,
+    pub(crate) right: Vec<u32>,
     /// Leaf output per node, inline (0 for splits).
-    value: Vec<f64>,
+    pub(crate) value: Vec<f64>,
 }
 
 impl From<&Model> for FlatModel {
@@ -105,6 +109,17 @@ impl FlatModel {
     /// Total flattened nodes across all trees.
     pub fn num_nodes(&self) -> usize {
         self.feature.len()
+    }
+
+    /// Approximate resident bytes of the flat arrays, for metadata-footprint
+    /// accounting (bytes of model per cached object in the serve bench).
+    pub fn approximate_bytes(&self) -> usize {
+        self.tree_starts.len() * 4
+            + self.feature.len() * 4
+            + self.threshold.len() * 4
+            + self.left.len() * 4
+            + self.right.len() * 4
+            + self.value.len() * 8
     }
 
     /// Walks one tree (starting at absolute node `at`) for one row.

@@ -20,6 +20,13 @@
 //! - **flat SoA serving layout** ([`flat`]) — the per-tree node arenas
 //!   flattened into contiguous arrays at model-publish time, with a batched
 //!   per-tree-walk scorer, bit-equal to the recursive path;
+//! - **quantized integer-compare serving** ([`quantized`]) — thresholds
+//!   snapped to u16 bin cuts against the frozen [`BinMap`], nodes packed
+//!   one-per-u64 with a block-interleaved fixed-depth kernel, plus
+//!   predicate pruning of branches the serving shard can prove dead;
+//! - **one batched scoring entry point** ([`score`]) — every engine
+//!   (recursive / flat / quantized / quantized+pruned) packs rows once and
+//!   scores through the same ranged call;
 //! - model (de)serialization via serde ([`Model`] derives it).
 //!
 //! ## Example
@@ -47,6 +54,8 @@ pub mod dump;
 pub mod flat;
 pub mod importance;
 pub mod metrics;
+pub mod quantized;
+pub mod score;
 pub mod tree;
 
 pub use boosting::{
@@ -58,4 +67,6 @@ pub use dump::{dump_model, dump_tree};
 pub use flat::FlatModel;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use metrics::{accuracy, error_rate, log_loss, Confusion};
+pub use quantized::{Predicate, QuantizedModel, MISSING_BIN};
+pub use score::{EngineKind, PackedScorer, BATCH_ROWS};
 pub use tree::Tree;

@@ -80,7 +80,10 @@ pub use pipeline::{
     PersistConfig, PipelineConfig, PipelineReport, RestoreReport, RolloutDecision, StageTiming,
     SupervisionConfig, TrainKind, WindowReport,
 };
-pub use policy::{LfoCache, ModelSlot, SharedOccupancy};
+pub use policy::{CompiledArtifact, LfoCache, ModelSlot, SharedOccupancy, FREE_FEATURE};
+pub use serve::{
+    prediction_throughput, prediction_throughput_engine, PredictionServer, ThroughputResult,
+};
 pub use shard::{
     shard_of, CacheMetrics, ShardMode, ShardParams, ShardReport, ShardStatus, ShardedLfoCache,
 };

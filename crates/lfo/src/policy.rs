@@ -19,12 +19,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cdn_trace::{ObjectId, Request};
-use gbdt::{FlatModel, Model};
+use gbdt::{BinMap, FlatModel, Model, Predicate, QuantizedModel};
 
 use cdn_cache::cache::{CachePolicy, RequestOutcome};
 
 use crate::config::{LfoConfig, PolicyDesign};
 use crate::features::FeatureTracker;
+
+/// Index of the free-bytes feature in the tracker's row layout
+/// (`[size, cost, free, gap_1..]`) — the feature shard invariants prune
+/// against.
+pub const FREE_FEATURE: usize = 2;
+
+/// A model compiled for serving: the object that trains ([`Model`]) is not
+/// the object that serves. Built once per publish inside [`ModelSlot`] so
+/// every subscriber (each shard of a sharded cache) shares one copy of each
+/// layout instead of recompiling per shard.
+pub struct CompiledArtifact {
+    /// The training-side ensemble (recursive walk; the compatibility path).
+    pub model: Arc<Model>,
+    /// Flat SoA layout, bit-equal to the recursive walk.
+    pub flat: Arc<FlatModel>,
+    /// Quantized integer-compare layout, present only when the publish
+    /// carried the frozen training [`BinMap`] — absent, serving stays on
+    /// the flat walk (no silent requantization against a mismatched grid).
+    pub quantized: Option<Arc<QuantizedModel>>,
+}
 
 /// A shared publication point for trained models and admission cutoffs.
 ///
@@ -46,11 +66,15 @@ struct SlotInner {
 
 #[derive(Clone, Default)]
 struct SlotState {
-    model: Option<Arc<Model>>,
-    /// Flattened SoA serving layout, built once per publish so every
+    /// The compiled serving layouts, built once per publish so every
     /// subscriber (each shard of a sharded cache) shares one copy.
-    flat: Option<Arc<FlatModel>>,
+    artifact: Option<Arc<CompiledArtifact>>,
     cutoff: Option<f64>,
+    /// Predicate-pruned variants of the published quantized model, keyed by
+    /// `(feature, bound bits)`. Pooled shards present identical free-bytes
+    /// bounds, so the whole fleet shares one pruned copy; cleared on every
+    /// publish (a pruned variant is only valid for the model it came from).
+    pruned: HashMap<(usize, u64), Arc<QuantizedModel>>,
 }
 
 impl ModelSlot {
@@ -60,22 +84,46 @@ impl ModelSlot {
     }
 
     /// Publishes a model and its admission cutoff as one rollout event.
-    /// The flat serving layout is built here, once, not per subscriber.
+    /// The flat serving layout is built here, once, not per subscriber;
+    /// no quantized layout is compiled (see [`ModelSlot::publish_compiled`]).
     pub fn publish(&self, model: Arc<Model>, cutoff: f64) {
+        self.publish_compiled(model, cutoff, None);
+    }
+
+    /// Publishes a model and cutoff, compiling the full serving artifact.
+    /// When `bin_map` is the frozen grid the model was trained against, the
+    /// quantized integer-compare layout is compiled here — once, at publish
+    /// time — and every subscriber serves through it. A `None` or
+    /// feature-count-mismatched map publishes flat-only (the caller is
+    /// responsible for fingerprint gating; see `LfoArtifact::publish_to`).
+    pub fn publish_compiled(&self, model: Arc<Model>, cutoff: f64, bin_map: Option<&BinMap>) {
         let flat = Arc::new(model.flatten());
+        let quantized = bin_map
+            .filter(|map| map.num_features() == model.num_features())
+            .map(|map| Arc::new(model.quantize(map)));
+        let artifact = Arc::new(CompiledArtifact {
+            model,
+            flat,
+            quantized,
+        });
         let mut state = self.inner.state.lock().expect("slot lock poisoned");
-        state.model = Some(model);
-        state.flat = Some(flat);
+        state.artifact = Some(artifact);
         state.cutoff = Some(cutoff);
+        state.pruned.clear();
         self.inner.version.fetch_add(1, Ordering::Release);
     }
 
     /// Publishes a model, leaving the cutoff as previously published.
     pub fn publish_model(&self, model: Arc<Model>) {
         let flat = Arc::new(model.flatten());
+        let artifact = Arc::new(CompiledArtifact {
+            model,
+            flat,
+            quantized: None,
+        });
         let mut state = self.inner.state.lock().expect("slot lock poisoned");
-        state.model = Some(model);
-        state.flat = Some(flat);
+        state.artifact = Some(artifact);
+        state.pruned.clear();
         self.inner.version.fetch_add(1, Ordering::Release);
     }
 
@@ -97,21 +145,42 @@ impl ModelSlot {
             .state
             .lock()
             .expect("slot lock poisoned")
-            .model
+            .artifact
             .is_some()
     }
 
-    /// A consistent (version, model, flat layout, cutoff) snapshot.
-    #[allow(clippy::type_complexity)]
-    fn snapshot(&self) -> (u64, Option<Arc<Model>>, Option<Arc<FlatModel>>, Option<f64>) {
+    /// The currently published compiled artifact, if any.
+    pub fn compiled(&self) -> Option<Arc<CompiledArtifact>> {
+        self.inner
+            .state
+            .lock()
+            .expect("slot lock poisoned")
+            .artifact
+            .clone()
+    }
+
+    /// The published quantized model specialized against a shard invariant
+    /// `features[free_feature] ∈ [0, free_max]`, memoized so pooled shards
+    /// (which all present the pool's capacity as their bound) share one
+    /// pruned copy. `None` when the current publish carries no quantized
+    /// layout. The memo is cleared on every publish.
+    pub fn pruned_for(&self, free_feature: usize, free_max: f64) -> Option<Arc<QuantizedModel>> {
+        let mut state = self.inner.state.lock().expect("slot lock poisoned");
+        let quant = state.artifact.as_ref()?.quantized.clone()?;
+        let key = (free_feature, free_max.to_bits());
+        if let Some(pruned) = state.pruned.get(&key) {
+            return Some(pruned.clone());
+        }
+        let pruned = Arc::new(quant.prune(&[Predicate::range(free_feature, 0.0, free_max as f32)]));
+        state.pruned.insert(key, pruned.clone());
+        Some(pruned)
+    }
+
+    /// A consistent (version, compiled artifact, cutoff) snapshot.
+    fn snapshot(&self) -> (u64, Option<Arc<CompiledArtifact>>, Option<f64>) {
         let state = self.inner.state.lock().expect("slot lock poisoned");
         let version = self.inner.version.load(Ordering::Acquire);
-        (
-            version,
-            state.model.clone(),
-            state.flat.clone(),
-            state.cutoff,
-        )
+        (version, state.artifact.clone(), state.cutoff)
     }
 }
 
@@ -236,9 +305,14 @@ pub struct LfoCache {
     used: u64,
     config: LfoConfig,
     model: Option<Arc<Model>>,
-    /// Flattened serving layout of `model` (same publication); the hot path
-    /// scores with this.
+    /// Flattened serving layout of `model` (same publication); the fallback
+    /// hot path scores with this when no quantized layout was published.
     flat: Option<Arc<FlatModel>>,
+    /// Quantized serving engine — the published quantized layout pruned
+    /// against this cache's free-bytes invariant (`free ∈ [0, bound]`).
+    /// Preferred over `flat` when present; refreshed on every publish and
+    /// whenever the bound changes (`join_pool`, `set_feature_free_scale`).
+    quantized: Option<Arc<QuantizedModel>>,
     slot: ModelSlot,
     slot_seen: u64,
     tracker: FeatureTracker,
@@ -246,6 +320,9 @@ pub struct LfoCache {
     /// per-request heap allocation (sampling clones out of it only when the
     /// stride fires).
     scratch: Vec<f32>,
+    /// Reusable binned-row buffer for the quantized encoder (same
+    /// zero-allocation contract as `scratch`).
+    bin_scratch: Vec<u16>,
     /// Multiplier applied to the free-bytes feature before scoring (not to
     /// the actual accounting). See [`LfoCache::set_feature_free_scale`].
     free_scale: u64,
@@ -290,10 +367,12 @@ impl LfoCache {
             config,
             model: None,
             flat: None,
+            quantized: None,
             slot,
             slot_seen: 0,
             tracker,
             scratch: Vec::new(),
+            bin_scratch: Vec::new(),
             free_scale: 1,
             shared: None,
             member: 0,
@@ -340,15 +419,51 @@ impl LfoCache {
         if self.slot.version() == self.slot_seen {
             return;
         }
-        let (version, model, flat, cutoff) = self.slot.snapshot();
-        if let Some(model) = model {
-            self.model = Some(model);
-            self.flat = flat;
+        let (version, artifact, cutoff) = self.slot.snapshot();
+        if let Some(artifact) = artifact {
+            self.model = Some(artifact.model.clone());
+            self.flat = Some(artifact.flat.clone());
+            self.refresh_engine();
         }
         if let Some(cutoff) = cutoff {
             self.config.cutoff = cutoff;
         }
         self.slot_seen = version;
+    }
+
+    /// The free-bytes feature never exceeds this bound for this cache: the
+    /// pool's capacity when pooled (the feature is `pool.free()`), else this
+    /// cache's capacity times the feature scale. Values presented to the
+    /// model are monotone f32 roundings of integers ≤ the bound, so a
+    /// predicate on `[0, bound]` is always satisfied — pruning is legal.
+    fn free_feature_bound(&self) -> f64 {
+        match &self.shared {
+            Some(pool) => pool.capacity() as f64,
+            None => self.capacity as f64 * self.free_scale as f64,
+        }
+    }
+
+    /// Re-derives the quantized serving engine: the published quantized
+    /// layout pruned against this cache's current free-bytes bound (shared
+    /// across shards with the same bound via the slot's memo). Called after
+    /// every publish and whenever the bound changes.
+    fn refresh_engine(&mut self) {
+        self.quantized = self
+            .slot
+            .pruned_for(FREE_FEATURE, self.free_feature_bound());
+    }
+
+    /// The inference engine the next request will be scored through.
+    pub fn engine_label(&self) -> &'static str {
+        if self.quantized.is_some() {
+            "quantized+pruned"
+        } else if self.flat.is_some() {
+            "flat"
+        } else if self.model.is_some() {
+            "recursive"
+        } else {
+            "lru"
+        }
     }
 
     /// The slot version this cache last synced to — in a sharded cache,
@@ -366,6 +481,8 @@ impl LfoCache {
     /// on. Defaults to 1 (a standalone cache reports its own free bytes).
     pub fn set_feature_free_scale(&mut self, scale: u64) {
         self.free_scale = scale.max(1);
+        // The free-bytes bound moved: the pruned engine must match it.
+        self.refresh_engine();
     }
 
     /// Joins a fleet-wide byte pool: the free-bytes feature, the admission
@@ -394,6 +511,8 @@ impl LfoCache {
         debug_assert_eq!(self.used, 0, "join_pool before serving");
         self.member = member;
         self.shared = Some(pool);
+        // The free-bytes bound is now the pool's capacity: re-prune.
+        self.refresh_engine();
     }
 
     /// Whether admitting `incoming` bytes would exceed the byte budget —
@@ -428,6 +547,36 @@ impl LfoCache {
         &mut self.tracker
     }
 
+    /// Read-only view of the feature tracker.
+    pub fn tracker(&self) -> &FeatureTracker {
+        &self.tracker
+    }
+
+    /// Approximate heap bytes of the serving model layouts this cache holds
+    /// references to (flat + quantized; the Arcs are shared across shards,
+    /// so a sharded report should count this once, not per shard).
+    pub fn model_footprint_bytes(&self) -> usize {
+        self.flat.as_ref().map_or(0, |f| f.approximate_bytes())
+            + self.quantized.as_ref().map_or(0, |q| q.approximate_bytes())
+    }
+
+    /// Approximate heap bytes of the admission/eviction index: one
+    /// `HashMap` entry (key + [`Entry`] + bucket overhead) and one
+    /// `BTreeSet` key per resident.
+    pub fn approximate_index_bytes(&self) -> usize {
+        const MAP_ENTRY: usize = std::mem::size_of::<(ObjectId, Entry)>() + 16;
+        const QUEUE_KEY: usize = std::mem::size_of::<(Priority, u64, ObjectId)>() + 8;
+        self.entries.len() * MAP_ENTRY + self.queue.len() * QUEUE_KEY
+    }
+
+    /// Approximate per-object metadata bytes the serving path keeps warm:
+    /// feature-tracker history plus the admission/eviction index (model
+    /// footprint excluded — it is shared, not per-object; see
+    /// [`LfoCache::model_footprint_bytes`]).
+    pub fn metadata_bytes(&self) -> usize {
+        self.tracker.approximate_bytes() + self.approximate_index_bytes()
+    }
+
     /// Starts sampling every `every`-th request's feature row (0 disables).
     /// The staged pipeline's drift gate uses this to compare the live
     /// serving distribution against each candidate's training window.
@@ -443,9 +592,19 @@ impl LfoCache {
     }
 
     /// Predicted likelihood that OPT would cache this request, or `None`
-    /// while no model is installed. Scored through the flat SoA layout
+    /// while no model is installed. Scored through the pruned quantized
+    /// engine when the publish carried the training grid (the row is
+    /// encoded to u16 bins in a reusable scratch buffer — no float compares
+    /// and no allocation on the hot path), else through the flat SoA layout
     /// (bit-equal to `Model::predict_proba`).
-    fn score(&self, features: &[f32]) -> Option<f64> {
+    fn score(&mut self, features: &[f32]) -> Option<f64> {
+        if let Some(quant) = &self.quantized {
+            let mut bins = std::mem::take(&mut self.bin_scratch);
+            quant.encode_row_into(features, &mut bins);
+            let proba = quant.predict_proba_binned(&bins);
+            self.bin_scratch = bins;
+            return Some(proba);
+        }
         match (&self.flat, &self.model) {
             (Some(flat), _) => Some(flat.predict_proba(features)),
             (None, Some(model)) => Some(model.predict_proba(features)),
@@ -666,9 +825,9 @@ mod tests {
         Request::new(t, id, size)
     }
 
-    /// A model that predicts "cache" for small objects only: trained on
-    /// (size) → size < 500.
-    fn small_object_model() -> Arc<Model> {
+    /// Training data for a model that predicts "cache" for small objects
+    /// only: (size) → size < 500.
+    fn small_object_training_data() -> Dataset {
         let cfg = LfoConfig::default();
         let rows: Vec<Vec<f32>> = (0..400)
             .map(|i| {
@@ -695,8 +854,14 @@ mod tests {
                 }
             })
             .collect();
-        let data = Dataset::from_rows(rows, labels).unwrap();
-        Arc::new(train(&data, &GbdtParams::lfo_paper()))
+        Dataset::from_rows(rows, labels).unwrap()
+    }
+
+    fn small_object_model() -> Arc<Model> {
+        Arc::new(train(
+            &small_object_training_data(),
+            &GbdtParams::lfo_paper(),
+        ))
     }
 
     #[test]
@@ -950,5 +1115,101 @@ mod tests {
             c.handle(&req(0, 1, 200)),
             RequestOutcome::Miss { admitted: false }
         );
+    }
+
+    #[test]
+    fn quantized_publish_serves_identical_decisions() {
+        // A publish that carries the training grid serves through the
+        // pruned quantized engine; the training grid makes the compile
+        // exact, so every admission and eviction matches the flat walk.
+        let data = small_object_training_data();
+        let params = GbdtParams::lfo_paper();
+        let model = Arc::new(train(&data, &params));
+        let map = gbdt::BinMap::fit(&data, params.max_bins);
+
+        let drive = |slot: ModelSlot| {
+            let mut c = LfoCache::with_slot(700, LfoConfig::default(), slot);
+            (0..200u64)
+                .map(|i| c.handle(&req(i, i % 17, (i % 40) * 25 + 1)))
+                .collect::<Vec<_>>()
+        };
+        let flat_slot = ModelSlot::new();
+        flat_slot.publish(model.clone(), 0.5);
+        let quant_slot = ModelSlot::new();
+        quant_slot.publish_compiled(model, 0.5, Some(&map));
+
+        let probe = LfoCache::with_slot(700, LfoConfig::default(), quant_slot.clone());
+        assert_eq!(probe.engine_label(), "quantized+pruned");
+        let flat_probe = LfoCache::with_slot(700, LfoConfig::default(), flat_slot.clone());
+        assert_eq!(flat_probe.engine_label(), "flat");
+
+        assert_eq!(drive(flat_slot), drive(quant_slot));
+    }
+
+    #[test]
+    fn pooled_shards_share_one_pruned_copy() {
+        let data = small_object_training_data();
+        let params = GbdtParams::lfo_paper();
+        let model = Arc::new(train(&data, &params));
+        let map = gbdt::BinMap::fit(&data, params.max_bins);
+        let slot = ModelSlot::new();
+        slot.publish_compiled(model, 0.5, Some(&map));
+
+        let pool = SharedOccupancy::new(600, 2);
+        let mut a = LfoCache::with_slot(600, LfoConfig::default(), slot.clone());
+        a.join_pool(pool.clone(), 0);
+        let mut b = LfoCache::with_slot(600, LfoConfig::default(), slot.clone());
+        b.join_pool(pool.clone(), 1);
+
+        let pa = a.quantized.clone().expect("pooled shard serves quantized");
+        let pb = b.quantized.clone().expect("pooled shard serves quantized");
+        assert!(
+            Arc::ptr_eq(&pa, &pb),
+            "shards with the same free bound must share one pruned copy"
+        );
+        let full = slot.compiled().unwrap().quantized.as_ref().unwrap().clone();
+        assert!(
+            pa.num_nodes() <= full.num_nodes(),
+            "pruning must not grow the model"
+        );
+    }
+
+    #[test]
+    fn free_scale_change_rederives_the_pruned_engine() {
+        let data = small_object_training_data();
+        let params = GbdtParams::lfo_paper();
+        let model = Arc::new(train(&data, &params));
+        let map = gbdt::BinMap::fit(&data, params.max_bins);
+        let slot = ModelSlot::new();
+        slot.publish_compiled(model, 0.5, Some(&map));
+
+        let mut c = LfoCache::with_slot(1_000, LfoConfig::default(), slot);
+        let before = c.quantized.clone().unwrap();
+        c.set_feature_free_scale(4);
+        let after = c.quantized.clone().unwrap();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "a new free bound must map to its own memo entry"
+        );
+        // The scaled bound covers the scaled feature, so decisions match a
+        // flat-engine cache under the same scale.
+        c.enable_feature_sampling(1);
+        c.handle(&req(0, 1, 100));
+        // The row is built before admission: free = 1000 × 4.
+        assert_eq!(c.take_feature_samples()[0][2], 4_000.0);
+    }
+
+    #[test]
+    fn metadata_accounting_tracks_residents() {
+        let mut c = LfoCache::new(10_000, LfoConfig::default());
+        assert_eq!(c.approximate_index_bytes(), 0);
+        c.install_model(small_object_model());
+        assert!(c.model_footprint_bytes() > 0, "flat layout counted");
+        for i in 0..8u64 {
+            c.handle(&req(i, i, 100));
+        }
+        assert!(c.approximate_index_bytes() > 0);
+        assert!(c.metadata_bytes() >= c.approximate_index_bytes());
+        assert!(c.tracker().approximate_bytes() > 0);
     }
 }

@@ -13,7 +13,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use gbdt::Model;
+use gbdt::{BinMap, EngineKind, Model, PackedScorer, Predicate, BATCH_ROWS};
 
 /// Result of a throughput measurement.
 #[derive(Clone, Copy, Debug)]
@@ -40,20 +40,10 @@ impl ThroughputResult {
     }
 }
 
-/// Batch size each worker scores per deadline check; also the unit of the
-/// per-tree-walk batching inside [`gbdt::FlatModel::predict_proba_batch`].
-const THROUGHPUT_BATCH: usize = 512;
-
-/// Measures raw prediction throughput: `threads` workers evaluate the model
-/// over `rows` round-robin for `duration`.
-///
-/// The harness measures the *serving* inference path: the model is
-/// flattened once into its SoA layout and the rows are packed once into a
-/// flat row-major buffer (short rows padded with `+inf`, which takes the
-/// same right branch as a missing feature), then workers score
-/// [`THROUGHPUT_BATCH`]-row batches through
-/// [`gbdt::FlatModel::predict_proba_batch`] — bit-equal to
-/// `Model::predict_proba` per row, but without per-row double indirection.
+/// Measures raw prediction throughput through the flat f32 engine:
+/// `threads` workers evaluate the model over `rows` round-robin for
+/// `duration`. Shorthand for [`prediction_throughput_engine`] with
+/// [`EngineKind::Flat`], which needs no bin grid.
 ///
 /// # Panics
 ///
@@ -64,17 +54,40 @@ pub fn prediction_throughput(
     threads: usize,
     duration: Duration,
 ) -> ThroughputResult {
+    prediction_throughput_engine(model, rows, threads, duration, EngineKind::Flat, None, &[])
+        .expect("the flat engine needs no bin grid")
+}
+
+/// Measures raw prediction throughput through one serving engine:
+/// `threads` workers score `rows` round-robin for `duration`.
+///
+/// The harness measures the *serving* inference path: the model is
+/// compiled once into the engine's layout and the rows are packed once
+/// into that layout's native representation (f32 row-major for the
+/// recursive/flat walks, u16 bins for the quantized engines) via
+/// [`gbdt::PackedScorer`], then workers score [`gbdt::BATCH_ROWS`]-sized
+/// batches through the shared scorer — the same batched entry point the
+/// training pipeline's prediction helper uses.
+///
+/// Returns `None` when `engine` needs the frozen training grid and
+/// `bin_map` is absent or was fit on a different feature count.
+///
+/// # Panics
+///
+/// Panics if `threads` is 0 or `rows` is empty.
+pub fn prediction_throughput_engine(
+    model: &Model,
+    rows: &[Vec<f32>],
+    threads: usize,
+    duration: Duration,
+    engine: EngineKind,
+    bin_map: Option<&BinMap>,
+    predicates: &[Predicate],
+) -> Option<ThroughputResult> {
     assert!(threads > 0, "need at least one thread");
     assert!(!rows.is_empty(), "need at least one feature row");
-    let flat = model.flatten();
-    let stride = flat.num_features().max(1);
-    // Pack row-major once; padding with +inf matches missing-feature
-    // semantics (`inf <= threshold` is false → right branch, like `None`).
-    let mut packed = vec![f32::INFINITY; rows.len() * stride];
-    for (row, out) in rows.iter().zip(packed.chunks_exact_mut(stride)) {
-        let n = row.len().min(stride);
-        out[..n].copy_from_slice(&row[..n]);
-    }
+    let scorer = PackedScorer::pack(model, engine, rows, bin_map, predicates)?;
+    let num_rows = scorer.num_rows();
 
     let total = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
@@ -84,20 +97,19 @@ pub fn prediction_throughput(
         for worker in 0..threads {
             let total = &total;
             let stop = &stop;
-            let flat = &flat;
-            let packed = &packed;
+            let scorer = &scorer;
             scope.spawn(move || {
                 let mut local = 0u64;
-                let mut out = vec![0.0f64; THROUGHPUT_BATCH];
-                let mut at = worker % rows.len();
+                let mut out = vec![0.0f64; BATCH_ROWS];
+                let mut at = worker % num_rows;
                 // Check the deadline per batch to keep the hot loop tight.
                 while !stop.load(Ordering::Relaxed) {
-                    let end = (at + THROUGHPUT_BATCH).min(rows.len());
+                    let end = (at + BATCH_ROWS).min(num_rows);
                     let batch = end - at;
-                    flat.predict_proba_batch(&packed[at * stride..end * stride], &mut out[..batch]);
+                    scorer.score_range(at, end, &mut out[..batch]);
                     std::hint::black_box(&out);
                     local += batch as u64;
-                    at = if end == rows.len() { 0 } else { end };
+                    at = if end == num_rows { 0 } else { end };
                 }
                 total.fetch_add(local, Ordering::Relaxed);
             });
@@ -107,11 +119,11 @@ pub fn prediction_throughput(
         stop.store(true, Ordering::Relaxed);
     });
 
-    ThroughputResult {
+    Some(ThroughputResult {
         threads,
         predictions: total.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
-    }
+    })
 }
 
 /// A batch of feature rows submitted to the [`PredictionServer`].
@@ -368,6 +380,43 @@ mod tests {
             one.per_second(),
             four.per_second()
         );
+    }
+
+    #[test]
+    fn quantized_engine_needs_a_grid_and_serves() {
+        let rows: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32, (i % 7) as f32]).collect();
+        let labels: Vec<f32> = (0..200).map(|i| (i > 100) as u8 as f32).collect();
+        let data = Dataset::from_rows(rows.clone(), labels).unwrap();
+        let params = GbdtParams::lfo_paper();
+        let model = train(&data, &params);
+        let map = gbdt::BinMap::fit(&data, params.max_bins);
+        assert!(prediction_throughput_engine(
+            &model,
+            &rows,
+            1,
+            Duration::from_millis(10),
+            EngineKind::Quantized,
+            None,
+            &[]
+        )
+        .is_none());
+        for engine in EngineKind::ALL {
+            let r = prediction_throughput_engine(
+                &model,
+                &rows,
+                1,
+                Duration::from_millis(20),
+                engine,
+                Some(&map),
+                &[],
+            )
+            .unwrap();
+            assert!(
+                r.predictions > 0,
+                "engine {} served nothing",
+                engine.label()
+            );
+        }
     }
 
     #[test]

@@ -201,6 +201,16 @@ pub struct ShardStatus {
     /// Slot version the shard last synced (equal across shards exactly when
     /// a rollout has reached all of them).
     pub model_version: u64,
+    /// Approximate heap bytes of the shard's feature-tracker history at
+    /// shutdown (per-object gap state the model's features come from).
+    pub tracker_bytes: u64,
+    /// Approximate heap bytes of the shard's admission/eviction index at
+    /// shutdown (hash entry + priority-queue key per resident).
+    pub index_bytes: u64,
+    /// Approximate heap bytes of the compiled model layouts the shard
+    /// serves through. The layouts are `Arc`-shared across shards of one
+    /// slot, so a fleet-wide report should count this once, not per shard.
+    pub model_bytes: u64,
     /// The shard's exact counters.
     pub metrics: CacheMetrics,
 }
@@ -231,6 +241,31 @@ impl ShardReport {
             .all(|s| s.model_version == first)
             .then_some(first)
     }
+
+    /// Total serving-metadata bytes across the fleet: per-shard tracker and
+    /// index bytes summed, plus *one* copy of the shared model footprint
+    /// (the compiled layouts are `Arc`-shared, so summing `model_bytes`
+    /// over shards would multiply-count one allocation).
+    pub fn metadata_bytes(&self) -> u64 {
+        let per_shard: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.tracker_bytes + s.index_bytes)
+            .sum();
+        let model = self.shards.iter().map(|s| s.model_bytes).max().unwrap_or(0);
+        per_shard + model
+    }
+
+    /// Metadata bytes per resident object at shutdown (0 when nothing is
+    /// resident) — the cost-of-serving number `repro serve` reports.
+    pub fn metadata_bytes_per_object(&self) -> f64 {
+        let residents = self.total().resident_objects;
+        if residents == 0 {
+            0.0
+        } else {
+            self.metadata_bytes() as f64 / residents as f64
+        }
+    }
 }
 
 /// One shard's worker: drains request batches, drives its cache, counts.
@@ -253,6 +288,9 @@ fn shard_worker(
         shard,
         capacity: cache.capacity(),
         model_version: cache.model_version(),
+        tracker_bytes: cache.tracker().approximate_bytes() as u64,
+        index_bytes: cache.approximate_index_bytes() as u64,
+        model_bytes: cache.model_footprint_bytes() as u64,
         metrics,
     }
 }
@@ -532,6 +570,23 @@ mod tests {
             total.hits + total.admitted_misses + total.bypassed_misses,
             2_000
         );
+    }
+
+    #[test]
+    fn report_carries_metadata_footprints() {
+        let mut sharded = ShardedLfoCache::new(100_000, LfoConfig::default(), 2);
+        for i in 0..200u64 {
+            sharded.handle(&req(i, i % 37, 60));
+        }
+        let report = sharded.finish();
+        assert!(report.shards.iter().all(|s| s.tracker_bytes > 0));
+        assert!(report.shards.iter().all(|s| s.index_bytes > 0));
+        // LRU fallback: no model published, so no model footprint.
+        assert!(report.shards.iter().all(|s| s.model_bytes == 0));
+        assert!(report.metadata_bytes() > 0);
+        assert!(report.metadata_bytes_per_object() > 0.0);
+        // The per-object number covers at least one index entry per object.
+        assert!(report.metadata_bytes_per_object() >= 32.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Training LFO's classifier (paper §2.3).
 
-use gbdt::{train, train_continued, BinMap, Confusion, Dataset, Model};
+use gbdt::{train, train_continued, BinMap, Confusion, Dataset, EngineKind, Model, PackedScorer};
 
 use crate::config::{LfoConfig, RetrainConfig};
 
@@ -71,14 +71,16 @@ fn finish_window(model: Model, data: &Dataset, config: &LfoConfig) -> TrainedWin
 }
 
 /// Batch probabilities over a whole dataset through the flat layout —
-/// bit-equal to per-row [`Model::predict_proba`], one ensemble flatten and
-/// one row-major pack instead of a recursive walk per row.
+/// bit-equal to per-row [`Model::predict_proba`]. Packs and chunks through
+/// [`gbdt::PackedScorer`], the same batched entry point the serving
+/// throughput harness uses, so there is exactly one copy of the batching
+/// loop across the codebase.
 fn batch_probs(model: &Model, data: &Dataset) -> Vec<f64> {
-    let flat = model.flatten();
-    let n = data.num_rows();
-    let packed: Vec<f32> = (0..n).flat_map(|r| data.row(r)).collect();
-    let mut out = vec![0.0f64; n];
-    flat.predict_proba_batch(&packed, &mut out);
+    let rows: Vec<Vec<f32>> = (0..data.num_rows()).map(|r| data.row(r)).collect();
+    let scorer = PackedScorer::pack(model, EngineKind::Flat, &rows, None, &[])
+        .expect("the flat engine needs no bin grid");
+    let mut out = vec![0.0f64; rows.len()];
+    scorer.score_all(&mut out);
     out
 }
 

@@ -32,6 +32,14 @@ fi
 echo "== cargo test --test pipeline_faults (fault injection) =="
 cargo test -q --test pipeline_faults
 
+# Smoke the prediction-throughput / serving-engine benchmark (DESIGN.md
+# §12): races the recursive, flat, quantized, and quantized+pruned
+# engines over the same rows and writes results/BENCH_fig7.json — the
+# quantized >= 3x speedup gate and the bit-equality of the mask kernel
+# are enforced inside the run, so a kernel regression fails verify here.
+echo "== repro --smoke fig7 (engine-comparison smoke) =="
+cargo run -q --release -p bench --bin repro -- --smoke fig7
+
 # Smoke the end-to-end sharded serving benchmark (DESIGN.md §9): trains a
 # small model, replays the smoke-scale trace at 1 and 2 shards, and writes
 # results/BENCH_serve.json — so a routing, pooling, or frontier regression

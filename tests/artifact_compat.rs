@@ -10,8 +10,8 @@
 //! LFO_REGEN_GOLDEN=1 cargo test -p lfo --test artifact_compat
 //! ```
 
-use gbdt::{train, Dataset, FlatModel};
-use lfo::{LfoArtifact, LfoConfig, Provenance, StoredValidation, ARTIFACT_VERSION};
+use gbdt::{train, BinMap, Dataset, FlatModel};
+use lfo::{LfoArtifact, LfoConfig, ModelSlot, Provenance, StoredValidation, ARTIFACT_VERSION};
 use std::path::PathBuf;
 
 fn fixture_dir() -> PathBuf {
@@ -147,4 +147,81 @@ fn golden_recipe_is_deterministic() {
     let a = golden_artifact();
     let b = golden_artifact();
     assert_eq!(a.model, b.model);
+}
+
+/// v2 artifacts written before publish-time quantization carry no bin map
+/// and no quantization fingerprint. Publishing one must serve through the
+/// f32 walk — no quantized engine gets compiled, and the predictions stay
+/// exactly the pinned golden values (no silent requantization against some
+/// freshly fitted grid).
+#[test]
+fn fingerprintless_artifact_serves_through_the_unquantized_path() {
+    if std::env::var("LFO_REGEN_GOLDEN").is_ok() {
+        return; // regeneration run; the loading test writes the fixture
+    }
+    let artifact = LfoArtifact::load_file(&artifact_path()).unwrap();
+    assert!(
+        artifact.bin_map.is_none(),
+        "golden fixture predates bin maps"
+    );
+    assert!(artifact.quantization_map().is_none());
+
+    let slot = ModelSlot::new();
+    artifact.publish_to(&slot);
+    let compiled = slot.compiled().expect("publish installs an artifact");
+    assert!(
+        compiled.quantized.is_none(),
+        "a fingerprint-less artifact must not be quantized at publish"
+    );
+
+    // Predictions through the published layouts still match the fixture.
+    let expected: Vec<f64> =
+        serde_json::from_str(&std::fs::read_to_string(predictions_path()).unwrap()).unwrap();
+    for (row, want) in probe_rows(artifact.config.num_features())
+        .iter()
+        .zip(&expected)
+    {
+        let recursive = compiled.model.predict_proba(row);
+        let flat = compiled.flat.predict_proba(row);
+        assert!((recursive - want).abs() <= 1e-9);
+        assert_eq!(recursive.to_bits(), flat.to_bits());
+    }
+}
+
+/// A legacy artifact that *has* a bin map but whose lineage never recorded
+/// the map's fingerprint (e.g. incremental-retrain artifacts written
+/// before quantization existed, or a map grafted on by hand) is treated
+/// the same way: the map is usable for warm-start retraining, but it does
+/// not authorize quantization.
+#[test]
+fn bin_map_without_fingerprint_does_not_authorize_quantization() {
+    let mut artifact = golden_artifact();
+    let data = Dataset::from_rows(
+        (0..60)
+            .map(|r| {
+                (0..artifact.config.num_features())
+                    .map(|c| ((r * 19 + c * 23) % 211) as f32 * 2.0)
+                    .collect()
+            })
+            .collect(),
+        vec![0.0; 60],
+    )
+    .unwrap();
+    // Direct field assignment: the pre-quantization code path, which never
+    // stamped a fingerprint into the lineage.
+    artifact.bin_map = Some(BinMap::fit(&data, artifact.config.gbdt.max_bins));
+    assert!(artifact.provenance.lineage.is_none());
+    assert!(artifact.quantization_map().is_none());
+
+    let slot = ModelSlot::new();
+    artifact.publish_to(&slot);
+    assert!(slot.compiled().unwrap().quantized.is_none());
+
+    // The sanctioned path — with_bin_map — stamps the fingerprint and
+    // unlocks quantization for the same map.
+    let stamped = golden_artifact().with_bin_map(artifact.bin_map.clone());
+    assert!(stamped.quantization_map().is_some());
+    let slot = ModelSlot::new();
+    stamped.publish_to(&slot);
+    assert!(slot.compiled().unwrap().quantized.is_some());
 }
