@@ -1,0 +1,368 @@
+//! `repro adversarial` — the runtime guardrail bound under hostile workloads.
+//!
+//! Replays four adversarial scenarios (plus the benign control) through the
+//! same first-window model twice — guardrail disabled and guardrail
+//! enforcing — and checks the runtime bound
+//! `BHR >= (1 - epsilon) * BHR_LRU - delta` against an *exact* full-replay
+//! LRU reference ([`lru_reference_bhr`]), not the guardrail's own sampled
+//! shadow estimate. The unguarded learned policy is expected to break the
+//! bound on the scenarios built to exploit its long-gap admission bias
+//! (burst thrash, wrapping scan flood); the guarded replay must hold it on
+//! every scenario. The benign
+//! control doubles as the overhead measurement: guardrail-on must stay
+//! within ±0.005 BHR and 2% reqs/s of guardrail-off.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cdn_cache::cache::CachePolicy;
+use cdn_trace::{Adversary, GeneratorConfig, Request, TraceGenerator};
+use gbdt::{GbdtParams, Model};
+use lfo::{
+    lru_reference_bhr, CacheMetrics, GuardrailConfig, GuardrailSnapshot, LfoCache, LfoConfig,
+};
+
+use crate::harness::{Context, Scale};
+use crate::perf::{AdversarialRow, BenchAdversarial};
+
+use super::common::train_and_eval;
+
+/// Trace seed for this experiment (distinct from serve's 107).
+const SEED: u64 = 131;
+
+/// One replay's observables.
+struct Replay {
+    bhr: f64,
+    reqs_per_sec: f64,
+    guardrail: Option<GuardrailSnapshot>,
+}
+
+/// Replays the trace through one unsharded `LfoCache` serving the given
+/// model, optionally under a guardrail.
+fn replay(
+    requests: &[Request],
+    capacity: u64,
+    model: &Arc<Model>,
+    guard: Option<GuardrailConfig>,
+) -> Replay {
+    let mut cache = LfoCache::new(capacity, LfoConfig::default());
+    cache.install_model(model.clone());
+    if let Some(config) = guard {
+        cache.enable_guardrail(config);
+    }
+    let mut metrics = CacheMetrics::default();
+    let started = Instant::now();
+    for request in requests {
+        let outcome = cache.handle(request);
+        metrics.record(request.size, outcome);
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    Replay {
+        bhr: metrics.bhr(),
+        reqs_per_sec: requests.len() as f64 / elapsed,
+        guardrail: cache.guardrail(),
+    }
+}
+
+/// Best-of-N over interleaved off/on replays. Replays are deterministic,
+/// so BHR and guardrail counters are identical across repetitions; only the
+/// timing varies. Two measurement hygiene rules, both learned the hard way
+/// on a contended 1-core box: interleave the sides (running all of one
+/// side, then all of the other bakes turbo/thermal decay into whichever
+/// goes last, which reads as fake guardrail overhead), and *alternate
+/// which side goes first* within the interleave (a fixed off-then-on order
+/// lets the first position soak up the turbo budget recovered between
+/// pairs, so the second side never samples a fast machine state). A
+/// discarded warmup replay flattens the cold-start spike. With `runs > 1`,
+/// best-of on each side then converges to the machine's true per-side
+/// maximum.
+fn best_pair(
+    runs: usize,
+    mut off: impl FnMut() -> Replay,
+    mut on: impl FnMut() -> Replay,
+) -> (Replay, Replay) {
+    let mut best_off: Option<Replay> = None;
+    let mut best_on: Option<Replay> = None;
+    if runs > 1 {
+        let _ = off(); // warmup, untimed
+    }
+    for pair in 0..runs {
+        let (first, second) = if pair % 2 == 0 {
+            let f = off();
+            let s = on();
+            (f, s)
+        } else {
+            let s = on();
+            let f = off();
+            (f, s)
+        };
+        if best_off
+            .as_ref()
+            .is_none_or(|b| first.reqs_per_sec > b.reqs_per_sec)
+        {
+            best_off = Some(first);
+        }
+        if best_on
+            .as_ref()
+            .is_none_or(|b| second.reqs_per_sec > b.reqs_per_sec)
+        {
+            best_on = Some(second);
+        }
+    }
+    (best_off.expect("runs >= 1"), best_on.expect("runs >= 1"))
+}
+
+/// Runs every scenario with the guardrail off and on and asserts the bound.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let n: u64 = ctx.scale.pick3(12_000, 60_000, 400_000);
+    let trace = ctx.standard_trace(SEED);
+    let cache_size = ctx.standard_cache_size(&trace);
+    let w = ctx.window();
+
+    // One model serves every replay (the paper's protocol: learn on the
+    // first window). Scenario onsets start at n/4 >= 2w at every scale, so
+    // the model never sees adversarial traffic at fit time — the attacks
+    // target a model that was honest when deployed.
+    let reqs = trace.requests();
+    let te = train_and_eval(
+        &reqs[..w],
+        &reqs[w..2 * w],
+        cache_size,
+        &GbdtParams::lfo_paper(),
+    );
+    let model = Arc::new(te.model);
+
+    // A responsive guardrail: evaluate every `window` *sampled* requests
+    // (1/8 sampling → 8x that many raw requests), trip on two consecutive
+    // violating windows (one window of sampled-substream noise must not
+    // flip a healthy cache), re-arm after two clean shadow windows.
+    // epsilon and delta stay at the library defaults — they define the
+    // bound we assert.
+    let guard = GuardrailConfig {
+        window: ctx.scale.pick3(256, 512, 2_048),
+        trip_after: 2,
+        recover_after: 2,
+        sample_shift: 3,
+        ..GuardrailConfig::default()
+    };
+
+    println!("== adversarial: guardrail bound under hostile workloads ==");
+    println!(
+        "requests {n}, cache {} MiB, guardrail window {} sampled (1/{} rate), \
+         bound = (1 - {:.2}) * lru_bhr - {:.2}",
+        cache_size >> 20,
+        guard.window,
+        1u64 << guard.sample_shift,
+        guard.epsilon,
+        guard.delta,
+    );
+
+    let onset = n / 4;
+    // Burst-thrash pool: sized so one pool fills ~60% of the cache (LRU
+    // keeps it resident and hits every revisit) while each object is only
+    // touched a handful of times per burst — the learned policy pays its
+    // first-touch admission tax on a fresh pool every burst, over traffic
+    // that dominates the stream.
+    let pool_size: u64 = 256 * 1024;
+    let pool_objects = (cache_size * 6 / 10 / pool_size).max(64);
+    let scenarios: Vec<(&str, Vec<Adversary>)> = vec![
+        ("benign", Vec::new()),
+        (
+            "burst-thrash",
+            vec![Adversary::BurstThrash {
+                start: onset,
+                period: n / 8,
+                burst: n / 8,
+                share: 0.97,
+                objects: pool_objects,
+                size: pool_size,
+            }],
+        ),
+        // Repeated inversions: every flip hands the Zipf head to objects
+        // whose stale long-gap histories the model reads as cold, so it
+        // keeps re-paying its admission tax on the hottest (and, for the
+        // download class, largest) objects; LRU pays one compulsory miss
+        // per flip.
+        (
+            "popularity-inversion",
+            (0..12)
+                .map(|i| Adversary::PopularityInversion {
+                    at: onset + i * (n - onset) / 12,
+                })
+                .collect(),
+        ),
+        // A re-walked sweep (crawler/batch job looping over a fixed
+        // dataset): the pool fits the cache, so LRU hits every pass after
+        // the first, but each object returns at a long constant gap the
+        // model's admission reads as cold — it keeps bypassing the sweep.
+        (
+            "scan-flood",
+            vec![Adversary::ScanFlood {
+                start: onset,
+                duration: n - onset,
+                share: 0.95,
+                size: pool_size,
+                wrap: pool_objects,
+            }],
+        ),
+        // Repeated full-catalog drifts at sizes the frozen training grid
+        // never saw. Kept as the contrast scenario: the live gap features
+        // re-learn each fresh catalog within a cache lifetime, so the
+        // learned policy tracks (and under shrink often beats) LRU — the
+        // guardrail's job here is to NOT trip spuriously.
+        (
+            "drifted-mix",
+            (0..6)
+                .map(|i| Adversary::DriftedMix {
+                    at: onset + i * (n - onset) / 6,
+                    size_scale: 0.5,
+                    reshuffle_fraction: 1.0,
+                })
+                .collect(),
+        ),
+    ];
+
+    let mut doc = BenchAdversarial {
+        requests: n as usize,
+        epsilon: guard.epsilon,
+        delta: guard.delta,
+        guardrail_window: guard.window,
+        sample_shift: guard.sample_shift,
+        ..BenchAdversarial::default()
+    };
+
+    println!(
+        "{:<22} {:>7} {:>7} {:>7} {:>7} {:>5} {:>5} {:>5} {:>8} {:>9} {:>9}",
+        "scenario",
+        "lru",
+        "bound",
+        "off",
+        "on",
+        "off?",
+        "on?",
+        "trips",
+        "forced",
+        "off req/s",
+        "on req/s"
+    );
+    for (name, adversaries) in scenarios {
+        let mut cfg = GeneratorConfig::production(SEED, n);
+        cfg.adversaries = adversaries;
+        let scenario_trace = TraceGenerator::new(cfg).generate();
+        let requests = scenario_trace.requests();
+
+        let lru_bhr = lru_reference_bhr(requests, cache_size);
+        let bound = guard.bound(lru_bhr);
+
+        // The benign control is also the overhead measurement: best-of-7
+        // interleaved timing on both sides to damp scheduler noise.
+        let runs = if name == "benign" { 7 } else { 1 };
+        let (off, on) = best_pair(
+            runs,
+            || replay(requests, cache_size, &model, None),
+            || replay(requests, cache_size, &model, Some(guard)),
+        );
+
+        let row = AdversarialRow {
+            scenario: name.to_string(),
+            lru_bhr,
+            bound,
+            off_bhr: off.bhr,
+            on_bhr: on.bhr,
+            off_holds: off.bhr >= bound,
+            on_holds: on.bhr >= bound,
+            trips: on.guardrail.map_or(0, |g| g.trips),
+            forced_requests: on.guardrail.map_or(0, |g| g.forced_requests),
+            off_reqs_per_sec: off.reqs_per_sec,
+            on_reqs_per_sec: on.reqs_per_sec,
+        };
+        println!(
+            "{:<22} {:>7.4} {:>7.4} {:>7.4} {:>7.4} {:>5} {:>5} {:>5} {:>8} {:>9.0} {:>9.0}",
+            row.scenario,
+            row.lru_bhr,
+            row.bound,
+            row.off_bhr,
+            row.on_bhr,
+            if row.off_holds { "ok" } else { "VIOL" },
+            if row.on_holds { "ok" } else { "VIOL" },
+            row.trips,
+            row.forced_requests,
+            row.off_reqs_per_sec,
+            row.on_reqs_per_sec,
+        );
+        if name == "benign" {
+            doc.benign_bhr_delta = (on.bhr - off.bhr).abs();
+            doc.benign_rate_ratio = on.reqs_per_sec / off.reqs_per_sec;
+        }
+        doc.rows.push(row);
+    }
+    println!(
+        "benign overhead: |BHR delta| {:.4}, reqs/s ratio {:.3}",
+        doc.benign_bhr_delta, doc.benign_rate_ratio
+    );
+
+    // Smoke traces are too short for the guardrail to see more than a
+    // handful of evaluation windows, so the bound is only asserted at quick
+    // and full scale (the restart experiment sets the same precedent).
+    if ctx.scale != Scale::Smoke {
+        for row in &doc.rows {
+            assert!(
+                row.on_holds,
+                "guardrail-on replay of `{}` broke the bound: BHR {:.4} < {:.4} \
+                 (lru {:.4}, trips {}, forced {})",
+                row.scenario, row.on_bhr, row.bound, row.lru_bhr, row.trips, row.forced_requests,
+            );
+        }
+        let off_violations = doc
+            .rows
+            .iter()
+            .filter(|r| r.scenario != "benign" && !r.off_holds)
+            .count();
+        assert!(
+            off_violations >= 2,
+            "expected the unguarded policy to break the bound on >= 2 adversarial \
+             scenarios, got {off_violations}: {:?}",
+            doc.rows
+                .iter()
+                .map(|r| (r.scenario.as_str(), r.off_holds))
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            doc.benign_bhr_delta <= 0.005,
+            "guardrail moved benign BHR by {:.4} (> 0.005 budget)",
+            doc.benign_bhr_delta,
+        );
+        assert!(
+            doc.benign_rate_ratio >= 0.98,
+            "guardrail costs {:.1}% benign throughput (> 2% budget)",
+            (1.0 - doc.benign_rate_ratio) * 100.0,
+        );
+    }
+
+    let header = "scenario,lru_bhr,bound,off_bhr,on_bhr,off_holds,on_holds,\
+                  trips,forced_requests,off_reqs_per_sec,on_reqs_per_sec";
+    let rows: Vec<String> = doc
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.1},{:.1}",
+                r.scenario,
+                r.lru_bhr,
+                r.bound,
+                r.off_bhr,
+                r.on_bhr,
+                r.off_holds,
+                r.on_holds,
+                r.trips,
+                r.forced_requests,
+                r.off_reqs_per_sec,
+                r.on_reqs_per_sec,
+            )
+        })
+        .collect();
+    ctx.write_csv("adversarial.csv", header, &rows)?;
+    let path = doc.store(ctx)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,6 +1,7 @@
 //! One module per paper artifact; see DESIGN.md §4 for the index.
 
 pub mod acc;
+pub mod adversarial;
 pub mod common;
 pub mod design;
 pub mod faults;
@@ -24,9 +25,28 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 20] = [
-    "fig1", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "acc", "hyper", "prune",
-    "design", "thin", "tiers", "staged", "faults", "serve", "restart", "retrain", "summary",
+pub const ALL: [&str; 21] = [
+    "fig1",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6",
+    "fig7",
+    "fig8",
+    "acc",
+    "hyper",
+    "prune",
+    "design",
+    "thin",
+    "tiers",
+    "staged",
+    "faults",
+    "serve",
+    "restart",
+    "retrain",
+    "adversarial",
+    "summary",
 ];
 
 /// Runs one experiment by name. Unknown names return `false`.
@@ -51,6 +71,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "serve" => serve::run(ctx)?,
         "restart" => restart::run(ctx)?,
         "retrain" => retrain::run(ctx)?,
+        "adversarial" => adversarial::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

@@ -24,8 +24,8 @@ use cdn_cache::cache::CachePolicy;
 use cdn_trace::Request;
 use gbdt::{BinMap, GbdtParams, Model};
 use lfo::{
-    ArtifactStore, CacheMetrics, LfoArtifact, LfoCache, LfoConfig, ModelSlot, Provenance,
-    ShardParams, ShardedLfoCache,
+    ArtifactStore, CacheMetrics, GuardrailConfig, LfoArtifact, LfoCache, LfoConfig, ModelSlot,
+    Provenance, ShardParams, ShardedLfoCache,
 };
 
 use crate::experiments::common::train_and_eval;
@@ -160,7 +160,10 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         reference.evictions
     );
 
-    println!("  engine            shards   reqs/s      Gbit/s @32KB  BHR     dBHR    meta B/obj");
+    println!(
+        "  engine            shards   reqs/s      Gbit/s @32KB  BHR     dBHR    meta B/obj  \
+         guard    trips  shadow lru/real"
+    );
     let mut csv = Vec::new();
     let mut rows: Vec<ServeRow> = Vec::new();
     let shard_counts: &[usize] = ctx.scale.pick3(&[1, 2], &[1, 2, 4, 8], &[1, 2, 4, 8]);
@@ -171,9 +174,18 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             // transient (large batches let a worker run far ahead of the
             // frontier owner, which serves the replay with more than the
             // budgeted memory).
+            // The guardrail rides along observe-only (`enforce: false`):
+            // the shadow estimator runs and its state lands in the table,
+            // but serving decisions stay bit-identical to a guardrail-free
+            // sweep, so the engine gates below are unaffected. The
+            // enforcing path is measured by `repro adversarial`.
             let params = ShardParams {
                 batch_size: 8,
                 queue_depth: 1,
+                guardrail: Some(GuardrailConfig {
+                    enforce: false,
+                    ..GuardrailConfig::default()
+                }),
                 ..ShardParams::with_shards(shards)
             };
             // Every shard fleet cold-starts from the artifact: model +
@@ -201,17 +213,25 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 .max()
                 .unwrap_or(0);
             let meta_per_obj = report.metadata_bytes_per_object();
+            let guard_mode = report.guardrail_mode_label();
             println!(
                 "  {engine:<16}  {shards:>6}  {rate:>9.0}  {:>12.1}  {bhr:.4}  {delta:>+.4}  \
-                 {meta_per_obj:>8.1}  (admit {} bypass {} evict {})",
+                 {meta_per_obj:>8.1}  {guard_mode:<8} {:>5}  {:.4}/{:.4}  (admit {} bypass {} evict {})",
                 gbps(rate),
+                total.guardrail_trips,
+                total.shadow_lru_bhr(),
+                total.shadow_realized_bhr(),
                 total.admitted_misses,
                 total.bypassed_misses,
                 total.evictions
             );
             csv.push(format!(
-                "{engine},{shards},{rate:.0},{:.2},{bhr:.6},{delta:.6},{meta_per_obj:.1}",
-                gbps(rate)
+                "{engine},{shards},{rate:.0},{:.2},{bhr:.6},{delta:.6},{meta_per_obj:.1},\
+                 {guard_mode},{},{:.6},{:.6}",
+                gbps(rate),
+                total.guardrail_trips,
+                total.shadow_lru_bhr(),
+                total.shadow_realized_bhr()
             ));
             rows.push(ServeRow {
                 engine: engine.to_string(),
@@ -224,12 +244,17 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 index_bytes,
                 model_bytes,
                 metadata_bytes_per_object: meta_per_obj,
+                guardrail_mode: guard_mode.to_string(),
+                guardrail_trips: total.guardrail_trips,
+                shadow_lru_bhr: total.shadow_lru_bhr(),
+                shadow_realized_bhr: total.shadow_realized_bhr(),
             });
         }
     }
     ctx.write_csv(
         "serve_throughput.csv",
-        "engine,shards,reqs_per_sec,gbps_at_32kb,bhr,bhr_delta_vs_unsharded,metadata_bytes_per_object",
+        "engine,shards,reqs_per_sec,gbps_at_32kb,bhr,bhr_delta_vs_unsharded,\
+         metadata_bytes_per_object,guardrail_mode,guardrail_trips,shadow_lru_bhr,shadow_realized_bhr",
         &csv,
     )?;
 

@@ -28,6 +28,9 @@ pub const BENCH_RESTART_FILE: &str = "BENCH_restart.json";
 /// File name of the incremental-retraining summary.
 pub const BENCH_RETRAIN_FILE: &str = "BENCH_retrain.json";
 
+/// File name of the adversarial guardrail summary.
+pub const BENCH_ADVERSARIAL_FILE: &str = "BENCH_adversarial.json";
+
 /// One row of the Figure 7 thread sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig7Row {
@@ -65,6 +68,15 @@ pub struct ServeRow {
     /// `(tracker + index + model) / resident objects` at shutdown — the
     /// metadata cost of serving one cached object.
     pub metadata_bytes_per_object: f64,
+    /// Guardrail mode across the fleet at shutdown (`off` when the sweep
+    /// ran without a guardrail, else `learned` / `lru-forced` / `mixed`).
+    pub guardrail_mode: String,
+    /// Guardrail trips summed across shards over the replay.
+    pub guardrail_trips: u64,
+    /// Shadow ghost-LRU BHR on the sampled substream (0 when off).
+    pub shadow_lru_bhr: f64,
+    /// Realized BHR on the same sampled substream (0 when off).
+    pub shadow_realized_bhr: f64,
 }
 
 /// The whole `BENCH_serve.json` document. Both sections are always
@@ -184,6 +196,66 @@ impl BenchRestart {
         let path = ctx.out_dir.join(BENCH_RESTART_FILE);
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| std::io::Error::other(format!("BENCH_restart encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// One adversarial scenario replayed with the guardrail off and on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdversarialRow {
+    /// Scenario name (`benign`, `burst-thrash`, ...).
+    pub scenario: String,
+    /// Exact full-replay LRU BHR on the same stream ([`lfo::lru_reference_bhr`]).
+    pub lru_bhr: f64,
+    /// The runtime bound `(1 - epsilon) * lru_bhr - delta`.
+    pub bound: f64,
+    /// Realized BHR with the guardrail disabled (pure learned policy).
+    pub off_bhr: f64,
+    /// Realized BHR with the guardrail enforcing.
+    pub on_bhr: f64,
+    /// Whether the guardrail-off replay held the bound.
+    pub off_holds: bool,
+    /// Whether the guardrail-on replay held the bound.
+    pub on_holds: bool,
+    /// Guardrail trips over the guardrail-on replay.
+    pub trips: u64,
+    /// Requests served under guardrail-forced LRU in the on replay.
+    pub forced_requests: u64,
+    /// Replay throughput with the guardrail off.
+    pub off_reqs_per_sec: f64,
+    /// Replay throughput with the guardrail on.
+    pub on_reqs_per_sec: f64,
+}
+
+/// `BENCH_adversarial.json` — the guardrail bound checked scenario by
+/// scenario, plus the no-adversary overhead (single writer, no merge).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchAdversarial {
+    /// Requests per replay.
+    pub requests: usize,
+    /// Guardrail `epsilon` used for the bound.
+    pub epsilon: f64,
+    /// Guardrail `delta` used for the bound.
+    pub delta: f64,
+    /// Guardrail evaluation window (sampled requests).
+    pub guardrail_window: u64,
+    /// SHARDS-style sampling shift (rate `1 / 2^shift`).
+    pub sample_shift: u32,
+    /// Per-scenario bound checks.
+    pub rows: Vec<AdversarialRow>,
+    /// `|on_bhr - off_bhr|` on the benign trace.
+    pub benign_bhr_delta: f64,
+    /// `on_reqs_per_sec / off_reqs_per_sec` on the benign trace (best-of-N).
+    pub benign_rate_ratio: f64,
+}
+
+impl BenchAdversarial {
+    /// Writes the document, pretty-printed (single writer, no merge).
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_ADVERSARIAL_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_adversarial encode: {e:?}")))?;
         fs::write(&path, json)?;
         Ok(path)
     }
@@ -342,6 +414,10 @@ mod tests {
             index_bytes: 1 << 18,
             model_bytes: 1 << 16,
             metadata_bytes_per_object: 96.0,
+            guardrail_mode: "learned".into(),
+            guardrail_trips: 0,
+            shadow_lru_bhr: 0.69,
+            shadow_realized_bhr: 0.71,
         }];
         doc.store(&ctx).unwrap();
 

@@ -52,6 +52,73 @@ pub struct Reshuffle {
     pub fraction: f64,
 }
 
+/// An adversarial workload pattern aimed at a learned caching policy —
+/// traffic a model trained on the benign mix has never seen (the `repro
+/// adversarial` experiment replays each one with the runtime guardrail off
+/// vs. on). Injected objects live in a reserved id namespace (top bit set)
+/// so they can never collide with class catalogs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Adversary {
+    /// Periodic burst thrash: from `start` on, every `period` requests a
+    /// burst of `burst` requests routes `share` of traffic round-robin
+    /// through a pool of `objects` fresh ids — a *new* pool per burst, so
+    /// admitted burst objects never return and churn the cache for
+    /// nothing.
+    BurstThrash {
+        /// Request index of the first burst.
+        start: u64,
+        /// Requests between burst starts.
+        period: u64,
+        /// Requests each burst lasts (must be ≤ `period`).
+        burst: u64,
+        /// Fraction of in-burst requests routed to the pool.
+        share: f64,
+        /// Distinct fresh objects per burst pool.
+        objects: u64,
+        /// Byte size of every burst object.
+        size: u64,
+    },
+    /// Popularity inversion: at request `at` each class's rank permutation
+    /// is reversed — the hottest objects become the coldest and vice
+    /// versa. A recency heuristic re-learns the new order within a cache
+    /// lifetime; a model keyed on the old objects' gap history does not.
+    PopularityInversion {
+        /// Request index of the inversion.
+        at: u64,
+    },
+    /// Scan flood: during `[start, start + duration)`, `share` of requests
+    /// go to strictly sequential ids. With `wrap == 0` every scanned object
+    /// is fresh — touched exactly once and never again (a pure one-touch
+    /// flood). With `wrap > 0` the scan is a *re-walked sweep* over `wrap`
+    /// objects (a crawler or batch job looping over a fixed dataset): ids
+    /// cycle sequentially, so every object returns after a long, constant
+    /// inter-arrival gap.
+    ScanFlood {
+        /// Request index the scan begins.
+        start: u64,
+        /// Requests the scan lasts.
+        duration: u64,
+        /// Fraction of in-scan requests routed to the scan.
+        share: f64,
+        /// Byte size of every scanned object.
+        size: u64,
+        /// `0` = one-touch flood; otherwise the sweep width in objects.
+        wrap: u64,
+    },
+    /// Drifted class mix: at request `at`, `reshuffle_fraction` of every
+    /// class's catalog is replaced with fresh objects whose sizes are
+    /// scaled by `size_scale` — a size distribution a frozen quantization
+    /// grid (`BinMap`) fitted on the benign mix has never seen.
+    DriftedMix {
+        /// Request index of the drift.
+        at: u64,
+        /// Multiplier applied to newly drawn object sizes from then on.
+        size_scale: f64,
+        /// Fraction of each class's catalog replaced at the drift point.
+        reshuffle_fraction: f64,
+    },
+}
+
 /// Configuration of [`TraceGenerator`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -70,6 +137,9 @@ pub struct GeneratorConfig {
     pub reshuffles: Vec<Reshuffle>,
     /// Scheduled flash-crowd events.
     pub flash_crowds: Vec<FlashCrowd>,
+    /// Scheduled adversarial patterns (empty for benign traces; an empty
+    /// list leaves the generated stream bit-identical to earlier versions).
+    pub adversaries: Vec<Adversary>,
 }
 
 impl GeneratorConfig {
@@ -87,6 +157,7 @@ impl GeneratorConfig {
             churn_fraction: 0.01,
             reshuffles: Vec::new(),
             flash_crowds: Vec::new(),
+            adversaries: Vec::new(),
         }
     }
 
@@ -100,6 +171,7 @@ impl GeneratorConfig {
             churn_fraction: 0.0,
             reshuffles: Vec::new(),
             flash_crowds: Vec::new(),
+            adversaries: Vec::new(),
         }
     }
 }
@@ -125,12 +197,20 @@ pub struct TraceGenerator {
     sizes: HashMap<ObjectId, u64>,
     /// Active flash-crowd hot sets: (event index, object ids).
     hot_sets: Vec<(usize, Vec<ObjectId>)>,
+    /// Multiplier applied to newly drawn sizes (changed by
+    /// [`Adversary::DriftedMix`]; 1.0 for benign traces).
+    size_scale: f64,
     next: u64,
 }
 
 /// Object ids are partitioned per class: the class index lives in the top
 /// bits so ids never collide across classes.
 const CLASS_SHIFT: u32 = 48;
+
+/// Reserved namespace bit for adversary-injected object ids — class ids
+/// are bounded by `CLASS_SHIFT`-bit indices and a handful of classes, so
+/// the top bit is never set for catalog objects.
+const ADVERSARY_BIT: u64 = 1 << 63;
 
 impl TraceGenerator {
     /// Creates a generator for the given configuration.
@@ -147,6 +227,38 @@ impl TraceGenerator {
         for f in &config.flash_crowds {
             assert!(f.class < config.mix.classes().len(), "flash-crowd class");
             assert!((0.0..=1.0).contains(&f.share), "flash-crowd share");
+        }
+        for a in &config.adversaries {
+            match *a {
+                Adversary::BurstThrash {
+                    period,
+                    burst,
+                    share,
+                    objects,
+                    size,
+                    ..
+                } => {
+                    assert!(period > 0 && burst <= period, "burst-thrash period");
+                    assert!((0.0..=1.0).contains(&share), "burst-thrash share");
+                    assert!(objects > 0 && size > 0, "burst-thrash pool");
+                }
+                Adversary::PopularityInversion { .. } => {}
+                Adversary::ScanFlood { share, size, .. } => {
+                    assert!((0.0..=1.0).contains(&share), "scan-flood share");
+                    assert!(size > 0, "scan-flood size");
+                }
+                Adversary::DriftedMix {
+                    size_scale,
+                    reshuffle_fraction,
+                    ..
+                } => {
+                    assert!(size_scale > 0.0, "drifted-mix size scale");
+                    assert!(
+                        (0.0..=1.0).contains(&reshuffle_fraction),
+                        "drifted-mix fraction"
+                    );
+                }
+            }
         }
         let rng = StdRng::seed_from_u64(config.seed);
         let classes = config
@@ -165,6 +277,7 @@ impl TraceGenerator {
             classes,
             sizes: HashMap::new(),
             hot_sets: Vec::new(),
+            size_scale: 1.0,
             next: 0,
         }
     }
@@ -184,12 +297,22 @@ impl TraceGenerator {
         ObjectId(((class as u64) << CLASS_SHIFT) | index)
     }
 
+    /// Id for an adversary-injected object: the reserved top bit plus the
+    /// adversary's index, so injected streams collide neither with class
+    /// catalogs nor with each other.
+    fn adversary_id(adversary: usize, index: u64) -> ObjectId {
+        debug_assert!(adversary < (1 << 8), "adversary index fits 8 bits");
+        debug_assert!(index < (1 << 55));
+        ObjectId(ADVERSARY_BIT | ((adversary as u64) << 55) | index)
+    }
+
     /// Stable size for an object, drawn from its class on first touch.
     fn size_of(&mut self, class: usize, id: ObjectId) -> u64 {
         match self.sizes.get(&id) {
             Some(&s) => s,
             None => {
-                let s = self.config.mix.classes()[class].sizes.sample(&mut self.rng);
+                let base = self.config.mix.classes()[class].sizes.sample(&mut self.rng);
+                let s = ((base as f64 * self.size_scale) as u64).max(1);
                 self.sizes.insert(id, s);
                 s
             }
@@ -269,6 +392,74 @@ impl TraceGenerator {
             let ev = &self.config.flash_crowds[*i];
             t < ev.start + ev.duration
         });
+
+        // Adversarial point events (catalog mutations), then injected
+        // traffic. Injected streams take precedence over flash crowds —
+        // the adversary controls its share of the request stream outright.
+        for k in 0..self.config.adversaries.len() {
+            match self.config.adversaries[k] {
+                Adversary::PopularityInversion { at } if at == t => {
+                    for state in &mut self.classes {
+                        state.perm.reverse();
+                    }
+                }
+                Adversary::DriftedMix {
+                    at,
+                    size_scale,
+                    reshuffle_fraction,
+                } if at == t => {
+                    self.size_scale = size_scale;
+                    self.apply_reshuffle(reshuffle_fraction);
+                }
+                _ => {}
+            }
+        }
+        for k in 0..self.config.adversaries.len() {
+            match self.config.adversaries[k] {
+                Adversary::BurstThrash {
+                    start,
+                    period,
+                    burst,
+                    share,
+                    objects,
+                    size,
+                } if t >= start
+                    && (t - start) % period < burst
+                    && self.rng.gen::<f64>() < share =>
+                {
+                    // A fresh pool per burst, cycled round-robin by the
+                    // in-burst position — ids are a pure function of t,
+                    // so the stream is deterministic and stateless.
+                    let burst_number = (t - start) / period;
+                    let position = (t - start) % period;
+                    let index = burst_number * objects + position % objects;
+                    return Request {
+                        time: t,
+                        object: Self::adversary_id(k, index),
+                        size,
+                    };
+                }
+                Adversary::ScanFlood {
+                    start,
+                    duration,
+                    share,
+                    size,
+                    wrap,
+                } if t >= start && t < start + duration && self.rng.gen::<f64>() < share => {
+                    // Strictly sequential ids; a wrapping sweep revisits
+                    // the same `wrap` objects in order, a one-touch
+                    // flood never repeats an id.
+                    let offset = t - start;
+                    let index = if wrap > 0 { offset % wrap } else { offset };
+                    return Request {
+                        time: t,
+                        object: Self::adversary_id(k, index),
+                        size,
+                    };
+                }
+                _ => {}
+            }
+        }
 
         // Flash-crowd traffic takes its share first.
         let mut chosen: Option<(usize, ObjectId)> = None;
@@ -438,6 +629,159 @@ mod tests {
         let streamed: Vec<Request> = TraceGenerator::new(cfg.clone()).collect();
         let materialized = TraceGenerator::new(cfg).generate();
         assert_eq!(streamed, materialized.into_requests());
+    }
+
+    #[test]
+    fn adversary_free_config_is_bit_identical_to_before() {
+        // The adversary hooks must consume no RNG draws when the list is
+        // empty: same seed, same trace, with or without the field.
+        let base = TraceGenerator::new(GeneratorConfig::small(7, 5_000)).generate();
+        let mut cfg = GeneratorConfig::small(7, 5_000);
+        cfg.adversaries = Vec::new();
+        assert_eq!(base, TraceGenerator::new(cfg).generate());
+    }
+
+    #[test]
+    fn scan_flood_touches_each_object_exactly_once() {
+        let mut cfg = GeneratorConfig::small(12, 20_000);
+        cfg.adversaries = vec![Adversary::ScanFlood {
+            start: 5_000,
+            duration: 10_000,
+            share: 0.5,
+            size: 64 * 1024,
+            wrap: 0,
+        }];
+        let t = TraceGenerator::new(cfg).generate();
+        let mut scanned = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for r in &t {
+            if r.object.0 & ADVERSARY_BIT != 0 {
+                assert!((5_000..15_000).contains(&r.time), "scan outside window");
+                assert_eq!(r.size, 64 * 1024);
+                assert!(seen.insert(r.object), "object {:?} re-scanned", r.object);
+                scanned += 1;
+            }
+        }
+        // ~half of the 10k in-scan requests route to the scan.
+        assert!((3_000..=7_000).contains(&scanned), "scanned = {scanned}");
+    }
+
+    #[test]
+    fn wrapping_scan_sweeps_the_same_objects_repeatedly() {
+        let mut cfg = GeneratorConfig::small(12, 20_000);
+        cfg.adversaries = vec![Adversary::ScanFlood {
+            start: 5_000,
+            duration: 10_000,
+            share: 1.0,
+            size: 64 * 1024,
+            wrap: 100,
+        }];
+        let t = TraceGenerator::new(cfg).generate();
+        let mut touches = std::collections::HashMap::new();
+        let mut last_index = None;
+        for r in &t {
+            if r.object.0 & ADVERSARY_BIT != 0 {
+                let index = r.object.0 & ((1u64 << 55) - 1);
+                *touches.entry(index).or_insert(0u64) += 1;
+                // Strictly sequential modulo the sweep width.
+                if let Some(prev) = last_index {
+                    assert_eq!(index, (prev + 1) % 100, "sweep out of order");
+                }
+                last_index = Some(index);
+            }
+        }
+        // share = 1.0: all 10k in-scan requests sweep 100 objects, so
+        // every object is revisited ~100 times.
+        assert_eq!(touches.len(), 100);
+        assert!(touches.values().all(|&c| c >= 99));
+    }
+
+    #[test]
+    fn burst_thrash_cycles_a_fresh_pool_per_burst() {
+        let mut cfg = GeneratorConfig::small(13, 20_000);
+        cfg.adversaries = vec![Adversary::BurstThrash {
+            start: 2_000,
+            period: 4_000,
+            burst: 1_000,
+            share: 1.0,
+            objects: 8,
+            size: 1024,
+        }];
+        let t = TraceGenerator::new(cfg).generate();
+        // Pools from distinct bursts are disjoint; within a burst exactly
+        // `objects` distinct ids appear.
+        let pool = |from: u64, to: u64| -> std::collections::HashSet<ObjectId> {
+            t.iter()
+                .filter(|r| r.object.0 & ADVERSARY_BIT != 0 && (from..to).contains(&r.time))
+                .map(|r| r.object)
+                .collect()
+        };
+        let first = pool(2_000, 3_000);
+        let second = pool(6_000, 7_000);
+        assert_eq!(first.len(), 8);
+        assert_eq!(second.len(), 8);
+        assert!(first.is_disjoint(&second), "burst pools must be fresh");
+        // Outside bursts, no injected traffic.
+        assert!(pool(3_000, 6_000).is_empty());
+    }
+
+    #[test]
+    fn popularity_inversion_swaps_hot_and_cold() {
+        let mut cfg = GeneratorConfig::small(14, 40_000);
+        cfg.adversaries = vec![Adversary::PopularityInversion { at: 20_000 }];
+        let t = TraceGenerator::new(cfg).generate();
+        let count = |from: u64, to: u64| -> HashMap<ObjectId, usize> {
+            let mut c = HashMap::new();
+            for r in t.iter().filter(|r| (from..to).contains(&r.time)) {
+                *c.entry(r.object).or_default() += 1;
+            }
+            c
+        };
+        let before = count(0, 20_000);
+        let after = count(20_000, 40_000);
+        let hottest = |c: &HashMap<ObjectId, usize>| -> ObjectId {
+            *c.iter().max_by_key(|(_, n)| **n).unwrap().0
+        };
+        let hot_before = hottest(&before);
+        let hot_after = hottest(&after);
+        assert_ne!(hot_before, hot_after, "inversion must dethrone the head");
+        // The old head fades to (near) nothing after the inversion.
+        let residual = after.get(&hot_before).copied().unwrap_or(0);
+        assert!(
+            residual * 20 < before[&hot_before],
+            "old head still hot: {residual} vs {}",
+            before[&hot_before]
+        );
+    }
+
+    #[test]
+    fn drifted_mix_scales_fresh_object_sizes() {
+        let mut cfg = GeneratorConfig::small(15, 40_000);
+        cfg.adversaries = vec![Adversary::DriftedMix {
+            at: 20_000,
+            size_scale: 64.0,
+            reshuffle_fraction: 1.0,
+        }];
+        let t = TraceGenerator::new(cfg).generate();
+        let mean = |from: u64, to: u64| -> f64 {
+            let (mut sum, mut n) = (0u64, 0u64);
+            let mut seen = std::collections::HashSet::new();
+            for r in t.iter().filter(|r| (from..to).contains(&r.time)) {
+                if seen.insert(r.object) {
+                    sum += r.size;
+                    n += 1;
+                }
+            }
+            sum as f64 / n as f64
+        };
+        let before = mean(0, 20_000);
+        let after = mean(20_000, 40_000);
+        // The full reshuffle makes the post-drift catalog (almost) entirely
+        // fresh, so mean object size jumps by roughly the scale factor.
+        assert!(
+            after > before * 8.0,
+            "sizes did not drift: before {before:.0}, after {after:.0}"
+        );
     }
 
     #[test]

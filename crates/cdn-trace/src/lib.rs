@@ -35,7 +35,7 @@ pub mod stack_distance;
 pub mod stats;
 
 pub use classes::{ContentClass, ContentMix};
-pub use generator::{GeneratorConfig, TraceGenerator};
+pub use generator::{Adversary, FlashCrowd, GeneratorConfig, Reshuffle, TraceGenerator};
 pub use request::{CostModel, ObjectId, Request, Trace};
 pub use stack_distance::{stack_distances, StackDistances};
 pub use stats::TraceStats;

@@ -36,6 +36,16 @@ pub enum FaultKind {
         /// Fraction of rows (from the front of the window) to corrupt.
         fraction: f64,
     },
+    /// A seeded `fraction` of the window's training labels are flipped
+    /// while the feature rows stay untouched — model poisoning that the
+    /// deploy-time gates cannot see (the PSI drift gate compares features
+    /// only, and with no incumbent the accuracy gate has no reference), so
+    /// the bad model reaches the slot and only the runtime guardrail
+    /// (DESIGN.md §13) can catch it.
+    ModelPoisoning {
+        /// Fraction of the window's labels to flip (seeded row selection).
+        fraction: f64,
+    },
     /// The window's persisted artifact is torn mid-write: after the save
     /// completes, the file is truncated to half its length (a lost tail /
     /// torn sector). The *next* run's warm start must detect the damage
@@ -65,7 +75,9 @@ pub(crate) enum FaultStage {
 impl FaultKind {
     pub(crate) fn stage(&self) -> FaultStage {
         match self {
-            FaultKind::LabelError | FaultKind::CorruptRows { .. } => FaultStage::Label,
+            FaultKind::LabelError
+            | FaultKind::CorruptRows { .. }
+            | FaultKind::ModelPoisoning { .. } => FaultStage::Label,
             FaultKind::TrainerPanic | FaultKind::SlowTraining(_) => FaultStage::Train,
             FaultKind::TornArtifactWrite
             | FaultKind::ArtifactBitFlip
@@ -177,6 +189,41 @@ pub(crate) fn corrupt_rows(data: &Dataset, fraction: f64, seed: u64) -> Dataset 
     Dataset::from_rows(rows, labels).expect("corrupted rows stay finite and rectangular")
 }
 
+/// Flips a seeded-hash-selected `fraction` of `data`'s labels, leaving the
+/// feature rows byte-identical. Unlike [`corrupt_rows`], the poisoned set
+/// is *indistinguishable by feature distribution* from the clean one — the
+/// PSI drift gate passes by construction — so the resulting model is the
+/// canonical bad-but-gate-passing candidate the runtime guardrail must
+/// catch. Deterministic in `seed`.
+pub(crate) fn poison_labels(data: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    let n = data.num_rows();
+    let fraction = fraction.clamp(0.0, 1.0);
+    // Hash-select rows so the flipped set is spread across the window (a
+    // prefix flip would concentrate the damage on early-trace objects):
+    // row r is poisoned iff its seeded hash lands under the fraction.
+    let threshold = (fraction * u64::MAX as f64) as u64;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut label = data.label(r);
+        if splitmix64(seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) <= threshold {
+            label = 1.0 - label.clamp(0.0, 1.0);
+        }
+        rows.push(data.row(r));
+        labels.push(label);
+    }
+    Dataset::from_rows(rows, labels).expect("poisoned rows stay finite and rectangular")
+}
+
+/// SplitMix64 finalizer (public-domain constants), the same mix the
+/// guardrail's sampler uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +283,33 @@ mod tests {
         let c = corrupt_rows(&data, 0.5, 8);
         assert_ne!(a.row(0), c.row(0));
         assert!(c.row(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn poison_labels_flips_labels_but_never_features() {
+        let rows: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32, 3.0 * i as f32]).collect();
+        let labels: Vec<f32> = (0..200).map(|i| (i % 2) as f32).collect();
+        let data = Dataset::from_rows(rows, labels).unwrap();
+        let a = poison_labels(&data, 0.5, 42);
+        let b = poison_labels(&data, 0.5, 42);
+        let mut flipped = 0usize;
+        for r in 0..200 {
+            // Features byte-identical — the PSI gate sees no shift at all.
+            assert_eq!(a.row(r), data.row(r), "row {r} features modified");
+            assert_eq!(a.label(r), b.label(r), "row {r} not deterministic");
+            if a.label(r) != data.label(r) {
+                assert_eq!(a.label(r), 1.0 - data.label(r));
+                flipped += 1;
+            }
+        }
+        // Hash selection lands near the requested fraction, not a prefix.
+        assert!((60..=140).contains(&flipped), "flipped {flipped}/200");
+        // fraction 0 is a no-op; fraction 1 flips everything.
+        let none = poison_labels(&data, 0.0, 42);
+        let all = poison_labels(&data, 1.0, 42);
+        for r in 0..200 {
+            assert_eq!(none.label(r), data.label(r));
+            assert_eq!(all.label(r), 1.0 - data.label(r));
+        }
     }
 }

@@ -33,6 +33,11 @@
 //!   envelope format, atomic [`ArtifactStore`] writes with bounded
 //!   retention, and the gated warm-start restore
 //!   ([`PipelineConfig::warm_start`]).
+//! - [`guardrail`] — the runtime hybrid learned/LRU layer (DESIGN.md §13):
+//!   a ghost-LRU shadow estimator plus a hysteresis state machine that
+//!   forces a shard onto LRU whenever the learned policy's realized BHR
+//!   falls below `(1−ε)·BHR_LRU − δ`, and re-arms it only after the model
+//!   re-proves the bound on shadow-scored decisions.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +62,7 @@ pub mod config;
 pub mod drift;
 pub mod faults;
 pub mod features;
+pub mod guardrail;
 pub mod hierarchy;
 pub mod labels;
 pub mod persist;
@@ -70,6 +76,9 @@ pub use config::{CutoffMode, LfoConfig, PolicyDesign, RetrainConfig};
 pub use drift::{DriftError, DriftVerdict, FeatureSketch};
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
 pub use features::{FeatureTracker, TrackerSnapshot, FEATURE_GAPS};
+pub use guardrail::{
+    lru_reference_bhr, Guardrail, GuardrailConfig, GuardrailMode, GuardrailSnapshot,
+};
 pub use hierarchy::{Placement, TierSpec, TieredLfoCache};
 pub use persist::{
     ArtifactStore, CrashPoint, LfoArtifact, Lineage, LineageKind, PersistError, Provenance,

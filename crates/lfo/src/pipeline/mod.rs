@@ -42,6 +42,7 @@ use opt::{
 
 use crate::config::{LfoConfig, RetrainConfig};
 use crate::faults::FaultPlan;
+use crate::guardrail::GuardrailConfig;
 use crate::labels::build_training_set;
 use crate::policy::LfoCache;
 use crate::train::{equalize_cutoff, evaluate, train_window};
@@ -237,6 +238,16 @@ pub struct PipelineConfig {
     /// every window is a full from-scratch rebuild, which reproduces the
     /// original scratch pipeline bit for bit).
     pub retrain: RetrainConfig,
+    /// Runtime learned-vs-LRU guardrail on the serving cache (DESIGN.md
+    /// §13; default: off, which leaves serving untouched). Trips are
+    /// reported per window, forced-LRU time counts as degraded service,
+    /// and — when [`GuardrailConfig::trip_forces_scratch`] is set — a trip
+    /// makes the trainer's next candidate a from-scratch rebuild. When a
+    /// warm start restores an artifact, the guardrail starts in shadow
+    /// probation: the restored model serves LRU until it proves the bound
+    /// on shadow-scored decisions. Like the fault/gate planes, the serial
+    /// reference ignores this knob.
+    pub guardrail: Option<GuardrailConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -255,6 +266,7 @@ impl Default for PipelineConfig {
             persist: None,
             warm_start: None,
             retrain: RetrainConfig::default(),
+            guardrail: None,
         }
     }
 }
@@ -412,6 +424,8 @@ pub fn run_pipeline_serial(
             persisted: false,
             train_kind: report::TrainKind::Scratch,
             model_trees: Some(num_trees),
+            guardrail_trips: 0,
+            guardrail_forced_requests: 0,
             timing: StageTiming {
                 serve,
                 label,
@@ -638,6 +652,8 @@ mod tests {
             persisted: false,
             train_kind: TrainKind::default(),
             model_trees: None,
+            guardrail_trips: 0,
+            guardrail_forced_requests: 0,
             timing: StageTiming::default(),
         };
         let report = PipelineReport {

@@ -142,6 +142,14 @@ pub struct WindowReport {
     /// Trees in this window's final candidate ensemble; `None` when the
     /// window produced no candidate.
     pub model_trees: Option<usize>,
+    /// Guardrail trips fired during this window (learned→LRU switches by
+    /// the runtime bound of DESIGN.md §13); always 0 when no guardrail is
+    /// configured.
+    pub guardrail_trips: u64,
+    /// Requests in this window served under guardrail-forced LRU — the
+    /// runtime analogue of `!had_model`, counted toward
+    /// [`PipelineReport::fallback_time`].
+    pub guardrail_forced_requests: u64,
     /// Per-stage wall-clock for this window.
     pub timing: StageTiming,
 }
@@ -232,22 +240,30 @@ impl PipelineReport {
     }
 
     /// Number of windows that did not roll out a fresh model (skipped by
-    /// supervision, rejected by a gate, or past the training deadline).
+    /// supervision, rejected by a gate, or past the training deadline) or
+    /// that spent time under guardrail-forced LRU — either way the window
+    /// did not serve purely on a healthy fresh model.
     pub fn degraded_windows(&self) -> usize {
         self.windows
             .iter()
-            .filter(|w| w.rollout.is_degraded())
+            .filter(|w| w.rollout.is_degraded() || w.guardrail_forced_requests > 0)
             .count()
     }
 
-    /// Wall-clock spent serving without any trained model — the bottom of
-    /// the degradation ladder, where the cache runs on its LRU fallback.
+    /// Wall-clock spent serving without the learned policy — either no
+    /// trained model existed (the bottom of the degradation ladder) or the
+    /// guardrail forced the window onto LRU (DESIGN.md §13).
     pub fn fallback_time(&self) -> Duration {
         self.windows
             .iter()
-            .filter(|w| !w.had_model)
+            .filter(|w| !w.had_model || w.guardrail_forced_requests > 0)
             .map(|w| w.timing.serve)
             .sum()
+    }
+
+    /// Total guardrail trips across all windows.
+    pub fn guardrail_trips(&self) -> u64 {
+        self.windows.iter().map(|w| w.guardrail_trips).sum()
     }
 
     /// Total supervision retries across all windows.

@@ -37,7 +37,7 @@ use opt::{OptConfig, OptError};
 
 use crate::config::LfoConfig;
 use crate::drift::FeatureSketch;
-use crate::faults::{corrupt_rows, FaultKind, FaultPlan, FaultStage};
+use crate::faults::{corrupt_rows, poison_labels, FaultKind, FaultPlan, FaultStage};
 use crate::features::TrackerSnapshot;
 use crate::labels::build_training_set;
 use crate::persist::{
@@ -200,6 +200,10 @@ struct ServePart {
     slot_version: u64,
     serve_time: Duration,
     deploy_wait: Duration,
+    /// Guardrail trips fired while this window was served.
+    guardrail_trips: u64,
+    /// Requests of this window served under guardrail-forced LRU.
+    guardrail_forced_requests: u64,
 }
 
 /// Splits a labeled window into (train, holdout) for the accuracy gate.
@@ -446,6 +450,16 @@ pub(super) fn run_staged(
     if let Some(gate) = config.gates.drift {
         cache.enable_feature_sampling(gate.sample_every);
     }
+    // Runtime guardrail (DESIGN.md §13). A warm-started model earned its
+    // deploy on *last* run's traffic, so it starts in shadow probation:
+    // LRU serves while the restored model re-proves the bound on
+    // shadow-scored decisions before taking over.
+    if let Some(mut guard) = config.guardrail {
+        if restored.is_some() {
+            guard.start_in_fallback = true;
+        }
+        cache.enable_guardrail(guard);
+    }
     let windows: Vec<&[Request]> = requests.chunks(config.window.max(1)).collect();
 
     let mut serve_parts: Vec<ServePart> = Vec::with_capacity(windows.len());
@@ -458,6 +472,10 @@ pub(super) fn run_staged(
         let (labeled_tx, labeled_rx) = channel::<LabelMessage>();
         let (outcome_tx, outcome_rx) = channel::<TrainOutcome>();
         let (live_tx, live_rx) = channel::<(usize, Vec<Vec<f32>>)>();
+        // Collector → trainer: guardrail trips observed during a window,
+        // sent only under `trip_forces_scratch` — the trainer then refuses
+        // the incremental shortcut for its next candidate (DESIGN.md §13).
+        let (guard_tx, guard_rx) = channel::<u64>();
 
         // Labeler: owns the training-side feature tracker (sequential state),
         // so windows must be labeled in order — but independently of serving.
@@ -489,8 +507,14 @@ pub(super) fn run_staged(
                         Ok(opt) => {
                             let mut data =
                                 build_training_set(window, &opt, &mut tracker, config.cache_size);
-                            if let Some(FaultKind::CorruptRows { fraction }) = injected {
-                                data = corrupt_rows(&data, fraction, label_faults.seed());
+                            match injected {
+                                Some(FaultKind::CorruptRows { fraction }) => {
+                                    data = corrupt_rows(&data, fraction, label_faults.seed());
+                                }
+                                Some(FaultKind::ModelPoisoning { fraction }) => {
+                                    data = poison_labels(&data, fraction, label_faults.seed());
+                                }
+                                _ => {}
                             }
                             let (restore_sample, snapshot) = if config.persist.is_some() {
                                 (
@@ -565,7 +589,17 @@ pub(super) fn run_staged(
             let mut incumbent_window: Option<usize> = None;
             let mut windows_since_full: usize = 0;
             let mut latest_live: Option<(usize, Vec<Vec<f32>>)> = None;
+            // Set when the collector reports a guardrail trip: the learned
+            // policy just lost to LRU on live traffic, so the incumbent's
+            // trees are suspect — the next candidate must be a full rebuild
+            // (the PR 5 ScratchFallback path), not deltas on top of them.
+            let mut guard_forced_scratch = false;
             while let Ok(message) = labeled_rx.recv() {
+                while let Ok(trips) = guard_rx.try_recv() {
+                    if trips > 0 {
+                        guard_forced_scratch = true;
+                    }
+                }
                 let LabelMessage {
                     index,
                     outcome,
@@ -617,10 +651,15 @@ pub(super) fn run_staged(
                 // incremental retraining is disabled (`full_refresh == 1`)
                 // this is always false and the path below is byte-for-byte
                 // the original scratch pipeline.
-                let do_incremental = retrain.incremental()
+                let would_incremental = retrain.incremental()
                     && windows_since_full + 1 < retrain.full_refresh
                     && incumbent.is_some()
                     && frozen.is_some();
+                // A reported guardrail trip vetoes the shortcut: the window
+                // that would have warm-started from the suspect incumbent
+                // retrains from scratch instead.
+                let do_incremental = would_incremental && !guard_forced_scratch;
+                let trip_fallback = would_incremental && guard_forced_scratch;
                 let base = do_incremental
                     .then(|| incumbent.as_ref().map(|(m, _)| Arc::clone(m)))
                     .flatten();
@@ -747,9 +786,14 @@ pub(super) fn run_staged(
                             (rollout, drift_psi, holdout_accuracy, incumbent_accuracy)
                         };
 
+                        // A candidate exists, so the pending trip (if any)
+                        // is consumed by this window's full rebuild.
+                        guard_forced_scratch = false;
                         let mut trained = trained;
                         let mut train_kind = if do_incremental {
                             TrainKind::Incremental
+                        } else if trip_fallback {
+                            TrainKind::ScratchFallback
                         } else {
                             TrainKind::Scratch
                         };
@@ -910,12 +954,21 @@ pub(super) fn run_staged(
         let mut collector_persist_faults = config.faults.clone();
 
         let sim = SimConfig::default();
+        let trip_forces_scratch = config.guardrail.is_some_and(|g| g.trip_forces_scratch);
         for (index, window) in windows.iter().enumerate() {
             let had_model = cache.has_model();
             let slot_version = cache.slot().version();
+            let guard_before = cache.guardrail().unwrap_or_default();
             let started = Instant::now();
             let live = simulate(&mut cache, window, &sim).measured;
             let serve_time = started.elapsed();
+            let guard_after = cache.guardrail().unwrap_or_default();
+            let guardrail_trips = guard_after.trips - guard_before.trips;
+            let guardrail_forced_requests =
+                guard_after.forced_requests - guard_before.forced_requests;
+            if trip_forces_scratch && guardrail_trips > 0 {
+                let _ = guard_tx.send(guardrail_trips);
+            }
             if gates.drift.is_some() {
                 let _ = live_tx.send((index, cache.take_feature_samples()));
             }
@@ -975,9 +1028,12 @@ pub(super) fn run_staged(
                 slot_version,
                 serve_time,
                 deploy_wait,
+                guardrail_trips,
+                guardrail_forced_requests,
             });
         }
         drop(live_tx);
+        drop(guard_tx);
 
         // Drain the stage threads' tail (async stragglers); ends when the
         // trainer drops its sender.
@@ -1022,6 +1078,8 @@ pub(super) fn run_staged(
             persisted: outcome.persisted,
             train_kind: outcome.train_kind,
             model_trees: outcome.model_trees,
+            guardrail_trips: part.guardrail_trips,
+            guardrail_forced_requests: part.guardrail_forced_requests,
             timing: StageTiming {
                 serve: part.serve_time,
                 label: outcome.label_time,

@@ -25,6 +25,7 @@ use cdn_cache::cache::{CachePolicy, RequestOutcome};
 
 use crate::config::{LfoConfig, PolicyDesign};
 use crate::features::FeatureTracker;
+use crate::guardrail::{Guardrail, GuardrailConfig, GuardrailSnapshot};
 
 /// Index of the free-bytes feature in the tracker's row layout
 /// (`[size, cost, free, gap_1..]`) — the feature shard invariants prune
@@ -347,6 +348,9 @@ pub struct LfoCache {
     pub rescored_to_bottom: u64,
     /// Objects evicted over the cache's lifetime.
     pub evictions: u64,
+    /// Runtime learned-vs-LRU guardrail (DESIGN.md §13); absent by
+    /// default, in which case the serving path is untouched.
+    guardrail: Option<Guardrail>,
 }
 
 impl LfoCache {
@@ -383,6 +387,7 @@ impl LfoCache {
             samples: Vec::new(),
             rescored_to_bottom: 0,
             evictions: 0,
+            guardrail: None,
         };
         cache.sync_slot();
         cache
@@ -682,6 +687,129 @@ impl LfoCache {
             self.evict_min();
         }
     }
+
+    /// Attaches the runtime learned-vs-LRU guardrail (DESIGN.md §13) with
+    /// ghost capacity equal to this cache's own — correct for a standalone
+    /// cache that sees the whole stream.
+    pub fn enable_guardrail(&mut self, config: GuardrailConfig) {
+        self.enable_guardrail_scoped(config, self.capacity);
+    }
+
+    /// Attaches the guardrail with an explicit shadow-capacity basis: a
+    /// pooled shard's `capacity` field equals the whole pool's, but it
+    /// serves only `1/N` of the stream, so its ghosts must model
+    /// `pool capacity / N` for the shadow-LRU baseline to be comparable.
+    pub fn enable_guardrail_scoped(&mut self, config: GuardrailConfig, shadow_capacity: u64) {
+        self.guardrail = Some(Guardrail::new(config, shadow_capacity));
+    }
+
+    /// Snapshot of the attached guardrail's state, or `None` when no
+    /// guardrail is attached.
+    pub fn guardrail(&self) -> Option<GuardrailSnapshot> {
+        self.guardrail.as_ref().map(Guardrail::snapshot)
+    }
+
+    /// Trips fired since attachment, 0 without a guardrail (convenience
+    /// for the per-window delta accounting in the pipeline collector).
+    pub fn guardrail_trips(&self) -> u64 {
+        self.guardrail.as_ref().map_or(0, |g| g.snapshot().trips)
+    }
+
+    /// The serving decision for one request, `likelihood` already resolved
+    /// (guardrail-forced requests are handed the recency likelihood, so a
+    /// forced cache is byte-for-byte the no-model LRU fallback). Split out
+    /// of [`CachePolicy::handle`] so the guardrail can observe the outcome
+    /// at a single point.
+    fn serve_decision(
+        &mut self,
+        request: &Request,
+        likelihood: f64,
+        forced: bool,
+    ) -> RequestOutcome {
+        if let Some(&entry) = self.entries.get(&request.object) {
+            // Re-evaluate on every hit; the hit object may become the
+            // eviction frontier (and even be evicted by a later admission).
+            self.queue_remove(request.object, &entry);
+            let updated = Entry {
+                priority: Priority(self.eviction_priority(likelihood, entry.size)),
+                tiebreak: self.tick,
+                size: entry.size,
+            };
+            self.queue_insert(request.object, updated);
+            if let Some(&(_, _, frontier)) = self.queue.iter().next() {
+                if frontier == request.object {
+                    self.rescored_to_bottom += 1;
+                }
+            }
+            return RequestOutcome::Hit;
+        }
+
+        if request.size > self.capacity {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        let priority = self.eviction_priority(likelihood, request.size);
+        let admit = match self.model {
+            // A guardrail-forced cache admits everything, like the
+            // no-model fallback below.
+            Some(_) if !forced => {
+                let above_cutoff = likelihood >= self.config.cutoff;
+                match self.config.design {
+                    PolicyDesign::Paper | PolicyDesign::DensityRanked => above_cutoff,
+                    PolicyDesign::ProtectedAdmission => {
+                        // The newcomer may only displace strictly weaker
+                        // residents; with room to spare the cutoff decides.
+                        above_cutoff
+                            && (!self.over_budget(request.size)
+                                || self
+                                    .queue
+                                    .iter()
+                                    .next()
+                                    .map(|&(Priority(p), _, _)| priority > p)
+                                    .unwrap_or(true))
+                    }
+                }
+            }
+            _ => true, // LRU fallback admits everything
+        };
+        if !admit {
+            return RequestOutcome::Miss { admitted: false };
+        }
+        while self.over_budget(request.size) {
+            if self.queue.is_empty() {
+                // Pooled mode only: this member has nothing left to evict;
+                // the pool absorbs the transient overshoot and the next
+                // admission on a fuller member reclaims it. (Unpooled, an
+                // empty queue means used == 0 and the object fits.)
+                break;
+            }
+            if let Some(pool) = &self.shared {
+                // The globally weakest resident lives on another member:
+                // admit over budget and let that member reclaim the bytes
+                // on its next request (trim_pool), evicting the same
+                // victim the unsharded cache would have picked. The 2×
+                // valve bounds memory if the frontier owner is starved of
+                // traffic — past it, evict locally regardless.
+                let hard_cap = pool.capacity().saturating_mul(2);
+                if !self.near_global_frontier() && pool.used() < hard_cap {
+                    break;
+                }
+            }
+            self.evict_min();
+        }
+        self.queue_insert(
+            request.object,
+            Entry {
+                priority: Priority(priority),
+                tiebreak: self.tick,
+                size: request.size,
+            },
+        );
+        self.used += request.size;
+        if let Some(shared) = &self.shared {
+            shared.add(request.size);
+        }
+        RequestOutcome::Miss { admitted: true }
+    }
 }
 
 impl CachePolicy for LfoCache {
@@ -727,92 +855,31 @@ impl CachePolicy for LfoCache {
         }
         // Likelihood that OPT caches this request; LRU fallback scores by
         // recency, normalized to stay within (0, 1).
-        let likelihood = self
-            .score(&features)
-            .unwrap_or_else(|| 1.0 - 1.0 / (1.0 + self.tick as f64));
+        let recency = 1.0 - 1.0 / (1.0 + self.tick as f64);
+        let likelihood = self.score(&features).unwrap_or(recency);
         self.scratch = features;
 
-        if let Some(&entry) = self.entries.get(&request.object) {
-            // Re-evaluate on every hit; the hit object may become the
-            // eviction frontier (and even be evicted by a later admission).
-            self.queue_remove(request.object, &entry);
-            let updated = Entry {
-                priority: Priority(self.eviction_priority(likelihood, entry.size)),
-                tiebreak: self.tick,
-                size: entry.size,
-            };
-            self.queue_insert(request.object, updated);
-            if let Some(&(_, _, frontier)) = self.queue.iter().next() {
-                if frontier == request.object {
-                    self.rescored_to_bottom += 1;
-                }
+        // A tripped guardrail serves this request as LRU: recency
+        // likelihood + admit-everything, exactly the no-model fallback.
+        // Without a guardrail (or untripped) this is the identity.
+        let forced = self.guardrail.as_ref().is_some_and(Guardrail::forced);
+        let serve_likelihood = if forced { recency } else { likelihood };
+        let outcome = self.serve_decision(request, serve_likelihood, forced);
+        if self.guardrail.is_some() {
+            // The learned policy's would-be decision for this request,
+            // shadow-scored whether or not it was the one served.
+            let admit = self.model.is_none() || likelihood >= self.config.cutoff;
+            let priority = self.eviction_priority(likelihood, request.size);
+            if let Some(guard) = self.guardrail.as_mut() {
+                guard.record(
+                    request,
+                    priority,
+                    admit,
+                    matches!(outcome, RequestOutcome::Hit),
+                );
             }
-            return RequestOutcome::Hit;
         }
-
-        if request.size > self.capacity {
-            return RequestOutcome::Miss { admitted: false };
-        }
-        let priority = self.eviction_priority(likelihood, request.size);
-        let admit = match self.model {
-            Some(_) => {
-                let above_cutoff = likelihood >= self.config.cutoff;
-                match self.config.design {
-                    PolicyDesign::Paper | PolicyDesign::DensityRanked => above_cutoff,
-                    PolicyDesign::ProtectedAdmission => {
-                        // The newcomer may only displace strictly weaker
-                        // residents; with room to spare the cutoff decides.
-                        above_cutoff
-                            && (!self.over_budget(request.size)
-                                || self
-                                    .queue
-                                    .iter()
-                                    .next()
-                                    .map(|&(Priority(p), _, _)| priority > p)
-                                    .unwrap_or(true))
-                    }
-                }
-            }
-            None => true, // LRU fallback admits everything
-        };
-        if !admit {
-            return RequestOutcome::Miss { admitted: false };
-        }
-        while self.over_budget(request.size) {
-            if self.queue.is_empty() {
-                // Pooled mode only: this member has nothing left to evict;
-                // the pool absorbs the transient overshoot and the next
-                // admission on a fuller member reclaims it. (Unpooled, an
-                // empty queue means used == 0 and the object fits.)
-                break;
-            }
-            if let Some(pool) = &self.shared {
-                // The globally weakest resident lives on another member:
-                // admit over budget and let that member reclaim the bytes
-                // on its next request (trim_pool), evicting the same
-                // victim the unsharded cache would have picked. The 2×
-                // valve bounds memory if the frontier owner is starved of
-                // traffic — past it, evict locally regardless.
-                let hard_cap = pool.capacity().saturating_mul(2);
-                if !self.near_global_frontier() && pool.used() < hard_cap {
-                    break;
-                }
-            }
-            self.evict_min();
-        }
-        self.queue_insert(
-            request.object,
-            Entry {
-                priority: Priority(priority),
-                tiebreak: self.tick,
-                size: request.size,
-            },
-        );
-        self.used += request.size;
-        if let Some(shared) = &self.shared {
-            shared.add(request.size);
-        }
-        RequestOutcome::Miss { admitted: true }
+        outcome
     }
 }
 

@@ -40,6 +40,7 @@ use serde::{Deserialize, Serialize};
 use cdn_cache::cache::{CachePolicy, RequestOutcome};
 
 use crate::config::LfoConfig;
+use crate::guardrail::{GuardrailConfig, GuardrailSnapshot};
 use crate::policy::{LfoCache, ModelSlot, SharedOccupancy};
 
 /// Finalizing mixer of splitmix64 (Steele et al.): full-avalanche, so
@@ -101,17 +102,22 @@ pub struct ShardParams {
     pub queue_depth: usize,
     /// Capacity management mode (see [`ShardMode`]).
     pub mode: ShardMode,
+    /// Runtime learned-vs-LRU guardrail (DESIGN.md §13), attached per
+    /// shard and scoped to that shard's slice of capacity and traffic.
+    /// `None` (the default) leaves the serving path untouched.
+    pub guardrail: Option<GuardrailConfig>,
 }
 
 impl ShardParams {
     /// Defaults tuned for trace replay: 256-request batches, 4 in flight,
-    /// pooled capacity.
+    /// pooled capacity, no guardrail.
     pub fn with_shards(num_shards: usize) -> Self {
         ShardParams {
             num_shards,
             batch_size: 256,
             queue_depth: 4,
             mode: ShardMode::Pooled,
+            guardrail: None,
         }
     }
 }
@@ -139,6 +145,18 @@ pub struct CacheMetrics {
     pub used_bytes: u64,
     /// Objects resident at shutdown.
     pub resident_objects: u64,
+    /// Guardrail trips (Learned → LruForced transitions); 0 when no
+    /// guardrail is attached.
+    pub guardrail_trips: u64,
+    /// Requests served while the guardrail was forcing LRU.
+    pub guardrail_forced_requests: u64,
+    /// Bytes requested on the guardrail's sampled shadow substream.
+    pub shadow_total_bytes: u64,
+    /// Sampled bytes the shadow (ghost) LRU would have hit.
+    pub shadow_lru_hit_bytes: u64,
+    /// Sampled bytes the real cache actually hit — realized BHR on the
+    /// same basis the shadow LRU is measured on.
+    pub shadow_realized_hit_bytes: u64,
 }
 
 impl CacheMetrics {
@@ -175,6 +193,26 @@ impl CacheMetrics {
         }
     }
 
+    /// Shadow-LRU byte hit ratio on the guardrail's sampled substream
+    /// (0 when no guardrail ran).
+    pub fn shadow_lru_bhr(&self) -> f64 {
+        if self.shadow_total_bytes == 0 {
+            0.0
+        } else {
+            self.shadow_lru_hit_bytes as f64 / self.shadow_total_bytes as f64
+        }
+    }
+
+    /// Realized byte hit ratio on the same sampled substream — directly
+    /// comparable to [`CacheMetrics::shadow_lru_bhr`].
+    pub fn shadow_realized_bhr(&self) -> f64 {
+        if self.shadow_total_bytes == 0 {
+            0.0
+        } else {
+            self.shadow_realized_hit_bytes as f64 / self.shadow_total_bytes as f64
+        }
+    }
+
     /// Adds another shard's counters into this aggregate.
     pub fn add(&mut self, other: &CacheMetrics) {
         self.requests += other.requests;
@@ -186,6 +224,11 @@ impl CacheMetrics {
         self.evictions += other.evictions;
         self.used_bytes += other.used_bytes;
         self.resident_objects += other.resident_objects;
+        self.guardrail_trips += other.guardrail_trips;
+        self.guardrail_forced_requests += other.guardrail_forced_requests;
+        self.shadow_total_bytes += other.shadow_total_bytes;
+        self.shadow_lru_hit_bytes += other.shadow_lru_hit_bytes;
+        self.shadow_realized_hit_bytes += other.shadow_realized_hit_bytes;
     }
 }
 
@@ -213,6 +256,8 @@ pub struct ShardStatus {
     pub model_bytes: u64,
     /// The shard's exact counters.
     pub metrics: CacheMetrics,
+    /// Guardrail state at shutdown, `None` when no guardrail was attached.
+    pub guardrail: Option<GuardrailSnapshot>,
 }
 
 /// Everything the sharded cache knows when it shuts down.
@@ -266,6 +311,25 @@ impl ShardReport {
             self.metadata_bytes() as f64 / residents as f64
         }
     }
+
+    /// Fleet-wide guardrail mode label: `"off"` when no shard carried a
+    /// guardrail, a shard's [`GuardrailMode::label`] when all agree, and
+    /// `"mixed"` when shards ended in different modes.
+    pub fn guardrail_mode_label(&self) -> &'static str {
+        let mut modes = self
+            .shards
+            .iter()
+            .filter_map(|s| s.guardrail)
+            .map(|g| g.mode);
+        let Some(first) = modes.next() else {
+            return "off";
+        };
+        if modes.all(|m| m == first) {
+            first.label()
+        } else {
+            "mixed"
+        }
+    }
 }
 
 /// One shard's worker: drains request batches, drives its cache, counts.
@@ -284,6 +348,14 @@ fn shard_worker(
     metrics.evictions = cache.evictions;
     metrics.used_bytes = cache.used();
     metrics.resident_objects = cache.len() as u64;
+    let guardrail = cache.guardrail();
+    if let Some(snap) = &guardrail {
+        metrics.guardrail_trips = snap.trips;
+        metrics.guardrail_forced_requests = snap.forced_requests;
+        metrics.shadow_total_bytes = snap.shadow_total_bytes;
+        metrics.shadow_lru_hit_bytes = snap.shadow_lru_hit_bytes;
+        metrics.shadow_realized_hit_bytes = snap.shadow_realized_hit_bytes;
+    }
     ShardStatus {
         shard,
         capacity: cache.capacity(),
@@ -292,6 +364,7 @@ fn shard_worker(
         index_bytes: cache.approximate_index_bytes() as u64,
         model_bytes: cache.model_footprint_bytes() as u64,
         metrics,
+        guardrail,
     }
 }
 
@@ -374,6 +447,18 @@ impl ShardedLfoCache {
             match params.mode {
                 ShardMode::Pooled => cache.join_pool(pool.clone(), shard),
                 ShardMode::Partitioned => cache.set_feature_free_scale(n),
+            }
+            if let Some(guard) = params.guardrail {
+                // Each shard sees ~1/N of the stream, so its ghosts model
+                // 1/N of the byte budget — in Pooled mode the shard's
+                // `capacity` field is the whole pool's, so scope it down;
+                // in Partitioned mode the shard's own slice already is the
+                // right basis.
+                let basis = match params.mode {
+                    ShardMode::Pooled => (capacity / n).max(1),
+                    ShardMode::Partitioned => shard_capacity.max(1),
+                };
+                cache.enable_guardrail_scoped(guard, basis);
             }
             let (tx, rx) = sync_channel::<Vec<Request>>(params.queue_depth.max(1));
             senders.push(tx);

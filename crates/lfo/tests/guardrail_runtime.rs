@@ -1,0 +1,206 @@
+//! Integration tests for the runtime guardrail (`lfo::guardrail`,
+//! DESIGN.md §13): observe-only bit-identity with an unguarded cache,
+//! 1-shard/unsharded equivalence with the guardrail enforcing, and a
+//! property test that the hysteresis never flaps on a steady trace.
+
+use std::sync::Arc;
+
+use cdn_cache::cache::{CachePolicy, RequestOutcome};
+use cdn_trace::{GeneratorConfig, Request, Trace, TraceGenerator, TraceStats};
+use gbdt::Model;
+use lfo::shard::{CacheMetrics, ShardMode, ShardParams, ShardedLfoCache};
+use lfo::{GuardrailConfig, GuardrailMode, LfoCache, LfoConfig, ModelSlot};
+use proptest::prelude::*;
+
+fn test_trace(seed: u64, n: u64) -> Trace {
+    TraceGenerator::new(GeneratorConfig::small(seed, n)).generate()
+}
+
+/// A model over the default 53-feature layout that prefers small objects
+/// (same recipe as the policy unit tests and `sharded_serving.rs`).
+fn small_object_model() -> Arc<Model> {
+    let cfg = LfoConfig::default();
+    let rows: Vec<Vec<f32>> = (0..400)
+        .map(|i| {
+            let size = (i % 40) as f32 * 25.0 + 1.0;
+            let mut row = vec![size, size, 1000.0];
+            row.extend(std::iter::repeat_n(100.0, cfg.num_gaps));
+            row
+        })
+        .collect();
+    let labels: Vec<f32> = rows.iter().map(|r| (r[0] < 500.0) as u8 as f32).collect();
+    let data = gbdt::Dataset::from_rows(rows, labels).unwrap();
+    Arc::new(gbdt::train(&data, &cfg.gbdt))
+}
+
+/// Replays `requests`, returning every per-request outcome plus the final
+/// cache shape — the full observable surface of the serving path.
+fn outcomes(
+    requests: &[Request],
+    capacity: u64,
+    model: Option<Arc<Model>>,
+    guard: Option<GuardrailConfig>,
+) -> (Vec<RequestOutcome>, u64, usize, u64) {
+    let mut cache = LfoCache::new(capacity, LfoConfig::default());
+    if let Some(m) = model {
+        cache.install_model(m);
+    }
+    if let Some(config) = guard {
+        cache.enable_guardrail(config);
+    }
+    let served = requests.iter().map(|r| cache.handle(r)).collect();
+    (served, cache.used(), cache.len(), cache.evictions)
+}
+
+#[test]
+fn observe_only_guardrail_is_bit_identical_to_no_guardrail() {
+    // enforce = false must leave every serving decision untouched: the
+    // state machine runs (windows close, shadow BHRs accumulate, trips may
+    // even fire) but `forced()` stays false, so admissions, evictions, and
+    // hits are byte-for-byte those of an unguarded cache. This is the
+    // contract that lets `repro serve` attach an observe-only guardrail
+    // without disturbing the engine performance gates.
+    let trace = test_trace(41, 8_000);
+    let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.1);
+    let observe = GuardrailConfig {
+        enforce: false,
+        window: 256,
+        sample_shift: 0,
+        ..GuardrailConfig::default()
+    };
+    for model in [None, Some(small_object_model())] {
+        let bare = outcomes(trace.requests(), capacity, model.clone(), None);
+        let watched = outcomes(trace.requests(), capacity, model.clone(), Some(observe));
+        assert_eq!(bare, watched, "model = {}", model.is_some());
+    }
+
+    // And the state machine really did run — forced stays zero even so.
+    let mut cache = LfoCache::new(capacity, LfoConfig::default());
+    cache.enable_guardrail(observe);
+    for request in trace.requests() {
+        cache.handle(request);
+    }
+    let snap = cache.guardrail().expect("guardrail attached");
+    assert!(snap.windows_evaluated > 0, "no windows closed");
+    assert!(snap.shadow_total_bytes > 0, "shadow stream empty");
+    assert_eq!(snap.forced_requests, 0, "observe-only must never force");
+}
+
+#[test]
+fn one_shard_pooled_guardrail_matches_unsharded() {
+    // A 1-shard pooled fleet with `ShardParams::guardrail` must agree
+    // counter-for-counter (hits, evictions, trips, forced requests, all
+    // three shadow byte counters) with a bare `LfoCache` carrying the same
+    // guardrail: with one shard the scoped shadow basis is the whole pool.
+    let trace = test_trace(42, 8_000);
+    let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.05);
+    let guard = GuardrailConfig {
+        window: 128,
+        sample_shift: 1,
+        ..GuardrailConfig::default()
+    };
+    let model = small_object_model();
+
+    let mut bare = LfoCache::new(capacity, LfoConfig::default());
+    bare.install_model(model.clone());
+    bare.enable_guardrail(guard);
+    let mut reference = CacheMetrics::default();
+    for request in trace.requests() {
+        reference.record(request.size, bare.handle(request));
+    }
+    reference.evictions = bare.evictions;
+    reference.used_bytes = bare.used();
+    reference.resident_objects = bare.len() as u64;
+    let snap = bare.guardrail().expect("guardrail attached");
+    reference.guardrail_trips = snap.trips;
+    reference.guardrail_forced_requests = snap.forced_requests;
+    reference.shadow_total_bytes = snap.shadow_total_bytes;
+    reference.shadow_lru_hit_bytes = snap.shadow_lru_hit_bytes;
+    reference.shadow_realized_hit_bytes = snap.shadow_realized_hit_bytes;
+
+    let slot = ModelSlot::new();
+    slot.publish(model, 0.5);
+    let params = ShardParams {
+        mode: ShardMode::Pooled,
+        guardrail: Some(guard),
+        ..ShardParams::with_shards(1)
+    };
+    let mut sharded = ShardedLfoCache::with_params(capacity, LfoConfig::default(), params, slot);
+    for request in trace.requests() {
+        sharded.handle(request);
+    }
+    let report = sharded.finish();
+    assert_eq!(report.shards.len(), 1);
+    assert_eq!(report.total(), reference);
+    assert_eq!(
+        report.shards[0].guardrail.expect("shard guardrail").mode,
+        snap.mode
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hysteresis must not flap on a steady trace: with no model installed
+    /// the cache *is* LRU, and with `sample_shift = 0` the ghost LRU sees
+    /// the identical stream at identical capacity — realized and shadow
+    /// BHRs agree exactly in every window, so no ε/δ/window/hysteresis
+    /// setting may ever trip.
+    #[test]
+    fn guardrail_never_trips_when_serving_equals_lru(
+        seed in 0u64..6,
+        epsilon in 0.01f64..0.25,
+        window in 64u64..512,
+        trip_after in 1u32..4,
+        recover_after in 1u32..4,
+    ) {
+        let trace = test_trace(seed, 4_000);
+        let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.1);
+        let guard = GuardrailConfig {
+            epsilon,
+            window,
+            trip_after,
+            recover_after,
+            sample_shift: 0,
+            ..GuardrailConfig::default()
+        };
+        let mut cache = LfoCache::new(capacity, LfoConfig::default());
+        cache.enable_guardrail(guard);
+        for request in trace.requests() {
+            cache.handle(request);
+        }
+        let snap = cache.guardrail().expect("guardrail attached");
+        prop_assert!(snap.windows_evaluated > 0);
+        prop_assert_eq!(snap.trips, 0);
+        prop_assert_eq!(snap.mode, GuardrailMode::Learned);
+        prop_assert_eq!(snap.forced_requests, 0);
+        // The exactness the property rests on: same stream, same capacity,
+        // same policy — the shadow and realized byte counters coincide.
+        prop_assert_eq!(snap.shadow_realized_hit_bytes, snap.shadow_lru_hit_bytes);
+    }
+}
+
+#[test]
+fn sampled_guardrail_holds_on_a_steady_trace_at_defaults() {
+    // The deterministic companion to the property above at the shipped
+    // defaults (1/8 sampling, scaled ghost capacity): the real cache again
+    // serves exact LRU (no model), but the shadow baseline is now an
+    // eighth-capacity ghost over an eighth of the stream — a statistical
+    // estimate, not an identity. The ε/δ slack and two-window hysteresis
+    // must absorb that sampling noise without a single trip.
+    let trace = test_trace(43, 20_000);
+    let capacity = TraceStats::from_trace(&trace).cache_size_for_fraction(0.1);
+    let guard = GuardrailConfig {
+        window: 256,
+        ..GuardrailConfig::default()
+    };
+    let mut cache = LfoCache::new(capacity, LfoConfig::default());
+    cache.enable_guardrail(guard);
+    for request in trace.requests() {
+        cache.handle(request);
+    }
+    let snap = cache.guardrail().expect("guardrail attached");
+    assert!(snap.windows_evaluated > 0, "no windows closed");
+    assert_eq!(snap.trips, 0, "flapped on a steady trace: {snap:?}");
+    assert_eq!(snap.mode, GuardrailMode::Learned);
+}

@@ -61,4 +61,13 @@ cargo run -q --release -p bench --bin repro -- --smoke restart
 echo "== repro --smoke retrain (incremental retraining smoke) =="
 cargo run -q --release -p bench --bin repro -- --smoke retrain
 
+# The runtime-guardrail bound under adversarial workloads (DESIGN.md §13).
+# Quick scale, not smoke: smoke traces close too few guardrail windows to
+# assert anything, while at quick scale the run itself asserts the bound —
+# the unguarded policy must break it on >= 2 scenarios, the guarded replay
+# must hold it on all, and the benign overhead must stay within 0.005 BHR
+# and 2% reqs/s. Writes results/BENCH_adversarial.json.
+echo "== repro --quick adversarial (guardrail bound, asserted in-run) =="
+cargo run -q --release -p bench --bin repro -- --quick adversarial
+
 echo "verify: OK"

@@ -19,8 +19,9 @@ use std::time::Duration;
 
 use cdn_trace::{GeneratorConfig, Trace, TraceGenerator, TraceStats};
 use lfo::{
-    run_pipeline, AccuracyGate, DriftGate, FaultKind, FaultPlan, GateConfig, PersistConfig,
-    PersistError, PipelineConfig, PipelineReport, RolloutDecision,
+    run_pipeline, AccuracyGate, DriftGate, FaultKind, FaultPlan, GateConfig, GuardrailConfig,
+    PersistConfig, PersistError, PipelineConfig, PipelineReport, RetrainConfig, RolloutDecision,
+    TrainKind,
 };
 
 fn production_config(
@@ -223,6 +224,71 @@ fn accuracy_gate_rejection_keeps_the_incumbent_installed() {
     assert!(
         report.final_model.is_some(),
         "the incumbent is the final model"
+    );
+}
+
+#[test]
+fn model_poisoning_slips_past_the_gates_and_the_guardrail_catches_it() {
+    let (requests, mut config) = production_config(2_000, 77, 8_000);
+    // Both deploy-time gates armed — and blind to this fault by
+    // construction: flipped labels leave the feature rows byte-identical
+    // (PSI gate sees no shift) and window 0 has no incumbent for the
+    // accuracy gate to compare against.
+    config.gates.drift = Some(DriftGate::default());
+    config.gates.accuracy = Some(AccuracyGate::default());
+    config.faults = FaultPlan::with_seed(11).inject(0, FaultKind::ModelPoisoning { fraction: 1.0 });
+    // Full sampling + a short evaluation window + trip_after 1 so the
+    // poisoned model is caught within window 1.
+    config.guardrail = Some(GuardrailConfig {
+        window: 500,
+        trip_after: 1,
+        sample_shift: 0,
+        trip_forces_scratch: true,
+        ..GuardrailConfig::default()
+    });
+    // Incremental retraining on, so the trip's forced-scratch veto is
+    // observable as a ScratchFallback where deltas would have been used.
+    config.retrain = RetrainConfig {
+        delta_trees: 10,
+        full_refresh: 8,
+        max_trees: 0,
+    };
+
+    let report = run_pipeline(&requests, &config).unwrap();
+
+    // The poisoned model sailed through the gates and served window 1.
+    assert_eq!(report.windows[0].rollout, RolloutDecision::Deployed);
+    assert!(report.windows[1].had_model);
+    // ...and the runtime guardrail is what caught it.
+    assert!(
+        report.windows[1].guardrail_trips >= 1,
+        "the poisoned model must trip the guardrail in window 1, got {:?}",
+        report
+            .windows
+            .iter()
+            .map(|w| w.guardrail_trips)
+            .collect::<Vec<_>>()
+    );
+    assert!(report.windows[1].guardrail_forced_requests > 0);
+    // Accounting: a tripped window counts as degraded and its serve time
+    // as fallback time even though its rollout deployed.
+    assert!(report.degraded_windows() >= 1);
+    assert!(report.fallback_time() > report.windows[0].timing.serve);
+    // The trip vetoed the incremental shortcut: the next candidate the
+    // trainer picked up after the trip — window 1's if labeling was still
+    // in flight when the trip fired, window 2's otherwise — was forced
+    // down the full-rebuild ScratchFallback path instead of warm-starting
+    // from the poisoned incumbent.
+    assert!(
+        report.windows[1..=2]
+            .iter()
+            .any(|w| w.train_kind == TrainKind::ScratchFallback),
+        "a trip must force a scratch rebuild, got {:?}",
+        report
+            .windows
+            .iter()
+            .map(|w| w.train_kind)
+            .collect::<Vec<_>>()
     );
 }
 
