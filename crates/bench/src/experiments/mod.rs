@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod hyper;
+pub mod memory;
 pub mod prune;
 pub mod restart;
 pub mod retrain;
@@ -25,7 +26,7 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "fig1",
     "fig4",
     "fig5a",
@@ -46,6 +47,7 @@ pub const ALL: [&str; 21] = [
     "restart",
     "retrain",
     "adversarial",
+    "memory",
     "summary",
 ];
 
@@ -72,6 +74,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "restart" => restart::run(ctx)?,
         "retrain" => retrain::run(ctx)?,
         "adversarial" => adversarial::run(ctx)?,
+        "memory" => memory::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

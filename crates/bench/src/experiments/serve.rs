@@ -30,7 +30,7 @@ use lfo::{
 
 use crate::experiments::common::train_and_eval;
 use crate::harness::Context;
-use crate::perf::{BenchServe, ServeRow};
+use crate::perf::{peak_rss_bytes, BenchServe, ServeRow};
 
 /// Implied serving bandwidth in Gbit/s at 32 KB average objects.
 fn gbps(reqs_per_sec: f64) -> f64 {
@@ -213,6 +213,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 .max()
                 .unwrap_or(0);
             let meta_per_obj = report.metadata_bytes_per_object();
+            let residents = total.resident_objects.max(1) as f64;
             let guard_mode = report.guardrail_mode_label();
             println!(
                 "  {engine:<16}  {shards:>6}  {rate:>9.0}  {:>12.1}  {bhr:.4}  {delta:>+.4}  \
@@ -244,6 +245,10 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 index_bytes,
                 model_bytes,
                 metadata_bytes_per_object: meta_per_obj,
+                tracker_bytes_per_object: tracker_bytes as f64 / residents,
+                index_bytes_per_object: index_bytes as f64 / residents,
+                model_bytes_per_object: model_bytes as f64 / residents,
+                peak_rss_bytes: peak_rss_bytes(),
                 guardrail_mode: guard_mode.to_string(),
                 guardrail_trips: total.guardrail_trips,
                 shadow_lru_bhr: total.shadow_lru_bhr(),

@@ -31,6 +31,21 @@ pub const BENCH_RETRAIN_FILE: &str = "BENCH_retrain.json";
 /// File name of the adversarial guardrail summary.
 pub const BENCH_ADVERSARIAL_FILE: &str = "BENCH_adversarial.json";
 
+/// File name of the memory-bounded serving-state summary (`repro memory`).
+pub const BENCH_MEMORY_FILE: &str = "BENCH_memory.json";
+
+/// This process's peak resident set size in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, `None` where the kernel does not expose
+/// it. A whole-process high-water mark — it includes every experiment run
+/// earlier in the same `repro` invocation, so compare rows within one run,
+/// not across runs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// One row of the Figure 7 thread sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig7Row {
@@ -68,6 +83,15 @@ pub struct ServeRow {
     /// `(tracker + index + model) / resident objects` at shutdown — the
     /// metadata cost of serving one cached object.
     pub metadata_bytes_per_object: f64,
+    /// The tracker component of `metadata_bytes_per_object`.
+    pub tracker_bytes_per_object: f64,
+    /// The admission-index component of `metadata_bytes_per_object`.
+    pub index_bytes_per_object: f64,
+    /// The compiled-model component of `metadata_bytes_per_object`.
+    pub model_bytes_per_object: f64,
+    /// Process peak RSS when the row was measured ([`peak_rss_bytes`];
+    /// `None` where the kernel does not report it).
+    pub peak_rss_bytes: Option<u64>,
     /// Guardrail mode across the fleet at shutdown (`off` when the sweep
     /// ran without a guardrail, else `learned` / `lru-forced` / `mixed`).
     pub guardrail_mode: String,
@@ -261,6 +285,71 @@ impl BenchAdversarial {
     }
 }
 
+/// One configuration of the memory-bounded serving-state sweep: a tracker
+/// budget × sample-K pairing replayed over the huge-catalog trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemoryRow {
+    /// Row label (`exact` for the reference replay, else `b{budget}/k{K}`).
+    pub label: String,
+    /// Eviction discipline ([`lfo::LfoCache::eviction_label`]).
+    pub eviction: String,
+    /// Tracker object budget (0 = unbounded exact tracker).
+    pub tracker_budget: u64,
+    /// Aggregate byte hit ratio over the replay.
+    pub bhr: f64,
+    /// `exact bhr − this bhr`; positive = hits given up for the savings.
+    pub bhr_cost_vs_exact: f64,
+    /// Requests replayed per second (single warm pass).
+    pub reqs_per_sec: f64,
+    /// Feature-tracker bytes at shutdown.
+    pub tracker_bytes: u64,
+    /// Admission-index bytes (resident map + eviction index) at shutdown.
+    pub index_bytes: u64,
+    /// Compiled-model bytes.
+    pub model_bytes: u64,
+    /// `(tracker + index + model) / resident objects` at shutdown.
+    pub metadata_bytes_per_object: f64,
+    /// Exact row's `metadata_bytes_per_object` over this row's (>1 = this
+    /// row is cheaper).
+    pub metadata_reduction_vs_exact: f64,
+    /// Cache residents at shutdown.
+    pub resident_objects: u64,
+    /// Objects holding an exact gap history at shutdown.
+    pub tracked_objects: u64,
+    /// Process peak RSS when the row was measured ([`peak_rss_bytes`]).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// `BENCH_memory.json` — the memory-bounded serving-state sweep (single
+/// writer, no merge).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchMemory {
+    /// Requests in the replayed huge-catalog trace.
+    pub requests: usize,
+    /// Unique objects in the trace (the catalog pressure).
+    pub unique_objects: u64,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Whether the acceptance gates were asserted (quick/full scales).
+    pub gates_enforced: bool,
+    /// Best sampled-config reqs/s over the exact baseline's, from the
+    /// interleaved best-of-N timing duel (gate: ≥ 1.0 when enforced).
+    pub hit_path_speedup: f64,
+    /// Per-configuration rows; the first is the exact baseline.
+    pub rows: Vec<MemoryRow>,
+}
+
+impl BenchMemory {
+    /// Writes the document, pretty-printed (single writer, no merge).
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_MEMORY_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_memory encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
 /// One window of the scratch-vs-incremental pipeline comparison.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RetrainWindowRow {
@@ -414,6 +503,10 @@ mod tests {
             index_bytes: 1 << 18,
             model_bytes: 1 << 16,
             metadata_bytes_per_object: 96.0,
+            tracker_bytes_per_object: 64.0,
+            index_bytes_per_object: 28.0,
+            model_bytes_per_object: 4.0,
+            peak_rss_bytes: peak_rss_bytes(),
             guardrail_mode: "learned".into(),
             guardrail_trips: 0,
             shadow_lru_bhr: 0.69,
@@ -468,6 +561,58 @@ mod tests {
         assert_eq!(back.rows.len(), 1);
         assert_eq!(back.rows[0].engine, "quantized");
         assert!((back.quantized_speedup_max - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_document_round_trips() {
+        let dir = std::env::temp_dir().join("lfo-bench-memory-json");
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = Context::new(&dir, Scale::Smoke).unwrap();
+        let doc = BenchMemory {
+            requests: 60_000,
+            unique_objects: 35_000,
+            cache_bytes: 1 << 24,
+            gates_enforced: true,
+            hit_path_speedup: 1.2,
+            rows: vec![MemoryRow {
+                label: "b512/k16".into(),
+                eviction: "sample16".into(),
+                tracker_budget: 512,
+                bhr: 0.41,
+                bhr_cost_vs_exact: 0.004,
+                reqs_per_sec: 900_000.0,
+                tracker_bytes: 1 << 16,
+                index_bytes: 1 << 14,
+                model_bytes: 1 << 12,
+                metadata_bytes_per_object: 52.0,
+                metadata_reduction_vs_exact: 12.5,
+                resident_objects: 1_500,
+                tracked_objects: 512,
+                peak_rss_bytes: peak_rss_bytes(),
+            }],
+        };
+        let path = doc.store(&ctx).unwrap();
+        let back: BenchMemory = serde_json::from_str(&fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].label, "b512/k16");
+        assert!((back.rows[0].metadata_reduction_vs_exact - 12.5).abs() < 1e-12);
+        assert!(back.gates_enforced);
+    }
+
+    #[test]
+    fn peak_rss_probe_reports_plausible_bytes_on_linux() {
+        // On Linux the probe must parse VmHWM; elsewhere it returns None.
+        // Either way it must not panic.
+        let probed = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            let bytes = probed.expect("Linux must report VmHWM");
+            assert!(
+                (1 << 20..1u64 << 42).contains(&bytes),
+                "implausible peak RSS: {bytes}"
+            );
+        } else {
+            assert_eq!(probed, None, "VmHWM probe must not guess off-Linux");
+        }
     }
 
     #[test]

@@ -161,6 +161,19 @@ impl GeneratorConfig {
         }
     }
 
+    /// A huge-catalog configuration: the production mix inflated ~200× so
+    /// unique objects vastly outnumber what any reasonable cache (or
+    /// tracker budget) can hold — the regime where per-object metadata,
+    /// not hit ratio, is the scaling constraint (`repro memory`). The
+    /// churn knobs match [`Self::production`].
+    pub fn huge_catalog(seed: u64, num_requests: u64) -> Self {
+        let scale = (num_requests as f64 / 1_000_000.0 * 200.0).clamp(0.5, 200.0);
+        GeneratorConfig {
+            mix: ContentMix::production(scale),
+            ..GeneratorConfig::production(seed, num_requests)
+        }
+    }
+
     /// A small, fast configuration for unit tests.
     pub fn small(seed: u64, num_requests: u64) -> Self {
         GeneratorConfig {
@@ -550,6 +563,24 @@ mod tests {
                 assert_eq!(p, r.size, "object {:?} changed size", r.object);
             }
         }
+    }
+
+    #[test]
+    fn huge_catalog_spreads_requests_over_many_more_objects() {
+        let n = 30_000;
+        let huge = TraceStats::from_trace(
+            &TraceGenerator::new(GeneratorConfig::huge_catalog(9, n)).generate(),
+        );
+        let prod = TraceStats::from_trace(
+            &TraceGenerator::new(GeneratorConfig::production(9, n)).generate(),
+        );
+        assert!(
+            huge.unique_objects > 3 * prod.unique_objects,
+            "huge {} vs production {}",
+            huge.unique_objects,
+            prod.unique_objects
+        );
+        assert!(huge.one_hit_wonder_ratio > prod.one_hit_wonder_ratio);
     }
 
     #[test]

@@ -4,6 +4,8 @@ use cdn_trace::CostModel;
 use gbdt::GbdtParams;
 use serde::{Deserialize, Serialize};
 
+use crate::features::TrackerBudget;
+
 /// How the predicted likelihood is turned into a caching policy.
 ///
 /// §5 of the paper singles out *policy design* — "how to translate a
@@ -48,6 +50,35 @@ impl Default for CutoffMode {
     }
 }
 
+/// How the cache picks its eviction victim (DESIGN.md §14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvictionStrategy {
+    /// The reference path: a fully ordered `BTreeSet` priority queue.
+    /// Exact minimum eviction, O(log n) reorder on every hit.
+    #[default]
+    ExactQueue,
+    /// Sample-K eviction: score `k` seeded-random residents and evict the
+    /// minimum. Hits become O(1) map updates (no queue reorder, no
+    /// frontier publishing); `k >= residents` degenerates to an exact
+    /// full scan with zero RNG draws.
+    SampleK {
+        /// Residents sampled per eviction.
+        k: usize,
+        /// Seed of the per-cache sampling stream.
+        seed: u64,
+    },
+}
+
+impl EvictionStrategy {
+    /// A sample-K strategy at `k` with the default seed.
+    pub fn sample(k: usize) -> Self {
+        EvictionStrategy::SampleK {
+            k,
+            seed: 0x5a3b_1e8d_9c4f_0b27,
+        }
+    }
+}
+
 /// Configuration of the LFO learner and policy.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LfoConfig {
@@ -68,6 +99,15 @@ pub struct LfoConfig {
     pub design: PolicyDesign,
     /// How the cutoff is chosen each window.
     pub cutoff_mode: CutoffMode,
+    /// Optional memory budget for the gap tracker. `None` (and the
+    /// all-default budget) keep the exact unbounded tracker; a finite
+    /// budget caps exact histories with doorkeeper-sketch admission and
+    /// CLOCK eviction (DESIGN.md §14). Optional so artifacts produced
+    /// before this field existed still deserialize.
+    pub tracker_budget: Option<TrackerBudget>,
+    /// Optional eviction strategy. `None` means [`EvictionStrategy::ExactQueue`],
+    /// the reference path. Optional for artifact backward compatibility.
+    pub eviction: Option<EvictionStrategy>,
 }
 
 impl Default for LfoConfig {
@@ -80,6 +120,8 @@ impl Default for LfoConfig {
             cost_model: CostModel::ByteHitRatio,
             design: PolicyDesign::Paper,
             cutoff_mode: CutoffMode::Fixed(0.5),
+            tracker_budget: None,
+            eviction: None,
         }
     }
 }
@@ -147,9 +189,19 @@ impl LfoConfig {
         }
     }
 
+    /// The effective tracker budget (`None` = unbounded exact tracker).
+    pub fn budget(&self) -> TrackerBudget {
+        self.tracker_budget.unwrap_or_default()
+    }
+
+    /// The effective eviction strategy (`None` = exact queue).
+    pub fn eviction_strategy(&self) -> EvictionStrategy {
+        self.eviction.unwrap_or_default()
+    }
+
     /// Builds a feature tracker matching this configuration.
     pub fn tracker(&self) -> crate::features::FeatureTracker {
-        crate::features::FeatureTracker::with_schedule(self.gaps(), self.cost_model)
+        crate::features::FeatureTracker::with_budget(self.gaps(), self.cost_model, self.budget())
     }
 
     /// Number of features the model sees: size, cost, free bytes, gaps.
@@ -186,6 +238,25 @@ mod tests {
         assert_eq!(c.num_features(), 10);
         assert_eq!(c.feature_names().last().unwrap(), "Gap 50");
         assert_eq!(c.tracker().num_gaps(), 7);
+    }
+
+    #[test]
+    fn config_payloads_without_budget_keys_still_deserialize() {
+        // Artifacts written before the §14 fields existed carry neither
+        // `tracker_budget` nor `eviction`; both must read back as None.
+        let full = Serialize::to_value(&LfoConfig::default());
+        let serde::Value::Map(entries) = full else {
+            panic!("config serializes as a map");
+        };
+        let stripped: Vec<_> = entries
+            .into_iter()
+            .filter(|(k, _)| k != "tracker_budget" && k != "eviction")
+            .collect();
+        let old: LfoConfig = Deserialize::from_value(&serde::Value::Map(stripped)).unwrap();
+        assert_eq!(old.tracker_budget, None);
+        assert_eq!(old.eviction, None);
+        assert_eq!(old.eviction_strategy(), EvictionStrategy::ExactQueue);
+        assert!(!old.budget().is_bounded());
     }
 
     #[test]

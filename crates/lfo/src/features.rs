@@ -16,7 +16,12 @@
 //! The tracker stores per-object reference times sparsely ("a large
 //! fraction of CDN objects receives fewer than 5 requests", §2.2) and
 //! exposes [`FeatureTracker::forget_older_than`] to bound memory on long
-//! streams.
+//! streams. For catalogs that dwarf RAM, a [`TrackerBudget`] caps the
+//! number of exact gap vectors: one-hit wonders live in a compact
+//! doorkeeper sketch (a seeded, direct-mapped array of last-seen times)
+//! and are promoted to an exact history only on their second sighting;
+//! promotion beyond the budget evicts via a CLOCK ring, never a full scan
+//! (DESIGN.md §14).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -30,6 +35,78 @@ pub const FEATURE_GAPS: usize = 50;
 /// that quantile binning puts all missing gaps into the top bin.
 pub const MISSING_GAP: f32 = 1.0e12;
 
+/// Sketch slot sentinel: no object hashing here has been seen.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Saturation ceiling for CLOCK reference counters: a hot object survives
+/// at most this many hand sweeps without a fresh sighting.
+const CLOCK_MAX_COUNT: u8 = 3;
+
+/// The repo's standard 64-bit mixer (same constants as `lfo::shard`).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Memory budget for a [`FeatureTracker`] (DESIGN.md §14).
+///
+/// `max_objects == 0` (the default) disables bounding: the tracker keeps
+/// an exact gap vector for every object ever seen. With a finite budget
+/// the tracker holds at most `max_objects` exact histories; everything
+/// else lives in the doorkeeper sketch, whose single timestamp per slot
+/// yields a coarse `gap_1` (deeper gaps read as missing). An object is
+/// promoted to an exact history only on its second sighting, filtering
+/// the one-hit wonders that dominate CDN catalogs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerBudget {
+    /// Maximum objects with exact gap history (0 = unbounded).
+    pub max_objects: usize,
+    /// log2 of the doorkeeper sketch slot count. 0 = auto: the smallest
+    /// power of two with at least `4 × max_objects` slots.
+    pub sketch_bits: u32,
+    /// Seed for the sketch's slot hash.
+    pub seed: u64,
+}
+
+impl Default for TrackerBudget {
+    fn default() -> Self {
+        TrackerBudget {
+            max_objects: 0,
+            sketch_bits: 0,
+            seed: 0x1fe0_cdca_c4e5_eed5,
+        }
+    }
+}
+
+impl TrackerBudget {
+    /// A bounded budget of `max_objects` with an auto-sized sketch.
+    pub fn capped(max_objects: usize) -> Self {
+        TrackerBudget {
+            max_objects,
+            ..TrackerBudget::default()
+        }
+    }
+
+    /// Whether this budget actually bounds the tracker.
+    pub fn is_bounded(&self) -> bool {
+        self.max_objects > 0
+    }
+
+    /// Number of sketch slots (always a power of two; 0 when unbounded).
+    fn slots(&self) -> usize {
+        if !self.is_bounded() {
+            return 0;
+        }
+        if self.sketch_bits > 0 {
+            1usize << self.sketch_bits.min(30)
+        } else {
+            (4 * self.max_objects).next_power_of_two()
+        }
+    }
+}
+
 /// A bounded, serializable snapshot of tracker history.
 ///
 /// The LFO model is only half of the learned state — its gap features come
@@ -38,6 +115,11 @@ pub const MISSING_GAP: f32 = 1.0e12;
 /// first-seen, so the admission filter bypasses the entire working set).
 /// Persisting a snapshot of the hottest objects alongside the model lets a
 /// restarted pipeline serve meaningful predictions from its first request.
+///
+/// The format is budget-agnostic: a snapshot taken from an exact tracker
+/// loads into a bounded one (entries beyond the budget are CLOCK-evicted
+/// on promotion) and vice versa, which is what keeps pre-budget artifacts
+/// warm-starting bounded caches.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrackerSnapshot {
     /// `(object id, reference times most recent first)`, ordered most
@@ -57,6 +139,58 @@ impl TrackerSnapshot {
     }
 }
 
+/// Exact per-object state: reference times plus the CLOCK slot owning
+/// this object (unused — always 0 — when the tracker is unbounded).
+#[derive(Clone, Debug)]
+struct ObjectHistory {
+    /// Reference times, most recent first, at most `depth + 1` entries.
+    times: VecDeque<u64>,
+    /// Index into the CLOCK ring.
+    slot: usize,
+}
+
+/// The CLOCK ring over promoted objects, stored as parallel vectors (nine
+/// bytes per slot instead of sixteen — padding a counter byte into a
+/// struct of `u64`s would double its cost at typical budgets).
+///
+/// Counters are saturating references (GCLOCK). A plain 1-bit CLOCK
+/// forgets how hot an object is the moment the hand clears its bit; under
+/// a flood of tail-object promotions the hand laps the ring fast, and
+/// mid-popularity histories get recycled between their sightings. The
+/// counter gives an object one extra lap of protection per sighting, up
+/// to [`CLOCK_MAX_COUNT`].
+#[derive(Clone, Debug, Default)]
+struct ClockRing {
+    /// The object parked in each slot.
+    objects: Vec<ObjectId>,
+    /// Each slot's saturating reference counter.
+    counts: Vec<u8>,
+}
+
+impl ClockRing {
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn push(&mut self, object: ObjectId) {
+        self.objects.push(object);
+        self.counts.push(0);
+    }
+
+    fn park(&mut self, slot: usize, object: ObjectId) {
+        self.objects[slot] = object;
+        self.counts[slot] = 0;
+    }
+
+    fn reference(&mut self, slot: usize) {
+        self.counts[slot] = self.counts[slot].saturating_add(1).min(CLOCK_MAX_COUNT);
+    }
+
+    fn approximate_bytes(&self) -> usize {
+        self.objects.len() * (std::mem::size_of::<ObjectId>() + 1)
+    }
+}
+
 /// Tracks per-object request history and produces feature vectors.
 #[derive(Clone, Debug)]
 pub struct FeatureTracker {
@@ -68,25 +202,42 @@ pub struct FeatureTracker {
     /// Deepest gap tracked (`max(schedule)`).
     depth: usize,
     cost_model: CostModel,
-    /// Reference times per object, most recent first, at most
-    /// `depth + 1` entries.
-    history: HashMap<ObjectId, VecDeque<u64>>,
-    /// Last time each object was touched (for forgetting).
-    last_touch: HashMap<ObjectId, u64>,
+    /// Exact histories. Bounded to `budget.max_objects` when the budget
+    /// is finite.
+    history: HashMap<ObjectId, ObjectHistory>,
+    budget: TrackerBudget,
+    /// Doorkeeper sketch: direct-mapped last-seen times (saturated to
+    /// `u32`, so four bytes per slot), [`EMPTY_SLOT`] where no object has
+    /// hashed yet. Empty when unbounded.
+    sketch: Vec<u32>,
+    /// CLOCK ring over promoted objects. Empty when unbounded.
+    clock: ClockRing,
+    /// CLOCK hand: next ring slot the eviction sweep examines.
+    hand: usize,
 }
 
 impl FeatureTracker {
-    /// Creates a tracker for the dense schedule `1..=num_gaps`.
+    /// Creates an unbounded tracker for the dense schedule `1..=num_gaps`.
     pub fn new(num_gaps: usize, cost_model: CostModel) -> Self {
         Self::with_schedule((1..=num_gaps).collect(), cost_model)
     }
 
-    /// Creates a tracker emitting only the given 1-based gap indices.
+    /// Creates an unbounded tracker emitting only the given 1-based gap
+    /// indices.
     ///
     /// # Panics
     ///
     /// Panics if `schedule` is empty, unsorted, non-unique, or contains 0.
     pub fn with_schedule(schedule: Vec<usize>, cost_model: CostModel) -> Self {
+        Self::with_budget(schedule, cost_model, TrackerBudget::default())
+    }
+
+    /// Creates a tracker with an explicit [`TrackerBudget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is empty, unsorted, non-unique, or contains 0.
+    pub fn with_budget(schedule: Vec<usize>, cost_model: CostModel, budget: TrackerBudget) -> Self {
         assert!(!schedule.is_empty(), "schedule must be non-empty");
         assert!(
             schedule.windows(2).all(|w| w[0] < w[1]) && schedule[0] >= 1,
@@ -98,7 +249,10 @@ impl FeatureTracker {
             depth,
             cost_model,
             history: HashMap::new(),
-            last_touch: HashMap::new(),
+            budget,
+            sketch: vec![EMPTY_SLOT; budget.slots()],
+            clock: ClockRing::default(),
+            hand: 0,
         }
     }
 
@@ -112,9 +266,32 @@ impl FeatureTracker {
         &self.schedule
     }
 
-    /// Number of objects currently tracked.
+    /// The memory budget this tracker was built with.
+    pub fn budget(&self) -> TrackerBudget {
+        self.budget
+    }
+
+    /// Number of objects with an exact gap history.
     pub fn tracked_objects(&self) -> usize {
         self.history.len()
+    }
+
+    /// Bytes held by the doorkeeper sketch (0 when unbounded).
+    pub fn sketch_bytes(&self) -> usize {
+        self.sketch.len() * 4
+    }
+
+    /// Saturates a request time into a sketch slot. Traces past `u32::MAX`
+    /// requests pin to the ceiling: coarse gaps flatten there, exact
+    /// histories (always full `u64`) are unaffected.
+    fn sketch_time(time: u64) -> u32 {
+        time.min(u64::from(u32::MAX - 1)) as u32
+    }
+
+    /// The sketch slot for `object` (bounded trackers only).
+    fn bucket(&self, object: ObjectId) -> usize {
+        debug_assert!(!self.sketch.is_empty());
+        (splitmix64(self.budget.seed ^ object.0) as usize) & (self.sketch.len() - 1)
     }
 
     /// Builds the feature vector for `request` *before* recording it, with
@@ -137,14 +314,14 @@ impl FeatureTracker {
         out.push(self.cost_model.cost(request.size) as f32);
         out.push(free_bytes as f32);
         match self.history.get(&request.object) {
-            Some(times) => {
+            Some(h) => {
                 // gap_1 = now − t₁; gap_k = t_{k−1} − t_k (shift invariant).
                 // Walk the dense gaps to the tracked depth, emitting only
                 // the scheduled indices as they pass by.
                 let mut prev = request.time;
                 let mut next = 0usize; // index into the ascending schedule
                 for k in 0..self.depth {
-                    let gap = match times.get(k) {
+                    let gap = match h.times.get(k) {
                         Some(&t) => {
                             let g = prev.saturating_sub(t) as f32;
                             prev = t;
@@ -161,16 +338,114 @@ impl FeatureTracker {
                     }
                 }
             }
-            None => out.extend(std::iter::repeat_n(MISSING_GAP, self.schedule.len())),
+            None => {
+                // Unbounded trackers have never seen this object. Bounded
+                // trackers may hold a first sighting in the sketch: emit a
+                // coarse gap_1 (subject to slot collisions) so one-hit
+                // wonders still look "recently seen once" to the model
+                // rather than brand new.
+                let coarse = if self.sketch.is_empty() {
+                    None
+                } else {
+                    let t = self.sketch[self.bucket(request.object)];
+                    (t != EMPTY_SLOT).then(|| request.time.saturating_sub(u64::from(t)) as f32)
+                };
+                match coarse {
+                    Some(gap) if self.schedule[0] == 1 => {
+                        out.push(gap);
+                        out.extend(std::iter::repeat_n(MISSING_GAP, self.schedule.len() - 1));
+                    }
+                    _ => out.extend(std::iter::repeat_n(MISSING_GAP, self.schedule.len())),
+                }
+            }
         }
     }
 
     /// Records a request into the history (call after [`Self::features`]).
     pub fn record(&mut self, request: &Request) {
-        let times = self.history.entry(request.object).or_default();
-        times.push_front(request.time);
-        times.truncate(self.depth + 1);
-        self.last_touch.insert(request.object, request.time);
+        if !self.budget.is_bounded() {
+            let entry = self
+                .history
+                .entry(request.object)
+                .or_insert_with(|| ObjectHistory {
+                    times: VecDeque::new(),
+                    slot: 0,
+                });
+            entry.times.push_front(request.time);
+            entry.times.truncate(self.depth + 1);
+            return;
+        }
+        if let Some(h) = self.history.get_mut(&request.object) {
+            h.times.push_front(request.time);
+            h.times.truncate(self.depth + 1);
+            let slot = h.slot;
+            self.clock.reference(slot);
+            let b = self.bucket(request.object);
+            self.sketch[b] = Self::sketch_time(request.time);
+            return;
+        }
+        let b = self.bucket(request.object);
+        let prior = self.sketch[b];
+        self.sketch[b] = Self::sketch_time(request.time);
+        if prior == EMPTY_SLOT {
+            // Doorkeeper: a first sighting costs one sketch slot, nothing
+            // more. One-hit wonders never allocate a history.
+            return;
+        }
+        // Second sighting (or a slot collision promoting early): seed the
+        // exact history with the sketched prior time so the next feature
+        // row's gap_1/gap_2 match what an exact tracker would emit.
+        let prior = u64::from(prior);
+        let mut times = VecDeque::with_capacity(2);
+        times.push_front(prior.min(request.time));
+        if prior < request.time {
+            times.push_front(request.time);
+        }
+        self.promote(request.object, times);
+    }
+
+    /// Inserts an exact history for `object`, reclaiming a CLOCK slot when
+    /// the budget is full. Bounded trackers only. The new slot starts with
+    /// its counter at zero — promotion itself is not a reference, so an
+    /// object idle since its promoting sighting loses the ring to one that
+    /// kept getting hits.
+    fn promote(&mut self, object: ObjectId, times: VecDeque<u64>) {
+        let slot = if self.clock.len() < self.budget.max_objects {
+            self.clock.push(object);
+            self.clock.len() - 1
+        } else {
+            let s = self.clock_evict();
+            self.clock.park(s, object);
+            s
+        };
+        self.history.insert(object, ObjectHistory { times, slot });
+    }
+
+    /// Advances the CLOCK hand to the next reclaimable slot: stale slots
+    /// (owner forgotten or re-promoted elsewhere) are taken immediately,
+    /// owners with a nonzero counter get it decremented and another lap,
+    /// and the first zero-count owner is evicted. Amortized O(1); at most
+    /// `CLOCK_MAX_COUNT + 1` laps even when every resident is saturated.
+    fn clock_evict(&mut self) -> usize {
+        loop {
+            if self.hand >= self.clock.len() {
+                self.hand = 0;
+            }
+            let s = self.hand;
+            self.hand += 1;
+            let owner = self.clock.objects[s];
+            match self.history.get(&owner) {
+                Some(h) if h.slot == s => {
+                    if self.clock.counts[s] > 0 {
+                        self.clock.counts[s] -= 1;
+                    } else {
+                        self.history.remove(&owner);
+                        return s;
+                    }
+                }
+                _ => return s,
+            }
+        }
     }
 
     /// Convenience: features, then record.
@@ -184,9 +459,9 @@ impl FeatureTracker {
     /// objects (ties broken by object id, so snapshots are deterministic).
     pub fn snapshot(&self, limit: usize) -> TrackerSnapshot {
         let mut order: Vec<(u64, u64)> = self
-            .last_touch
+            .history
             .iter()
-            .map(|(object, &touch)| (object.0, touch))
+            .map(|(object, h)| (object.0, h.times.front().copied().unwrap_or(0)))
             .collect();
         order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let entries = order
@@ -195,7 +470,7 @@ impl FeatureTracker {
             .filter_map(|(id, _)| {
                 self.history
                     .get(&ObjectId(id))
-                    .map(|times| (id, times.iter().copied().collect()))
+                    .map(|h| (id, h.times.iter().copied().collect()))
             })
             .collect();
         TrackerSnapshot { entries }
@@ -203,37 +478,66 @@ impl FeatureTracker {
 
     /// Loads snapshot history into this tracker. Snapshot entries replace
     /// any same-object history; other state is kept. Histories deeper than
-    /// this tracker's schedule are truncated.
+    /// this tracker's schedule are truncated, and a bounded tracker
+    /// promotes entries in snapshot order (most recently touched first),
+    /// CLOCK-evicting once the budget fills — so an exact snapshot from a
+    /// pre-budget artifact warm-starts a bounded tracker with its hottest
+    /// objects.
     pub fn load_snapshot(&mut self, snapshot: &TrackerSnapshot) {
         for (id, times) in &snapshot.entries {
             let object = ObjectId(*id);
             let mut deque: VecDeque<u64> = times.iter().copied().collect();
             deque.truncate(self.depth + 1);
-            if let Some(&latest) = deque.front() {
-                self.last_touch.insert(object, latest);
+            if !self.budget.is_bounded() {
+                self.history.insert(
+                    object,
+                    ObjectHistory {
+                        times: deque,
+                        slot: 0,
+                    },
+                );
+                continue;
             }
-            self.history.insert(object, deque);
+            if let Some(&latest) = deque.front() {
+                let b = self.bucket(object);
+                self.sketch[b] = Self::sketch_time(latest);
+            }
+            if let Some(h) = self.history.get_mut(&object) {
+                h.times = deque;
+                let slot = h.slot;
+                self.clock.reference(slot);
+            } else if self.history.len() < self.budget.max_objects {
+                self.promote(object, deque);
+            }
+            // else: budget full — snapshot entries arrive hottest-first,
+            // so the remainder are the coldest and stay sketched.
         }
     }
 
     /// Drops history for objects not touched since `time`, bounding memory
-    /// on unbounded streams.
+    /// on unbounded streams. Sketch slots older than `time` are wiped too,
+    /// so forgotten one-hit wonders look brand new again.
     pub fn forget_older_than(&mut self, time: u64) {
-        let last_touch = &self.last_touch;
         self.history
-            .retain(|o, _| last_touch.get(o).copied().unwrap_or(0) >= time);
-        self.last_touch.retain(|_, &mut t| t >= time);
+            .retain(|_, h| h.times.front().copied().unwrap_or(0) >= time);
+        for slot in &mut self.sketch {
+            if *slot != EMPTY_SLOT && u64::from(*slot) < time {
+                *slot = EMPTY_SLOT;
+            }
+        }
     }
 
     /// Approximate bytes of tracker state (the paper estimates 208 bytes
     /// per object for a naive dense representation; the sparse tracker
-    /// only pays for requests actually seen).
+    /// only pays for requests actually seen). Covers the exact histories,
+    /// the CLOCK ring, and the doorkeeper sketch.
     pub fn approximate_bytes(&self) -> usize {
         self.history
             .values()
-            .map(|v| 8 * v.len() + 48)
+            .map(|h| 8 * h.times.len() + 56)
             .sum::<usize>()
-            + self.last_touch.len() * 24
+            + self.clock.approximate_bytes()
+            + self.sketch_bytes()
     }
 }
 
@@ -243,6 +547,14 @@ mod tests {
 
     fn tracker() -> FeatureTracker {
         FeatureTracker::new(4, CostModel::ByteHitRatio)
+    }
+
+    fn bounded(max_objects: usize) -> FeatureTracker {
+        FeatureTracker::with_budget(
+            (1..=4).collect(),
+            CostModel::ByteHitRatio,
+            TrackerBudget::capped(max_objects),
+        )
     }
 
     fn req(t: u64, id: u64, size: u64) -> Request {
@@ -295,7 +607,7 @@ mod tests {
         for t in 0..100 {
             tr.record(&req(t, 1, 10));
         }
-        assert!(tr.history[&ObjectId(1)].len() <= 5);
+        assert!(tr.history[&ObjectId(1)].times.len() <= 5);
     }
 
     #[test]
@@ -354,7 +666,7 @@ mod tests {
             tr.record(&req(t, 1, 10));
         }
         // Depth 8 means 9 retained reference times.
-        assert_eq!(tr.history[&ObjectId(1)].len(), 9);
+        assert_eq!(tr.history[&ObjectId(1)].times.len(), 9);
         let f = tr.features(&req(100, 1, 10), 0);
         assert_eq!(f[3], 81.0); // 100 - 19
         assert_eq!(f[4], 1.0); // consecutive unit gaps deep in history
@@ -450,5 +762,137 @@ mod tests {
         let f = shallow.features(&probe, 0);
         assert_eq!(f.len(), 3 + 4);
         assert!(f[3..].iter().all(|&g| g != MISSING_GAP));
+    }
+
+    // ---- bounded tracker (TrackerBudget, DESIGN.md §14) ----
+
+    #[test]
+    fn doorkeeper_defers_one_hit_wonders() {
+        // Sketch sized so the 100 ids land in distinct buckets — a slot
+        // collision deliberately promotes early, which is not under test
+        // here (unbounded_budget_matches_exact_tracker_bit_for_bit covers
+        // the collision-free contract at scale).
+        let budget = TrackerBudget {
+            max_objects: 8,
+            sketch_bits: 18,
+            ..TrackerBudget::default()
+        };
+        let mut tr =
+            FeatureTracker::with_budget((1..=4).collect(), CostModel::ByteHitRatio, budget);
+        for id in 0..100u64 {
+            tr.record(&req(id, id, 10));
+        }
+        // Every object was seen exactly once: no exact history at all,
+        // only sketch slots.
+        assert_eq!(tr.tracked_objects(), 0);
+        assert!(tr.sketch_bytes() > 0);
+    }
+
+    #[test]
+    fn second_sighting_promotes_with_exact_seed_gaps() {
+        let mut exact = tracker();
+        let mut b = bounded(8);
+        for tr in [&mut exact, &mut b] {
+            tr.record(&req(10, 7, 10));
+            tr.record(&req(25, 7, 10));
+        }
+        assert_eq!(b.tracked_objects(), 1);
+        // Third row: gap_1 = 40-25, gap_2 = 25-10 — identical to exact.
+        let probe = req(40, 7, 10);
+        assert_eq!(b.features(&probe, 0), exact.features(&probe, 0));
+    }
+
+    #[test]
+    fn sketched_object_reports_a_coarse_first_gap() {
+        let mut tr = bounded(8);
+        tr.record(&req(100, 3, 10));
+        let f = tr.features(&req(130, 3, 10), 0);
+        assert_eq!(f[3], 30.0); // coarse gap from the sketch slot
+        assert!(f[4..].iter().all(|&g| g == MISSING_GAP));
+    }
+
+    #[test]
+    fn clock_eviction_caps_tracked_objects() {
+        let mut tr = bounded(4);
+        // Promote 12 objects (two sightings each); the ring holds 4.
+        for id in 0..12u64 {
+            tr.record(&req(id * 10, id, 10));
+            tr.record(&req(id * 10 + 5, id, 10));
+        }
+        assert_eq!(tr.tracked_objects(), 4);
+    }
+
+    #[test]
+    fn clock_keeps_referenced_objects_over_idle_ones() {
+        let mut tr = bounded(2);
+        // Promote objects 1 and 2, then keep touching 1 only.
+        for &(t, id) in &[(0u64, 1u64), (1, 2), (2, 1), (3, 2), (4, 1), (5, 1)] {
+            tr.record(&req(t, id, 10));
+        }
+        // Promote a third object: the idle 2 must go, the hot 1 survives.
+        tr.record(&req(6, 3, 10));
+        tr.record(&req(7, 3, 10));
+        assert_eq!(tr.tracked_objects(), 2);
+        let f1 = tr.features(&req(10, 1, 10), 0);
+        assert!(f1[4] != MISSING_GAP, "hot object lost its exact history");
+    }
+
+    #[test]
+    fn unbounded_budget_matches_exact_tracker_bit_for_bit() {
+        let mut exact = tracker();
+        let mut b = FeatureTracker::with_budget(
+            (1..=4).collect(),
+            CostModel::ByteHitRatio,
+            TrackerBudget::default(),
+        );
+        for t in 0..300u64 {
+            let r = req(t * 3, splitmix64(t) % 40, 10 + t % 7);
+            assert_eq!(exact.features(&r, 99), b.features(&r, 99));
+            exact.record(&r);
+            b.record(&r);
+        }
+    }
+
+    #[test]
+    fn forget_wipes_sketch_slots() {
+        let mut tr = bounded(8);
+        tr.record(&req(10, 1, 10));
+        tr.forget_older_than(50);
+        let f = tr.features(&req(60, 1, 10), 0);
+        assert_eq!(f[3], MISSING_GAP, "stale sketch slot survived forget");
+    }
+
+    #[test]
+    fn exact_snapshot_warm_starts_a_bounded_tracker() {
+        let mut exact = tracker();
+        for t in 0..200u64 {
+            exact.record(&req(t, t % 20, 10));
+        }
+        let snapshot = exact.snapshot(usize::MAX);
+        let mut b = bounded(6);
+        b.load_snapshot(&snapshot);
+        assert_eq!(b.tracked_objects(), 6);
+        // The budgeted tracker kept the most recently touched entries
+        // (snapshot order), and serves their exact gaps.
+        let probe = req(500, 19, 10);
+        assert_eq!(b.features(&probe, 0), exact.features(&probe, 0));
+    }
+
+    #[test]
+    fn bounded_memory_stays_flat_as_the_catalog_grows() {
+        let mut tr = bounded(64);
+        for id in 0..200u64 {
+            tr.record(&req(id, id, 10));
+            tr.record(&req(id + 1_000_000, id, 10));
+        }
+        let mid = tr.approximate_bytes();
+        for id in 200..2_000u64 {
+            tr.record(&req(id + 2_000_000, id, 10));
+            tr.record(&req(id + 3_000_000, id, 10));
+        }
+        assert_eq!(tr.tracked_objects(), 64);
+        // The sketch is fixed-size and histories are capped, so growing
+        // the catalog 10x leaves the footprint essentially unchanged.
+        assert!(tr.approximate_bytes() <= mid + mid / 4);
     }
 }

@@ -115,6 +115,14 @@ pub struct GuardrailConfig {
     /// instead of appending delta trees to the incumbent that just
     /// tripped.
     pub trip_forces_scratch: bool,
+    /// Sample-K the learned ghost's evictions with this K instead of the
+    /// exact B-tree queue, so probation is judged under the same eviction
+    /// discipline the live cache uses. `None` keeps the exact ghost —
+    /// unless the cache this guardrail attaches to runs
+    /// [`EvictionStrategy`](crate::EvictionStrategy)`::SampleK`, in which
+    /// case [`crate::LfoCache::enable_guardrail_scoped`] inherits that K.
+    /// Optional so configs serialized before this field still deserialize.
+    pub ghost_sample_k: Option<u32>,
 }
 
 impl Default for GuardrailConfig {
@@ -129,6 +137,7 @@ impl Default for GuardrailConfig {
             enforce: true,
             start_in_fallback: false,
             trip_forces_scratch: false,
+            ghost_sample_k: None,
         }
     }
 }
@@ -220,6 +229,8 @@ struct GhostEntry {
     priority: u64,
     tiebreak: u64,
     size: u64,
+    /// Position in the sampled slot board (always 0 under the exact queue).
+    slot: usize,
 }
 
 /// Index-only LRU simulation with lazy (tombstone) recency updates: every
@@ -291,7 +302,26 @@ impl LruGhost {
     }
 }
 
-/// Index-only cache simulation: byte accounting plus a priority queue, no
+/// Seed of a sampled ghost's victim-draw stream (reset to this on every
+/// probation restart so re-proving runs are reproducible).
+const GHOST_SAMPLE_SEED: u64 = 0x9d1c_03a7_5e2b_44f1;
+
+/// How a [`GhostCache`] finds its weakest resident — the same two shapes as
+/// `EvictIndex` in [`crate::policy`], so probation can be judged under the
+/// eviction discipline the live cache actually runs.
+enum GhostIndex {
+    /// Fully ordered priority queue: exact minimum, O(log n) per access.
+    Exact(BTreeSet<(u64, u64, ObjectId)>),
+    /// Sample-K: `k` seeded draws from the slot board, evict the sampled
+    /// minimum; `k >= residents` degenerates to an exact full scan.
+    Sampled {
+        slots: Vec<ObjectId>,
+        k: usize,
+        rng: u64,
+    },
+}
+
+/// Index-only cache simulation: byte accounting plus an eviction index, no
 /// payloads. Priorities are opaque `u64`s that order ascending-is-weakest
 /// (nonnegative-f64 bit patterns for the learned ghost; the LRU shadow
 /// uses the cheaper [`LruGhost`] instead).
@@ -300,7 +330,7 @@ struct GhostCache {
     used: u64,
     tick: u64,
     entries: IdMap<GhostEntry>,
-    queue: BTreeSet<(u64, u64, ObjectId)>,
+    index: GhostIndex,
 }
 
 impl GhostCache {
@@ -310,8 +340,87 @@ impl GhostCache {
             used: 0,
             tick: 0,
             entries: IdMap::default(),
-            queue: BTreeSet::new(),
+            index: GhostIndex::Exact(BTreeSet::new()),
         }
+    }
+
+    fn sampled(capacity: u64, k: u32) -> Self {
+        GhostCache {
+            index: GhostIndex::Sampled {
+                slots: Vec::new(),
+                k: (k as usize).max(1),
+                rng: GHOST_SAMPLE_SEED,
+            },
+            ..GhostCache::new(capacity)
+        }
+    }
+
+    /// Empties the ghost in place, keeping its capacity and eviction
+    /// discipline; a sampled index also rewinds its draw stream to the
+    /// seed so every probation is reproducible.
+    fn reset(&mut self) {
+        self.used = 0;
+        self.tick = 0;
+        self.entries = IdMap::default();
+        match &mut self.index {
+            GhostIndex::Exact(queue) => queue.clear(),
+            GhostIndex::Sampled { slots, rng, .. } => {
+                slots.clear();
+                *rng = GHOST_SAMPLE_SEED;
+            }
+        }
+    }
+
+    /// The weakest resident's full ordering key, per this ghost's index
+    /// discipline (`None` when empty). Sampled mode draws `k` residents —
+    /// or scans all of them RNG-free when `k` covers the board.
+    fn weakest(&mut self) -> Option<(u64, u64, ObjectId)> {
+        let entries = &self.entries;
+        let key = |object: ObjectId| {
+            let e = entries[&object];
+            (e.priority, e.tiebreak, object)
+        };
+        match &mut self.index {
+            GhostIndex::Exact(queue) => queue.iter().next().copied(),
+            GhostIndex::Sampled { slots, k, rng } => {
+                if slots.is_empty() {
+                    return None;
+                }
+                if *k >= slots.len() {
+                    return slots.iter().map(|&o| key(o)).min();
+                }
+                let mut best: Option<(u64, u64, ObjectId)> = None;
+                for _ in 0..*k {
+                    *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let candidate = key(slots[(splitmix64(*rng) as usize) % slots.len()]);
+                    if best.is_none_or(|b| candidate < b) {
+                        best = Some(candidate);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Removes the resident at `key` (as returned by [`Self::weakest`]).
+    fn remove(&mut self, key: (u64, u64, ObjectId)) {
+        let (p, t, victim) = key;
+        let entry = self.entries.remove(&victim).expect("index/entries in sync");
+        match &mut self.index {
+            GhostIndex::Exact(queue) => {
+                queue.remove(&(p, t, victim));
+            }
+            GhostIndex::Sampled { slots, .. } => {
+                slots.swap_remove(entry.slot);
+                if let Some(&moved) = slots.get(entry.slot) {
+                    self.entries
+                        .get_mut(&moved)
+                        .expect("index/entries in sync")
+                        .slot = entry.slot;
+                }
+            }
+        }
+        self.used -= entry.size;
     }
 
     /// Feeds one request; returns whether the ghost would have hit. On a
@@ -320,13 +429,16 @@ impl GhostCache {
     fn access(&mut self, object: ObjectId, size: u64, priority: u64, admit: bool) -> bool {
         self.tick += 1;
         if let Some(entry) = self.entries.get(&object).copied() {
-            self.queue.remove(&(entry.priority, entry.tiebreak, object));
             let updated = GhostEntry {
                 priority,
                 tiebreak: self.tick,
                 size: entry.size,
+                slot: entry.slot,
             };
-            self.queue.insert((priority, self.tick, object));
+            if let GhostIndex::Exact(queue) = &mut self.index {
+                queue.remove(&(entry.priority, entry.tiebreak, object));
+                queue.insert((priority, self.tick, object));
+            }
             self.entries.insert(object, updated);
             return true;
         }
@@ -334,24 +446,28 @@ impl GhostCache {
             return false;
         }
         while self.used + size > self.capacity {
-            let &(p, t, victim) = self
-                .queue
-                .iter()
-                .next()
-                .expect("over budget implies nonempty");
-            self.queue.remove(&(p, t, victim));
-            let evicted = self.entries.remove(&victim).expect("queue/entries in sync");
-            self.used -= evicted.size;
+            let weakest = self.weakest().expect("over budget implies nonempty");
+            self.remove(weakest);
         }
+        let slot = match &mut self.index {
+            GhostIndex::Exact(queue) => {
+                queue.insert((priority, self.tick, object));
+                0
+            }
+            GhostIndex::Sampled { slots, .. } => {
+                slots.push(object);
+                slots.len() - 1
+            }
+        };
         self.entries.insert(
             object,
             GhostEntry {
                 priority,
                 tiebreak: self.tick,
                 size,
+                slot,
             },
         );
-        self.queue.insert((priority, self.tick, object));
         self.used += size;
         false
     }
@@ -395,7 +511,10 @@ impl Guardrail {
                 GuardrailMode::Learned
             },
             lru: LruGhost::new(ghost_capacity),
-            learned: GhostCache::new(ghost_capacity),
+            learned: match config.ghost_sample_k {
+                Some(k) => GhostCache::sampled(ghost_capacity, k),
+                None => GhostCache::new(ghost_capacity),
+            },
             trips: 0,
             forced_requests: 0,
             windows_evaluated: 0,
@@ -504,7 +623,7 @@ impl Guardrail {
                             // Probation starts from a cold ghost: content
                             // left over from an earlier probation must not
                             // inflate the re-proving score.
-                            self.learned = GhostCache::new(self.learned.capacity);
+                            self.learned.reset();
                         }
                     } else {
                         self.violation_streak = 0;
@@ -618,6 +737,44 @@ mod tests {
             assert_eq!(a, b, "diverged at request {t} (id {id}, size {size})");
         }
         assert_eq!(lazy.used, exact.used);
+    }
+
+    #[test]
+    fn sampled_ghost_with_full_sampling_matches_exact_ghost() {
+        // k covering the whole board degenerates to an RNG-free full scan:
+        // every hit/miss and the final byte accounting must match the
+        // exact B-tree ghost on a priority-driven stream.
+        let mut exact = GhostCache::new(5_000);
+        let mut sampled = GhostCache::sampled(5_000, u32::MAX);
+        for t in 0..20_000u64 {
+            let id = splitmix64(t) % 200;
+            let size = 100 + (splitmix64(t ^ 17) % 400);
+            let priority = splitmix64(t ^ 99) % 1_000;
+            let admit = !splitmix64(t ^ 5).is_multiple_of(4);
+            let a = exact.access(ObjectId(id), size, priority, admit);
+            let b = sampled.access(ObjectId(id), size, priority, admit);
+            assert_eq!(a, b, "diverged at request {t}");
+        }
+        assert_eq!(exact.used, sampled.used);
+        assert_eq!(exact.entries.len(), sampled.entries.len());
+    }
+
+    #[test]
+    fn sampled_ghost_respects_capacity_and_resets_cold() {
+        let mut ghost = GhostCache::sampled(1_000, 4);
+        for t in 0..5_000u64 {
+            ghost.access(ObjectId(splitmix64(t) % 100), 100 + t % 50, t, true);
+            assert!(ghost.used <= ghost.capacity);
+        }
+        assert!(!ghost.entries.is_empty());
+        ghost.reset();
+        assert_eq!(ghost.used, 0);
+        assert!(ghost.entries.is_empty());
+        let GhostIndex::Sampled { slots, rng, .. } = &ghost.index else {
+            panic!("reset must keep the sampled discipline");
+        };
+        assert!(slots.is_empty());
+        assert_eq!(*rng, GHOST_SAMPLE_SEED);
     }
 
     #[test]

@@ -72,10 +72,10 @@ pub mod serve;
 pub mod shard;
 pub mod train;
 
-pub use config::{CutoffMode, LfoConfig, PolicyDesign, RetrainConfig};
+pub use config::{CutoffMode, EvictionStrategy, LfoConfig, PolicyDesign, RetrainConfig};
 pub use drift::{DriftError, DriftVerdict, FeatureSketch};
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
-pub use features::{FeatureTracker, TrackerSnapshot, FEATURE_GAPS};
+pub use features::{FeatureTracker, TrackerBudget, TrackerSnapshot, FEATURE_GAPS};
 pub use guardrail::{
     lru_reference_bhr, Guardrail, GuardrailConfig, GuardrailMode, GuardrailSnapshot,
 };

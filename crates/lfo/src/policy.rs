@@ -13,6 +13,12 @@
 //! (admit everything; recency as the likelihood), so the pipeline's first
 //! window behaves like a plain cache while LFO collects its first OPT
 //! labels.
+//!
+//! Victim selection is pluggable ([`EvictionStrategy`], DESIGN.md §14):
+//! the reference path keeps a fully ordered `BTreeSet` queue (exact
+//! minimum, O(log n) reorder per hit); sample-K scores K seeded-random
+//! residents and evicts their minimum, making the hit path a pure O(1)
+//! map update with no queue and no frontier-board traffic.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,9 +29,17 @@ use gbdt::{BinMap, FlatModel, Model, Predicate, QuantizedModel};
 
 use cdn_cache::cache::{CachePolicy, RequestOutcome};
 
-use crate::config::{LfoConfig, PolicyDesign};
+use crate::config::{EvictionStrategy, LfoConfig, PolicyDesign};
 use crate::features::FeatureTracker;
 use crate::guardrail::{Guardrail, GuardrailConfig, GuardrailSnapshot};
+
+/// The repo's standard 64-bit mixer (same constants as `lfo::shard`).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// Index of the free-bytes feature in the tracker's row layout
 /// (`[size, cost, free, gap_1..]`) — the feature shard invariants prune
@@ -298,6 +312,36 @@ struct Entry {
     priority: Priority,
     tiebreak: u64,
     size: u64,
+    /// This object's position in the sample-K slots vector (unused —
+    /// always 0 — under the exact queue).
+    slot: usize,
+}
+
+/// The eviction index behind [`EvictionStrategy`] (DESIGN.md §14).
+enum EvictIndex {
+    /// Fully ordered priority queue: exact minimum, O(log n) per mutation.
+    Exact(BTreeSet<(Priority, u64, ObjectId)>),
+    /// Sample-K: a flat resident vector sampled at eviction time. Hits
+    /// never touch it; insert is a push, removal a swap_remove.
+    Sampled {
+        slots: Vec<ObjectId>,
+        k: usize,
+        /// Counter state of the splitmix64 sampling stream.
+        rng: u64,
+    },
+}
+
+impl EvictIndex {
+    fn for_strategy(strategy: EvictionStrategy) -> Self {
+        match strategy {
+            EvictionStrategy::ExactQueue => EvictIndex::Exact(BTreeSet::new()),
+            EvictionStrategy::SampleK { k, seed } => EvictIndex::Sampled {
+                slots: Vec::new(),
+                k: k.max(1),
+                rng: seed,
+            },
+        }
+    }
 }
 
 /// The LFO cache: confidence-ranked admission and eviction.
@@ -333,7 +377,7 @@ pub struct LfoCache {
     shared: Option<SharedOccupancy>,
     /// This cache's slot on the pool's frontier board (0 when unpooled).
     member: usize,
-    queue: BTreeSet<(Priority, u64, ObjectId)>,
+    index: EvictIndex,
     entries: HashMap<ObjectId, Entry>,
     tick: u64,
     /// Sampling stride for live feature rows (0 = sampling off).
@@ -365,6 +409,7 @@ impl LfoCache {
     /// thread) roll out on the cache's next request.
     pub fn with_slot(capacity: u64, config: LfoConfig, slot: ModelSlot) -> Self {
         let tracker = config.tracker();
+        let index = EvictIndex::for_strategy(config.eviction_strategy());
         let mut cache = LfoCache {
             capacity,
             used: 0,
@@ -380,7 +425,7 @@ impl LfoCache {
             free_scale: 1,
             shared: None,
             member: 0,
-            queue: BTreeSet::new(),
+            index,
             entries: HashMap::new(),
             tick: 0,
             sample_every: 0,
@@ -516,6 +561,14 @@ impl LfoCache {
         debug_assert_eq!(self.used, 0, "join_pool before serving");
         self.member = member;
         self.shared = Some(pool);
+        // Decorrelate the members' sampling streams (member 0 keeps the
+        // configured seed, so a 1-shard pool samples like an unsharded
+        // cache).
+        if member > 0 {
+            if let EvictIndex::Sampled { rng, .. } = &mut self.index {
+                *rng ^= splitmix64(member as u64);
+            }
+        }
         // The free-bytes bound is now the pool's capacity: re-prune.
         self.refresh_engine();
     }
@@ -566,12 +619,27 @@ impl LfoCache {
     }
 
     /// Approximate heap bytes of the admission/eviction index: one
-    /// `HashMap` entry (key + [`Entry`] + bucket overhead) and one
-    /// `BTreeSet` key per resident.
+    /// `HashMap` entry (key + [`Entry`] + bucket overhead) per resident,
+    /// plus one `BTreeSet` key (exact queue) or one slot-vector id
+    /// (sample-K) per resident.
     pub fn approximate_index_bytes(&self) -> usize {
         const MAP_ENTRY: usize = std::mem::size_of::<(ObjectId, Entry)>() + 16;
-        const QUEUE_KEY: usize = std::mem::size_of::<(Priority, u64, ObjectId)>() + 8;
-        self.entries.len() * MAP_ENTRY + self.queue.len() * QUEUE_KEY
+        match &self.index {
+            EvictIndex::Exact(queue) => {
+                const QUEUE_KEY: usize = std::mem::size_of::<(Priority, u64, ObjectId)>() + 8;
+                self.entries.len() * MAP_ENTRY + queue.len() * QUEUE_KEY
+            }
+            EvictIndex::Sampled { slots, .. } => self.entries.len() * MAP_ENTRY + slots.len() * 8,
+        }
+    }
+
+    /// Short label of the active eviction strategy (`"exact"` or
+    /// `"sample<k>"`), for experiment rows.
+    pub fn eviction_label(&self) -> String {
+        match &self.index {
+            EvictIndex::Exact(_) => "exact".to_string(),
+            EvictIndex::Sampled { k, .. } => format!("sample{k}"),
+        }
     }
 
     /// Approximate per-object metadata bytes the serving path keeps warm:
@@ -617,21 +685,39 @@ impl LfoCache {
         }
     }
 
-    fn queue_remove(&mut self, object: ObjectId, entry: &Entry) {
-        let removed = self.queue.remove(&(entry.priority, entry.tiebreak, object));
-        debug_assert!(removed, "queue out of sync");
-    }
-
-    fn queue_insert(&mut self, object: ObjectId, entry: Entry) {
+    /// Inserts a new resident into the eviction index and entry map.
+    fn insert_resident(&mut self, object: ObjectId, mut entry: Entry) {
+        match &mut self.index {
+            EvictIndex::Exact(queue) => {
+                queue.insert((entry.priority, entry.tiebreak, object));
+            }
+            EvictIndex::Sampled { slots, .. } => {
+                entry.slot = slots.len();
+                slots.push(object);
+            }
+        }
         self.entries.insert(object, entry);
-        self.queue.insert((entry.priority, entry.tiebreak, object));
         self.publish_frontier();
     }
 
-    fn evict_min(&mut self) {
-        let &(p, t, victim) = self.queue.iter().next().expect("nonempty");
-        self.queue.remove(&(p, t, victim));
+    /// Removes `victim` from both index and entry map, releasing its bytes.
+    fn remove_resident(&mut self, victim: ObjectId) {
         let entry = self.entries.remove(&victim).expect("entry exists");
+        match &mut self.index {
+            EvictIndex::Exact(queue) => {
+                let removed = queue.remove(&(entry.priority, entry.tiebreak, victim));
+                debug_assert!(removed, "queue out of sync");
+            }
+            EvictIndex::Sampled { slots, .. } => {
+                slots.swap_remove(entry.slot);
+                if let Some(&moved) = slots.get(entry.slot) {
+                    self.entries
+                        .get_mut(&moved)
+                        .expect("moved entry exists")
+                        .slot = entry.slot;
+                }
+            }
+        }
         self.used -= entry.size;
         if let Some(shared) = &self.shared {
             shared.sub(entry.size);
@@ -640,20 +726,65 @@ impl LfoCache {
         self.publish_frontier();
     }
 
+    /// The eviction-candidate key: the exact queue's global minimum, or the
+    /// minimum of a fresh K-sample under sample-K. When `k >= residents`
+    /// the sample degenerates to a full scan with zero RNG draws, which
+    /// picks the identical `(priority, tiebreak, object)` minimum the
+    /// exact queue would — the decision-identity the proptests pin down.
+    fn weakest_key(&mut self) -> Option<(Priority, u64, ObjectId)> {
+        match &mut self.index {
+            EvictIndex::Exact(queue) => queue.iter().next().copied(),
+            EvictIndex::Sampled { slots, k, rng } => {
+                let len = slots.len();
+                if len == 0 {
+                    return None;
+                }
+                let entries = &self.entries;
+                let key = |object: ObjectId| {
+                    let e = &entries[&object];
+                    (e.priority, e.tiebreak, object)
+                };
+                if *k >= len {
+                    return slots.iter().map(|&o| key(o)).min();
+                }
+                let mut best: Option<(Priority, u64, ObjectId)> = None;
+                for _ in 0..*k {
+                    *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let i = (splitmix64(*rng) as usize) % len;
+                    let candidate = key(slots[i]);
+                    if best.is_none_or(|b| candidate < b) {
+                        best = Some(candidate);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Evicts the weakest resident (exact minimum or sample-K minimum).
+    fn evict_min(&mut self) {
+        let (_, _, victim) = self.weakest_key().expect("nonempty");
+        self.remove_resident(victim);
+    }
+
     /// Posts this cache's eviction frontier (the priority of its weakest
     /// resident) to the pool's frontier board. Priorities are nonnegative,
-    /// so their bit patterns order like the values.
+    /// so their bit patterns order like the values. Sample-K caches keep
+    /// no ordered frontier and never post: their pooled members always
+    /// reclaim locally (see [`LfoCache::near_global_frontier`]).
     fn publish_frontier(&self) {
-        if let Some(pool) = &self.shared {
-            let bits = match self.queue.iter().next() {
-                Some(&(Priority(p), _, _)) => {
-                    debug_assert!(p >= 0.0, "priorities must stay nonnegative");
-                    p.to_bits()
-                }
-                None => u64::MAX,
-            };
-            pool.set_frontier(self.member, bits);
-        }
+        let Some(pool) = &self.shared else { return };
+        let EvictIndex::Exact(queue) = &self.index else {
+            return;
+        };
+        let bits = match queue.iter().next() {
+            Some(&(Priority(p), _, _)) => {
+                debug_assert!(p >= 0.0, "priorities must stay nonnegative");
+                p.to_bits()
+            }
+            None => u64::MAX,
+        };
+        pool.set_frontier(self.member, bits);
     }
 
     /// Whether this member's weakest resident is within [`FRONTIER_SLACK`]
@@ -662,11 +793,17 @@ impl LfoCache {
     /// near-frontier members evict for the pool: victims stay within the
     /// slack of what the unsharded cache would have picked, while any
     /// near-frontier member — not just the exact owner — can reclaim an
-    /// overshoot as soon as it sees traffic.
+    /// overshoot as soon as it sees traffic. Sample-K members always
+    /// answer true — without an ordered queue there is no cheap frontier,
+    /// so each member reclaims pool overshoot with its own sampled victim
+    /// (the board never enters the hot path, which is the point).
     fn near_global_frontier(&self) -> bool {
-        match (&self.shared, self.queue.iter().next()) {
-            (Some(pool), Some(&(Priority(p), _, _))) => p <= pool.min_frontier() + FRONTIER_SLACK,
-            _ => true,
+        let (Some(pool), EvictIndex::Exact(queue)) = (&self.shared, &self.index) else {
+            return true;
+        };
+        match queue.iter().next() {
+            Some(&(Priority(p), _, _)) => p <= pool.min_frontier() + FRONTIER_SLACK,
+            None => true,
         }
     }
 
@@ -681,7 +818,7 @@ impl LfoCache {
                 Some(pool) => pool.used() > pool.capacity(),
                 None => return,
             };
-            if !over || self.queue.is_empty() || !self.near_global_frontier() {
+            if !over || self.entries.is_empty() || !self.near_global_frontier() {
                 return;
             }
             self.evict_min();
@@ -699,7 +836,16 @@ impl LfoCache {
     /// pooled shard's `capacity` field equals the whole pool's, but it
     /// serves only `1/N` of the stream, so its ghosts must model
     /// `pool capacity / N` for the shadow-LRU baseline to be comparable.
-    pub fn enable_guardrail_scoped(&mut self, config: GuardrailConfig, shadow_capacity: u64) {
+    ///
+    /// A cache evicting by sample-K passes that K to its learned ghost
+    /// (unless the config pins one explicitly), so probation is judged
+    /// under the eviction discipline this cache actually serves with.
+    pub fn enable_guardrail_scoped(&mut self, mut config: GuardrailConfig, shadow_capacity: u64) {
+        if config.ghost_sample_k.is_none() {
+            if let EvictionStrategy::SampleK { k, .. } = self.config.eviction_strategy() {
+                config.ghost_sample_k = Some(u32::try_from(k).unwrap_or(u32::MAX));
+            }
+        }
         self.guardrail = Some(Guardrail::new(config, shadow_capacity));
     }
 
@@ -729,16 +875,29 @@ impl LfoCache {
         if let Some(&entry) = self.entries.get(&request.object) {
             // Re-evaluate on every hit; the hit object may become the
             // eviction frontier (and even be evicted by a later admission).
-            self.queue_remove(request.object, &entry);
             let updated = Entry {
                 priority: Priority(self.eviction_priority(likelihood, entry.size)),
                 tiebreak: self.tick,
                 size: entry.size,
+                slot: entry.slot,
             };
-            self.queue_insert(request.object, updated);
-            if let Some(&(_, _, frontier)) = self.queue.iter().next() {
-                if frontier == request.object {
-                    self.rescored_to_bottom += 1;
+            match &mut self.index {
+                EvictIndex::Exact(queue) => {
+                    let removed = queue.remove(&(entry.priority, entry.tiebreak, request.object));
+                    debug_assert!(removed, "queue out of sync");
+                    queue.insert((updated.priority, updated.tiebreak, request.object));
+                }
+                // Sample-K hit path: the map update below is the whole
+                // reorder — no queue, O(1).
+                EvictIndex::Sampled { .. } => {}
+            }
+            self.entries.insert(request.object, updated);
+            self.publish_frontier();
+            if let EvictIndex::Exact(queue) = &self.index {
+                if let Some(&(_, _, frontier)) = queue.iter().next() {
+                    if frontier == request.object {
+                        self.rescored_to_bottom += 1;
+                    }
                 }
             }
             return RequestOutcome::Hit;
@@ -748,34 +907,33 @@ impl LfoCache {
             return RequestOutcome::Miss { admitted: false };
         }
         let priority = self.eviction_priority(likelihood, request.size);
-        let admit = match self.model {
-            // A guardrail-forced cache admits everything, like the
-            // no-model fallback below.
-            Some(_) if !forced => {
-                let above_cutoff = likelihood >= self.config.cutoff;
-                match self.config.design {
-                    PolicyDesign::Paper | PolicyDesign::DensityRanked => above_cutoff,
-                    PolicyDesign::ProtectedAdmission => {
-                        // The newcomer may only displace strictly weaker
-                        // residents; with room to spare the cutoff decides.
-                        above_cutoff
-                            && (!self.over_budget(request.size)
-                                || self
-                                    .queue
-                                    .iter()
-                                    .next()
-                                    .map(|&(Priority(p), _, _)| priority > p)
-                                    .unwrap_or(true))
-                    }
+        // A guardrail-forced cache admits everything, like the no-model
+        // LRU fallback.
+        let admit = if self.model.is_some() && !forced {
+            let above_cutoff = likelihood >= self.config.cutoff;
+            match self.config.design {
+                PolicyDesign::Paper | PolicyDesign::DensityRanked => above_cutoff,
+                PolicyDesign::ProtectedAdmission => {
+                    // The newcomer may only displace strictly weaker
+                    // residents; with room to spare the cutoff decides.
+                    // Under sample-K the probe is the same K-sample an
+                    // eviction would draw.
+                    above_cutoff
+                        && (!self.over_budget(request.size)
+                            || self
+                                .weakest_key()
+                                .map(|(Priority(p), _, _)| priority > p)
+                                .unwrap_or(true))
                 }
             }
-            _ => true, // LRU fallback admits everything
+        } else {
+            true // LRU fallback admits everything
         };
         if !admit {
             return RequestOutcome::Miss { admitted: false };
         }
         while self.over_budget(request.size) {
-            if self.queue.is_empty() {
+            if self.entries.is_empty() {
                 // Pooled mode only: this member has nothing left to evict;
                 // the pool absorbs the transient overshoot and the next
                 // admission on a fuller member reclaims it. (Unpooled, an
@@ -796,12 +954,13 @@ impl LfoCache {
             }
             self.evict_min();
         }
-        self.queue_insert(
+        self.insert_resident(
             request.object,
             Entry {
                 priority: Priority(priority),
                 tiebreak: self.tick,
                 size: request.size,
+                slot: 0,
             },
         );
         self.used += request.size;
@@ -1264,6 +1423,123 @@ mod tests {
         c.handle(&req(0, 1, 100));
         // The row is built before admission: free = 1000 × 4.
         assert_eq!(c.take_feature_samples()[0][2], 4_000.0);
+    }
+
+    fn sampled_config(k: usize) -> LfoConfig {
+        LfoConfig {
+            eviction: Some(EvictionStrategy::sample(k)),
+            ..Default::default()
+        }
+    }
+
+    /// A mixed-size request stream exercising hits, admissions, and
+    /// evictions.
+    fn mixed_stream(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| req(i, splitmix64(i) % 23, (splitmix64(i * 7 + 1) % 40) * 25 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn sample_k_full_sampling_matches_exact_queue() {
+        // k >= residents degenerates to an RNG-free full scan picking the
+        // same (priority, tiebreak, object) minimum as the BTreeSet — every
+        // outcome and the final resident set must coincide, with and
+        // without a model. (The tests/bounded_state.rs proptest widens
+        // this across seeds and capacities.)
+        for model in [None, Some(small_object_model())] {
+            let drive = |config: LfoConfig| {
+                let mut c = LfoCache::new(2_000, config);
+                if let Some(m) = &model {
+                    c.install_model(m.clone());
+                }
+                let outcomes: Vec<_> = mixed_stream(500).iter().map(|r| c.handle(r)).collect();
+                let mut residents: Vec<u64> = c.entries.keys().map(|o| o.0).collect();
+                residents.sort_unstable();
+                (outcomes, residents, c.used(), c.evictions)
+            };
+            assert_eq!(
+                drive(LfoConfig::default()),
+                drive(sampled_config(usize::MAX)),
+                "model = {}",
+                model.is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_k_respects_capacity_and_evicts() {
+        let mut c = LfoCache::new(1_500, sampled_config(4));
+        c.install_model(small_object_model());
+        for r in mixed_stream(800) {
+            c.handle(&r);
+            assert!(c.used() <= c.capacity());
+        }
+        assert!(c.evictions > 0, "sampled eviction never fired");
+        assert_eq!(c.eviction_label(), "sample4");
+        assert_eq!(
+            LfoCache::new(10, LfoConfig::default()).eviction_label(),
+            "exact"
+        );
+    }
+
+    #[test]
+    fn sampled_index_is_smaller_than_the_exact_queue() {
+        let fill = |config: LfoConfig| {
+            let mut c = LfoCache::new(1_000_000, config);
+            for i in 0..500u64 {
+                c.handle(&req(i, i, 100));
+            }
+            c.approximate_index_bytes()
+        };
+        assert!(fill(sampled_config(8)) < fill(LfoConfig::default()));
+    }
+
+    #[test]
+    fn sampled_pooled_member_reclaims_overshoot_locally() {
+        // Without a frontier board a sampled pooled member never defers:
+        // pool overshoot is absorbed when the admitting member has nothing
+        // to evict (B below), and reclaimed by the next member with
+        // residents to give up (A's trim_pool), using its own sampled
+        // victim — no frontier publishing anywhere.
+        let pool = SharedOccupancy::new(600, 2);
+        let mut a = LfoCache::new(600, sampled_config(8));
+        a.join_pool(pool.clone(), 0);
+        let mut b = LfoCache::new(600, sampled_config(8));
+        b.join_pool(pool.clone(), 1);
+        a.handle(&req(0, 1, 400));
+        b.handle(&req(1, 2, 300)); // B is empty: overshoot absorbed
+        assert_eq!(pool.used(), 700);
+        a.handle(&req(2, 3, 100)); // A trims the pool with a local victim
+        assert_eq!(pool.used(), 400);
+        assert_eq!(a.evictions, 1);
+        assert_eq!(b.evictions, 0);
+    }
+
+    #[test]
+    fn guardrail_inherits_sample_k_from_the_eviction_strategy() {
+        let mut sampled = LfoCache::new(1_000, sampled_config(16));
+        sampled.enable_guardrail(GuardrailConfig::default());
+        assert_eq!(
+            sampled.guardrail.as_ref().unwrap().config().ghost_sample_k,
+            Some(16)
+        );
+        let mut exact = LfoCache::new(1_000, LfoConfig::default());
+        exact.enable_guardrail(GuardrailConfig::default());
+        assert_eq!(
+            exact.guardrail.as_ref().unwrap().config().ghost_sample_k,
+            None
+        );
+        // An explicit pin survives the inheritance.
+        let mut pinned = LfoCache::new(1_000, sampled_config(16));
+        pinned.enable_guardrail(GuardrailConfig {
+            ghost_sample_k: Some(4),
+            ..GuardrailConfig::default()
+        });
+        assert_eq!(
+            pinned.guardrail.as_ref().unwrap().config().ghost_sample_k,
+            Some(4)
+        );
     }
 
     #[test]

@@ -70,4 +70,14 @@ cargo run -q --release -p bench --bin repro -- --smoke retrain
 echo "== repro --quick adversarial (guardrail bound, asserted in-run) =="
 cargo run -q --release -p bench --bin repro -- --quick adversarial
 
+# Memory-bounded serving state at huge-catalog scale (DESIGN.md §14).
+# Quick scale, not smoke: smoke catalogs are too small for the exact
+# tracker to dwarf the bounded one, while at quick scale the run asserts
+# its own gates — at least one tracker-budget × sample-K configuration
+# must cut metadata bytes per cached object >= 10x within 0.01 BHR of the
+# exact baseline, and the sampled hit path must match the exact queue's
+# requests/s in an interleaved duel. Writes results/BENCH_memory.json.
+echo "== repro --quick memory (bounded serving state, asserted in-run) =="
+cargo run -q --release -p bench --bin repro -- --quick memory
+
 echo "verify: OK"

@@ -10,8 +10,12 @@
 //! LFO_REGEN_GOLDEN=1 cargo test -p lfo --test artifact_compat
 //! ```
 
+use cdn_trace::Request;
 use gbdt::{train, BinMap, Dataset, FlatModel};
-use lfo::{LfoArtifact, LfoConfig, ModelSlot, Provenance, StoredValidation, ARTIFACT_VERSION};
+use lfo::{
+    EvictionStrategy, LfoArtifact, LfoConfig, ModelSlot, Provenance, StoredValidation,
+    TrackerBudget, ARTIFACT_VERSION,
+};
 use std::path::PathBuf;
 
 fn fixture_dir() -> PathBuf {
@@ -186,6 +190,53 @@ fn fingerprintless_artifact_serves_through_the_unquantized_path() {
         assert!((recursive - want).abs() <= 1e-9);
         assert_eq!(recursive.to_bits(), flat.to_bits());
     }
+}
+
+/// Artifacts written before tracker budgets and sampled eviction existed
+/// (the committed golden fixture) must keep loading with those config keys
+/// absent — deserializing to the exact-tracker/exact-queue defaults — and
+/// the exact tracker snapshot such an artifact carries must warm-start a
+/// budget-bounded cache with its hottest histories (DESIGN.md §14).
+#[test]
+fn pre_bounded_artifact_warm_starts_a_bounded_tracker() {
+    if std::env::var("LFO_REGEN_GOLDEN").is_ok() {
+        return; // regeneration run; the loading test writes the fixture
+    }
+    let mut artifact = LfoArtifact::load_file(&artifact_path()).unwrap();
+    assert!(
+        artifact.config.tracker_budget.is_none(),
+        "golden fixture predates tracker budgets"
+    );
+    assert!(
+        artifact.config.eviction.is_none(),
+        "golden fixture predates sampled eviction"
+    );
+    assert_eq!(artifact.config.budget(), TrackerBudget::default());
+    assert_eq!(
+        artifact.config.eviction_strategy(),
+        EvictionStrategy::ExactQueue
+    );
+
+    // Record history into the exact tracker this config describes and
+    // snapshot it into the artifact — the form a pre-budget pipeline
+    // persisted. Then deploy under a bounded budget: the snapshot's
+    // hottest objects must come back with their exact gap vectors.
+    let mut exact = artifact.config.tracker();
+    for t in 0..200u64 {
+        exact.record(&Request::new(t, t % 20, 64));
+    }
+    artifact.tracker = exact.snapshot(usize::MAX);
+    artifact.config.tracker_budget = Some(TrackerBudget::capped(6));
+    artifact.config.eviction = Some(EvictionStrategy::sample(8));
+    let cache = artifact.into_cache(1 << 20);
+    assert_eq!(cache.tracker().tracked_objects(), 6);
+    assert_eq!(cache.eviction_label(), "sample8");
+    // Object 19 was touched last, so it survives the budget cut.
+    let probe = Request::new(500, 19, 64);
+    assert_eq!(
+        cache.tracker().features(&probe, 0),
+        exact.features(&probe, 0)
+    );
 }
 
 /// A legacy artifact that *has* a bin map but whose lineage never recorded
