@@ -22,10 +22,10 @@ use lfo::{
     lru_reference_bhr, CacheMetrics, GuardrailConfig, GuardrailSnapshot, LfoCache, LfoConfig,
 };
 
-use crate::harness::{Context, Scale};
+use crate::harness::Context;
 use crate::perf::{AdversarialRow, BenchAdversarial};
 
-use super::common::train_and_eval;
+use super::common::{train_and_eval, Gates};
 
 /// Trace seed for this experiment (distinct from serve's 107).
 const SEED: u64 = 131;
@@ -304,40 +304,46 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     // Smoke traces are too short for the guardrail to see more than a
     // handful of evaluation windows, so the bound is only asserted at quick
     // and full scale (the restart experiment sets the same precedent).
-    if ctx.scale != Scale::Smoke {
-        for row in &doc.rows {
-            assert!(
-                row.on_holds,
+    let gates = Gates::at(
+        ctx.scale,
+        "too few evaluation windows for the guardrail bound",
+    );
+    for row in &doc.rows {
+        gates.require(row.on_holds, || {
+            format!(
                 "guardrail-on replay of `{}` broke the bound: BHR {:.4} < {:.4} \
                  (lru {:.4}, trips {}, forced {})",
                 row.scenario, row.on_bhr, row.bound, row.lru_bhr, row.trips, row.forced_requests,
-            );
-        }
-        let off_violations = doc
-            .rows
-            .iter()
-            .filter(|r| r.scenario != "benign" && !r.off_holds)
-            .count();
-        assert!(
-            off_violations >= 2,
+            )
+        });
+    }
+    let off_violations = doc
+        .rows
+        .iter()
+        .filter(|r| r.scenario != "benign" && !r.off_holds)
+        .count();
+    gates.require(off_violations >= 2, || {
+        format!(
             "expected the unguarded policy to break the bound on >= 2 adversarial \
              scenarios, got {off_violations}: {:?}",
             doc.rows
                 .iter()
                 .map(|r| (r.scenario.as_str(), r.off_holds))
                 .collect::<Vec<_>>(),
-        );
-        assert!(
-            doc.benign_bhr_delta <= 0.005,
+        )
+    });
+    gates.require(doc.benign_bhr_delta <= 0.005, || {
+        format!(
             "guardrail moved benign BHR by {:.4} (> 0.005 budget)",
             doc.benign_bhr_delta,
-        );
-        assert!(
-            doc.benign_rate_ratio >= 0.98,
+        )
+    });
+    gates.require(doc.benign_rate_ratio >= 0.98, || {
+        format!(
             "guardrail costs {:.1}% benign throughput (> 2% budget)",
             (1.0 - doc.benign_rate_ratio) * 100.0,
-        );
-    }
+        )
+    });
 
     let header = "scenario,lru_bhr,bound,off_bhr,on_bhr,off_holds,on_holds,\
                   trips,forced_requests,off_reqs_per_sec,on_reqs_per_sec";

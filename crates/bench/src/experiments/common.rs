@@ -7,6 +7,46 @@ use lfo::labels::build_training_set;
 use lfo::LfoConfig;
 use opt::{compute_opt, OptConfig};
 
+use crate::harness::Scale;
+
+/// Scale-aware acceptance gates: asserted at quick/full scale, announced
+/// as skipped at smoke scale (smoke traces are too small for wall-clock
+/// ratios or statistical bounds to be meaningful — every experiment that
+/// gates was writing this same if/else by hand).
+pub struct Gates {
+    enforced: bool,
+}
+
+impl Gates {
+    /// Builds the gate set for `scale`, printing the standard skip line
+    /// (with the experiment's reason) when gates are off.
+    pub fn at(scale: Scale, skip_reason: &str) -> Self {
+        let enforced = scale != Scale::Smoke;
+        if !enforced {
+            println!("  gates: skipped at smoke scale ({skip_reason})");
+        }
+        Gates { enforced }
+    }
+
+    /// Whether gate conditions are asserted at this scale (recorded in
+    /// the experiments' JSON documents).
+    pub fn enforced(&self) -> bool {
+        self.enforced
+    }
+
+    /// Asserts `cond` when gates are enforced; the message closure is
+    /// only evaluated on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the message when enforced and `cond` is false.
+    pub fn require(&self, cond: bool, message: impl FnOnce() -> String) {
+        if self.enforced {
+            assert!(cond, "{}", message());
+        }
+    }
+}
+
 /// Train on window A and score window B, using one continuous feature
 /// tracker across both windows (the paper's protocol: train on requests
 /// 0–1M, evaluate on 1–2M).
@@ -93,5 +133,24 @@ mod tests {
         assert_eq!(te.probs.len(), 2_000);
         assert_eq!(te.labels.len(), 2_000);
         assert!(te.error(0.5) < 0.5);
+    }
+
+    #[test]
+    fn gates_skip_at_smoke_and_enforce_elsewhere() {
+        let smoke = Gates::at(Scale::Smoke, "unit test");
+        assert!(!smoke.enforced());
+        smoke.require(false, || unreachable!("smoke gates never assert"));
+
+        let quick = Gates::at(Scale::Quick, "unit test");
+        assert!(quick.enforced());
+        quick.require(true, || {
+            unreachable!("message closure only runs on failure")
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "quick-scale gate fires")]
+    fn enforced_gates_panic_on_violation() {
+        Gates::at(Scale::Full, "unit test").require(false, || "quick-scale gate fires".into());
     }
 }

@@ -29,7 +29,8 @@ use lfo::{
 };
 use opt::{compute_opt, OptConfig};
 
-use crate::harness::{Context, Scale};
+use crate::experiments::common::Gates;
+use crate::harness::Context;
 use crate::perf::{peak_rss_bytes, BenchMemory, MemoryRow};
 
 /// One replay's observables: hit accounting plus end-state byte breakdown.
@@ -154,6 +155,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 slot_version: 0,
                 note: format!("repro memory, {note}, n={}", reqs.len()),
                 lineage: None,
+                pop: None,
             },
         )
         .with_bin_map(Some(map));
@@ -278,12 +280,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
         best.label, sampled_rate, exact_rate
     );
 
-    let enforce = ctx.scale != Scale::Smoke;
+    let gates = Gates::at(ctx.scale, "catalog too small to dwarf the tracker");
     let doc = BenchMemory {
         requests: reqs.len(),
         unique_objects: stats.unique_objects,
         cache_bytes: cache_size,
-        gates_enforced: enforce,
+        gates_enforced: gates.enforced(),
         hit_path_speedup: speedup,
         rows: rows.clone(),
     };
@@ -318,17 +320,19 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             .collect::<Vec<_>>(),
     )?;
 
-    if enforce {
-        assert!(
-            !qualifying.is_empty(),
+    gates.require(!qualifying.is_empty(), || {
+        format!(
             "no bounded configuration reached 10x lower metadata bytes per cached object \
              within 0.01 BHR of the exact baseline (exact: {exact_meta:.1} B/obj)"
-        );
-        assert!(
-            speedup >= 1.0,
+        )
+    });
+    gates.require(speedup >= 1.0, || {
+        format!(
             "sample-K hit path served only {speedup:.2}x the exact queue's requests/s \
              (sampled {sampled_rate:.0} vs exact {exact_rate:.0})"
-        );
+        )
+    });
+    if gates.enforced() {
         println!(
             "  gates: {} config(s) at >=10x / <=0.01 BHR; best {} at {:.1}x reduction, \
              duel {speedup:.2}x",
@@ -336,8 +340,6 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             best.label,
             best.metadata_reduction_vs_exact
         );
-    } else {
-        println!("  gates: skipped at smoke scale (catalog too small to dwarf the tracker)");
     }
     Ok(())
 }

@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod hyper;
 pub mod memory;
+pub mod pops;
 pub mod prune;
 pub mod restart;
 pub mod retrain;
@@ -26,7 +27,7 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "fig1",
     "fig4",
     "fig5a",
@@ -48,6 +49,7 @@ pub const ALL: [&str; 22] = [
     "retrain",
     "adversarial",
     "memory",
+    "pops",
     "summary",
 ];
 
@@ -75,6 +77,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "retrain" => retrain::run(ctx)?,
         "adversarial" => adversarial::run(ctx)?,
         "memory" => memory::run(ctx)?,
+        "pops" => pops::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),
     }

@@ -1,0 +1,344 @@
+//! `repro pops`: multi-PoP edge/regional topology vs independent
+//! single-tier LFO (DESIGN.md §15).
+//!
+//! The "millions of users across geographies" scenario: N edge PoPs, each
+//! seeing its own slice of the catalog (PoP-local popularity skew, a
+//! region-private tail, and a mid-run popularity migration between PoPs),
+//! compared at **matched total cache bytes** across three ways of
+//! spending the same hardware:
+//!
+//! 1. **independent** — the whole budget split into N single-tier LFO
+//!    edges (no shared tier); hot objects shared across PoPs are
+//!    duplicated N times.
+//! 2. **two-tier per-PoP** — half the budget on smaller edges, half on a
+//!    shared regional LRU mid-tier that dedupes the overlapping catalog;
+//!    every PoP still trains its own scratch model.
+//! 3. **two-tier federated** — same topology, but the fleet trains one
+//!    shared base model + frozen grid and per-PoP delta trees
+//!    ([`lfo::pops::train_fleet`]), cutting each PoP's recurring trainer
+//!    cost from a full rebuild to a handful of trees.
+//!
+//! Gates (quick/full scale): both two-tier variants must beat the
+//! independent baseline on **origin offload** at matched total bytes, and
+//! the federated rollout's mean per-PoP trainer cost must undercut
+//! per-PoP scratch training. Results land in `results/BENCH_pops.json`.
+
+use std::collections::HashMap;
+
+use cdn_trace::{
+    split_by_pop, PopMigration, PopRequest, PopTraceConfig, PopTraceGenerator, Request,
+};
+use lfo::labels::build_training_set;
+use lfo::pops::{EdgeSpec, FederationGate, FleetRollout, PopsTopology, RolloutPlan};
+use lfo::{equalize_cutoff, train_window, FeatureTracker, LfoConfig, RetrainConfig};
+use opt::{compute_opt_segmented_parallel, OptConfig};
+
+use crate::experiments::common::Gates;
+use crate::harness::Context;
+use crate::perf::{BenchPops, PopsRow};
+
+/// Edge PoPs in the topology.
+const NUM_POPS: usize = 4;
+
+/// Trace seed (distinct from the other experiments').
+const SEED: u64 = 977;
+
+/// Worker threads for the segmented OPT solves.
+fn opt_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Segmented OPT labels for one window — the pipeline's standard
+/// `opt_segment = window / 10` approximation, without which the full-scale
+/// min-cost-flow solves dominate the experiment's wall clock.
+fn opt_labels(head: &[Request], cache_bytes: u64) -> opt::OptResult {
+    let segment = (head.len() / 10).max(1);
+    compute_opt_segmented_parallel(head, &OptConfig::bhr(cache_bytes), segment, opt_threads())
+        .expect("segmented OPT")
+}
+
+/// One labeled training window per PoP, with OPT computed at the edge
+/// capacity the variant will actually serve with — a model trained
+/// against the wrong cache size imitates the wrong OPT.
+fn fleet_windows(
+    per_pop: &[Vec<Request>],
+    window: usize,
+    edge_bytes: u64,
+    config: &LfoConfig,
+) -> Vec<gbdt::Dataset> {
+    per_pop
+        .iter()
+        .map(|reqs| {
+            let w = window.min(reqs.len() / 2).max(2);
+            let head = &reqs[..w];
+            let opt = opt_labels(head, edge_bytes);
+            let mut tracker = FeatureTracker::new(config.num_gaps, config.cost_model);
+            build_training_set(head, &opt, &mut tracker, edge_bytes)
+        })
+        .collect()
+}
+
+/// Builds a topology, publishes the fleet's models, and replays the full
+/// merged stream through it. `regional_model` arms learned admission on
+/// the shared mid-tier; without it the regional falls back to LRU, which
+/// admits the whole head-stripped miss stream — one-hit wonders included
+/// — and thrashes on exactly the traffic the paper's motivation warns
+/// about.
+fn replay_variant(
+    merged: &[PopRequest],
+    edge_bytes: u64,
+    regional_bytes: u64,
+    fleet: &FleetRollout,
+    config: &LfoConfig,
+    regional_model: Option<&(std::sync::Arc<gbdt::Model>, f64)>,
+) -> lfo::pops::PopsReport {
+    let spec = EdgeSpec {
+        capacity: edge_bytes,
+        config: config.clone(),
+    };
+    let mut topology = PopsTopology::new(&vec![spec; NUM_POPS], regional_bytes, config.clone());
+    fleet.publish_to(&topology);
+    if let Some((model, cutoff)) = regional_model {
+        topology.install_regional_model(model.clone());
+        topology.set_regional_cutoff(*cutoff);
+    }
+    for pr in merged {
+        topology.handle(pr.pop, &pr.request);
+    }
+    topology.report()
+}
+
+/// Runs the matched-bytes topology comparison and the acceptance gates.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
+    let per_pop_n = ctx.scale.pick3(3_000u64, 15_000, 100_000);
+    let total_requests = NUM_POPS as u64 * per_pop_n;
+    let mut trace_config = PopTraceConfig::production(SEED, NUM_POPS, per_pop_n);
+    trace_config.overlap = 0.7;
+    // Mild rotation: neighboring PoPs' Zipf heads overlap but are not
+    // identical. Large skews rotate the heads fully apart, and disjoint
+    // heads mean no cross-PoP duplication — the regime where a shared
+    // mid-tier has nothing to dedupe and splitting the budget two ways
+    // only shrinks the edges.
+    trace_config.skew = 0.05;
+    // One load-balancer migration at the midpoint: every PoP inherits a
+    // neighbor's hot set, the recovery scenario a shared regional tier
+    // (which already holds the neighbor's head) is built for.
+    trace_config.migrations = vec![PopMigration {
+        at: total_requests / 2,
+        rotate: 1,
+    }];
+    let overlap = trace_config.overlap;
+    let skew = trace_config.skew;
+    let merged = PopTraceGenerator::new(trace_config).generate();
+    let per_pop = split_by_pop(&merged, NUM_POPS);
+
+    // Matched budget: 10% of the merged footprint (the repo's standard
+    // fraction), spent whole-cloth by every variant.
+    let footprint: u64 = {
+        let mut sizes: HashMap<u64, u64> = HashMap::new();
+        for pr in &merged {
+            sizes.entry(pr.request.object.0).or_insert(pr.request.size);
+        }
+        sizes.values().sum()
+    };
+    let total_cache = (footprint / 10).max(NUM_POPS as u64 * 2);
+    let single_edge = total_cache / NUM_POPS as u64; // independent: all on edges
+    let split_edge = total_cache / (2 * NUM_POPS as u64); // two-tier: half on edges...
+    let regional = total_cache / 2; // ...half on the shared mid-tier
+
+    println!("\n== pops: multi-PoP edge/regional topology at matched cache bytes ==");
+    println!(
+        "  trace: {NUM_POPS} PoPs x {per_pop_n} requests, overlap {overlap}, skew {skew}, \
+         1 migration; footprint {:.1} MB, budget {:.1} MB",
+        footprint as f64 / (1024.0 * 1024.0),
+        total_cache as f64 / (1024.0 * 1024.0),
+    );
+
+    let config = LfoConfig::default();
+    let gate = FederationGate::default();
+    let retrain = RetrainConfig {
+        delta_trees: 6,
+        full_refresh: 8,
+        max_trees: 60,
+    };
+    let window = ctx.window();
+
+    // Per-variant control planes. The independent and two-tier edges run
+    // at different capacities, so each trains against its own OPT.
+    let windows_single = fleet_windows(&per_pop, window, single_edge, &config);
+    let windows_split = fleet_windows(&per_pop, window, split_edge, &config);
+    let fleet_independent =
+        lfo::pops::train_fleet(&windows_single, &config, &RolloutPlan::PerPop, &gate);
+    let fleet_scratch =
+        lfo::pops::train_fleet(&windows_split, &config, &RolloutPlan::PerPop, &gate);
+    let fleet_federated = lfo::pops::train_fleet(
+        &windows_split,
+        &config,
+        &RolloutPlan::Federated { retrain },
+        &gate,
+    );
+
+    // The shared regional tier gets its own admission model, trained on
+    // the merged (all-PoP) stream against OPT at regional capacity. Its
+    // live request stream is the edges' misses, but the filter it has to
+    // apply — admit the warm middle of the aggregate distribution, bypass
+    // one-hit wonders — is learned just as well from the merged stream,
+    // and a model-less LRU mid-tier churns its capacity through the tail.
+    let regional_start = std::time::Instant::now();
+    let rw = (2 * window).min(merged.len() / 2).max(2);
+    let merged_head: Vec<Request> = merged[..rw].iter().map(|pr| pr.request).collect();
+    let regional_opt = opt_labels(&merged_head, regional);
+    let mut regional_tracker = FeatureTracker::new(config.num_gaps, config.cost_model);
+    let regional_data =
+        build_training_set(&merged_head, &regional_opt, &mut regional_tracker, regional);
+    let trained_regional = train_window(&regional_data, &config);
+    let regional_cutoff = equalize_cutoff(
+        &trained_regional.train_probs,
+        &trained_regional.train_labels,
+    );
+    let regional_model = (std::sync::Arc::new(trained_regional.model), regional_cutoff);
+    let regional_train_ms = regional_start.elapsed().as_secs_f64() * 1e3;
+
+    let variants: [(&str, u64, u64, &FleetRollout, Option<&_>); 3] = [
+        ("independent", single_edge, 0, &fleet_independent, None),
+        (
+            "two-tier per-PoP",
+            split_edge,
+            regional,
+            &fleet_scratch,
+            Some(&regional_model),
+        ),
+        (
+            "two-tier federated",
+            split_edge,
+            regional,
+            &fleet_federated,
+            Some(&regional_model),
+        ),
+    ];
+
+    println!(
+        "  variant             edge MB  regional MB  offload   edge BHR  pop train(ms)  kinds"
+    );
+    let mut rows: Vec<PopsRow> = Vec::new();
+    for (label, edge_bytes, regional_bytes, fleet, regional_model) in variants {
+        let report = replay_variant(
+            &merged,
+            edge_bytes,
+            regional_bytes,
+            fleet,
+            &config,
+            regional_model,
+        );
+        let row = PopsRow {
+            label: label.to_string(),
+            edge_bytes,
+            regional_bytes,
+            total_cache_bytes: NUM_POPS as u64 * edge_bytes + regional_bytes,
+            origin_offload: report.origin_offload(),
+            aggregate_bhr: report.aggregate_bhr(),
+            edge_bhr: report.edge_bhr(),
+            origin_bytes: report.origin_bytes,
+            mean_pop_train_ms: fleet.mean_pop_train_ms(),
+            base_train_ms: fleet.base_train_ms,
+            rollout_kinds: fleet
+                .rollouts
+                .iter()
+                .map(|r| format!("{:?}", r.kind))
+                .collect(),
+        };
+        println!(
+            "  {:<18}  {:>7.1}  {:>11.1}  {:.4}   {:.4}    {:>10.1}   {}",
+            row.label,
+            edge_bytes as f64 / (1024.0 * 1024.0),
+            regional_bytes as f64 / (1024.0 * 1024.0),
+            row.origin_offload,
+            row.edge_bhr,
+            row.mean_pop_train_ms,
+            row.rollout_kinds.join("/"),
+        );
+        rows.push(row);
+    }
+
+    println!(
+        "  regional: learned admission trained on {rw} merged requests at regional capacity \
+         ({regional_train_ms:.1} ms, shared by both two-tier variants)"
+    );
+
+    let gates = Gates::at(ctx.scale, "tiny traces make topology ratios noisy");
+    let doc = BenchPops {
+        num_pops: NUM_POPS,
+        requests: merged.len(),
+        overlap,
+        skew,
+        total_cache_bytes: total_cache,
+        regional_train_ms,
+        gates_enforced: gates.enforced(),
+        federated_fingerprint: fleet_federated.base_fingerprint.clone(),
+        rows: rows.clone(),
+    };
+    let path = doc.store(ctx)?;
+    println!("  json: {}", path.display());
+    ctx.write_csv(
+        "pops.csv",
+        "label,edge_bytes,regional_bytes,total_cache_bytes,origin_offload,aggregate_bhr,\
+         edge_bhr,origin_bytes,mean_pop_train_ms,base_train_ms,rollout_kinds",
+        &rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{:.6},{:.6},{:.6},{},{:.2},{:.2},{}",
+                    r.label,
+                    r.edge_bytes,
+                    r.regional_bytes,
+                    r.total_cache_bytes,
+                    r.origin_offload,
+                    r.aggregate_bhr,
+                    r.edge_bhr,
+                    r.origin_bytes,
+                    r.mean_pop_train_ms,
+                    r.base_train_ms,
+                    r.rollout_kinds.join(";"),
+                )
+            })
+            .collect::<Vec<_>>(),
+    )?;
+
+    // Gate 1+2: the shared regional tier must pay for the edge bytes it
+    // took — both two-tier variants beat independent on origin offload.
+    let independent = rows[0].origin_offload;
+    for row in &rows[1..] {
+        gates.require(row.origin_offload > independent, || {
+            format!(
+                "`{}` offload {:.4} does not beat independent single-tier {:.4} \
+                 at matched {} total cache bytes",
+                row.label, row.origin_offload, independent, row.total_cache_bytes,
+            )
+        });
+    }
+    // Gate 3: federation must make the fleet cheaper to keep fresh —
+    // mean per-PoP delta cost under mean per-PoP scratch cost at the
+    // same edge capacity.
+    let scratch_ms = rows[1].mean_pop_train_ms;
+    let federated_ms = rows[2].mean_pop_train_ms;
+    gates.require(federated_ms < scratch_ms, || {
+        format!(
+            "federated per-PoP trainer cost {federated_ms:.1} ms does not undercut \
+             per-PoP scratch {scratch_ms:.1} ms",
+        )
+    });
+    if gates.enforced() {
+        println!(
+            "  gates: two-tier offload {:+.4} (per-PoP) / {:+.4} (federated) over independent; \
+             per-PoP trainer {:.1} -> {:.1} ms ({:.1}x) — OK",
+            rows[1].origin_offload - independent,
+            rows[2].origin_offload - independent,
+            scratch_ms,
+            federated_ms,
+            scratch_ms / federated_ms.max(1e-9),
+        );
+    }
+    Ok(())
+}

@@ -108,6 +108,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                     slot_version: 0,
                     note: format!("repro serve, first-window model, n={}", reqs.len()),
                     lineage: None,
+                    pop: None,
                 },
             )
             .with_bin_map(Some(map));

@@ -34,6 +34,9 @@ pub const BENCH_ADVERSARIAL_FILE: &str = "BENCH_adversarial.json";
 /// File name of the memory-bounded serving-state summary (`repro memory`).
 pub const BENCH_MEMORY_FILE: &str = "BENCH_memory.json";
 
+/// File the multi-PoP topology comparison writes.
+pub const BENCH_POPS_FILE: &str = "BENCH_pops.json";
+
 /// This process's peak resident set size in bytes: `VmHWM` from
 /// `/proc/self/status` on Linux, `None` where the kernel does not expose
 /// it. A whole-process high-water mark — it includes every experiment run
@@ -345,6 +348,74 @@ impl BenchMemory {
         let path = ctx.out_dir.join(BENCH_MEMORY_FILE);
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| std::io::Error::other(format!("BENCH_memory encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// One topology variant of the multi-PoP comparison (`repro pops`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PopsRow {
+    /// Variant label (`independent`, `two-tier per-PoP`, `two-tier
+    /// federated`).
+    pub label: String,
+    /// Per-edge cache bytes.
+    pub edge_bytes: u64,
+    /// Regional cache bytes (0 for the independent single tier).
+    pub regional_bytes: u64,
+    /// Total cache bytes across the topology (matched across variants).
+    pub total_cache_bytes: u64,
+    /// Fraction of demanded bytes kept off the origin.
+    pub origin_offload: f64,
+    /// Aggregate byte hit ratio across both tiers.
+    pub aggregate_bhr: f64,
+    /// Byte hit ratio of the edge tier alone.
+    pub edge_bhr: f64,
+    /// Bytes fetched from the origin.
+    pub origin_bytes: u64,
+    /// Mean per-PoP trainer wall-clock in milliseconds (the recurring
+    /// per-rollout-cycle cost one PoP pays; excludes the shared federated
+    /// base).
+    pub mean_pop_train_ms: f64,
+    /// Shared base-model training milliseconds (federated only, paid once
+    /// per fleet rollout).
+    pub base_train_ms: f64,
+    /// Per-PoP rollout kinds (`Scratch`, `Incremental`,
+    /// `ScratchFallback`).
+    pub rollout_kinds: Vec<String>,
+}
+
+/// `BENCH_pops.json` — the multi-PoP topology comparison (single writer,
+/// no merge).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchPops {
+    /// Edge PoPs in the topology.
+    pub num_pops: usize,
+    /// Requests in the merged multi-PoP trace.
+    pub requests: usize,
+    /// Catalog overlap fraction of the trace.
+    pub overlap: f64,
+    /// Per-PoP popularity skew of the trace.
+    pub skew: f64,
+    /// Matched total cache bytes every variant is given.
+    pub total_cache_bytes: u64,
+    /// Wall-clock cost of training the shared regional tier's admission
+    /// model (paid once, shared by both two-tier variants).
+    pub regional_train_ms: f64,
+    /// Whether the acceptance gates were asserted (quick/full scales).
+    pub gates_enforced: bool,
+    /// Shared grid fingerprint of the federated rollout.
+    pub federated_fingerprint: Option<String>,
+    /// Per-variant rows.
+    pub rows: Vec<PopsRow>,
+}
+
+impl BenchPops {
+    /// Writes the document, pretty-printed (single writer, no merge).
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_POPS_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_pops encode: {e:?}")))?;
         fs::write(&path, json)?;
         Ok(path)
     }

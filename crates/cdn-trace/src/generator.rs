@@ -218,12 +218,12 @@ pub struct TraceGenerator {
 
 /// Object ids are partitioned per class: the class index lives in the top
 /// bits so ids never collide across classes.
-const CLASS_SHIFT: u32 = 48;
+pub(crate) const CLASS_SHIFT: u32 = 48;
 
 /// Reserved namespace bit for adversary-injected object ids — class ids
 /// are bounded by `CLASS_SHIFT`-bit indices and a handful of classes, so
 /// the top bit is never set for catalog objects.
-const ADVERSARY_BIT: u64 = 1 << 63;
+pub(crate) const ADVERSARY_BIT: u64 = 1 << 63;
 
 impl TraceGenerator {
     /// Creates a generator for the given configuration.

@@ -17,6 +17,9 @@
 //! - [`generator::TraceGenerator`] — content-class mixture (web, photo,
 //!   video, software download), Zipf-like popularity, popularity churn,
 //!   load-balancer reshuffles and flash-crowd events.
+//! - [`pops::PopTraceGenerator`] — multi-PoP traffic: per-PoP popularity
+//!   skew, catalog overlap, and scheduled popularity migrations between
+//!   PoPs, merged into one deterministic round-robin stream.
 //! - [`io`] — webcachesim-compatible text format and a compact binary
 //!   format.
 //! - [`stats`] — rank-frequency slope, one-hit-wonder rate, footprint.
@@ -30,12 +33,14 @@ pub mod dist;
 pub mod example;
 pub mod generator;
 pub mod io;
+pub mod pops;
 pub mod request;
 pub mod stack_distance;
 pub mod stats;
 
 pub use classes::{ContentClass, ContentMix};
 pub use generator::{Adversary, FlashCrowd, GeneratorConfig, Reshuffle, TraceGenerator};
+pub use pops::{split_by_pop, PopMigration, PopRequest, PopTraceConfig, PopTraceGenerator};
 pub use request::{CostModel, ObjectId, Request, Trace};
 pub use stack_distance::{stack_distances, StackDistances};
 pub use stats::TraceStats;

@@ -1,0 +1,537 @@
+//! Per-PoP (point-of-presence) trace generation for multi-PoP topologies.
+//!
+//! A CDN serves "millions of users across geographies" through edge PoPs,
+//! and each PoP sees its own slice of the catalog: the same library of
+//! objects, but with region-local popularity (the hot head differs per
+//! region), a region-private tail (content only one PoP's users request),
+//! and load-balancer events that migrate whole user populations — and
+//! therefore popularity — between PoPs.
+//!
+//! [`PopTraceGenerator`] models exactly that on top of the single-stream
+//! [`TraceGenerator`]: each PoP runs its own deterministic inner stream
+//! over the *same* catalog definition, and three per-PoP transforms are
+//! applied on the way out:
+//!
+//! - **PoP-local popularity skew** (`skew`): each PoP's catalog indexes
+//!   are rotated by a PoP-specific offset, so the Zipf head lands on a
+//!   different set of objects per PoP. `skew = 0` is the identity.
+//! - **Catalog overlap** (`overlap`): a deterministic per-object hash
+//!   marks `1 − overlap` of each PoP's catalog as region-private; private
+//!   objects are aliased into a reserved per-PoP id namespace so they can
+//!   never hit in another PoP's cache (or dedupe at a shared regional
+//!   tier). `overlap = 1` is the identity.
+//! - **Popularity migrations** (`migrations`): at a scheduled request
+//!   index the PoP→skew-offset assignment rotates, so one PoP's hot set
+//!   becomes another's — users redirected between PoPs. Unlike the base
+//!   generator's [`crate::Reshuffle`], a migration mints **no fresh
+//!   objects**: it permutes existing assignments, conserving the catalog.
+//!
+//! **Determinism and the degenerate contract.** The generator draws no
+//! RNG of its own: skew offsets and private/shared decisions are pure
+//! functions of ids, and multi-PoP object sizes come from per-id seeded
+//! streams. A benign single-PoP configuration ([`PopTraceConfig::single`])
+//! applies only identity transforms and emits the inner generator's
+//! stream bit for bit — the new layer provably changes nothing when
+//! unused (`single_pop_benign_config_is_bit_identical` pins this down).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::{GeneratorConfig, TraceGenerator, ADVERSARY_BIT, CLASS_SHIFT};
+use crate::request::{ObjectId, Request};
+
+/// Bit position of the per-PoP private-object namespace. Catalog ids use
+/// the class index at [`CLASS_SHIFT`] (a handful of classes) and
+/// sub-`CLASS_SHIFT` object indexes; adversary ids own bit 63. Bits
+/// 56..=62 are free, so `pop + 1 ≤ MAX_POPS` can never collide with
+/// either.
+const POP_SHIFT: u32 = 56;
+
+/// Most PoPs a [`PopTraceConfig`] may declare: `MAX_POPS + 1` must fit in
+/// the seven bits below the adversary bit.
+pub const MAX_POPS: usize = 64;
+
+/// The repo's standard 64-bit mixer (same constants as `lfo::features`).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform value in `[0, 1)` derived from a hash — the deterministic
+/// per-object coin behind the overlap split.
+fn unit_frac(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A scheduled popularity migration: at global request index `at`, the
+/// PoP→skew-offset assignment rotates left by `rotate` slots, so each
+/// PoP inherits the hot set another PoP was serving — a load balancer
+/// redirecting user populations between PoPs. Conserves the catalog:
+/// no object is minted or retired, only the assignment permutes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PopMigration {
+    /// Global (merged-stream) request index at which the migration fires.
+    pub at: u64,
+    /// Slots to rotate the PoP→offset assignment by (mod the PoP count).
+    pub rotate: usize,
+}
+
+/// Configuration of [`PopTraceGenerator`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PopTraceConfig {
+    /// The per-PoP inner stream template: catalog, mix, churn, and
+    /// scheduled events. PoP 0 uses `base.seed` verbatim (the degenerate
+    /// single-PoP stream is bit-identical to [`TraceGenerator`]); PoP
+    /// `p > 0` derives its seed from `base.seed` and `p`.
+    pub base: GeneratorConfig,
+    /// Number of edge PoPs (1..=[`MAX_POPS`]). Each contributes
+    /// `base.num_requests` requests to the merged round-robin stream.
+    pub num_pops: usize,
+    /// Fraction of each PoP's catalog shared across PoPs, in `[0, 1]`.
+    /// The remaining `1 − overlap` is region-private: aliased into the
+    /// PoP's reserved namespace, invisible to every other PoP.
+    pub overlap: f64,
+    /// PoP-local popularity skew in `[0, 1]`: PoP slot `s` rotates its
+    /// catalog indexes by `⌊s × skew × catalog⌋`, landing the Zipf head
+    /// on a different region of the catalog per PoP. `0` disables skew
+    /// (every PoP shares one hot set).
+    pub skew: f64,
+    /// Scheduled popularity migrations between PoPs.
+    pub migrations: Vec<PopMigration>,
+}
+
+impl PopTraceConfig {
+    /// The benign degenerate configuration: one PoP, full overlap, no
+    /// skew, no migrations. Emits `base`'s stream bit for bit.
+    pub fn single(base: GeneratorConfig) -> Self {
+        PopTraceConfig {
+            base,
+            num_pops: 1,
+            overlap: 1.0,
+            skew: 0.0,
+            migrations: Vec::new(),
+        }
+    }
+
+    /// A production-like multi-PoP mix: `num_pops` PoPs over the standard
+    /// production catalog, 70% shared catalog, hot heads spread a quarter
+    /// of the catalog apart.
+    pub fn production(seed: u64, num_pops: usize, requests_per_pop: u64) -> Self {
+        PopTraceConfig {
+            base: GeneratorConfig::production(seed, requests_per_pop),
+            num_pops,
+            overlap: 0.7,
+            skew: 0.25,
+            migrations: Vec::new(),
+        }
+    }
+}
+
+/// One request of the merged multi-PoP stream: which edge PoP it arrived
+/// at, plus the request itself (`request.time` is the global merged-stream
+/// index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PopRequest {
+    /// Index of the PoP the request arrived at.
+    pub pop: usize,
+    /// The request, timestamped in the merged stream.
+    pub request: Request,
+}
+
+/// Deterministic multi-PoP trace generator; see the module docs.
+///
+/// Implements [`Iterator`] over [`PopRequest`]s: PoPs are interleaved
+/// round-robin (equal traffic per PoP), `num_pops × base.num_requests`
+/// requests in total.
+pub struct PopTraceGenerator {
+    config: PopTraceConfig,
+    /// One inner stream per PoP (PoP 0 on the base seed verbatim).
+    inner: Vec<TraceGenerator>,
+    /// PoP → skew-slot assignment; starts as the identity and is permuted
+    /// by migrations.
+    rot: Vec<usize>,
+    /// Fleet-wide object sizes (multi-PoP only): the same object must have
+    /// one size no matter which PoP's stream it surfaces in, so sizes are
+    /// re-drawn from a per-id seeded stream instead of each inner
+    /// generator's private RNG.
+    sizes: HashMap<ObjectId, u64>,
+    /// Salt of the shared/private overlap coin.
+    overlap_salt: u64,
+    /// Salt of the fleet-wide size stream.
+    size_salt: u64,
+    /// Next global (merged-stream) request index.
+    next: u64,
+    /// Total requests across all PoPs.
+    total: u64,
+}
+
+impl PopTraceGenerator {
+    /// Creates a generator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pops` is outside `1..=MAX_POPS` or a fraction lies
+    /// outside `[0, 1]`.
+    pub fn new(config: PopTraceConfig) -> Self {
+        assert!(
+            (1..=MAX_POPS).contains(&config.num_pops),
+            "num_pops must be in 1..={MAX_POPS}"
+        );
+        assert!((0.0..=1.0).contains(&config.overlap), "overlap fraction");
+        assert!((0.0..=1.0).contains(&config.skew), "skew fraction");
+        let inner = (0..config.num_pops)
+            .map(|p| {
+                let mut base = config.base.clone();
+                // PoP 0 keeps the configured seed so the 1-PoP degenerate
+                // stream is the base generator's, bit for bit.
+                if p > 0 {
+                    base.seed ^= splitmix64(p as u64);
+                }
+                TraceGenerator::new(base)
+            })
+            .collect();
+        let total = config.num_pops as u64 * config.base.num_requests;
+        PopTraceGenerator {
+            rot: (0..config.num_pops).collect(),
+            inner,
+            sizes: HashMap::new(),
+            overlap_salt: splitmix64(config.base.seed ^ 0x706f_7073_6f76_6c70), // "popsovlp"
+            size_salt: splitmix64(config.base.seed ^ 0x706f_7073_7369_7a65),    // "popssize"
+            next: 0,
+            total,
+            config,
+        }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &PopTraceConfig {
+        &self.config
+    }
+
+    /// Materializes the full merged stream.
+    pub fn generate(self) -> Vec<PopRequest> {
+        self.collect()
+    }
+
+    /// Catalog-index rotation for a skew slot over an `n`-object class.
+    fn offset_for(&self, slot: usize, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((slot as f64 * self.config.skew * n as f64) as u64) % n
+    }
+
+    /// Fleet-wide stable size for an object: drawn once from a per-id
+    /// seeded stream, so the draw is independent of which PoP (and in
+    /// which order) first requests the object.
+    fn shared_size(&mut self, class: usize, id: ObjectId) -> u64 {
+        if let Some(&s) = self.sizes.get(&id) {
+            return s;
+        }
+        let mut rng = StdRng::seed_from_u64(splitmix64(self.size_salt ^ id.0));
+        let s = self.config.base.mix.classes()[class]
+            .sizes
+            .sample(&mut rng)
+            .max(1);
+        self.sizes.insert(id, s);
+        s
+    }
+
+    /// Applies the per-PoP transforms to one inner request. Every branch
+    /// is the identity under the benign single-PoP configuration.
+    fn localize(&mut self, pop: usize, inner: Request, t: u64) -> Request {
+        let mut id = inner.object;
+        let mut size = inner.size;
+        if id.0 & ADVERSARY_BIT == 0 {
+            let class = (id.0 >> CLASS_SHIFT) as usize;
+            let index = id.0 & ((1u64 << CLASS_SHIFT) - 1);
+            let n = self.config.base.mix.classes()[class].num_objects;
+            // PoP-local popularity skew: rotate catalog indexes by this
+            // PoP's current slot. Fresh objects (reshuffles, flash crowds;
+            // index ≥ n) are event-local and stay un-rotated.
+            if index < n {
+                let rotated = (index + self.offset_for(self.rot[pop], n)) % n;
+                id = ObjectId(((class as u64) << CLASS_SHIFT) | rotated);
+            }
+            // Catalog overlap: a deterministic per-object coin marks the
+            // region-private fraction; private objects live in the PoP's
+            // reserved namespace.
+            if self.config.overlap < 1.0
+                && unit_frac(splitmix64(self.overlap_salt ^ id.0)) >= self.config.overlap
+            {
+                id = ObjectId(id.0 | ((pop as u64 + 1) << POP_SHIFT));
+            }
+            // One size per object across the whole fleet. A single PoP
+            // needs no fleet-wide agreement, so the degenerate case keeps
+            // the inner stream's draws untouched (bit-identity).
+            if self.config.num_pops > 1 {
+                size = self.shared_size(class, id);
+            }
+        }
+        Request {
+            time: t,
+            object: id,
+            size,
+        }
+    }
+
+    fn step(&mut self) -> PopRequest {
+        let t = self.next;
+        self.next += 1;
+        for i in 0..self.config.migrations.len() {
+            let m = self.config.migrations[i];
+            if m.at == t {
+                self.rot.rotate_left(m.rotate % self.config.num_pops);
+            }
+        }
+        let pop = (t % self.config.num_pops as u64) as usize;
+        let inner = self.inner[pop]
+            .next()
+            .expect("inner streams cover the merged length");
+        let request = self.localize(pop, inner, t);
+        PopRequest { pop, request }
+    }
+}
+
+impl Iterator for PopTraceGenerator {
+    type Item = PopRequest;
+
+    fn next(&mut self) -> Option<PopRequest> {
+        if self.next >= self.total {
+            return None;
+        }
+        Some(self.step())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+/// Splits a merged multi-PoP stream into per-PoP request vectors (the
+/// per-PoP training windows feed on these; the merged stream is what a
+/// topology replays).
+pub fn split_by_pop(stream: &[PopRequest], num_pops: usize) -> Vec<Vec<Request>> {
+    let mut per_pop = vec![Vec::new(); num_pops];
+    for pr in stream {
+        per_pop[pr.pop].push(pr.request);
+    }
+    per_pop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hottest object of `window` (by request count).
+    fn hottest(window: &[PopRequest]) -> ObjectId {
+        let mut counts: HashMap<ObjectId, usize> = HashMap::new();
+        for pr in window {
+            *counts.entry(pr.request.object).or_default() += 1;
+        }
+        *counts.iter().max_by_key(|(_, n)| **n).unwrap().0
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut config = PopTraceConfig::production(31, 3, 4_000);
+        config.migrations = vec![PopMigration {
+            at: 6_000,
+            rotate: 1,
+        }];
+        let a = PopTraceGenerator::new(config.clone()).generate();
+        let b = PopTraceGenerator::new(config).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_pop_benign_config_is_bit_identical() {
+        // The per-PoP layer must add zero behavior when unused: one PoP,
+        // full overlap, no skew, no migrations reproduces the base
+        // generator's stream request for request.
+        let base = GeneratorConfig::small(7, 5_000);
+        let expected = TraceGenerator::new(base.clone()).generate();
+        let merged = PopTraceGenerator::new(PopTraceConfig::single(base)).generate();
+        assert_eq!(merged.len(), expected.len());
+        for (pr, r) in merged.iter().zip(expected.iter()) {
+            assert_eq!(pr.pop, 0);
+            assert_eq!(&pr.request, r);
+        }
+    }
+
+    #[test]
+    fn round_robin_interleave_with_global_times() {
+        let config = PopTraceConfig::production(9, 4, 1_000);
+        let merged = PopTraceGenerator::new(config).generate();
+        assert_eq!(merged.len(), 4_000);
+        for (i, pr) in merged.iter().enumerate() {
+            assert_eq!(pr.pop, i % 4);
+            assert_eq!(pr.request.time, i as u64);
+            assert!(pr.request.size > 0);
+        }
+    }
+
+    #[test]
+    fn skew_separates_the_hot_heads_per_pop() {
+        let mut config = PopTraceConfig::production(11, 2, 10_000);
+        config.overlap = 1.0; // isolate the skew transform
+        config.skew = 0.5;
+        config.base.churn_interval = 0;
+        let merged = PopTraceGenerator::new(config).generate();
+        let per_pop = split_by_pop(&merged, 2);
+        let hot: Vec<ObjectId> = (0..2)
+            .map(|p| {
+                let stream: Vec<PopRequest> =
+                    merged.iter().filter(|pr| pr.pop == p).copied().collect();
+                hottest(&stream)
+            })
+            .collect();
+        assert_ne!(hot[0], hot[1], "skewed PoPs must have distinct hot heads");
+        assert_eq!(per_pop[0].len(), per_pop[1].len());
+    }
+
+    #[test]
+    fn overlap_creates_disjoint_private_namespaces() {
+        let mut config = PopTraceConfig::production(13, 3, 8_000);
+        config.overlap = 0.5;
+        let merged = PopTraceGenerator::new(config).generate();
+        let mut private: Vec<std::collections::HashSet<ObjectId>> =
+            vec![std::collections::HashSet::new(); 3];
+        let mut shared = std::collections::HashSet::new();
+        for pr in &merged {
+            let tag = pr.request.object.0 >> POP_SHIFT;
+            if tag == 0 {
+                shared.insert(pr.request.object);
+            } else {
+                assert_eq!(tag as usize, pr.pop + 1, "private tag must match the PoP");
+                private[pr.pop].insert(pr.request.object);
+            }
+        }
+        assert!(!shared.is_empty(), "half the catalog stays shared");
+        for p in 0..3 {
+            assert!(!private[p].is_empty(), "PoP {p} has a private tail");
+            for q in 0..3 {
+                if p != q {
+                    assert!(private[p].is_disjoint(&private[q]));
+                }
+            }
+        }
+        let distinct_private: usize = private.iter().map(|s| s.len()).sum();
+        let frac = distinct_private as f64 / (distinct_private + shared.len()) as f64;
+        assert!(
+            (0.2..=0.9).contains(&frac),
+            "private fraction {frac:.2} implausible for overlap 0.5"
+        );
+    }
+
+    #[test]
+    fn object_sizes_agree_across_pops() {
+        let config = PopTraceConfig::production(17, 4, 6_000);
+        let merged = PopTraceGenerator::new(config).generate();
+        let mut seen: HashMap<ObjectId, u64> = HashMap::new();
+        let mut cross_pop_objects = 0usize;
+        let mut pops_of: HashMap<ObjectId, std::collections::HashSet<usize>> = HashMap::new();
+        for pr in &merged {
+            if let Some(&s) = seen.get(&pr.request.object) {
+                assert_eq!(
+                    s, pr.request.size,
+                    "object {:?} changed size",
+                    pr.request.object
+                );
+            } else {
+                seen.insert(pr.request.object, pr.request.size);
+            }
+            let pops = pops_of.entry(pr.request.object).or_default();
+            pops.insert(pr.pop);
+            if pops.len() == 2 {
+                cross_pop_objects += 1;
+            }
+        }
+        assert!(
+            cross_pop_objects > 100,
+            "shared catalog must surface in multiple PoPs ({cross_pop_objects})"
+        );
+    }
+
+    #[test]
+    fn migration_moves_the_hot_set_between_pops_and_conserves_the_catalog() {
+        // Two PoPs, half-catalog skew, churn off, no reshuffles: PoP 0
+        // serves the un-rotated head, PoP 1 the half-rotated one. The
+        // migration swaps the assignment, so PoP 1 inherits PoP 0's hot
+        // set — and no object outside the original catalogs ever appears
+        // (the base Reshuffle mints fresh objects; a migration must not).
+        let mut config = PopTraceConfig::production(19, 2, 12_000);
+        config.overlap = 1.0;
+        config.skew = 0.5;
+        config.base.churn_interval = 0;
+        let mid = 12_000; // global index: half of the 24k merged stream
+        config.migrations = vec![PopMigration { at: mid, rotate: 1 }];
+        let classes: Vec<u64> = config
+            .base
+            .mix
+            .classes()
+            .iter()
+            .map(|c| c.num_objects)
+            .collect();
+        let merged = PopTraceGenerator::new(config).generate();
+
+        // Catalog conservation: every id decodes to an in-catalog index.
+        for pr in &merged {
+            let class = (pr.request.object.0 >> CLASS_SHIFT) as usize;
+            let index = pr.request.object.0 & ((1u64 << CLASS_SHIFT) - 1);
+            assert!(
+                index < classes[class],
+                "migration minted a fresh object: class {class}, index {index}"
+            );
+        }
+
+        let window = |pop: usize, from: u64, to: u64| -> Vec<PopRequest> {
+            merged
+                .iter()
+                .filter(|pr| pr.pop == pop && (from..to).contains(&pr.request.time))
+                .copied()
+                .collect()
+        };
+        let pop0_before = hottest(&window(0, 0, mid));
+        let pop1_before = hottest(&window(1, 0, mid));
+        let pop0_after = hottest(&window(0, mid, 24_000));
+        let pop1_after = hottest(&window(1, mid, 24_000));
+        assert_ne!(pop0_before, pop1_before, "skew separates the heads");
+        assert_eq!(
+            pop1_after, pop0_before,
+            "PoP 1 must inherit PoP 0's hot set after the migration"
+        );
+        assert_eq!(
+            pop0_after, pop1_before,
+            "PoP 0 must inherit PoP 1's hot set after the migration"
+        );
+    }
+
+    #[test]
+    fn split_by_pop_partitions_the_stream() {
+        let config = PopTraceConfig::production(23, 3, 2_000);
+        let merged = PopTraceGenerator::new(config).generate();
+        let per_pop = split_by_pop(&merged, 3);
+        assert_eq!(per_pop.iter().map(Vec::len).sum::<usize>(), merged.len());
+        for stream in &per_pop {
+            assert_eq!(stream.len(), 2_000);
+            for pair in stream.windows(2) {
+                assert!(pair[0].time < pair[1].time, "times stay ordered");
+            }
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut g = PopTraceGenerator::new(PopTraceConfig::production(3, 2, 50));
+        assert_eq!(g.size_hint(), (100, Some(100)));
+        g.next();
+        assert_eq!(g.size_hint(), (99, Some(99)));
+    }
+}

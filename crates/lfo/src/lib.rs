@@ -33,6 +33,9 @@
 //!   envelope format, atomic [`ArtifactStore`] writes with bounded
 //!   retention, and the gated warm-start restore
 //!   ([`PipelineConfig::warm_start`]).
+//! - [`pops`] — the multi-PoP edge/regional topology and the federated
+//!   control plane (DESIGN.md §15): N edge caches missing into a shared
+//!   regional tier, trained per-PoP or as shared-grid delta rollouts.
 //! - [`guardrail`] — the runtime hybrid learned/LRU layer (DESIGN.md §13):
 //!   a ghost-LRU shadow estimator plus a hysteresis state machine that
 //!   forces a shard onto LRU whenever the learned policy's realized BHR
@@ -68,6 +71,7 @@ pub mod labels;
 pub mod persist;
 pub mod pipeline;
 pub mod policy;
+pub mod pops;
 pub mod serve;
 pub mod shard;
 pub mod train;
@@ -90,10 +94,14 @@ pub use pipeline::{
     SupervisionConfig, TrainKind, WindowReport,
 };
 pub use policy::{CompiledArtifact, LfoCache, ModelSlot, SharedOccupancy, FREE_FEATURE};
+pub use pops::{
+    train_fleet, EdgeSpec, FederationGate, FleetRollout, PopRollout, PopsReport, PopsTopology,
+    RolloutPlan, ServedBy,
+};
 pub use serve::{
     prediction_throughput, prediction_throughput_engine, PredictionServer, ThroughputResult,
 };
 pub use shard::{
     shard_of, CacheMetrics, ShardMode, ShardParams, ShardReport, ShardStatus, ShardedLfoCache,
 };
-pub use train::{train_window, train_window_continued, TrainedWindow};
+pub use train::{equalize_cutoff, train_window, train_window_continued, TrainedWindow};

@@ -113,6 +113,9 @@ pub struct Provenance {
     pub note: String,
     /// Training lineage (absent in pre-incremental artifacts).
     pub lineage: Option<Lineage>,
+    /// Edge PoP the model serves in a multi-PoP topology (`None` for
+    /// single-cache deployments and pre-topology artifacts).
+    pub pop: Option<usize>,
 }
 
 /// Validation data stored alongside the model so a *restore* can re-run
@@ -627,6 +630,7 @@ mod tests {
                 slot_version: 7,
                 note: "toy".into(),
                 lineage: None,
+                pop: None,
             },
         )
     }

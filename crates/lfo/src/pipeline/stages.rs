@@ -336,6 +336,7 @@ fn persist_model(
         slot_version,
         note: format!("staged pipeline, window {window}"),
         lineage,
+        pop: None,
     };
     let artifact = LfoArtifact::new(lfo.clone(), model.clone(), cutoff, provenance)
         .with_validation(validation)

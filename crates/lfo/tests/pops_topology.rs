@@ -1,0 +1,129 @@
+//! Property test for the multi-PoP topology's degenerate contract
+//! (DESIGN.md §15).
+//!
+//! A topology of exactly one edge PoP with a zero-byte regional tier must
+//! be **decision-identical** to the underlying single [`LfoCache`]: the
+//! zero-byte regional cache can never hit or admit (objects larger than
+//! the capacity are never admitted, and every object is larger than zero
+//! bytes), so the second tier is provably inert. Replaying any trace
+//! through both must produce the same outcome for every request and
+//! counter-for-counter equal metrics — the same bit-identity pattern
+//! `bounded_state.rs` and `guardrail_runtime.rs` use for their degenerate
+//! settings, guaranteeing the new layer adds zero behavior change when
+//! unused.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use cdn_cache::cache::CachePolicy;
+use cdn_trace::{ObjectId, Request};
+use gbdt::Model;
+use lfo::pops::{EdgeSpec, PopsTopology, ServedBy};
+use lfo::shard::CacheMetrics;
+use lfo::{LfoCache, LfoConfig};
+use proptest::prelude::*;
+
+/// A model over the default 53-feature layout that prefers small objects
+/// (same recipe as the policy unit tests and `bounded_state.rs`).
+fn small_object_model() -> Arc<Model> {
+    static MODEL: OnceLock<Arc<Model>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let cfg = LfoConfig::default();
+            let rows: Vec<Vec<f32>> = (0..400)
+                .map(|i| {
+                    let size = (i % 40) as f32 * 25.0 + 1.0;
+                    let mut row = vec![size, size, 1000.0];
+                    row.extend(std::iter::repeat_n(100.0, cfg.num_gaps));
+                    row
+                })
+                .collect();
+            let labels: Vec<f32> = rows.iter().map(|r| (r[0] < 500.0) as u8 as f32).collect();
+            let data = gbdt::Dataset::from_rows(rows, labels).unwrap();
+            Arc::new(gbdt::train(&data, &cfg.gbdt))
+        })
+        .clone()
+}
+
+/// Arbitrary small traces: ids reused enough to exercise hits, per-object
+/// sizes stable (first size seen wins), times strictly increasing.
+fn arb_trace() -> impl Strategy<Value = Vec<Request>> {
+    proptest::collection::vec((1u64..=40, 1u64..200), 1..300).prop_map(|spec| {
+        let mut canonical: HashMap<u64, u64> = HashMap::new();
+        spec.into_iter()
+            .enumerate()
+            .map(|(i, (id, size))| {
+                let s = *canonical.entry(id).or_insert(size);
+                Request::new(i as u64, id, s)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn one_pop_zero_regional_is_decision_identical_to_a_single_cache(
+        reqs in arb_trace(),
+        cache in 50u64..2_000,
+        with_model in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let spec = EdgeSpec {
+            capacity: cache,
+            config: LfoConfig::default(),
+        };
+        let mut topology = PopsTopology::new(&[spec], 0, LfoConfig::default());
+        let mut single = LfoCache::new(cache, LfoConfig::default());
+        let mut single_metrics = CacheMetrics::default();
+        if with_model {
+            // Modeled priorities exercise the scored admission/eviction
+            // path; the model-less run covers the LRU fallback.
+            topology.install_edge_model(0, small_object_model());
+            single.install_model(small_object_model());
+        }
+
+        for r in &reqs {
+            let outcome = single.handle(r);
+            single_metrics.record(r.size, outcome);
+            let served = topology.handle(0, r);
+            // Decision identity per request: the topology serves from the
+            // edge exactly when the single cache hits, and from the origin
+            // otherwise (the zero-byte regional tier never hits).
+            let expected = if outcome.is_hit() {
+                ServedBy::Edge
+            } else {
+                ServedBy::Origin
+            };
+            prop_assert_eq!(served, expected);
+        }
+
+        // Counter-for-counter metric identity at shutdown.
+        single_metrics.evictions = single.evictions;
+        single_metrics.used_bytes = single.used();
+        single_metrics.resident_objects = single.len() as u64;
+        let report = topology.report();
+        prop_assert_eq!(report.per_edge[0], single_metrics);
+
+        // The inert regional tier saw exactly the misses and kept nothing.
+        prop_assert_eq!(
+            report.regional.requests,
+            single_metrics.requests - single_metrics.hits
+        );
+        prop_assert_eq!(report.regional.hits, 0);
+        prop_assert_eq!(report.regional.admitted_misses, 0);
+        prop_assert_eq!(report.regional.used_bytes, 0);
+        prop_assert_eq!(report.origin_requests, report.regional.requests);
+
+        // Resident sets agree object for object.
+        for id in 1u64..=40 {
+            prop_assert_eq!(
+                topology.edge(0).contains(ObjectId(id)),
+                single.contains(ObjectId(id))
+            );
+        }
+
+        // And the rolled-up ratios match the single cache's.
+        prop_assert!((report.origin_offload() - single_metrics.bhr()).abs() < 1e-12);
+    }
+}

@@ -80,4 +80,14 @@ cargo run -q --release -p bench --bin repro -- --quick adversarial
 echo "== repro --quick memory (bounded serving state, asserted in-run) =="
 cargo run -q --release -p bench --bin repro -- --quick memory
 
+# Multi-PoP edge/regional topology with federated rollout (DESIGN.md §15).
+# Quick scale, not smoke: tiny smoke traces make topology ratios too noisy
+# to compare, while at quick scale the run asserts its own gates — both
+# two-tier variants (per-PoP scratch and federated delta-tree rollouts)
+# must beat independent single-tier LFO on origin offload at matched total
+# cache bytes, and the federated rollout's mean per-PoP trainer cost must
+# undercut per-PoP scratch training. Writes results/BENCH_pops.json.
+echo "== repro --quick pops (multi-PoP topology, asserted in-run) =="
+cargo run -q --release -p bench --bin repro -- --quick pops
+
 echo "verify: OK"

@@ -81,6 +81,7 @@ fn golden_artifact() -> LfoArtifact {
             slot_version: 4,
             note: "committed compatibility fixture; see artifact_compat.rs".into(),
             lineage: None,
+            pop: None,
         },
     )
     .with_validation(StoredValidation {

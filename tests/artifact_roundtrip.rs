@@ -124,6 +124,7 @@ fn build_artifact(case: &Case) -> (LfoArtifact, LfoConfig) {
             slot_version: case.seed % 31,
             note: "artifact_roundtrip property test".into(),
             lineage: None,
+            pop: None,
         },
     )
     .with_validation(validation)

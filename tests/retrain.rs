@@ -1,7 +1,9 @@
 //! Integration tests for incremental warm-start retraining (DESIGN.md §11):
 //! the refresh cadence, the ensemble cap, the gate-rejection scratch
 //! fallback, bit-identity of the disabled path, and incremental resume
-//! across a warm restart.
+//! across a warm restart — plus the federated multi-PoP rollout built on
+//! the same machinery (DESIGN.md §15): shared-grid delta trees per PoP,
+//! and per-PoP scratch fallback that never stalls the rest of the fleet.
 //!
 //! As in `pipeline_faults.rs`, the `slot_version` assertions are the
 //! load-bearing ones: a frozen version across a window boundary proves a
@@ -198,4 +200,139 @@ fn warm_restart_resumes_incrementally_from_the_artifact() {
     assert_eq!(first.rollout, RolloutDecision::Deployed);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One labeled training window per PoP over a skewed multi-PoP trace —
+/// the control plane's input, built with the standard OPT-labeling
+/// recipe.
+fn fleet_windows(num_pops: usize, n: u64, cache: u64) -> Vec<gbdt::Dataset> {
+    let mut pops = cdn_trace::PopTraceConfig::production(211, num_pops, n);
+    pops.overlap = 0.8;
+    pops.skew = 0.3;
+    let merged = cdn_trace::PopTraceGenerator::new(pops).generate();
+    let per_pop = cdn_trace::split_by_pop(&merged, num_pops);
+    let lfo_config = lfo::LfoConfig::default();
+    per_pop
+        .iter()
+        .map(|reqs| {
+            let opt = opt::compute_opt(reqs, &opt::OptConfig::bhr(cache)).unwrap();
+            let mut tracker = lfo::FeatureTracker::new(lfo_config.num_gaps, lfo_config.cost_model);
+            lfo::labels::build_training_set(reqs, &opt, &mut tracker, cache)
+        })
+        .collect()
+}
+
+#[test]
+fn federated_delta_rollouts_share_the_base_grid_fingerprint() {
+    use lfo::pops::{FederationGate, RolloutPlan};
+
+    let windows = fleet_windows(3, 2_500, 2 * 1024 * 1024);
+    let config = lfo::LfoConfig::default();
+    let gate = FederationGate {
+        min_holdout_accuracy: 0.0, // fingerprint sharing is the subject here
+        ..FederationGate::default()
+    };
+    let fleet = lfo::pops::train_fleet(
+        &windows,
+        &config,
+        &RolloutPlan::Federated {
+            retrain: RetrainConfig {
+                delta_trees: 6,
+                full_refresh: 8,
+                max_trees: 60,
+            },
+        },
+        &gate,
+    );
+
+    let fingerprint = fleet
+        .base_fingerprint
+        .as_deref()
+        .expect("federated rollout records the shared grid fingerprint");
+    for rollout in &fleet.rollouts {
+        assert_eq!(rollout.kind, TrainKind::Incremental, "pop {}", rollout.pop);
+        assert_eq!(
+            rollout.lineage.bin_map_fingerprint.as_deref(),
+            Some(fingerprint),
+            "pop {}: delta trees must be binned on the base model's grid",
+            rollout.pop
+        );
+        // The fingerprint is load-bearing: it is what authorizes the
+        // quantized serving layout at publish time, so a persisted delta
+        // artifact must come back quantization-ready.
+        let artifact = rollout.artifact(
+            config.clone(),
+            "retrain-federation",
+            0,
+            fleet.bin_map.as_ref(),
+        );
+        assert_eq!(artifact.provenance.pop, Some(rollout.pop));
+        let restored = lfo::LfoArtifact::from_bytes(&artifact.to_bytes().unwrap()).unwrap();
+        assert!(
+            restored.quantization_map().is_some(),
+            "pop {}: restored delta artifact must be authorized to quantize",
+            rollout.pop
+        );
+    }
+}
+
+#[test]
+fn rejected_pop_falls_back_to_scratch_without_stalling_the_fleet() {
+    use lfo::pops::{EdgeSpec, FederationGate, PopsTopology, RolloutPlan};
+
+    let windows = fleet_windows(3, 2_000, 2 * 1024 * 1024);
+    let config = lfo::LfoConfig::default();
+    // The deterministic rejection hook (the `lfo::faults` pattern): PoP 1's
+    // delta candidate fails the gate unconditionally.
+    let gate = FederationGate {
+        min_holdout_accuracy: 0.0,
+        force_reject: vec![1],
+        ..FederationGate::default()
+    };
+    let fleet = lfo::pops::train_fleet(
+        &windows,
+        &config,
+        &RolloutPlan::Federated {
+            retrain: RetrainConfig {
+                delta_trees: 6,
+                full_refresh: 8,
+                max_trees: 60,
+            },
+        },
+        &gate,
+    );
+
+    // The rejected PoP degrades to a scratch model of its own...
+    assert_eq!(fleet.rollouts[1].kind, TrainKind::ScratchFallback);
+    assert_eq!(fleet.rollouts[1].lineage.bin_map_fingerprint, None);
+    // ...while the other PoPs' delta rollouts proceed untouched.
+    for pop in [0, 2] {
+        assert_eq!(
+            fleet.rollouts[pop].kind,
+            TrainKind::Incremental,
+            "pop {pop}"
+        );
+        assert_eq!(
+            fleet.rollouts[pop].lineage.bin_map_fingerprint.as_deref(),
+            fleet.base_fingerprint.as_deref(),
+            "pop {pop}"
+        );
+    }
+
+    // Publication is per-PoP: every edge slot moves exactly once — the
+    // rejected PoP rolls out its fallback, nobody is left model-less.
+    let spec = EdgeSpec {
+        capacity: 512 * 1024,
+        config: config.clone(),
+    };
+    let topology = PopsTopology::new(&[spec.clone(), spec.clone(), spec], 2 * 1024 * 1024, config);
+    let before: Vec<u64> = (0..3).map(|p| topology.edge_slot(p).version()).collect();
+    fleet.publish_to(&topology);
+    for (pop, &prev) in before.iter().enumerate() {
+        assert!(topology.edge_slot(pop).has_model(), "pop {pop}");
+        assert!(
+            topology.edge_slot(pop).version() > prev,
+            "pop {pop}: publication must advance the slot"
+        );
+    }
 }
