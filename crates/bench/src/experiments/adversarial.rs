@@ -23,7 +23,7 @@ use lfo::{
 };
 
 use crate::harness::Context;
-use crate::perf::{AdversarialRow, BenchAdversarial};
+use crate::perf::{peak_rss_bytes, AdversarialRow, BenchAdversarial};
 
 use super::common::{train_and_eval, Gates};
 
@@ -275,6 +275,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
             forced_requests: on.guardrail.map_or(0, |g| g.forced_requests),
             off_reqs_per_sec: off.reqs_per_sec,
             on_reqs_per_sec: on.reqs_per_sec,
+            peak_rss_bytes: peak_rss_bytes(),
         };
         println!(
             "{:<22} {:>7.4} {:>7.4} {:>7.4} {:>7.4} {:>5} {:>5} {:>5} {:>8} {:>9.0} {:>9.0}",
@@ -346,13 +347,13 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     });
 
     let header = "scenario,lru_bhr,bound,off_bhr,on_bhr,off_holds,on_holds,\
-                  trips,forced_requests,off_reqs_per_sec,on_reqs_per_sec";
+                  trips,forced_requests,off_reqs_per_sec,on_reqs_per_sec,peak_rss_bytes";
     let rows: Vec<String> = doc
         .rows
         .iter()
         .map(|r| {
             format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.1},{:.1}",
+                "{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.1},{:.1},{}",
                 r.scenario,
                 r.lru_bhr,
                 r.bound,
@@ -364,6 +365,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 r.forced_requests,
                 r.off_reqs_per_sec,
                 r.on_reqs_per_sec,
+                r.peak_rss_bytes.unwrap_or(0),
             )
         })
         .collect();

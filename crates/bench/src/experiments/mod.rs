@@ -3,6 +3,7 @@
 pub mod acc;
 pub mod adversarial;
 pub mod common;
+pub mod concurrency;
 pub mod design;
 pub mod faults;
 pub mod fig1;
@@ -27,7 +28,7 @@ pub mod tiers;
 use crate::harness::Context;
 
 /// All experiment names, in the order `repro all` runs them.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 24] = [
     "fig1",
     "fig4",
     "fig5a",
@@ -49,6 +50,7 @@ pub const ALL: [&str; 23] = [
     "retrain",
     "adversarial",
     "memory",
+    "concurrency",
     "pops",
     "summary",
 ];
@@ -77,6 +79,7 @@ pub fn run(name: &str, ctx: &Context) -> std::io::Result<bool> {
         "retrain" => retrain::run(ctx)?,
         "adversarial" => adversarial::run(ctx)?,
         "memory" => memory::run(ctx)?,
+        "concurrency" => concurrency::run(ctx)?,
         "pops" => pops::run(ctx)?,
         "summary" => summary(ctx)?,
         _ => return Ok(false),

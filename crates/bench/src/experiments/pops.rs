@@ -35,7 +35,7 @@ use opt::{compute_opt_segmented_parallel, OptConfig};
 
 use crate::experiments::common::Gates;
 use crate::harness::Context;
-use crate::perf::{BenchPops, PopsRow};
+use crate::perf::{peak_rss_bytes, BenchPops, PopsRow};
 
 /// Edge PoPs in the topology.
 const NUM_POPS: usize = 4;
@@ -248,6 +248,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                 .iter()
                 .map(|r| format!("{:?}", r.kind))
                 .collect(),
+            peak_rss_bytes: peak_rss_bytes(),
         };
         println!(
             "  {:<18}  {:>7.1}  {:>11.1}  {:.4}   {:.4}    {:>10.1}   {}",
@@ -284,12 +285,12 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
     ctx.write_csv(
         "pops.csv",
         "label,edge_bytes,regional_bytes,total_cache_bytes,origin_offload,aggregate_bhr,\
-         edge_bhr,origin_bytes,mean_pop_train_ms,base_train_ms,rollout_kinds",
+         edge_bhr,origin_bytes,mean_pop_train_ms,base_train_ms,rollout_kinds,peak_rss_bytes",
         &rows
             .iter()
             .map(|r| {
                 format!(
-                    "{},{},{},{},{:.6},{:.6},{:.6},{},{:.2},{:.2},{}",
+                    "{},{},{},{},{:.6},{:.6},{:.6},{},{:.2},{:.2},{},{}",
                     r.label,
                     r.edge_bytes,
                     r.regional_bytes,
@@ -301,6 +302,7 @@ pub fn run(ctx: &Context) -> std::io::Result<()> {
                     r.mean_pop_train_ms,
                     r.base_train_ms,
                     r.rollout_kinds.join(";"),
+                    r.peak_rss_bytes.unwrap_or(0),
                 )
             })
             .collect::<Vec<_>>(),

@@ -37,6 +37,9 @@ pub const BENCH_MEMORY_FILE: &str = "BENCH_memory.json";
 /// File the multi-PoP topology comparison writes.
 pub const BENCH_POPS_FILE: &str = "BENCH_pops.json";
 
+/// File the shard-scaling shared-doorkeeper sweep writes.
+pub const BENCH_CONCURRENCY_FILE: &str = "BENCH_concurrency.json";
+
 /// This process's peak resident set size in bytes: `VmHWM` from
 /// `/proc/self/status` on Linux, `None` where the kernel does not expose
 /// it. A whole-process high-water mark — it includes every experiment run
@@ -253,6 +256,9 @@ pub struct AdversarialRow {
     pub off_reqs_per_sec: f64,
     /// Replay throughput with the guardrail on.
     pub on_reqs_per_sec: f64,
+    /// Process peak RSS when the row was measured ([`peak_rss_bytes`];
+    /// `None` where the kernel does not report it).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// `BENCH_adversarial.json` — the guardrail bound checked scenario by
@@ -383,6 +389,9 @@ pub struct PopsRow {
     /// Per-PoP rollout kinds (`Scratch`, `Incremental`,
     /// `ScratchFallback`).
     pub rollout_kinds: Vec<String>,
+    /// Process peak RSS when the row was measured ([`peak_rss_bytes`];
+    /// `None` where the kernel does not report it).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// `BENCH_pops.json` — the multi-PoP topology comparison (single writer,
@@ -416,6 +425,87 @@ impl BenchPops {
         let path = ctx.out_dir.join(BENCH_POPS_FILE);
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| std::io::Error::other(format!("BENCH_pops encode: {e:?}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// One cell of the shard-scaling doorkeeper sweep: a shard count × sketch
+/// placement (fleet-shared pool vs one private sketch per shard) replaying
+/// the same bounded-budget trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConcurrencyRow {
+    /// Sketch placement: `shared` (one fleet pool) or `per-shard`.
+    pub sketch: String,
+    /// Cache shards (one worker thread each).
+    pub shards: usize,
+    /// Requests replayed per second, best of the interleaved passes.
+    pub reqs_per_sec: f64,
+    /// Aggregate byte hit ratio over the replay.
+    pub bhr: f64,
+    /// Fleet doorkeeper metadata at shutdown: per-shard tracker bytes
+    /// summed, plus the shared sketch counted once (`per-shard` rows carry
+    /// the sketch inside every shard's tracker bytes — that is the point).
+    pub fleet_tracker_bytes: u64,
+    /// Fleet metadata (tracker + index + one model + one shared sketch)
+    /// per resident object at shutdown.
+    pub metadata_bytes_per_object: f64,
+    /// Shared-pool CAS sketch writes over the replay (0 for `per-shard`).
+    pub sketch_updates: u64,
+    /// Shared-pool CAS retries — the contention signal on the lock-free
+    /// slot path (0 for `per-shard`).
+    pub cas_retries: u64,
+    /// Times a stripe sweep found its ring lock held (0 for `per-shard`).
+    pub stripe_contention: u64,
+    /// Estimated guardrail ghost bytes saved by borrowing the shared
+    /// doorkeeper (0 for `per-shard` rows and guardrail-off sweeps).
+    pub ghost_saved_bytes: u64,
+    /// Process peak RSS when the row was measured ([`peak_rss_bytes`]).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// `BENCH_concurrency.json` — the fleet-shared doorkeeper scaling sweep
+/// (single writer, no merge). The gates compare the shared and per-shard
+/// placements at `gate_shards` shards: fleet doorkeeper memory must stay
+/// ≤ 1.2× the single-cache budget while BHR stays within 0.01 and reqs/s
+/// within 0.95× of the per-shard baseline.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchConcurrency {
+    /// Requests in the replayed trace.
+    pub requests: usize,
+    /// Unique objects in the trace.
+    pub unique_objects: u64,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Tracker object budget every configuration runs under.
+    pub tracker_budget: u64,
+    /// Doorkeeper metadata bytes of the 1-shard per-shard reference — the
+    /// "single-cache budget" the memory gate is phrased against.
+    pub single_cache_tracker_bytes: u64,
+    /// Shard count the gates are evaluated at.
+    pub gate_shards: usize,
+    /// Shared-sketch fleet doorkeeper bytes over
+    /// `single_cache_tracker_bytes` at `gate_shards` (gate: ≤ 1.2).
+    pub shared_memory_ratio: f64,
+    /// Same ratio for the per-shard placement (the ~N× the pool removes).
+    pub per_shard_memory_ratio: f64,
+    /// `|shared bhr − per-shard bhr|` at `gate_shards` (gate: ≤ 0.01).
+    pub bhr_delta: f64,
+    /// Shared reqs/s over per-shard reqs/s at `gate_shards`, best-of-N
+    /// interleaved (gate: ≥ 0.95).
+    pub rate_ratio: f64,
+    /// Whether the acceptance gates were asserted (quick/full scales).
+    pub gates_enforced: bool,
+    /// Per-configuration rows.
+    pub rows: Vec<ConcurrencyRow>,
+}
+
+impl BenchConcurrency {
+    /// Writes the document, pretty-printed (single writer, no merge).
+    pub fn store(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        let path = ctx.out_dir.join(BENCH_CONCURRENCY_FILE);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("BENCH_concurrency encode: {e:?}")))?;
         fs::write(&path, json)?;
         Ok(path)
     }
@@ -667,6 +757,47 @@ mod tests {
         assert_eq!(back.rows.len(), 1);
         assert_eq!(back.rows[0].label, "b512/k16");
         assert!((back.rows[0].metadata_reduction_vs_exact - 12.5).abs() < 1e-12);
+        assert!(back.gates_enforced);
+    }
+
+    #[test]
+    fn concurrency_document_round_trips() {
+        let dir = std::env::temp_dir().join("lfo-bench-concurrency-json");
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = Context::new(&dir, Scale::Smoke).unwrap();
+        let doc = BenchConcurrency {
+            requests: 80_000,
+            unique_objects: 30_000,
+            cache_bytes: 1 << 24,
+            tracker_budget: 4_096,
+            single_cache_tracker_bytes: 1 << 18,
+            gate_shards: 4,
+            shared_memory_ratio: 1.08,
+            per_shard_memory_ratio: 3.9,
+            bhr_delta: 0.002,
+            rate_ratio: 1.01,
+            gates_enforced: true,
+            rows: vec![ConcurrencyRow {
+                sketch: "shared".into(),
+                shards: 4,
+                reqs_per_sec: 800_000.0,
+                bhr: 0.43,
+                fleet_tracker_bytes: 1 << 18,
+                metadata_bytes_per_object: 74.0,
+                sketch_updates: 80_000,
+                cas_retries: 12,
+                stripe_contention: 3,
+                ghost_saved_bytes: 10_000,
+                peak_rss_bytes: peak_rss_bytes(),
+            }],
+        };
+        let path = doc.store(&ctx).unwrap();
+        let back: BenchConcurrency =
+            serde_json::from_str(&fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].sketch, "shared");
+        assert_eq!(back.gate_shards, 4);
+        assert!((back.shared_memory_ratio - 1.08).abs() < 1e-12);
         assert!(back.gates_enforced);
     }
 

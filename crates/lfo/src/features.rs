@@ -24,9 +24,12 @@
 //! (DESIGN.md §14).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use cdn_trace::{CostModel, ObjectId, Request};
 use serde::{Deserialize, Serialize};
+
+use crate::sketchpool::SharedDoorkeeper;
 
 /// Default number of gaps tracked (the paper's 50).
 pub const FEATURE_GAPS: usize = 50;
@@ -95,7 +98,7 @@ impl TrackerBudget {
     }
 
     /// Number of sketch slots (always a power of two; 0 when unbounded).
-    fn slots(&self) -> usize {
+    pub(crate) fn slots(&self) -> usize {
         if !self.is_bounded() {
             return 0;
         }
@@ -191,6 +194,16 @@ impl ClockRing {
     }
 }
 
+/// A tracker's attachment to a fleet-shared doorkeeper pool: the pool
+/// plus the ring stripe this tracker owns (DESIGN.md §16). When present,
+/// the tracker's own `sketch`/`clock`/`hand` stay empty — sketch slots
+/// and ring sweeps go through the pool instead.
+#[derive(Clone, Debug)]
+struct SharedStripe {
+    pool: Arc<SharedDoorkeeper>,
+    stripe: usize,
+}
+
 /// Tracks per-object request history and produces feature vectors.
 #[derive(Clone, Debug)]
 pub struct FeatureTracker {
@@ -214,6 +227,8 @@ pub struct FeatureTracker {
     clock: ClockRing,
     /// CLOCK hand: next ring slot the eviction sweep examines.
     hand: usize,
+    /// Fleet-shared doorkeeper attachment (`None` = single-owner state).
+    shared: Option<SharedStripe>,
 }
 
 impl FeatureTracker {
@@ -253,7 +268,51 @@ impl FeatureTracker {
             sketch: vec![EMPTY_SLOT; budget.slots()],
             clock: ClockRing::default(),
             hand: 0,
+            shared: None,
         }
+    }
+
+    /// Creates a tracker borrowing a fleet-shared doorkeeper: sketch
+    /// slots and GCLOCK recycling go through `pool` (on ring stripe
+    /// `stripe`), and only the exact histories stay shard-local. The
+    /// budget is the *pool's* budget — fleet-wide, not per-shard.
+    ///
+    /// An `Arc` cannot live inside the `Copy + Serialize`
+    /// [`TrackerBudget`], so the shared variant is a runtime attachment
+    /// (this constructor / [`crate::LfoCache::join_sketch_pool`]) rather
+    /// than a budget field, mirroring how caches join a
+    /// [`crate::policy::SharedOccupancy`] pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is invalid (as [`Self::with_budget`]) or
+    /// `stripe` is out of range for the pool.
+    pub fn with_shared_pool(
+        schedule: Vec<usize>,
+        cost_model: CostModel,
+        pool: Arc<SharedDoorkeeper>,
+        stripe: usize,
+    ) -> Self {
+        assert!(stripe < pool.stripes(), "stripe out of range");
+        let budget = pool.budget();
+        let mut tracker = Self::with_budget(schedule, cost_model, budget);
+        // The fleet sketch lives in the pool — drop the private copy the
+        // plain constructor sized for the budget.
+        tracker.sketch = Vec::new();
+        tracker.shared = Some(SharedStripe { pool, stripe });
+        tracker
+    }
+
+    /// The fleet-shared doorkeeper this tracker borrows, if any.
+    pub fn shared_pool(&self) -> Option<&Arc<SharedDoorkeeper>> {
+        self.shared.as_ref().map(|s| &s.pool)
+    }
+
+    /// Whether `object` currently has an exact (promoted) gap history —
+    /// i.e. it has passed the doorkeeper. Unbounded trackers promote on
+    /// first sighting, so this is simply "seen before" there.
+    pub fn is_tracked(&self, object: ObjectId) -> bool {
+        self.history.contains_key(&object)
     }
 
     /// Number of gap features produced.
@@ -344,12 +403,14 @@ impl FeatureTracker {
                 // coarse gap_1 (subject to slot collisions) so one-hit
                 // wonders still look "recently seen once" to the model
                 // rather than brand new.
-                let coarse = if self.sketch.is_empty() {
-                    None
-                } else {
-                    let t = self.sketch[self.bucket(request.object)];
-                    (t != EMPTY_SLOT).then(|| request.time.saturating_sub(u64::from(t)) as f32)
+                let slot = match &self.shared {
+                    Some(s) => Some(s.pool.load_slot(s.pool.bucket(request.object))),
+                    None if self.sketch.is_empty() => None,
+                    None => Some(self.sketch[self.bucket(request.object)]),
                 };
+                let coarse = slot.and_then(|t| {
+                    (t != EMPTY_SLOT).then(|| request.time.saturating_sub(u64::from(t)) as f32)
+                });
                 match coarse {
                     Some(gap) if self.schedule[0] == 1 => {
                         out.push(gap);
@@ -363,6 +424,10 @@ impl FeatureTracker {
 
     /// Records a request into the history (call after [`Self::features`]).
     pub fn record(&mut self, request: &Request) {
+        if let Some(shared) = self.shared.clone() {
+            self.record_shared(&shared, request);
+            return;
+        }
         if !self.budget.is_bounded() {
             let entry = self
                 .history
@@ -402,6 +467,61 @@ impl FeatureTracker {
             times.push_front(request.time);
         }
         self.promote(request.object, times);
+    }
+
+    /// The shared-pool mirror of the bounded [`Self::record`] branch:
+    /// same doorkeeper protocol, but sketch slots advance by CAS in the
+    /// fleet pool (so a racing shard's later time is kept, never
+    /// regressed) and promotions recycle through this tracker's ring
+    /// stripe instead of a private CLOCK.
+    fn record_shared(&mut self, shared: &SharedStripe, request: &Request) {
+        let b = shared.pool.bucket(request.object);
+        if let Some(h) = self.history.get_mut(&request.object) {
+            h.times.push_front(request.time);
+            h.times.truncate(self.depth + 1);
+            shared.pool.reference(h.slot);
+            shared.pool.update_slot(b, request.time);
+            return;
+        }
+        let prior = shared.pool.update_slot(b, request.time);
+        if prior == EMPTY_SLOT {
+            // Doorkeeper: a first sighting (fleet-wide) costs one shared
+            // sketch slot, nothing more.
+            return;
+        }
+        // Second sighting — possibly observed by *another* shard first,
+        // so the sketched prior may be at or past this request's time;
+        // `min`/`<` keep the seeded history monotonic either way.
+        let prior = u64::from(prior);
+        let mut times = VecDeque::with_capacity(2);
+        times.push_front(prior.min(request.time));
+        if prior < request.time {
+            times.push_front(request.time);
+        }
+        self.promote_shared(shared, request.object, times);
+    }
+
+    /// Parks `object` in this tracker's pool stripe, forgetting whichever
+    /// live owner the stripe's GCLOCK sweep recycled. The staleness check
+    /// the private `clock_evict` does inline is handed to the pool as a
+    /// closure over this tracker's history map.
+    fn promote_shared(&mut self, shared: &SharedStripe, object: ObjectId, times: VecDeque<u64>) {
+        let history = &self.history;
+        let outcome = shared
+            .pool
+            .stripe_promote(shared.stripe, object, |owner, slot| {
+                history.get(&owner).is_some_and(|h| h.slot == slot)
+            });
+        if let Some(victim) = outcome.evicted {
+            self.history.remove(&victim);
+        }
+        self.history.insert(
+            object,
+            ObjectHistory {
+                times,
+                slot: outcome.slot,
+            },
+        );
     }
 
     /// Inserts an exact history for `object`, reclaiming a CLOCK slot when
@@ -484,6 +604,25 @@ impl FeatureTracker {
     /// pre-budget artifact warm-starts a bounded tracker with its hottest
     /// objects.
     pub fn load_snapshot(&mut self, snapshot: &TrackerSnapshot) {
+        if let Some(shared) = self.shared.clone() {
+            for (id, times) in &snapshot.entries {
+                let object = ObjectId(*id);
+                let mut deque: VecDeque<u64> = times.iter().copied().collect();
+                deque.truncate(self.depth + 1);
+                if let Some(&latest) = deque.front() {
+                    shared.pool.update_slot(shared.pool.bucket(object), latest);
+                }
+                if let Some(h) = self.history.get_mut(&object) {
+                    h.times = deque;
+                    shared.pool.reference(h.slot);
+                } else if shared.pool.stripe_has_room(shared.stripe) {
+                    self.promote_shared(&shared, object, deque);
+                }
+                // else: stripe full — hottest-first ordering means the
+                // remainder are the coldest and stay sketched.
+            }
+            return;
+        }
         for (id, times) in &snapshot.entries {
             let object = ObjectId(*id);
             let mut deque: VecDeque<u64> = times.iter().copied().collect();
@@ -516,10 +655,16 @@ impl FeatureTracker {
 
     /// Drops history for objects not touched since `time`, bounding memory
     /// on unbounded streams. Sketch slots older than `time` are wiped too,
-    /// so forgotten one-hit wonders look brand new again.
+    /// so forgotten one-hit wonders look brand new again. On a shared
+    /// pool the sketch wipe is fleet-wide (the sketch is fleet state);
+    /// exact histories are only dropped locally.
     pub fn forget_older_than(&mut self, time: u64) {
         self.history
             .retain(|_, h| h.times.front().copied().unwrap_or(0) >= time);
+        if let Some(shared) = &self.shared {
+            shared.pool.forget_older_than(time);
+            return;
+        }
         for slot in &mut self.sketch {
             if *slot != EMPTY_SLOT && u64::from(*slot) < time {
                 *slot = EMPTY_SLOT;
@@ -532,12 +677,18 @@ impl FeatureTracker {
     /// only pays for requests actually seen). Covers the exact histories,
     /// the CLOCK ring, and the doorkeeper sketch.
     pub fn approximate_bytes(&self) -> usize {
-        self.history
+        let histories = self
+            .history
             .values()
             .map(|h| 8 * h.times.len() + 56)
-            .sum::<usize>()
-            + self.clock.approximate_bytes()
-            + self.sketch_bytes()
+            .sum::<usize>();
+        match &self.shared {
+            // Shared mode: this tracker pays for its histories and its
+            // ring stripe's share; the fleet sketch is counted once at
+            // the pool ([`SharedDoorkeeper::sketch_bytes`]), not here.
+            Some(s) => histories + s.pool.stripe_ring_bytes(s.stripe),
+            None => histories + self.clock.approximate_bytes() + self.sketch_bytes(),
+        }
     }
 }
 
@@ -876,6 +1027,96 @@ mod tests {
         // (snapshot order), and serves their exact gaps.
         let probe = req(500, 19, 10);
         assert_eq!(b.features(&probe, 0), exact.features(&probe, 0));
+    }
+
+    // ---- fleet-shared doorkeeper (SharedDoorkeeper, DESIGN.md §16) ----
+
+    #[test]
+    fn one_stripe_shared_pool_matches_the_private_bounded_tracker() {
+        let budget = TrackerBudget::capped(8);
+        let pool = Arc::new(SharedDoorkeeper::new(budget, 1));
+        let mut private =
+            FeatureTracker::with_budget((1..=4).collect(), CostModel::ByteHitRatio, budget);
+        let mut shared =
+            FeatureTracker::with_shared_pool((1..=4).collect(), CostModel::ByteHitRatio, pool, 0);
+        for t in 0..500u64 {
+            let r = req(t * 3, splitmix64(t) % 60, 10 + t % 7);
+            assert_eq!(private.features(&r, 42), shared.features(&r, 42));
+            private.record(&r);
+            shared.record(&r);
+        }
+        assert_eq!(private.tracked_objects(), shared.tracked_objects());
+    }
+
+    #[test]
+    fn shards_share_first_sighting_evidence_through_the_pool() {
+        let pool = Arc::new(SharedDoorkeeper::new(TrackerBudget::capped(8), 2));
+        let mut a = FeatureTracker::with_shared_pool(
+            (1..=4).collect(),
+            CostModel::ByteHitRatio,
+            pool.clone(),
+            0,
+        );
+        let mut b =
+            FeatureTracker::with_shared_pool((1..=4).collect(), CostModel::ByteHitRatio, pool, 1);
+        // Shard A sees the first sighting, shard B the second: with a
+        // fleet sketch the second sighting promotes on B (per-shard
+        // sketches would treat it as another one-hit wonder).
+        a.record(&req(10, 7, 64));
+        assert!(!a.is_tracked(ObjectId(7)));
+        b.record(&req(25, 7, 64));
+        assert!(b.is_tracked(ObjectId(7)));
+        let f = b.features(&req(40, 7, 64), 0);
+        assert_eq!(f[3], 15.0); // gap_1 = 40 - 25
+        assert_eq!(f[4], 15.0); // gap_2 = 25 - 10, seeded from A's sketch write
+    }
+
+    #[test]
+    fn shared_tracker_counts_its_stripe_share_not_the_fleet_sketch() {
+        let pool = Arc::new(SharedDoorkeeper::new(TrackerBudget::capped(10), 2));
+        let tr = FeatureTracker::with_shared_pool(
+            (1..=4).collect(),
+            CostModel::ByteHitRatio,
+            pool.clone(),
+            0,
+        );
+        assert_eq!(tr.sketch_bytes(), 0);
+        assert_eq!(tr.approximate_bytes(), pool.stripe_ring_bytes(0));
+        assert!(pool.sketch_bytes() > 0);
+    }
+
+    #[test]
+    fn shared_snapshot_promotes_while_the_stripe_has_room() {
+        let mut exact = tracker();
+        for t in 0..200u64 {
+            exact.record(&req(t, t % 20, 10));
+        }
+        let snapshot = exact.snapshot(usize::MAX);
+        let pool = Arc::new(SharedDoorkeeper::new(TrackerBudget::capped(6), 1));
+        let mut shared =
+            FeatureTracker::with_shared_pool((1..=4).collect(), CostModel::ByteHitRatio, pool, 0);
+        shared.load_snapshot(&snapshot);
+        assert_eq!(shared.tracked_objects(), 6);
+        let probe = req(500, 19, 10);
+        assert_eq!(shared.features(&probe, 0), exact.features(&probe, 0));
+    }
+
+    #[test]
+    fn shared_forget_wipes_the_fleet_sketch() {
+        let pool = Arc::new(SharedDoorkeeper::new(TrackerBudget::capped(8), 2));
+        let mut a = FeatureTracker::with_shared_pool(
+            (1..=4).collect(),
+            CostModel::ByteHitRatio,
+            pool.clone(),
+            0,
+        );
+        let mut b =
+            FeatureTracker::with_shared_pool((1..=4).collect(), CostModel::ByteHitRatio, pool, 1);
+        a.record(&req(10, 1, 10));
+        b.forget_older_than(50);
+        // The wipe is fleet-wide: shard B's forget cleared A's sighting.
+        let f = a.features(&req(60, 1, 10), 0);
+        assert_eq!(f[3], MISSING_GAP);
     }
 
     #[test]

@@ -168,6 +168,13 @@ pub struct GuardrailSnapshot {
     pub shadow_lru_hit_bytes: u64,
     /// Sampled bytes the real cache actually hit.
     pub shadow_realized_hit_bytes: u64,
+    /// Sampled requests whose ghost inserts were skipped because the
+    /// object had not yet cleared the shared doorkeeper (see
+    /// [`Guardrail::set_borrow_doorkeeper`]); 0 when not borrowing.
+    pub doorkeeper_skips: u64,
+    /// Estimated ghost bookkeeping bytes those skips avoided (entry-size
+    /// estimates per skipped insert, not live occupancy).
+    pub doorkeeper_saved_bytes: u64,
 }
 
 impl GuardrailSnapshot {
@@ -301,6 +308,14 @@ impl LruGhost {
         }
     }
 }
+
+/// Estimated bytes one [`LruGhost`] insert costs: a map entry (id + size +
+/// tick plus hash-table overhead) and one recency-queue pair.
+const LRU_GHOST_ENTRY_BYTES: u64 = 56;
+
+/// Estimated bytes one [`GhostCache`] insert costs: a map entry holding a
+/// [`GhostEntry`] plus one eviction-index key.
+const LEARNED_GHOST_ENTRY_BYTES: u64 = 72;
 
 /// Seed of a sampled ghost's victim-draw stream (reset to this on every
 /// probation restart so re-proving runs are reproducible).
@@ -481,6 +496,14 @@ pub struct Guardrail {
     mode: GuardrailMode,
     lru: LruGhost,
     learned: GhostCache,
+    /// When true the ghosts borrow the cache's shared doorkeeper instead
+    /// of minting their own admission state: a miss on an object that has
+    /// not cleared the doorkeeper is *not* inserted into either ghost (the
+    /// one-hit-wonder tail the doorkeeper exists to filter), and the
+    /// avoided bookkeeping is counted in `doorkeeper_saved_bytes`.
+    borrow_doorkeeper: bool,
+    doorkeeper_skips: u64,
+    doorkeeper_saved_bytes: u64,
     trips: u64,
     forced_requests: u64,
     windows_evaluated: u64,
@@ -515,6 +538,9 @@ impl Guardrail {
                 Some(k) => GhostCache::sampled(ghost_capacity, k),
                 None => GhostCache::new(ghost_capacity),
             },
+            borrow_doorkeeper: false,
+            doorkeeper_skips: 0,
+            doorkeeper_saved_bytes: 0,
             trips: 0,
             forced_requests: 0,
             windows_evaluated: 0,
@@ -554,26 +580,71 @@ impl Guardrail {
             || splitmix64(object.0) & ((1u64 << self.config.sample_shift) - 1) == 0
     }
 
+    /// Makes the ghosts borrow the cache's doorkeeper instead of minting
+    /// their own admission state: once set, a sampled *miss* on an object
+    /// the caller reports as not yet past the doorkeeper (see
+    /// [`Self::record_shadowed`]) skips both ghost inserts — mirroring the
+    /// real tracker, which holds no history for such objects either — and
+    /// the avoided bookkeeping is accumulated in the snapshot's
+    /// `doorkeeper_saved_bytes`. One-hit wonders never hit again, so the
+    /// skipped inserts contribute no hit bytes to either shadow BHR; at
+    /// worst the un-polluted ghost LRU retains real content slightly
+    /// longer, which tightens (never weakens) the bound.
+    pub fn set_borrow_doorkeeper(&mut self, borrow: bool) {
+        self.borrow_doorkeeper = borrow;
+    }
+
+    /// Whether ghost inserts are filtered on doorkeeper evidence. Callers
+    /// use this to skip producing the evidence (a per-request history
+    /// probe) when it would be ignored anyway.
+    pub fn borrows_doorkeeper(&self) -> bool {
+        self.borrow_doorkeeper
+    }
+
     /// Observes one served request: `priority` and `admit` are the learned
     /// policy's *would-be* eviction priority (nonnegative) and admission
     /// decision for this request, `hit` is the real cache's outcome.
     /// Returns the number of trips fired by this request (0 or 1) so the
     /// caller can account them per window.
     pub fn record(&mut self, request: &Request, priority: f64, admit: bool, hit: bool) -> u64 {
+        self.record_shadowed(request, priority, admit, hit, true)
+    }
+
+    /// [`Self::record`] with doorkeeper evidence: `past_doorkeeper` says
+    /// whether the cache's admission tracker holds exact history for this
+    /// object (i.e. the doorkeeper has seen it before). Ignored unless
+    /// [`Self::set_borrow_doorkeeper`] enabled borrowing.
+    pub fn record_shadowed(
+        &mut self,
+        request: &Request,
+        priority: f64,
+        admit: bool,
+        hit: bool,
+        past_doorkeeper: bool,
+    ) -> u64 {
         if self.forced() {
             self.forced_requests += 1;
         }
         if !self.sampled(request.object) {
             return 0;
         }
+        let cleared = past_doorkeeper || !self.borrow_doorkeeper;
         self.win_requests += 1;
         self.win_bytes += request.size;
         if hit {
             self.win_realized_hit_bytes += request.size;
         }
-        // Ghost LRU: recency-ordered, admits everything.
-        if self.lru.access(request.object, request.size) {
-            self.win_lru_hit_bytes += request.size;
+        // Ghost LRU: recency-ordered, admits everything — except, when
+        // borrowing the doorkeeper, objects the doorkeeper has not cleared
+        // (they cannot be resident, so this branch is always a miss-path
+        // insert being avoided).
+        if cleared || self.lru.entries.contains_key(&request.object) {
+            if self.lru.access(request.object, request.size) {
+                self.win_lru_hit_bytes += request.size;
+            }
+        } else {
+            self.doorkeeper_skips += 1;
+            self.doorkeeper_saved_bytes += LRU_GHOST_ENTRY_BYTES;
         }
         // Ghost learned cache: the model's shadow decision. Priorities are
         // nonnegative, so f64 bit patterns order like the values. The ghost
@@ -583,12 +654,17 @@ impl Guardrail {
         // cold during probation, which can only delay recovery (extra
         // LRU-forced windows), never weaken the bound.
         debug_assert!(priority >= 0.0, "priorities must stay nonnegative");
-        if self.mode == GuardrailMode::LruForced
-            && self
-                .learned
-                .access(request.object, request.size, priority.to_bits(), admit)
-        {
-            self.win_learned_hit_bytes += request.size;
+        if self.mode == GuardrailMode::LruForced {
+            if cleared || self.learned.entries.contains_key(&request.object) {
+                if self
+                    .learned
+                    .access(request.object, request.size, priority.to_bits(), admit)
+                {
+                    self.win_learned_hit_bytes += request.size;
+                }
+            } else {
+                self.doorkeeper_saved_bytes += LEARNED_GHOST_ENTRY_BYTES;
+            }
         }
         if self.win_requests >= self.config.window {
             self.close_window()
@@ -666,6 +742,8 @@ impl Guardrail {
             shadow_total_bytes: self.total_bytes + self.win_bytes,
             shadow_lru_hit_bytes: self.total_lru_hit_bytes + self.win_lru_hit_bytes,
             shadow_realized_hit_bytes: self.total_realized_hit_bytes + self.win_realized_hit_bytes,
+            doorkeeper_skips: self.doorkeeper_skips,
+            doorkeeper_saved_bytes: self.doorkeeper_saved_bytes,
         }
     }
 }
@@ -929,6 +1007,61 @@ mod tests {
             .count();
         // ~1/8 of ids, with generous slop.
         assert!((10_000..15_000).contains(&hits), "sampled {hits}");
+    }
+
+    #[test]
+    fn doorkeeper_borrowing_skips_unseen_objects_and_counts_savings() {
+        let mut guard = Guardrail::new(full_sampling(u64::MAX), 10_000);
+        guard.set_borrow_doorkeeper(true);
+        // First sighting: not past the doorkeeper — the ghost LRU must not
+        // mint an entry, only count the avoided insert.
+        guard.record_shadowed(&req(0, 1, 100), 0.5, true, false, false);
+        assert!(guard.lru.entries.is_empty());
+        let snap = guard.snapshot();
+        assert_eq!(snap.doorkeeper_skips, 1);
+        assert_eq!(snap.doorkeeper_saved_bytes, LRU_GHOST_ENTRY_BYTES);
+        // Second sighting: cleared — inserted and tracked normally.
+        guard.record_shadowed(&req(1, 1, 100), 0.5, true, false, true);
+        assert!(guard.lru.entries.contains_key(&ObjectId(1)));
+        // Residents keep hitting even if the caller reports them unseen
+        // (the ghost's own membership is the tiebreaker, not the flag).
+        guard.record_shadowed(&req(2, 1, 100), 0.5, true, true, false);
+        let snap = guard.snapshot();
+        assert_eq!(snap.doorkeeper_skips, 1, "residents are never skipped");
+        assert_eq!(snap.shadow_lru_hit_bytes, 100);
+    }
+
+    #[test]
+    fn record_without_borrowing_ignores_doorkeeper_evidence() {
+        let mut guard = Guardrail::new(full_sampling(u64::MAX), 10_000);
+        guard.record_shadowed(&req(0, 1, 100), 0.5, true, false, false);
+        assert!(
+            guard.lru.entries.contains_key(&ObjectId(1)),
+            "without set_borrow_doorkeeper the evidence bit is inert"
+        );
+        assert_eq!(guard.snapshot().doorkeeper_skips, 0);
+        assert_eq!(guard.snapshot().doorkeeper_saved_bytes, 0);
+    }
+
+    #[test]
+    fn borrowing_saves_learned_ghost_bytes_while_forced() {
+        let cfg = GuardrailConfig {
+            start_in_fallback: true,
+            sample_shift: 0,
+            window: u64::MAX,
+            ..GuardrailConfig::default()
+        };
+        let mut guard = Guardrail::new(cfg, 10_000);
+        guard.set_borrow_doorkeeper(true);
+        guard.record_shadowed(&req(0, 1, 100), 0.5, true, false, false);
+        // While LruForced the learned ghost is fed too, so one unseen miss
+        // avoids an insert in both ghosts.
+        let snap = guard.snapshot();
+        assert_eq!(
+            snap.doorkeeper_saved_bytes,
+            LRU_GHOST_ENTRY_BYTES + LEARNED_GHOST_ENTRY_BYTES
+        );
+        assert!(guard.learned.entries.is_empty());
     }
 
     #[test]

@@ -41,6 +41,10 @@
 //!   forces a shard onto LRU whenever the learned policy's realized BHR
 //!   falls below `(1−ε)·BHR_LRU − δ`, and re-arms it only after the model
 //!   re-proves the bound on shadow-scored decisions.
+//! - [`sketchpool`] — the fleet-shared doorkeeper (DESIGN.md §16): one
+//!   lock-free CAS-advanced sketch plus a striped GCLOCK ring shared by
+//!   every pooled shard (and the guardrail's ghosts), so fleet metadata
+//!   scales with the budget instead of budget × shards.
 //!
 //! ## Quickstart
 //!
@@ -74,6 +78,7 @@ pub mod policy;
 pub mod pops;
 pub mod serve;
 pub mod shard;
+pub mod sketchpool;
 pub mod train;
 
 pub use config::{CutoffMode, EvictionStrategy, LfoConfig, PolicyDesign, RetrainConfig};
@@ -104,4 +109,5 @@ pub use serve::{
 pub use shard::{
     shard_of, CacheMetrics, ShardMode, ShardParams, ShardReport, ShardStatus, ShardedLfoCache,
 };
+pub use sketchpool::{SharedDoorkeeper, SketchPoolStats, StripeSlot};
 pub use train::{equalize_cutoff, train_window, train_window_continued, TrainedWindow};

@@ -32,6 +32,7 @@ use cdn_cache::cache::{CachePolicy, RequestOutcome};
 use crate::config::{EvictionStrategy, LfoConfig, PolicyDesign};
 use crate::features::FeatureTracker;
 use crate::guardrail::{Guardrail, GuardrailConfig, GuardrailSnapshot};
+use crate::sketchpool::SharedDoorkeeper;
 
 /// The repo's standard 64-bit mixer (same constants as `lfo::shard`).
 fn splitmix64(mut x: u64) -> u64 {
@@ -573,6 +574,31 @@ impl LfoCache {
         self.refresh_engine();
     }
 
+    /// Joins a fleet-shared doorkeeper pool (DESIGN.md §16): the feature
+    /// tracker is rebuilt in shared mode, reading and CAS-advancing one
+    /// fleet-wide sketch and parking promoted objects on this member's
+    /// stripe of the shared GCLOCK ring, instead of minting a private
+    /// sketch + ring per cache — fleet doorkeeper metadata scales with the
+    /// budget, not budget × shards, and shards share first-sighting
+    /// evidence. With one stripe the shared tracker is decision-identical
+    /// to the private bounded tracker (proptest-enforced in
+    /// `tests/bounded_state.rs`). An attached guardrail borrows the same
+    /// doorkeeper, so its ghosts stop minting entries for objects the
+    /// doorkeeper has not cleared. Like [`Self::join_pool`], call before
+    /// serving — the rebuilt tracker starts empty.
+    pub fn join_sketch_pool(&mut self, pool: Arc<SharedDoorkeeper>, stripe: usize) {
+        debug_assert_eq!(self.tick, 0, "join_sketch_pool before serving");
+        self.tracker = FeatureTracker::with_shared_pool(
+            self.config.gaps(),
+            self.config.cost_model,
+            pool,
+            stripe,
+        );
+        if let Some(guard) = self.guardrail.as_mut() {
+            guard.set_borrow_doorkeeper(true);
+        }
+    }
+
     /// Whether admitting `incoming` bytes would exceed the byte budget —
     /// the shared pool's if this cache joined one, else this cache's own.
     fn over_budget(&self, incoming: u64) -> bool {
@@ -846,7 +872,13 @@ impl LfoCache {
                 config.ghost_sample_k = Some(u32::try_from(k).unwrap_or(u32::MAX));
             }
         }
-        self.guardrail = Some(Guardrail::new(config, shadow_capacity));
+        let mut guard = Guardrail::new(config, shadow_capacity);
+        // A cache on a shared doorkeeper lends it to the guardrail too
+        // (the other attachment order is handled by `join_sketch_pool`).
+        if self.tracker.shared_pool().is_some() {
+            guard.set_borrow_doorkeeper(true);
+        }
+        self.guardrail = Some(guard);
     }
 
     /// Snapshot of the attached guardrail's state, or `None` when no
@@ -1029,12 +1061,24 @@ impl CachePolicy for LfoCache {
             // shadow-scored whether or not it was the one served.
             let admit = self.model.is_none() || likelihood >= self.config.cutoff;
             let priority = self.eviction_priority(likelihood, request.size);
+            // `record` above already ran, so exact history exists iff the
+            // doorkeeper has cleared this object (first sightings live only
+            // in the sketch) — the evidence a borrowing guardrail filters
+            // its ghost inserts on. Non-borrowing guardrails skip the
+            // history lookup entirely: it is ignored evidence, and the
+            // per-request probe costs real benign throughput.
+            let past_doorkeeper = !self
+                .guardrail
+                .as_ref()
+                .is_some_and(Guardrail::borrows_doorkeeper)
+                || self.tracker.is_tracked(request.object);
             if let Some(guard) = self.guardrail.as_mut() {
-                guard.record(
+                guard.record_shadowed(
                     request,
                     priority,
                     admit,
                     matches!(outcome, RequestOutcome::Hit),
+                    past_doorkeeper,
                 );
             }
         }

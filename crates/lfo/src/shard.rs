@@ -32,6 +32,7 @@
 //! trades BHR for bit-stable replays).
 
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cdn_trace::{ObjectId, Request};
@@ -42,6 +43,7 @@ use cdn_cache::cache::{CachePolicy, RequestOutcome};
 use crate::config::LfoConfig;
 use crate::guardrail::{GuardrailConfig, GuardrailSnapshot};
 use crate::policy::{LfoCache, ModelSlot, SharedOccupancy};
+use crate::sketchpool::SharedDoorkeeper;
 
 /// Finalizing mixer of splitmix64 (Steele et al.): full-avalanche, so
 /// consecutive object ids spread uniformly across shards.
@@ -106,11 +108,19 @@ pub struct ShardParams {
     /// shard and scoped to that shard's slice of capacity and traffic.
     /// `None` (the default) leaves the serving path untouched.
     pub guardrail: Option<GuardrailConfig>,
+    /// Share one fleet-wide doorkeeper sketch + striped GCLOCK ring
+    /// (DESIGN.md §16) across the shards instead of one private sketch and
+    /// ring per shard. Only effective in [`ShardMode::Pooled`] with a
+    /// bounded [`TrackerBudget`](crate::TrackerBudget) — unbounded configs
+    /// (the default `LfoConfig`) have no doorkeeper to share, so this flag
+    /// is inert there and every existing deployment is unchanged.
+    pub shared_sketch: bool,
 }
 
 impl ShardParams {
     /// Defaults tuned for trace replay: 256-request batches, 4 in flight,
-    /// pooled capacity, no guardrail.
+    /// pooled capacity, no guardrail, shared doorkeeper when the config
+    /// carries a bounded tracker budget.
     pub fn with_shards(num_shards: usize) -> Self {
         ShardParams {
             num_shards,
@@ -118,6 +128,7 @@ impl ShardParams {
             queue_depth: 4,
             mode: ShardMode::Pooled,
             guardrail: None,
+            shared_sketch: true,
         }
     }
 }
@@ -157,6 +168,12 @@ pub struct CacheMetrics {
     /// Sampled bytes the real cache actually hit — realized BHR on the
     /// same basis the shadow LRU is measured on.
     pub shadow_realized_hit_bytes: u64,
+    /// Sampled requests whose guardrail ghost inserts were skipped because
+    /// the object had not cleared the shared doorkeeper (0 unless the
+    /// ghosts borrow a shared sketch pool).
+    pub shadow_doorkeeper_skips: u64,
+    /// Estimated ghost bookkeeping bytes those skips avoided.
+    pub shadow_doorkeeper_saved_bytes: u64,
 }
 
 impl CacheMetrics {
@@ -229,6 +246,8 @@ impl CacheMetrics {
         self.shadow_total_bytes += other.shadow_total_bytes;
         self.shadow_lru_hit_bytes += other.shadow_lru_hit_bytes;
         self.shadow_realized_hit_bytes += other.shadow_realized_hit_bytes;
+        self.shadow_doorkeeper_skips += other.shadow_doorkeeper_skips;
+        self.shadow_doorkeeper_saved_bytes += other.shadow_doorkeeper_saved_bytes;
     }
 }
 
@@ -245,8 +264,14 @@ pub struct ShardStatus {
     /// a rollout has reached all of them).
     pub model_version: u64,
     /// Approximate heap bytes of the shard's feature-tracker history at
-    /// shutdown (per-object gap state the model's features come from).
+    /// shutdown (per-object gap state the model's features come from). In
+    /// shared-sketch mode this counts only the shard's histories and its
+    /// ring stripe — the fleet sketch is in `shared_sketch_bytes`.
     pub tracker_bytes: u64,
+    /// Bytes of the fleet-shared doorkeeper sketch this shard borrows
+    /// (equal across shards of one pool; a fleet-wide report counts it
+    /// once, like `model_bytes`). 0 with a private or absent doorkeeper.
+    pub shared_sketch_bytes: u64,
     /// Approximate heap bytes of the shard's admission/eviction index at
     /// shutdown (hash entry + priority-queue key per resident).
     pub index_bytes: u64,
@@ -288,9 +313,10 @@ impl ShardReport {
     }
 
     /// Total serving-metadata bytes across the fleet: per-shard tracker and
-    /// index bytes summed, plus *one* copy of the shared model footprint
-    /// (the compiled layouts are `Arc`-shared, so summing `model_bytes`
-    /// over shards would multiply-count one allocation).
+    /// index bytes summed, plus *one* copy of each `Arc`-shared allocation
+    /// — the compiled model layouts and the fleet doorkeeper sketch —
+    /// (summing `model_bytes`/`shared_sketch_bytes` over shards would
+    /// multiply-count single allocations).
     pub fn metadata_bytes(&self) -> u64 {
         let per_shard: u64 = self
             .shards
@@ -298,7 +324,13 @@ impl ShardReport {
             .map(|s| s.tracker_bytes + s.index_bytes)
             .sum();
         let model = self.shards.iter().map(|s| s.model_bytes).max().unwrap_or(0);
-        per_shard + model
+        let sketch = self
+            .shards
+            .iter()
+            .map(|s| s.shared_sketch_bytes)
+            .max()
+            .unwrap_or(0);
+        per_shard + model + sketch
     }
 
     /// Metadata bytes per resident object at shutdown (0 when nothing is
@@ -355,12 +387,18 @@ fn shard_worker(
         metrics.shadow_total_bytes = snap.shadow_total_bytes;
         metrics.shadow_lru_hit_bytes = snap.shadow_lru_hit_bytes;
         metrics.shadow_realized_hit_bytes = snap.shadow_realized_hit_bytes;
+        metrics.shadow_doorkeeper_skips = snap.doorkeeper_skips;
+        metrics.shadow_doorkeeper_saved_bytes = snap.doorkeeper_saved_bytes;
     }
     ShardStatus {
         shard,
         capacity: cache.capacity(),
         model_version: cache.model_version(),
         tracker_bytes: cache.tracker().approximate_bytes() as u64,
+        shared_sketch_bytes: cache
+            .tracker()
+            .shared_pool()
+            .map_or(0, |p| p.sketch_bytes() as u64),
         index_bytes: cache.approximate_index_bytes() as u64,
         model_bytes: cache.model_footprint_bytes() as u64,
         metrics,
@@ -379,6 +417,9 @@ pub struct ShardedLfoCache {
     slot: ModelSlot,
     batch_size: usize,
     capacity: u64,
+    /// The fleet-shared doorkeeper, kept so callers can read its stats
+    /// (the shards hold their own `Arc`s).
+    sketch_pool: Option<Arc<SharedDoorkeeper>>,
 }
 
 impl ShardedLfoCache {
@@ -433,6 +474,16 @@ impl ShardedLfoCache {
         let n = params.num_shards as u64;
         let (base, rem) = (capacity / n, capacity % n);
         let pool = SharedOccupancy::new(capacity, params.num_shards);
+        // One doorkeeper for the whole fleet, sized to the *pool* budget:
+        // fleet sketch memory scales with the budget, not budget × shards,
+        // and shards share first-sighting evidence instead of re-probing
+        // the one-hit-wonder tail N times. Pooled-mode only — a
+        // partitioned fleet owns disjoint `capacity/N` budgets, so its
+        // trackers stay private like its byte accounting.
+        let sketch_pool = (params.shared_sketch
+            && params.mode == ShardMode::Pooled
+            && config.budget().is_bounded())
+        .then(|| Arc::new(SharedDoorkeeper::new(config.budget(), params.num_shards)));
         let mut senders = Vec::with_capacity(params.num_shards);
         let mut workers = Vec::with_capacity(params.num_shards);
         for shard in 0..params.num_shards {
@@ -447,6 +498,9 @@ impl ShardedLfoCache {
             match params.mode {
                 ShardMode::Pooled => cache.join_pool(pool.clone(), shard),
                 ShardMode::Partitioned => cache.set_feature_free_scale(n),
+            }
+            if let Some(sketch) = &sketch_pool {
+                cache.join_sketch_pool(Arc::clone(sketch), shard);
             }
             if let Some(guard) = params.guardrail {
                 // Each shard sees ~1/N of the stream, so its ghosts model
@@ -471,7 +525,15 @@ impl ShardedLfoCache {
             slot,
             batch_size: params.batch_size,
             capacity,
+            sketch_pool,
         }
+    }
+
+    /// The fleet-shared doorkeeper pool, when one is active (Pooled mode,
+    /// bounded budget, `shared_sketch` on) — exposes the CAS-contention
+    /// counters the concurrency benchmark reports.
+    pub fn sketch_pool(&self) -> Option<&Arc<SharedDoorkeeper>> {
+        self.sketch_pool.as_ref()
     }
 
     /// The shared publication slot; publishing through it (or any clone)
@@ -672,6 +734,64 @@ mod tests {
         assert!(report.metadata_bytes_per_object() > 0.0);
         // The per-object number covers at least one index entry per object.
         assert!(report.metadata_bytes_per_object() >= 32.0);
+    }
+
+    #[test]
+    fn pooled_bounded_fleet_shares_one_doorkeeper_sketch() {
+        use crate::features::TrackerBudget;
+        let config = LfoConfig {
+            tracker_budget: Some(TrackerBudget::capped(64)),
+            ..LfoConfig::default()
+        };
+        let mut sharded = ShardedLfoCache::with_params(
+            100_000,
+            config,
+            ShardParams::with_shards(4),
+            ModelSlot::new(),
+        );
+        let pool = sharded.sketch_pool().expect("bounded pooled fleet shares");
+        let fleet_sketch = pool.sketch_bytes() as u64;
+        assert!(fleet_sketch > 0);
+        for i in 0..600u64 {
+            sharded.handle(&req(i, i % 90, 60));
+        }
+        let report = sharded.finish();
+        // Every shard reports the same borrowed sketch, and the fleet
+        // report counts it once — not once per shard.
+        assert!(report
+            .shards
+            .iter()
+            .all(|s| s.shared_sketch_bytes == fleet_sketch));
+        let per_shard: u64 = report
+            .shards
+            .iter()
+            .map(|s| s.tracker_bytes + s.index_bytes)
+            .sum();
+        assert_eq!(report.metadata_bytes(), per_shard + fleet_sketch);
+        // Shards saw traffic and share first sightings through the pool.
+        assert_eq!(report.total().requests, 600);
+    }
+
+    #[test]
+    fn shared_sketch_is_inert_for_unbounded_or_partitioned_fleets() {
+        use crate::features::TrackerBudget;
+        // Default (unbounded) config: nothing to share.
+        let sharded = ShardedLfoCache::new(10_000, LfoConfig::default(), 2);
+        assert!(sharded.sketch_pool().is_none());
+        sharded.finish();
+        // Partitioned mode keeps trackers private even with a budget.
+        let config = LfoConfig {
+            tracker_budget: Some(TrackerBudget::capped(64)),
+            ..LfoConfig::default()
+        };
+        let params = ShardParams {
+            mode: ShardMode::Partitioned,
+            ..ShardParams::with_shards(2)
+        };
+        let sharded = ShardedLfoCache::with_params(10_000, config, params, ModelSlot::new());
+        assert!(sharded.sketch_pool().is_none());
+        let report = sharded.finish();
+        assert!(report.shards.iter().all(|s| s.shared_sketch_bytes == 0));
     }
 
     #[test]

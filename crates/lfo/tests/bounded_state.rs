@@ -19,7 +19,7 @@ use std::sync::{Arc, OnceLock};
 use cdn_cache::cache::CachePolicy;
 use cdn_trace::{CostModel, ObjectId, Request};
 use gbdt::Model;
-use lfo::{EvictionStrategy, FeatureTracker, LfoCache, LfoConfig, TrackerBudget};
+use lfo::{EvictionStrategy, FeatureTracker, LfoCache, LfoConfig, SharedDoorkeeper, TrackerBudget};
 use proptest::prelude::*;
 
 /// The repo's standard 64-bit mixer — local copy, same constants as
@@ -133,6 +133,44 @@ proptest! {
             bounded.record(r);
         }
         prop_assert_eq!(exact.approximate_bytes() > 0, true);
+    }
+
+    #[test]
+    fn one_shard_shared_sketch_is_decision_identical_to_a_private_budget(
+        reqs in arb_trace(),
+        seed in 0u64..u64::MAX,
+        max_objects in 1usize..64,
+        sketch_bits in 4u32..12,
+        cache in 50u64..2_000,
+        with_model in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        // A 1-stripe fleet pool replicates the private doorkeeper protocol
+        // exactly — same bucket hash, same CAS-free slot semantics, same
+        // GCLOCK sweep — so a single cache borrowing the pool must make
+        // identical decisions to one owning a private `TrackerBudget`.
+        // Collisions are *included* here (tiny sketches are in range):
+        // both sides hash with the same seed, so they collide identically.
+        let budget = TrackerBudget { max_objects, sketch_bits, seed };
+        let config = LfoConfig {
+            tracker_budget: Some(budget),
+            ..LfoConfig::default()
+        };
+        let mut private = LfoCache::new(cache, config.clone());
+        let mut pooled = LfoCache::new(cache, config);
+        pooled.join_sketch_pool(Arc::new(SharedDoorkeeper::new(budget, 1)), 0);
+        if with_model {
+            private.install_model(small_object_model());
+            pooled.install_model(small_object_model());
+        }
+        for r in &reqs {
+            prop_assert_eq!(private.handle(r), pooled.handle(r));
+        }
+        prop_assert_eq!(private.used(), pooled.used());
+        prop_assert_eq!(private.len(), pooled.len());
+        prop_assert_eq!(private.evictions, pooled.evictions);
+        for id in 1u64..=40 {
+            prop_assert_eq!(private.contains(ObjectId(id)), pooled.contains(ObjectId(id)));
+        }
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Seeded multi-thread stress tests for the fleet-shared doorkeeper
+//! (DESIGN.md §16). The CAS slot protocol makes two promises under
+//! cross-shard races, and each gets hammered here from eight threads:
+//!
+//! - **saturated last-access slots never regress** — a slot only ever
+//!   advances, so any one thread's sequence of observed priors is
+//!   non-decreasing, and the final slot value is the maximum time any
+//!   thread wrote;
+//! - **promotions are never lost** — every `stripe_promote` parks the
+//!   object in a slot of the caller's stripe, every recycled victim was
+//!   a live owner the caller knew about, and when the dust settles each
+//!   ring slot has exactly one owner fleet-wide.
+//!
+//! The schedules are seeded (splitmix64 streams per thread), so a
+//! failure replays deterministically up to OS interleaving.
+
+use std::collections::HashMap;
+use std::thread;
+
+use cdn_trace::ObjectId;
+use lfo::sketchpool::EMPTY_SLOT;
+use lfo::{SharedDoorkeeper, TrackerBudget};
+
+/// The repo's standard 64-bit mixer — local copy, used only to derive
+/// per-thread deterministic schedules.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const THREADS: usize = 8;
+
+#[test]
+fn racing_writers_never_regress_a_sketch_slot() {
+    // 16 sketch slots under 8 threads: every write races another thread.
+    let budget = TrackerBudget {
+        max_objects: 64,
+        sketch_bits: 4,
+        seed: 7,
+    };
+    const SLOTS: usize = 16;
+    const WRITES: u64 = 20_000;
+    let pool = SharedDoorkeeper::new(budget, THREADS);
+    let mut maxima: Vec<Vec<u32>> = Vec::new();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut rng = splitmix64(t as u64 + 1);
+                    let mut last_prior = [EMPTY_SLOT; SLOTS];
+                    let mut written = vec![0u32; SLOTS];
+                    for i in 0..WRITES {
+                        rng = splitmix64(rng ^ i);
+                        let bucket = rng as usize % SLOTS;
+                        let time = (rng >> 8) % 1_000_000;
+                        let prior = pool.update_slot(bucket, time);
+                        // Slots only advance, and one thread's calls are
+                        // sequential: once it has seen a real time in a
+                        // bucket, every later prior there is >= it (and
+                        // never the empty sentinel again).
+                        if last_prior[bucket] != EMPTY_SLOT {
+                            assert_ne!(prior, EMPTY_SLOT, "slot went back to empty");
+                            assert!(
+                                prior >= last_prior[bucket],
+                                "slot regressed: prior {prior} after {}",
+                                last_prior[bucket]
+                            );
+                        }
+                        if prior != EMPTY_SLOT {
+                            last_prior[bucket] = prior;
+                        }
+                        written[bucket] = written[bucket].max(time as u32);
+                    }
+                    written
+                })
+            })
+            .collect();
+        for h in handles {
+            maxima.push(h.join().unwrap());
+        }
+    });
+    // CAS-max semantics: the surviving value is the largest time any
+    // thread attempted, regardless of arrival order.
+    for bucket in 0..SLOTS {
+        let expected = maxima.iter().map(|w| w[bucket]).max().unwrap();
+        assert_eq!(pool.load_slot(bucket), expected, "bucket {bucket}");
+    }
+}
+
+#[test]
+fn concurrent_promotions_are_never_lost_across_stripes() {
+    // Eight shards run the full doorkeeper protocol concurrently on one
+    // pool: sketch write first, promote on second sighting, reference on
+    // hits — each over a disjoint id range, mirroring its exact history
+    // the way `FeatureTracker` does.
+    let budget = TrackerBudget {
+        max_objects: 96,
+        sketch_bits: 8,
+        seed: 11,
+    };
+    const STEPS: u64 = 4_000;
+    const IDS_PER_THREAD: u64 = 512;
+    let pool = SharedDoorkeeper::new(budget, THREADS);
+    let mut histories: Vec<HashMap<ObjectId, usize>> = Vec::new();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let pool = &pool;
+                s.spawn(move || {
+                    let base: usize = (0..t).map(|i| pool.stripe_capacity(i)).sum();
+                    let cap = pool.stripe_capacity(t);
+                    let mut history: HashMap<ObjectId, usize> = HashMap::new();
+                    let mut rng = splitmix64(0xbeef ^ t as u64);
+                    let mut promoted = 0u64;
+                    let mut evicted = 0u64;
+                    for i in 0..STEPS {
+                        rng = splitmix64(rng ^ i);
+                        let object = ObjectId(((t as u64 + 1) << 32) | (rng % IDS_PER_THREAD));
+                        if let Some(&slot) = history.get(&object) {
+                            pool.reference(slot); // tracked hit: lock-free
+                            continue;
+                        }
+                        let prior = pool.update_slot(pool.bucket(object), i);
+                        if prior == EMPTY_SLOT {
+                            continue; // first sighting: sketch only
+                        }
+                        let res = pool.stripe_promote(t, object, |owner, slot| {
+                            history.get(&owner) == Some(&slot)
+                        });
+                        assert!(
+                            res.slot >= base && res.slot < base + cap,
+                            "slot {} escaped stripe {t} ({base}..{})",
+                            res.slot,
+                            base + cap
+                        );
+                        if let Some(victim) = res.evicted {
+                            assert!(
+                                history.remove(&victim).is_some(),
+                                "recycled {victim:?}, which this stripe never owned"
+                            );
+                            evicted += 1;
+                        }
+                        assert!(
+                            history.insert(object, res.slot).is_none(),
+                            "object promoted while already tracked"
+                        );
+                        promoted += 1;
+                        assert_eq!(history.len() as u64, promoted - evicted, "lost a promotion");
+                    }
+                    assert_eq!(history.len(), cap, "stripe {t} should end full");
+                    history
+                })
+            })
+            .collect();
+        for h in handles {
+            histories.push(h.join().unwrap());
+        }
+    });
+    // Fleet-wide reconciliation: every ring slot has exactly one owner.
+    let mut owners: HashMap<usize, ObjectId> = HashMap::new();
+    for (t, history) in histories.iter().enumerate() {
+        let base: usize = (0..t).map(|i| pool.stripe_capacity(i)).sum();
+        let cap = pool.stripe_capacity(t);
+        for (&object, &slot) in history {
+            assert!(slot >= base && slot < base + cap);
+            assert!(
+                owners.insert(slot, object).is_none(),
+                "slot {slot} owned by two stripes"
+            );
+        }
+    }
+    assert_eq!(owners.len(), budget.max_objects);
+    let stats = pool.stats();
+    assert!(stats.sketch_updates > 0);
+}

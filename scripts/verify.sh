@@ -90,4 +90,14 @@ cargo run -q --release -p bench --bin repro -- --quick memory
 echo "== repro --quick pops (multi-PoP topology, asserted in-run) =="
 cargo run -q --release -p bench --bin repro -- --quick pops
 
+# Fleet-shared doorkeeper across shard counts (DESIGN.md §16). Quick
+# scale, not smoke: 2-shard smoke fleets make the ratios noise, while at
+# quick scale the run asserts its own gates at 4 shards — shared-sketch
+# fleet doorkeeper memory <= 1.2x the single-cache budget (vs ~Nx for
+# per-shard sketches), BHR within 0.01 of the per-shard placement, and
+# paired-duel reqs/s >= 0.95x per-shard. Writes
+# results/BENCH_concurrency.json.
+echo "== repro --quick concurrency (fleet-shared doorkeeper, asserted in-run) =="
+cargo run -q --release -p bench --bin repro -- --quick concurrency
+
 echo "verify: OK"
